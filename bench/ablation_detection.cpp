@@ -1,0 +1,93 @@
+// Ablation: packet-detection operating curve.
+//
+// The receiver detects packets by windowed Pearson correlation against the
+// FM0 preamble (section 5.1b's "standard packet detection").  This bench maps
+// the detector's operating points: detection probability vs SNR at the
+// default threshold, and the false-alarm/missed-detection trade as the
+// threshold moves -- the numbers behind choosing 0.5.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "phy/fm0.hpp"
+#include "phy/modem.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace pab;
+
+constexpr double kFs = 96000.0;
+constexpr double kBitrate = 1000.0;
+
+// Synthetic envelope: pedestal + preamble/payload swing + noise.
+std::vector<double> make_envelope(bool with_packet, double snr_db, Rng& rng) {
+  const double amp = 0.05;
+  const double noise = amp / std::sqrt(power_ratio_from_db(snr_db));
+  std::vector<double> env(24000, 1.0);
+  if (with_packet) {
+    Bits full(phy::uplink_preamble_bits());
+    const auto payload = rng.bits(64);
+    full.insert(full.end(), payload.begin(), payload.end());
+    const auto sw = phy::backscatter_waveform(full, kBitrate, kFs);
+    const std::size_t start = 4000;
+    for (std::size_t i = 0; i < sw.size() && start + i < env.size(); ++i)
+      env[start + i] += sw[i] == phy::SwitchState::kReflective ? amp : -amp;
+  }
+  for (auto& v : env) v += rng.gaussian(0.0, noise);
+  return env;
+}
+
+double detection_rate(double threshold, double snr_db, bool with_packet,
+                      int trials, Rng& rng) {
+  phy::DemodConfig cfg;
+  cfg.bitrate = kBitrate;
+  cfg.detect_threshold = threshold;
+  const phy::BackscatterDemodulator demod(cfg);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto env = make_envelope(with_packet, snr_db, rng);
+    if (demod.demodulate_envelope(env, kFs, 64).ok()) ++hits;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+void print_series() {
+  bench::print_header("Ablation: packet detection",
+                      "Detection probability and false alarms vs threshold");
+  Rng rng(55);
+
+  bench::print_row({"chip SNR [dB]", "P(detect) @0.5"});
+  for (double snr : {-6.0, -3.0, 0.0, 3.0, 6.0, 12.0}) {
+    bench::print_row({bench::fmt(snr, 0),
+                      bench::fmt(detection_rate(0.5, snr, true, 30, rng), 2)});
+  }
+
+  std::printf("\n");
+  bench::print_row({"threshold", "P(detect) @0dB", "P(false alarm)"});
+  for (double th : {0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    bench::print_row({bench::fmt(th, 1),
+                      bench::fmt(detection_rate(th, 0.0, true, 30, rng), 2),
+                      bench::fmt(detection_rate(th, 0.0, false, 30, rng), 2)});
+  }
+  std::printf("\nShape: the default threshold (0.5) detects essentially every\n"
+              "packet at the FM0 decode floor (~2 dB chip SNR, Fig. 7) while\n"
+              "keeping false alarms on pure noise near zero.\n");
+}
+
+void bm_detection(benchmark::State& state) {
+  Rng rng(1);
+  const auto env = make_envelope(true, 6.0, rng);
+  const phy::BackscatterDemodulator demod{phy::DemodConfig{}};
+  for (auto _ : state) {
+    auto r = demod.demodulate_envelope(env, kFs, 64);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(bm_detection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

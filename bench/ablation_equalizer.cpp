@@ -1,0 +1,136 @@
+// Ablation: chip-spaced MMSE equalization vs the paper's plain ML decoding
+// in a reverberant tank.
+//
+// The enclosed pools smear chips into their neighbors; the paper's receiver
+// decodes the chips directly (ML over the FM0 trellis).  This ablation
+// derives the chip-rate ISI response from the Pool A image-method taps and
+// compares BER with and without the linear equalizer across bitrates.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "channel/tank.hpp"
+#include "phy/equalizer.hpp"
+#include "phy/fm0.hpp"
+#include "phy/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace pab;
+
+// Chip-rate complex ISI coefficients from the tank taps: energy of each tap
+// lands in the chip bucket its delay falls into (relative to the direct
+// path), rotated by its carrier phase.
+std::vector<std::complex<double>> chip_isi(double bitrate, double carrier) {
+  const channel::Tank tank = channel::make_pool_a();
+  const auto taps = channel::image_method_taps(tank, {1.0, 2.0, 0.65},
+                                               {1.5, 2.5, 0.65}, 2, carrier);
+  const double chip_s = 1.0 / (2.0 * bitrate);
+  const double t0 = taps.front().delay_s;
+  std::vector<std::complex<double>> h;
+  for (const auto& t : taps) {
+    const auto bucket = static_cast<std::size_t>((t.delay_s - t0) / chip_s);
+    if (bucket >= h.size()) h.resize(bucket + 1);
+    const double ph = -kTwoPi * carrier * t.delay_s;
+    h[bucket] += t.gain * std::complex<double>(std::cos(ph), std::sin(ph));
+  }
+  // Normalize to unit main tap.
+  const double main = std::abs(h[0]);
+  for (auto& v : h) v /= main;
+  return h;
+}
+
+struct Trial {
+  double raw_ber;
+  double eq_ber;
+};
+
+Trial run_trial(double bitrate, double noise_sd, Rng& rng) {
+  const auto h = chip_isi(bitrate, 15000.0);
+
+  const auto make_link = [&](std::size_t n_bits, pab::Bits* bits_out,
+                             std::vector<double>* ref_out) {
+    const auto bits = rng.bits(n_bits);
+    const auto chips = phy::fm0_encode(bits);
+    std::vector<std::complex<double>> rx(chips.size());
+    for (std::size_t t = 0; t < chips.size(); ++t) {
+      std::complex<double> v{};
+      for (std::size_t k = 0; k < h.size() && k <= t; ++k)
+        v += h[k] * static_cast<double>(chips[t - k]);
+      v += std::complex<double>(rng.gaussian(0.0, noise_sd),
+                                rng.gaussian(0.0, noise_sd));
+      rx[t] = v;
+    }
+    if (bits_out) *bits_out = bits;
+    if (ref_out) ref_out->assign(chips.begin(), chips.end());
+    return rx;
+  };
+
+  // Train on a known burst, evaluate on fresh data.
+  pab::Bits train_bits;
+  std::vector<double> train_ref;
+  const auto train_rx = make_link(150, &train_bits, &train_ref);
+  phy::LinearEqualizer eq(phy::EqualizerConfig{2, 6, 1e-3});
+  eq.train(train_rx, train_ref);
+
+  pab::Bits data_bits;
+  const auto data_rx = make_link(600, &data_bits, nullptr);
+
+  std::vector<double> raw_soft(data_rx.size());
+  for (std::size_t i = 0; i < raw_soft.size(); ++i) raw_soft[i] = data_rx[i].real();
+  const auto eq_out = eq.apply(data_rx);
+  std::vector<double> eq_soft(eq_out.size());
+  for (std::size_t i = 0; i < eq_soft.size(); ++i) eq_soft[i] = eq_out[i].real();
+
+  Trial t;
+  t.raw_ber = phy::bit_error_rate(data_bits, phy::fm0_decode_ml(raw_soft));
+  t.eq_ber = phy::bit_error_rate(data_bits, phy::fm0_decode_ml(eq_soft));
+  return t;
+}
+
+void print_series() {
+  bench::print_header("Ablation: equalization",
+                      "BER with/without chip-spaced MMSE equalizer (Pool A ISI)");
+  Rng rng(99);
+  bench::print_row({"rate [bps]", "ISI span", "raw BER", "equalized BER"});
+  for (double rate : {1000.0, 2000.0, 3000.0, 5000.0}) {
+    const auto h = chip_isi(rate, 15000.0);
+    double raw = 0.0, eq = 0.0;
+    const int trials = 5;
+    for (int i = 0; i < trials; ++i) {
+      const auto t = run_trial(rate, 0.15, rng);
+      raw += t.raw_ber;
+      eq += t.eq_ber;
+    }
+    bench::print_row({bench::fmt(rate, 0),
+                      bench::fmt(static_cast<double>(h.size()), 0) + " chips",
+                      bench::fmt_sci(raw / trials), bench::fmt_sci(eq / trials)});
+  }
+  std::printf("\nShape: ISI spans more chips at higher bitrates; the trained\n"
+              "equalizer recovers most of the loss -- a receiver-side upgrade\n"
+              "to the paper's decoder that needs no node changes.\n");
+}
+
+void bm_equalizer_train(benchmark::State& state) {
+  Rng rng(1);
+  const auto bits = rng.bits(150);
+  const auto chips = phy::fm0_encode(bits);
+  std::vector<std::complex<double>> rx(chips.size());
+  std::vector<double> ref(chips.begin(), chips.end());
+  for (std::size_t i = 0; i < rx.size(); ++i)
+    rx[i] = {static_cast<double>(chips[i]) + rng.gaussian(0.0, 0.1),
+             rng.gaussian(0.0, 0.1)};
+  for (auto _ : state) {
+    phy::LinearEqualizer eq;
+    eq.train(rx, ref);
+    benchmark::DoNotOptimize(&eq);
+  }
+}
+BENCHMARK(bm_equalizer_train)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

@@ -1,0 +1,94 @@
+// Section 2 / 3.2 claim: backscatter vs. conventional active acoustic
+// transmission.
+//
+// Paper: generating an acoustic carrier costs orders of magnitude more energy
+// than backscatter ("even low-power acoustic transmitters typically require
+// few hundred Watts"; battery-less harvest-then-beacon systems achieve only
+// few-to-tens of bps, while PAB "boosts the network throughput by two to
+// three orders of magnitude").
+//
+// Baseline model: a harvest-then-beacon node (e.g. the paper's refs [24,40])
+// charges its capacitor from the same acoustic field, then spends the stored
+// energy generating its own carrier through the same transducer at a source
+// level sufficient to reach the hydrophone.
+#include "bench_util.hpp"
+#include "circuit/rectopiezo.hpp"
+#include "energy/harvester.hpp"
+#include "energy/mcu.hpp"
+#include "piezo/transducer.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace pab;
+
+constexpr double kCarrier = 15000.0;
+constexpr double kBitrate = 1000.0;     // PAB link rate
+constexpr double kIncidentPa = 400.0;   // field at the node (a few m range)
+
+void print_series() {
+  bench::print_header("Baseline",
+                      "Backscatter vs harvest-then-beacon active transmission");
+
+  const energy::McuPowerModel mcu;
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  const auto xdcr = piezo::make_node_transducer(15000.0);
+
+  // --- PAB backscatter ---------------------------------------------------
+  const double pab_power = mcu.backscatter_power_w(kBitrate);
+  const double pab_energy_per_bit = pab_power / kBitrate;
+
+  // --- Active baseline -----------------------------------------------------
+  // To be received a few meters away with margin comparable to the
+  // backscatter link, the beacon drives its transducer to a ~160 dB source
+  // level (a modest 0.1 W acoustic).  Electrical drive power includes the
+  // transducer's electroacoustic efficiency.
+  const double target_acoustic_w = 0.1;
+  const double eta_ea = xdcr.bvd().r_rad / xdcr.bvd().rm;
+  const double tx_electrical_w = target_acoustic_w / eta_ea;
+  // Plus amplifier/driver overhead (class-D efficiency ~80%).
+  const double active_power = tx_electrical_w / 0.8;
+  const double active_energy_per_bit = active_power / kBitrate;
+
+  // Harvest-then-beacon duty cycle: the node can only transmit the fraction
+  // of time its harvest covers the transmit burn.
+  const double harvest_w = fe.harvested_dc_power(kCarrier, kIncidentPa);
+  const double duty = std::min(1.0, harvest_w / active_power);
+  const double active_avg_throughput = duty * kBitrate;
+
+  bench::print_row({"metric", "backscatter", "active-tx", "ratio"});
+  bench::print_row({"tx power [W]", bench::fmt_sci(pab_power),
+                    bench::fmt_sci(active_power),
+                    bench::fmt(active_power / pab_power, 0) + "x"});
+  bench::print_row({"energy/bit [J]", bench::fmt_sci(pab_energy_per_bit),
+                    bench::fmt_sci(active_energy_per_bit),
+                    bench::fmt(active_energy_per_bit / pab_energy_per_bit, 0) + "x"});
+  bench::print_row({"throughput [bps]", bench::fmt(kBitrate, 0),
+                    bench::fmt(active_avg_throughput, 1),
+                    bench::fmt(kBitrate / std::max(active_avg_throughput, 1e-9), 0) + "x"});
+
+  std::printf("\nharvested power at the node: %.1f uW; active transmit burn: "
+              "%.2f W\n  -> duty cycle %.2e, average throughput %.2f bps\n",
+              harvest_w * 1e6, active_power, duty, active_avg_throughput);
+  std::printf("Paper shape: backscatter is 2-3 orders of magnitude cheaper per\n"
+              "bit; harvest-then-beacon systems sustain only few-to-tens of bps\n"
+              "while PAB sustains kbps.\n");
+
+  const double orders =
+      std::log10(active_energy_per_bit / pab_energy_per_bit);
+  std::printf("Measured energy-per-bit gap: %.1f orders of magnitude\n", orders);
+}
+
+void bm_harvest_power(benchmark::State& state) {
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fe.harvested_dc_power(kCarrier, kIncidentPa));
+  }
+}
+BENCHMARK(bm_harvest_power);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

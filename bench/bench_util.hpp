@@ -1,0 +1,48 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Each bench binary prints the series of one of the paper's evaluation
+// figures, then runs google-benchmark timings of the hot kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pab::bench {
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", figure, description);
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+// Print the figure series via `print_series`, then run registered
+// google-benchmark timings.
+inline int run_bench_main(int argc, char** argv, void (*print_series)()) {
+  print_series();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pab::bench

@@ -1,0 +1,95 @@
+// Figure 10: SINR of concurrent backscatter transmissions before and after
+// MIMO projection, across 8 node placements.
+//
+// Paper: before projection the SINR is low (< 3 dB -- backscatter is
+// frequency-agnostic, so the two streams collide on both carriers); after
+// zero-forcing projection it exceeds 3 dB at every location, with
+// location-dependent values.
+#include "bench_util.hpp"
+#include "core/collision.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pab;
+
+struct Location {
+  channel::Vec3 node1, node2;
+};
+
+const Location kLocations[] = {
+    {{1.0, 2.0, 0.65}, {2.0, 2.0, 0.65}},
+    {{1.1, 1.8, 0.65}, {1.9, 2.3, 0.65}},
+    {{0.9, 2.2, 0.55}, {2.1, 1.8, 0.75}},
+    {{1.2, 2.4, 0.65}, {1.8, 1.7, 0.65}},
+    {{1.0, 1.6, 0.70}, {2.0, 2.4, 0.60}},
+    {{0.8, 2.0, 0.65}, {2.2, 2.1, 0.65}},
+    {{1.3, 2.2, 0.60}, {1.7, 1.9, 0.70}},
+    {{1.1, 2.5, 0.65}, {2.1, 2.5, 0.65}},
+};
+
+void print_series() {
+  bench::print_header(
+      "Figure 10", "SINR before/after MIMO projection, 8 locations, 2 nodes");
+  const auto proj = core::Projector::ideal(300.0);
+  const auto n1 = circuit::make_recto_piezo(15000.0);
+  const auto n2 = circuit::make_recto_piezo(18000.0);
+
+  bench::print_row({"location", "before1", "before2", "after1", "after2",
+                    "cond(H)", "BER1", "BER2"});
+  std::vector<double> gains;
+  int after_above_3 = 0, total_streams = 0;
+  int loc_idx = 0;
+  for (const Location& loc : kLocations) {
+    ++loc_idx;
+    core::SimConfig sc = core::pool_a_config();
+    sc.seed = 1000 + static_cast<std::uint64_t>(loc_idx);
+    core::Placement pl;
+    pl.projector = {1.5, 1.5, 0.65};
+    pl.hydrophone = {1.5, 2.5, 0.65};
+    pl.node = loc.node1;
+    core::CollisionSimulator sim(sc, pl, loc.node2);
+    const auto r = sim.run(proj, n1, n2, core::CollisionRunConfig{});
+    for (int s = 0; s < 2; ++s) {
+      gains.push_back(r.sinr_after_db[s] - r.sinr_before_db[s]);
+      ++total_streams;
+      if (r.sinr_after_db[s] > 3.0) ++after_above_3;
+    }
+    bench::print_row({bench::fmt(loc_idx, 0),
+                      bench::fmt(r.sinr_before_db[0], 1),
+                      bench::fmt(r.sinr_before_db[1], 1),
+                      bench::fmt(r.sinr_after_db[0], 1),
+                      bench::fmt(r.sinr_after_db[1], 1),
+                      bench::fmt(r.condition_number, 1),
+                      bench::fmt(r.ber_after[0], 3),
+                      bench::fmt(r.ber_after[1], 3)});
+  }
+  std::printf("\nmean SINR gain from projection: %.1f dB\n", mean(gains));
+  std::printf("streams above 3 dB after projection: %d / %d\n", after_above_3,
+              total_streams);
+  std::printf("Paper shape: before < 3 dB (collisions), after > 3 dB at all\n"
+              "locations; location-dependent values.\n");
+}
+
+void bm_collision_run(benchmark::State& state) {
+  core::SimConfig sc = core::pool_a_config();
+  core::Placement pl;
+  pl.projector = {1.5, 1.5, 0.65};
+  pl.hydrophone = {1.5, 2.5, 0.65};
+  pl.node = {1.0, 2.0, 0.65};
+  core::CollisionSimulator sim(sc, pl, {2.0, 2.0, 0.65});
+  const auto proj = core::Projector::ideal(300.0);
+  const auto n1 = circuit::make_recto_piezo(15000.0);
+  const auto n2 = circuit::make_recto_piezo(18000.0);
+  for (auto _ : state) {
+    auto r = sim.run(proj, n1, n2, core::CollisionRunConfig{});
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(bm_collision_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

@@ -1,0 +1,56 @@
+// Figure 11: Node power consumption vs backscatter bitrate.
+//
+// Paper: 124 uW in idle (ready to receive/decode a downlink signal) rising to
+// ~500 uW while backscattering, roughly flat across 100 bps - 3 kbps, within
+// 7% of the component datasheets.
+#include "bench_util.hpp"
+#include "energy/mcu.hpp"
+
+namespace {
+
+using namespace pab;
+
+void print_series() {
+  bench::print_header("Figure 11", "Power consumption vs backscatter bitrate");
+  const energy::McuPowerModel mcu;
+
+  bench::print_row({"mode", "power [uW]"});
+  bench::print_row({"idle", bench::fmt(mcu.idle_power_w() * 1e6, 1)});
+  for (double rate : {100.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0}) {
+    bench::print_row({bench::fmt(rate, 0) + " bps",
+                      bench::fmt(mcu.backscatter_power_w(rate) * 1e6, 1)});
+  }
+
+  // Cross-check against datasheet numbers, as the paper does (section 6.4).
+  const auto& p = mcu.params();
+  const double datasheet_active =
+      p.supply_v * (p.active_current_a + p.ldo_quiescent_a);
+  const double measured = mcu.backscatter_power_w(1000.0);
+  std::printf("\nidle:          %.0f uW (paper: 124 uW)\n",
+              mcu.idle_power_w() * 1e6);
+  std::printf("backscatter:   %.0f-%.0f uW (paper: ~500 uW)\n",
+              mcu.backscatter_power_w(100.0) * 1e6,
+              mcu.backscatter_power_w(3000.0) * 1e6);
+  std::printf("vs datasheet:  %.1f %% above MCU+LDO active draw "
+              "(paper: within 7%%)\n",
+              100.0 * (measured - datasheet_active) / datasheet_active);
+  std::printf("Energy per backscattered bit at 1 kbps: %.0f nJ\n",
+              mcu.backscatter_power_w(1000.0) / 1000.0 * 1e9);
+}
+
+void bm_power_model(benchmark::State& state) {
+  const energy::McuPowerModel mcu;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double r = 100.0; r <= 3000.0; r += 10.0)
+      acc += mcu.backscatter_power_w(r);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_power_model);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

@@ -1,0 +1,75 @@
+// Figure 7: BER vs SNR curve of the backscatter link.
+//
+// Paper: BER decreases with SNR; the decoder needs a minimum SNR around 2 dB
+// (typical for biphase modulation like FM0) and BER drops to 1e-5 above
+// ~11 dB (floored at 1e-5 by the packet sizes used).
+//
+// Monte-Carlo at chip level: FM0-encode random payloads, add calibrated AWGN
+// to the soft chips, ML-decode, count errors.
+#include "bench_util.hpp"
+#include "phy/fm0.hpp"
+#include "phy/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace pab;
+
+constexpr std::size_t kBitsPerTrial = 1000;
+constexpr double kBerFloor = 1e-5;  // paper: packets always < 1e5 bits
+
+double measure_ber(double snr_db, std::size_t min_errors, Rng& rng) {
+  // Chip-level SNR: chip amplitude 1, noise sigma from SNR.
+  const double sigma = 1.0 / std::sqrt(power_ratio_from_db(snr_db));
+  std::size_t errors = 0, total = 0;
+  const std::size_t max_bits = 2u << 20;  // cap the work per point
+  while (errors < min_errors && total < max_bits) {
+    const auto bits = rng.bits(kBitsPerTrial);
+    const auto chips = phy::fm0_encode(bits);
+    std::vector<double> soft(chips.size());
+    for (std::size_t i = 0; i < soft.size(); ++i)
+      soft[i] = chips[i] + rng.gaussian(0.0, sigma);
+    errors += hamming_distance(bits, phy::fm0_decode_ml(soft));
+    total += bits.size();
+  }
+  const double ber = static_cast<double>(errors) / static_cast<double>(total);
+  return std::max(ber, kBerFloor);
+}
+
+void print_series() {
+  bench::print_header("Figure 7", "BER-SNR curve (FM0 ML decoding)");
+  Rng rng(77);
+  bench::print_row({"SNR [dB]", "BER"});
+  double snr_at_decode_floor = -1.0, snr_at_1e5 = -1.0;
+  for (double snr = 0.0; snr <= 18.0 + 0.1; snr += 1.0) {
+    const double ber = measure_ber(snr, /*min_errors=*/100, rng);
+    bench::print_row({bench::fmt(snr, 1), bench::fmt_sci(ber)});
+    if (snr_at_decode_floor < 0.0 && ber < 0.1) snr_at_decode_floor = snr;
+    if (snr_at_1e5 < 0.0 && ber <= kBerFloor) snr_at_1e5 = snr;
+  }
+  std::printf("\nDecodable (BER < 10%%) from ~%.0f dB  (paper: ~2 dB)\n",
+              snr_at_decode_floor);
+  std::printf("BER reaches the 1e-5 floor at ~%.0f dB (paper: ~11 dB)\n",
+              snr_at_1e5);
+}
+
+void bm_fm0_ml_decode(benchmark::State& state) {
+  Rng rng(7);
+  const auto bits = rng.bits(1000);
+  const auto chips = phy::fm0_encode(bits);
+  std::vector<double> soft(chips.size());
+  for (std::size_t i = 0; i < soft.size(); ++i)
+    soft[i] = chips[i] + rng.gaussian(0.0, 0.5);
+  for (auto _ : state) {
+    auto decoded = phy::fm0_decode_ml(soft);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+}
+BENCHMARK(bm_fm0_ml_decode)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pab::bench::run_bench_main(argc, argv, print_series);
+}

@@ -1,0 +1,63 @@
+// Marine-life tagging with concurrent FDMA readout.
+//
+// Two battery-free tags (say, on two fish in the tank) are built as
+// recto-piezos on different channels (15 and 18 kHz).  The reader transmits
+// both carriers at once; both tags backscatter simultaneously, and the
+// hydrophone separates the collision with the 2x2 zero-forcing decoder --
+// the paper's concurrent-multiple-access design (sections 3.3, 6.3).
+#include <cstdio>
+
+#include "core/collision.hpp"
+#include "mac/fdma.hpp"
+
+int main() {
+  using namespace pab;
+
+  std::printf("Concurrent dual-tag readout (recto-piezo FDMA)\n");
+  std::printf("==============================================\n\n");
+
+  // Channel plan from the MAC layer.
+  const auto plan = mac::plan_channels(2, mac::ChannelPlanConfig{});
+  std::printf("channel plan: tag 1 at %.1f kHz, tag 2 at %.1f kHz\n",
+              plan.carriers_hz[0] / 1000.0, plan.carriers_hz[1] / 1000.0);
+
+  const auto crosstalk = mac::crosstalk_matrix(plan);
+  std::printf("crosstalk (backscatter is frequency-agnostic):\n");
+  std::printf("  tag1 on ch2: %.0f%%   tag2 on ch1: %.0f%%\n\n",
+              100.0 * crosstalk[1][0], 100.0 * crosstalk[0][1]);
+
+  core::SimConfig config = core::pool_a_config();
+  core::Placement placement;
+  placement.projector = {1.5, 1.5, 0.65};
+  placement.hydrophone = {1.5, 2.5, 0.65};
+
+  const auto projector = core::Projector::ideal(300.0);
+  const auto tag1 = circuit::make_recto_piezo(plan.carriers_hz[0]);
+  const auto tag2 = circuit::make_recto_piezo(plan.carriers_hz[1]);
+
+  // The "fish" move between readouts.
+  const channel::Vec3 tag1_positions[] = {
+      {1.0, 2.0, 0.65}, {1.1, 1.8, 0.60}, {0.9, 2.2, 0.70}};
+  const channel::Vec3 tag2_positions[] = {
+      {2.0, 2.0, 0.65}, {1.9, 2.3, 0.70}, {2.1, 1.8, 0.60}};
+
+  std::printf("readout  SINR1 before/after  SINR2 before/after  BER1    BER2\n");
+  for (int r = 0; r < 3; ++r) {
+    core::SimConfig sc = config;
+    sc.seed = 40 + static_cast<std::uint64_t>(r);
+    core::Placement pl = placement;
+    pl.node = tag1_positions[r];
+    core::CollisionSimulator sim(sc, pl, tag2_positions[r]);
+    core::CollisionRunConfig ccfg;
+    ccfg.carriers_hz = {plan.carriers_hz[0], plan.carriers_hz[1]};
+    const auto result = sim.run(projector, tag1, tag2, ccfg);
+    std::printf("%7d  %6.1f / %-6.1f      %6.1f / %-6.1f      %.3f   %.3f\n",
+                r + 1, result.sinr_before_db[0], result.sinr_after_db[0],
+                result.sinr_before_db[1], result.sinr_after_db[1],
+                result.ber_after[0], result.ber_after[1]);
+  }
+
+  std::printf("\nBoth tags are read in the airtime of one -- the 2x network\n");
+  std::printf("throughput gain of recto-piezo FDMA with collision decoding.\n");
+  return 0;
+}

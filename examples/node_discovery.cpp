@@ -1,0 +1,47 @@
+// Discovering an unknown population: framed slotted ALOHA inventory.
+//
+// A reader facing a tank of freshly deployed battery-free sensors does not
+// know their addresses.  It announces frames of reply slots; nodes pick slots
+// pseudo-randomly; singleton slots identify nodes, collisions retry, and the
+// frame size (Q) adapts -- the RFID Gen2 discipline adapted to PAB.
+#include <cstdio>
+
+#include "energy/planner.hpp"
+#include "mac/inventory.hpp"
+
+int main() {
+  using namespace pab;
+
+  std::printf("Slotted-ALOHA discovery of unknown PAB populations\n");
+  std::printf("===================================================\n\n");
+
+  std::printf("population  frames  slots  efficiency  all found\n");
+  for (std::size_t n : {1u, 4u, 12u, 30u, 60u, 120u}) {
+    std::vector<std::uint8_t> population;
+    for (std::size_t id = 1; id <= n; ++id)
+      population.push_back(static_cast<std::uint8_t>(id));
+    mac::InventoryStats stats;
+    mac::InventoryConfig cfg;
+    cfg.seed = 42 + n;
+    const auto found = mac::run_inventory(population, cfg, &stats);
+    std::printf("%9zu  %6zu  %5zu  %9.2f  %s\n", n, stats.frames, stats.slots,
+                stats.slot_efficiency(),
+                found.size() == n ? "yes" : "NO");
+  }
+  std::printf("\nSlot efficiency hovers near ALOHA's theoretical ~0.37 once Q\n");
+  std::printf("adapts; discovery cost grows linearly with population.\n\n");
+
+  // What discovery costs a node energetically: one reply slot is one short
+  // backscatter burst.
+  energy::EnergyPlanner planner;
+  energy::TransactionCost slot_cost;
+  slot_cost.downlink_bits = 16;   // short frame announcement
+  slot_cost.uplink_bits = 28;     // id + CRC
+  slot_cost.sensing_energy_j = 0.0;
+  std::printf("energy per discovery reply: %.1f uJ (vs %.1f uJ for a full\n",
+              planner.transaction_energy_j(slot_cost) * 1e6,
+              planner.transaction_energy_j(energy::TransactionCost{}) * 1e6);
+  std::printf("sensor transaction) -- discovery is cheap enough to rerun\n");
+  std::printf("whenever the population may have changed.\n");
+  return 0;
+}

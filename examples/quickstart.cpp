@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end PAB link.
+//
+// Builds a water tank, a projector, a battery-free backscatter node front end,
+// transmits one uplink packet by backscatter, and decodes it at the
+// hydrophone.  Run:  ./quickstart
+#include <cstdio>
+
+#include "core/link.hpp"
+#include "core/projector.hpp"
+#include "phy/metrics.hpp"
+
+int main() {
+  using namespace pab;
+
+  // 1. Environment: the paper's Pool A (3 x 4 m, 1.3 m deep) with default
+  //    instrument placement, 96 kHz hydrophone capture.
+  core::SimConfig config = core::pool_a_config();
+  core::Placement placement;
+  core::LinkSimulator sim(config, placement);
+
+  // 2. Projector: the fabricated cylinder transducer driven at 50 V.
+  const core::Projector projector(piezo::make_projector_transducer(), 50.0);
+
+  // 3. Node front end: a recto-piezo electrically matched at 15 kHz.
+  const circuit::RectoPiezo node = circuit::make_recto_piezo(15000.0);
+
+  // 4. Payload: one uplink packet with 4 bytes of sensor data.
+  phy::UplinkPacket packet;
+  packet.node_id = 1;
+  packet.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const Bits bits = packet.to_bits(/*include_preamble=*/false);
+
+  // 5. Simulate the backscatter uplink at 1 kbps and decode.
+  core::UplinkRunConfig link;
+  link.carrier_hz = 15000.0;
+  link.bitrate = 1000.0;
+  const auto out = sim.run_and_decode(projector, node, bits, link);
+
+  std::printf("PAB quickstart\n--------------\n");
+  std::printf("incident pressure at node: %6.1f Pa\n",
+              out.run.incident_pressure_pa);
+  std::printf("carrier at hydrophone:     %6.1f Pa\n",
+              out.run.direct_pressure_pa);
+  std::printf("backscatter modulation:    %6.3f Pa\n",
+              out.run.modulation_pressure_pa);
+
+  if (!out.demod.ok()) {
+    std::printf("decode failed: %s\n", out.demod.error().message().c_str());
+    return 1;
+  }
+  const auto& demod = out.demod.value();
+  std::printf("preamble correlation:      %6.2f\n", demod.preamble_corr);
+  std::printf("estimated SNR:             %6.1f dB\n", demod.snr_db);
+  std::printf("bit errors:                %6.0f\n",
+              phy::bit_error_rate(bits, demod.bits) *
+                  static_cast<double>(bits.size()));
+
+  const auto decoded = phy::UplinkPacket::from_bits(demod.bits, false);
+  if (!decoded) {
+    std::printf("CRC check failed\n");
+    return 1;
+  }
+  std::printf("decoded node %u payload:   ", decoded->node_id);
+  for (auto b : decoded->payload) std::printf("%02X ", b);
+  std::printf("\nCRC ok - packet delivered battery-free.\n");
+  return 0;
+}

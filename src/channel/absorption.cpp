@@ -1,0 +1,57 @@
+#include "channel/absorption.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::channel {
+
+AbsorptionBreakdown francois_garrison_breakdown(double freq_hz,
+                                                const SeawaterConditions& cond) {
+  pab::require(freq_hz > 0.0, "francois_garrison: frequency must be positive");
+  pab::require(cond.ph > 6.0 && cond.ph < 9.5, "francois_garrison: pH out of range");
+  const double f = freq_hz / 1000.0;  // kHz
+  const double t = cond.temperature_c;
+  const double s = cond.salinity_ppt;
+  const double d = cond.depth_m;
+  const double theta = 273.0 + t;
+  const double c = 1412.0 + 3.21 * t + 1.19 * s + 0.0167 * d;
+
+  AbsorptionBreakdown out;
+
+  // Boric acid relaxation (dominant below ~1 kHz; pH-dependent).
+  {
+    const double a1 = 8.86 / c * std::pow(10.0, 0.78 * cond.ph - 5.0);
+    const double f1 = 2.8 * std::sqrt(s / 35.0) * std::pow(10.0, 4.0 - 1245.0 / theta);
+    out.boric_acid = a1 * f1 * f * f / (f1 * f1 + f * f);
+  }
+
+  // Magnesium sulfate relaxation (dominant ~10-100 kHz: PAB's band).
+  {
+    const double a2 = 21.44 * s / c * (1.0 + 0.025 * t);
+    const double p2 = 1.0 - 1.37e-4 * d + 6.2e-9 * d * d;
+    const double f2 =
+        (8.17 * std::pow(10.0, 8.0 - 1990.0 / theta)) / (1.0 + 0.0018 * (s - 35.0));
+    out.magnesium_sulfate = a2 * p2 * f2 * f * f / (f2 * f2 + f * f);
+  }
+
+  // Pure-water viscous absorption (dominates in the MHz range).
+  {
+    double a3;
+    if (t <= 20.0) {
+      a3 = 4.937e-4 - 2.59e-5 * t + 9.11e-7 * t * t - 1.50e-8 * t * t * t;
+    } else {
+      a3 = 3.964e-4 - 1.146e-5 * t + 1.45e-7 * t * t - 6.5e-10 * t * t * t;
+    }
+    const double p3 = 1.0 - 3.83e-5 * d + 4.9e-10 * d * d;
+    out.pure_water = a3 * p3 * f * f;
+  }
+
+  return out;
+}
+
+double francois_garrison_db_per_km(double freq_hz, const SeawaterConditions& cond) {
+  return francois_garrison_breakdown(freq_hz, cond).total();
+}
+
+}  // namespace pab::channel

@@ -1,0 +1,38 @@
+// Francois-Garrison seawater absorption.
+//
+// Thorp's formula (water.hpp) is a fixed-condition fit.  The Francois &
+// Garrison (1982) model resolves the three physical mechanisms -- boric acid
+// relaxation (pH-dependent!), magnesium sulfate relaxation, and pure-water
+// viscosity -- as functions of temperature, salinity, depth, and acidity.
+// Fitting here: the very quantity PAB nodes measure (pH) feeds back into how
+// far their own signals travel.
+#pragma once
+
+namespace pab::channel {
+
+struct SeawaterConditions {
+  double temperature_c = 10.0;
+  double salinity_ppt = 35.0;
+  double depth_m = 10.0;
+  double ph = 8.0;
+};
+
+// Total absorption [dB/km] at `freq_hz` under `cond`.
+[[nodiscard]] double francois_garrison_db_per_km(double freq_hz,
+                                                 const SeawaterConditions& cond);
+
+// Individual mechanism contributions [dB/km] (useful for analysis/tests).
+struct AbsorptionBreakdown {
+  double boric_acid = 0.0;
+  double magnesium_sulfate = 0.0;
+  double pure_water = 0.0;
+
+  [[nodiscard]] double total() const {
+    return boric_acid + magnesium_sulfate + pure_water;
+  }
+};
+
+[[nodiscard]] AbsorptionBreakdown francois_garrison_breakdown(
+    double freq_hz, const SeawaterConditions& cond);
+
+}  // namespace pab::channel

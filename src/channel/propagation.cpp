@@ -1,0 +1,43 @@
+#include "channel/propagation.hpp"
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+#include "util/units.hpp"
+#include "util/error.hpp"
+
+namespace pab::channel {
+
+dsp::Signal apply_taps(const dsp::Signal& x, const std::vector<PathTap>& taps) {
+  require(x.sample_rate > 0.0, "apply_taps: sample rate unset");
+  dsp::Signal y;
+  y.sample_rate = x.sample_rate;
+  for (const PathTap& t : taps) {
+    dsp::add_delayed_scaled(y.samples, x.samples, t.delay_s * x.sample_rate, t.gain);
+  }
+  return y;
+}
+
+dsp::BasebandSignal apply_taps_baseband(const dsp::BasebandSignal& x,
+                                        const std::vector<PathTap>& taps) {
+  require(x.sample_rate > 0.0, "apply_taps_baseband: sample rate unset");
+  dsp::BasebandSignal y;
+  y.sample_rate = x.sample_rate;
+  y.carrier_hz = x.carrier_hz;
+  for (const PathTap& t : taps) {
+    const double phase = -pab::kTwoPi * x.carrier_hz * t.delay_s;
+    const dsp::cplx gain = t.gain * dsp::cplx(std::cos(phase), std::sin(phase));
+    dsp::add_delayed_scaled(y.samples, std::span<const dsp::cplx>(x.samples),
+                            t.delay_s * x.sample_rate, gain);
+  }
+  return y;
+}
+
+Propagator::Propagator(const Tank& tank, const Vec3& src, const Vec3& rx,
+                       double freq_hz, int max_order, bool use_image_method) {
+  taps_ = use_image_method
+              ? image_method_taps(tank, src, rx, max_order, freq_hz)
+              : free_field_tap(src, rx, freq_hz, tank.water);
+}
+
+}  // namespace pab::channel

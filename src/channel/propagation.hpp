@@ -1,0 +1,49 @@
+// Applying a multipath channel to sample-domain signals.
+#pragma once
+
+#include <vector>
+
+#include "channel/noise.hpp"
+#include "channel/tank.hpp"
+#include "dsp/signal.hpp"
+
+namespace pab::channel {
+
+// Convolve `x` with the sparse tap set: y(t) = sum_k g_k * x(t - tau_k).
+// Output length covers the longest tap delay.
+[[nodiscard]] dsp::Signal apply_taps(const dsp::Signal& x,
+                                     const std::vector<PathTap>& taps);
+
+// Baseband-equivalent propagation of a complex envelope at carrier f_c:
+// y(t) = sum_k g_k e^{-j 2 pi f_c tau_k} x(t - tau_k).  The envelope delay is
+// applied at sample resolution and the carrier phase as a complex rotation,
+// which is exact for narrowband signals.
+[[nodiscard]] dsp::BasebandSignal apply_taps_baseband(const dsp::BasebandSignal& x,
+                                                      const std::vector<PathTap>& taps);
+
+// A point-to-point acoustic link inside a tank (or free field when
+// `use_image_method` is false): caches the taps for a given geometry.
+class Propagator {
+ public:
+  Propagator(const Tank& tank, const Vec3& src, const Vec3& rx, double freq_hz,
+             int max_order = 2, bool use_image_method = true);
+
+  [[nodiscard]] dsp::Signal propagate(const dsp::Signal& x) const {
+    return apply_taps(x, taps_);
+  }
+
+  // Coherent CW amplitude gain at `freq_hz` (phasor sum of taps).
+  [[nodiscard]] double gain_at(double freq_hz) const {
+    return coherent_gain(taps_, freq_hz);
+  }
+
+  [[nodiscard]] const std::vector<PathTap>& taps() const { return taps_; }
+  [[nodiscard]] double direct_delay_s() const {
+    return taps_.empty() ? 0.0 : taps_.front().delay_s;
+  }
+
+ private:
+  std::vector<PathTap> taps_;
+};
+
+}  // namespace pab::channel

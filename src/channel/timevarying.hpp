@@ -1,0 +1,55 @@
+// Time-varying propagation: node mobility and surface motion.
+//
+// The paper's discussion (section 8) flags mobility and dynamic multipath as
+// the challenges of moving from tanks to rivers/oceans.  This models the two
+// dominant mechanisms:
+//   - a moving endpoint (e.g. a tagged animal): the path delay changes with
+//     time, producing Doppler shift and level change; and
+//   - a heaving surface (waves): the surface-image path length oscillates,
+//     producing time-varying multipath fading.
+#pragma once
+
+#include "channel/tank.hpp"
+#include "dsp/signal.hpp"
+
+namespace pab::channel {
+
+// Straight-line motion of the receive end relative to a fixed source in
+// free field.  The output sample at time t is the input evaluated at
+// t - tau(t) with carrier phase rotation -2 pi f_c tau(t); Doppler falls out
+// naturally from the changing delay.
+struct MovingPathConfig {
+  Vec3 source{};
+  Vec3 rx_start{};
+  Vec3 rx_velocity{};  // [m/s]
+  WaterProperties water{};
+};
+
+[[nodiscard]] dsp::BasebandSignal propagate_moving(const dsp::BasebandSignal& x,
+                                                   const MovingPathConfig& cfg);
+
+// Radial Doppler shift [Hz] at t=0 for the configuration above (positive
+// when the range is closing).
+[[nodiscard]] double doppler_shift_hz(const MovingPathConfig& cfg, double carrier_hz);
+
+// Two-path (direct + surface image) channel where the surface heaves
+// sinusoidally: z_surface(t) = z0 + A sin(2 pi f_w t).  Produces the periodic
+// fading a backscatter link sees under waves.
+struct WavySurfaceConfig {
+  Vec3 source{};
+  Vec3 receiver{};
+  double surface_z = 1.0;       // mean surface height [m]
+  double wave_amplitude = 0.05; // [m]
+  double wave_freq_hz = 0.5;    // swell frequency
+  double surface_reflection = -0.95;
+  WaterProperties water{};
+};
+
+[[nodiscard]] dsp::BasebandSignal propagate_wavy(const dsp::BasebandSignal& x,
+                                                 const WavySurfaceConfig& cfg);
+
+// Envelope fade depth [dB] between the strongest and weakest coherent sum of
+// direct + surface paths over one wave period.
+[[nodiscard]] double fade_depth_db(const WavySurfaceConfig& cfg, double carrier_hz);
+
+}  // namespace pab::channel

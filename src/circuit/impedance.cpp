@@ -1,0 +1,37 @@
+#include "circuit/impedance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::circuit {
+
+cplx parallel(cplx a, cplx b) {
+  const cplx sum = a + b;
+  if (std::abs(sum) < 1e-30) return cplx(0.0, 0.0);
+  return a * b / sum;
+}
+
+cplx inductor_z(double henry, double freq_hz) {
+  require(henry >= 0.0, "inductor_z: negative inductance");
+  return cplx(0.0, kTwoPi * freq_hz * henry);
+}
+
+cplx capacitor_z(double farad, double freq_hz) {
+  require(farad > 0.0, "capacitor_z: capacitance must be positive");
+  return cplx(0.0, -1.0 / (kTwoPi * freq_hz * farad));
+}
+
+cplx reflection_coefficient(cplx z_load, cplx z_source) {
+  const cplx den = z_load + z_source;
+  if (std::abs(den) < 1e-30) return cplx(1.0, 0.0);
+  return (z_load - std::conj(z_source)) / den;
+}
+
+double reflected_power_fraction(cplx z_load, cplx z_source) {
+  const double g = std::norm(reflection_coefficient(z_load, z_source));
+  return std::clamp(g, 0.0, 1.0);
+}
+
+}  // namespace pab::circuit

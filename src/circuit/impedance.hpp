@@ -1,0 +1,26 @@
+// Complex impedance algebra and the backscatter reflection coefficient.
+#pragma once
+
+#include <complex>
+
+namespace pab::circuit {
+
+using cplx = std::complex<double>;
+
+[[nodiscard]] cplx parallel(cplx a, cplx b);
+
+// Impedance of an inductor / capacitor at `freq_hz`.
+[[nodiscard]] cplx inductor_z(double henry, double freq_hz);
+[[nodiscard]] cplx capacitor_z(double farad, double freq_hz);
+
+// Power-wave reflection coefficient (paper Eq. 2, Kurokawa 1965):
+//   Gamma = (Z_L - Z_s^*) / (Z_L + Z_s)
+// |Gamma|^2 is the fraction of incident power reflected; Gamma = 0 at the
+// conjugate match (full absorption), |Gamma| = 1 for a short/open (full
+// reflection).
+[[nodiscard]] cplx reflection_coefficient(cplx z_load, cplx z_source);
+
+// |Gamma|^2, clamped to [0, 1] against rounding.
+[[nodiscard]] double reflected_power_fraction(cplx z_load, cplx z_source);
+
+}  // namespace pab::circuit

@@ -1,0 +1,32 @@
+#include "circuit/rectifier.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pab::circuit {
+
+Rectifier::Rectifier(RectifierParams p) : params_(p) {
+  require(p.stages >= 1, "Rectifier: need at least one stage");
+  require(p.diode_drop_v >= 0.0, "Rectifier: negative diode drop");
+  require(p.input_resistance > 0.0, "Rectifier: input resistance must be positive");
+}
+
+double Rectifier::open_circuit_dc(double v_in) const {
+  require(v_in >= 0.0, "Rectifier: negative input amplitude");
+  return std::max(0.0, 2.0 * static_cast<double>(params_.stages) *
+                           (v_in - params_.diode_drop_v));
+}
+
+double Rectifier::efficiency(double v_in) const {
+  if (v_in <= params_.diode_drop_v) return 0.0;
+  const double r = (v_in - params_.diode_drop_v) / v_in;
+  return std::clamp(r * r, 0.0, 1.0);
+}
+
+double Rectifier::dc_power(double p_in, double v_in) const {
+  require(p_in >= 0.0, "Rectifier: negative input power");
+  return p_in * efficiency(v_in);
+}
+
+}  // namespace pab::circuit

@@ -1,0 +1,54 @@
+// Energy storage and regulation: supercapacitor + LDO.
+//
+// The rectified DC charge is stored in a 1000 uF supercapacitor feeding an
+// LP5900 LDO whose 1.8 V output drives the MCU (paper section 4.2.1).  The
+// node powers up once the capacitor reaches 2.5 V (Fig. 3) and browns out
+// below the LDO dropout.
+#pragma once
+
+namespace pab::circuit {
+
+class Supercapacitor {
+ public:
+  explicit Supercapacitor(double capacitance_f = 1000e-6, double initial_v = 0.0);
+
+  // Advance by `dt` seconds with `p_in` watts charging and `p_out` watts
+  // drawn.  The capacitor cannot charge above `v_ceiling` (the rectifier's
+  // open-circuit DC) and cannot discharge below zero.
+  void step(double dt, double p_in, double p_out, double v_ceiling);
+
+  [[nodiscard]] double voltage() const { return voltage_; }
+  [[nodiscard]] double stored_energy_j() const;
+  [[nodiscard]] double capacitance() const { return capacitance_; }
+
+  void set_voltage(double v);
+
+ private:
+  double capacitance_;
+  double voltage_;
+};
+
+struct LdoParams {
+  double output_v = 1.8;        // regulated output (LP5900-1.8)
+  double dropout_v = 0.3;       // needs Vin >= output + dropout to regulate
+  double quiescent_a = 25e-6;   // ground-pin current while regulating
+};
+
+class Ldo {
+ public:
+  explicit Ldo(LdoParams p = {});
+
+  // True when the input voltage is high enough to regulate.
+  [[nodiscard]] bool in_regulation(double v_in) const;
+
+  // Power drawn from the input rail to supply `i_load` amps at the output
+  // (linear regulator: input current = load current + quiescent).
+  [[nodiscard]] double input_power(double v_in, double i_load) const;
+
+  [[nodiscard]] const LdoParams& params() const { return params_; }
+
+ private:
+  LdoParams params_;
+};
+
+}  // namespace pab::circuit

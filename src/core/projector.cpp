@@ -1,0 +1,65 @@
+#include "core/projector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::core {
+
+Projector::Projector(piezo::Transducer transducer, double drive_v)
+    : transducer_(std::move(transducer)), drive_v_(drive_v) {
+  require(drive_v >= 0.0, "Projector: negative drive voltage");
+}
+
+Projector Projector::ideal(double pressure_pa) {
+  require(pressure_pa >= 0.0, "Projector: negative pressure");
+  Projector p;
+  p.flat_pressure_pa_ = pressure_pa;
+  return p;
+}
+
+double Projector::pressure_at_1m(double freq_hz) const {
+  if (flat_pressure_pa_ >= 0.0) return flat_pressure_pa_;
+  return transducer_->pressure_amplitude_at_1m(drive_v_, freq_hz);
+}
+
+void Projector::set_drive_voltage(double v) {
+  require(v >= 0.0, "Projector: negative drive voltage");
+  require(flat_pressure_pa_ < 0.0, "Projector: ideal projector has no drive");
+  drive_v_ = v;
+}
+
+dsp::BasebandSignal Projector::cw_envelope(double freq_hz, double duration_s,
+                                           double sample_rate,
+                                           double lead_silence_s) const {
+  require(sample_rate > 0.0, "cw_envelope: sample rate must be positive");
+  require(duration_s >= 0.0 && lead_silence_s >= 0.0, "cw_envelope: negative time");
+  dsp::BasebandSignal s;
+  s.sample_rate = sample_rate;
+  s.carrier_hz = freq_hz;
+  const auto lead = static_cast<std::size_t>(lead_silence_s * sample_rate);
+  const auto n = static_cast<std::size_t>(duration_s * sample_rate);
+  s.samples.assign(lead, dsp::cplx(0.0, 0.0));
+  s.samples.insert(s.samples.end(), n, dsp::cplx(pressure_at_1m(freq_hz), 0.0));
+  return s;
+}
+
+dsp::BasebandSignal Projector::query_envelope(const phy::DownlinkQuery& query,
+                                              const phy::PwmParams& pwm,
+                                              double freq_hz, double sample_rate,
+                                              double post_cw_s) const {
+  const auto keying = phy::pwm_encode(query.to_bits(), pwm, sample_rate);
+  dsp::BasebandSignal s;
+  s.sample_rate = sample_rate;
+  s.carrier_hz = freq_hz;
+  const double amp = pressure_at_1m(freq_hz);
+  s.samples.reserve(keying.size() +
+                    static_cast<std::size_t>(post_cw_s * sample_rate));
+  for (std::uint8_t on : keying)
+    s.samples.emplace_back(on ? amp : 0.0, 0.0);
+  const auto tail = static_cast<std::size_t>(post_cw_s * sample_rate);
+  s.samples.insert(s.samples.end(), tail, dsp::cplx(amp, 0.0));
+  return s;
+}
+
+}  // namespace pab::core

@@ -1,0 +1,92 @@
+#include "dsp/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pab::dsp {
+
+std::vector<std::complex<double>> cross_correlate(
+    std::span<const std::complex<double>> x,
+    std::span<const std::complex<double>> t) {
+  if (t.empty() || x.size() < t.size()) return {};
+  std::vector<std::complex<double>> out(x.size() - t.size() + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    std::complex<double> acc{};
+    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> cross_correlate(std::span<const double> x,
+                                    std::span<const double> t) {
+  if (t.empty() || x.size() < t.size()) return {};
+  std::vector<double> out(x.size() - t.size() + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * t[i];
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> normalized_correlation(std::span<const std::complex<double>> x,
+                                           std::span<const std::complex<double>> t) {
+  if (t.empty() || x.size() < t.size()) return {};
+  double t_energy = 0.0;
+  for (const auto& v : t) t_energy += std::norm(v);
+  const double t_norm = std::sqrt(t_energy);
+  if (t_norm == 0.0) return std::vector<double>(x.size() - t.size() + 1, 0.0);
+
+  // Running window energy of x.
+  std::vector<double> out(x.size() - t.size() + 1);
+  double win_energy = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) win_energy += std::norm(x[i]);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    std::complex<double> acc{};
+    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
+    const double denom = std::sqrt(std::max(win_energy, 1e-300)) * t_norm;
+    out[k] = std::abs(acc) / denom;
+    if (k + t.size() < x.size())
+      win_energy += std::norm(x[k + t.size()]) - std::norm(x[k]);
+  }
+  return out;
+}
+
+std::vector<double> pearson_correlation(std::span<const double> x,
+                                        std::span<const double> t) {
+  if (t.size() < 2 || x.size() < t.size()) return {};
+  const auto n = static_cast<double>(t.size());
+
+  double t_sum = 0.0, t_sq = 0.0;
+  for (double v : t) { t_sum += v; t_sq += v * v; }
+  const double t_var = t_sq - t_sum * t_sum / n;
+  if (t_var <= 0.0) return std::vector<double>(x.size() - t.size() + 1, 0.0);
+
+  std::vector<double> out(x.size() - t.size() + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    // Window statistics computed fresh per window, centered on the window
+    // mean: cancellation-safe for small modulations on a large pedestal and
+    // free of running-sum drift.  With x centered, sum(xc) = 0, so the
+    // template's mean term drops out of the covariance.
+    double x_mean = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) x_mean += x[k + i];
+    x_mean /= n;
+    double cov = 0.0, x_var = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double xc = x[k + i] - x_mean;
+      cov += xc * t[i];
+      x_var += xc * xc;
+    }
+    out[k] = x_var > 1e-300 ? cov / std::sqrt(x_var * t_var) : 0.0;
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+}  // namespace pab::dsp

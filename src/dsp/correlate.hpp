@@ -1,0 +1,34 @@
+// Correlation utilities for packet detection and timing recovery.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace pab::dsp {
+
+// Sliding cross-correlation of `x` against template `t` (valid range only):
+// out[k] = sum_i x[k+i] * conj(t[i]), k = 0 .. |x|-|t|.
+[[nodiscard]] std::vector<std::complex<double>> cross_correlate(
+    std::span<const std::complex<double>> x,
+    std::span<const std::complex<double>> t);
+
+[[nodiscard]] std::vector<double> cross_correlate(std::span<const double> x,
+                                                  std::span<const double> t);
+
+// Normalized correlation magnitude in [0, 1]: |<x_k, t>| / (|x_k| * |t|).
+[[nodiscard]] std::vector<double> normalized_correlation(
+    std::span<const std::complex<double>> x,
+    std::span<const std::complex<double>> t);
+
+// Sliding Pearson correlation in [-1, 1]: both the window of `x` and the
+// template are locally mean-removed and normalized.  Robust to DC offsets and
+// slow level shifts (e.g. the un-modulated carrier under a backscatter
+// packet), which plain correlation is not.
+[[nodiscard]] std::vector<double> pearson_correlation(std::span<const double> x,
+                                                      std::span<const double> t);
+
+// Index of the maximum element; returns 0 for empty input.
+[[nodiscard]] std::size_t argmax(std::span<const double> xs);
+
+}  // namespace pab::dsp

@@ -1,0 +1,31 @@
+// Envelope detection.
+//
+// The PAB node's downlink receiver is a passive envelope detector feeding a
+// Schmitt trigger (paper section 4.2.1); the software models the same chain:
+// rectification followed by low-pass smoothing.
+#pragma once
+
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace pab::dsp {
+
+// Full-wave rectifier + single-pole RC low-pass with time constant `tau_s`.
+// This mirrors the diode/capacitor detector on the node's front end.
+[[nodiscard]] std::vector<double> envelope_rc(std::span<const double> x,
+                                              double sample_rate, double tau_s);
+
+// Envelope via complex magnitude after quadrature down-conversion: the
+// hydrophone-side (software) detector used when the carrier is known.
+[[nodiscard]] std::vector<double> envelope_coherent(const Signal& x, double carrier_hz,
+                                                    double lowpass_hz, int order = 5);
+
+// Two-level slicer with hysteresis, modeling a Schmitt trigger.  Returns a
+// 0/1 level per sample.  Thresholds are fractions of the max envelope value
+// (e.g. 0.55 high / 0.45 low).
+[[nodiscard]] std::vector<std::uint8_t> schmitt_slice(std::span<const double> envelope,
+                                                      double high_fraction = 0.55,
+                                                      double low_fraction = 0.45);
+
+}  // namespace pab::dsp

@@ -1,0 +1,43 @@
+// Radix-2 FFT and spectrum utilities.
+//
+// Used by the hydrophone receiver to identify active downlink carriers (the
+// paper's decoder "identifies the different transmitted frequencies on the
+// downlink using FFT and peak detection", section 5.1b).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace pab::dsp {
+
+// In-place iterative radix-2 Cooley-Tukey FFT.  Size must be a power of two.
+void fft_inplace(std::span<cplx> data, bool inverse = false);
+
+// Out-of-place convenience wrappers.  Input is zero-padded to the next power
+// of two.
+[[nodiscard]] std::vector<cplx> fft(std::span<const cplx> input);
+[[nodiscard]] std::vector<cplx> fft(std::span<const double> input);
+[[nodiscard]] std::vector<cplx> ifft(std::span<const cplx> input);
+
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+// One-sided magnitude spectrum of a real signal with its frequency axis.
+struct Spectrum {
+  std::vector<double> frequency;  // [Hz], bins 0..fs/2
+  std::vector<double> magnitude;  // linear amplitude per bin
+};
+
+[[nodiscard]] Spectrum magnitude_spectrum(const Signal& signal);
+
+// Frequencies of local maxima of the one-sided spectrum that exceed
+// `threshold_ratio` * global max, separated by at least `min_separation_hz`.
+// Returns peaks sorted by descending magnitude.
+[[nodiscard]] std::vector<double> spectral_peaks(const Signal& signal,
+                                                 double threshold_ratio = 0.25,
+                                                 double min_separation_hz = 500.0);
+
+}  // namespace pab::dsp

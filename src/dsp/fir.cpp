@@ -1,0 +1,101 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+}  // namespace
+
+std::vector<double> design_lowpass_fir(double cutoff_hz, double sample_rate,
+                                       std::size_t taps, WindowType window) {
+  require(sample_rate > 0.0, "design_lowpass_fir: sample rate must be positive");
+  require(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+          "design_lowpass_fir: cutoff must be in (0, fs/2)");
+  if (taps % 2 == 0) ++taps;
+  const double fc = cutoff_hz / sample_rate;  // normalized (cycles/sample)
+  const auto w = make_window(window, taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+
+  std::vector<double> h(taps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    h[i] = 2.0 * fc * sinc(2.0 * fc * t) * w[i];
+    sum += h[i];
+  }
+  // Normalize to unity DC gain.
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+std::vector<double> design_bandpass_fir(double low_hz, double high_hz,
+                                        double sample_rate, std::size_t taps,
+                                        WindowType window) {
+  require(low_hz > 0.0 && high_hz > low_hz && high_hz < sample_rate / 2.0,
+          "design_bandpass_fir: invalid band");
+  if (taps % 2 == 0) ++taps;
+  const double f1 = low_hz / sample_rate;
+  const double f2 = high_hz / sample_rate;
+  const auto w = make_window(window, taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    h[i] = (2.0 * f2 * sinc(2.0 * f2 * t) - 2.0 * f1 * sinc(2.0 * f1 * t)) * w[i];
+  }
+  // Normalize to unity gain at band center.
+  const double f0 = kPi * (f1 + f2);  // radian center frequency * 1 sample
+  std::complex<double> g{};
+  for (std::size_t i = 0; i < taps; ++i)
+    g += h[i] * std::exp(std::complex<double>(0.0, -f0 * static_cast<double>(i)));
+  const double mag = std::abs(g);
+  if (mag > 1e-12)
+    for (auto& v : h) v /= mag;
+  return h;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> fir_apply(std::span<const double> h, std::span<const T> x) {
+  require(!h.empty(), "fir_filter: empty kernel");
+  const std::size_t delay = (h.size() - 1) / 2;
+  std::vector<T> y(x.size(), T{});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    T acc{};
+    // y[i] = sum_k h[k] * x[i + delay - k]
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(delay) -
+          static_cast<std::ptrdiff_t>(k);
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size()))
+        acc += h[k] * x[static_cast<std::size_t>(idx)];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> fir_filter(std::span<const double> h, std::span<const double> x) {
+  return fir_apply<double>(h, x);
+}
+
+std::vector<std::complex<double>> fir_filter(std::span<const double> h,
+                                             std::span<const std::complex<double>> x) {
+  return fir_apply<std::complex<double>>(h, x);
+}
+
+}  // namespace pab::dsp

@@ -1,0 +1,34 @@
+// Windowed-sinc FIR filter design and application.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace pab::dsp {
+
+// Linear-phase low-pass FIR via windowed sinc.  `cutoff_hz` is the -6 dB
+// point; `taps` should be odd (it is bumped to odd if even).
+[[nodiscard]] std::vector<double> design_lowpass_fir(double cutoff_hz,
+                                                     double sample_rate,
+                                                     std::size_t taps,
+                                                     WindowType window = WindowType::kHamming);
+
+// Band-pass FIR between [low_hz, high_hz].
+[[nodiscard]] std::vector<double> design_bandpass_fir(double low_hz, double high_hz,
+                                                      double sample_rate,
+                                                      std::size_t taps,
+                                                      WindowType window = WindowType::kHamming);
+
+// Direct-form convolution, "same" alignment compensated for the filter's
+// group delay: output[i] corresponds to input[i] for linear-phase `h`.
+[[nodiscard]] std::vector<double> fir_filter(std::span<const double> h,
+                                             std::span<const double> x);
+
+// Complex-input variant (for baseband processing).
+[[nodiscard]] std::vector<std::complex<double>> fir_filter(
+    std::span<const double> h, std::span<const std::complex<double>> x);
+
+}  // namespace pab::dsp

@@ -1,0 +1,31 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+
+std::complex<double> goertzel(std::span<const double> x, double freq_hz,
+                              double sample_rate) {
+  require(sample_rate > 0.0, "goertzel: sample rate must be positive");
+  const double w = kTwoPi * freq_hz / sample_rate;
+  const double coeff = 2.0 * std::cos(w);
+  double s_prev = 0.0, s_prev2 = 0.0;
+  for (double v : x) {
+    const double s = v + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const std::complex<double> wz(std::cos(w), std::sin(w));
+  return s_prev - s_prev2 * std::conj(wz);
+}
+
+double tone_amplitude(std::span<const double> x, double freq_hz, double sample_rate) {
+  if (x.empty()) return 0.0;
+  return 2.0 * std::abs(goertzel(x, freq_hz, sample_rate)) /
+         static_cast<double>(x.size());
+}
+
+}  // namespace pab::dsp

@@ -1,0 +1,18 @@
+// Goertzel single-bin DFT: cheap per-tone energy probe used by carrier
+// detection when a full FFT is unnecessary.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace pab::dsp {
+
+// Complex DFT coefficient of `x` at `freq_hz` (not normalized).
+[[nodiscard]] std::complex<double> goertzel(std::span<const double> x,
+                                            double freq_hz, double sample_rate);
+
+// Amplitude of the tone at `freq_hz` (2|X|/N, so a unit sine reads ~1).
+[[nodiscard]] double tone_amplitude(std::span<const double> x, double freq_hz,
+                                    double sample_rate);
+
+}  // namespace pab::dsp

@@ -1,0 +1,173 @@
+#include "dsp/iir.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+namespace {
+
+// RBJ-cookbook second-order low-pass (bilinear transform with prewarping).
+Biquad rbj_lowpass(double fc, double fs, double q) {
+  const double w0 = kTwoPi * fc / fs;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 - cw) / 2.0 / a0;
+  s.b1 = (1.0 - cw) / a0;
+  s.b2 = (1.0 - cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+Biquad rbj_highpass(double fc, double fs, double q) {
+  const double w0 = kTwoPi * fc / fs;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 + cw) / 2.0 / a0;
+  s.b1 = -(1.0 + cw) / a0;
+  s.b2 = (1.0 + cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+// First-order section via bilinear transform, expressed as a degenerate biquad.
+Biquad first_order(double fc, double fs, bool highpass) {
+  const double w = std::tan(kPi * fc / fs);  // prewarped
+  const double a0 = w + 1.0;
+  Biquad s;
+  if (!highpass) {
+    s.b0 = w / a0;
+    s.b1 = w / a0;
+  } else {
+    s.b0 = 1.0 / a0;
+    s.b1 = -1.0 / a0;
+  }
+  s.b2 = 0.0;
+  s.a1 = (w - 1.0) / a0;
+  s.a2 = 0.0;
+  return s;
+}
+
+// Butterworth Q values for the conjugate pole pairs of an order-n prototype.
+std::vector<double> butterworth_qs(int order) {
+  std::vector<double> qs;
+  for (int k = 0; k < order / 2; ++k) {
+    const double theta = kPi * (2.0 * k + 1.0) / (2.0 * order);
+    qs.push_back(1.0 / (2.0 * std::sin(theta)));
+  }
+  return qs;
+}
+
+void check_design(int order, double fc, double fs) {
+  require(order >= 1 && order <= 12, "butterworth: order must be in [1,12]");
+  require(fs > 0.0, "butterworth: sample rate must be positive");
+  require(fc > 0.0 && fc < fs / 2.0, "butterworth: cutoff must be in (0, fs/2)");
+}
+
+}  // namespace
+
+double BiquadCascade::process(double x) {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Biquad& c = sections_[i];
+    State& st = state_[i];
+    const double y = c.b0 * x + st.s1r;
+    st.s1r = c.b1 * x - c.a1 * y + st.s2r;
+    st.s2r = c.b2 * x - c.a2 * y;
+    x = y;
+  }
+  return x;
+}
+
+std::complex<double> BiquadCascade::process(std::complex<double> x) {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Biquad& c = sections_[i];
+    State& st = state_[i];
+    const double yr = c.b0 * x.real() + st.s1r;
+    st.s1r = c.b1 * x.real() - c.a1 * yr + st.s2r;
+    st.s2r = c.b2 * x.real() - c.a2 * yr;
+    const double yi = c.b0 * x.imag() + st.s1i;
+    st.s1i = c.b1 * x.imag() - c.a1 * yi + st.s2i;
+    st.s2i = c.b2 * x.imag() - c.a2 * yi;
+    x = {yr, yi};
+  }
+  return x;
+}
+
+std::vector<double> BiquadCascade::filter(std::span<const double> x) const {
+  BiquadCascade copy = *this;
+  copy.reset();
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = copy.process(x[i]);
+  return y;
+}
+
+std::vector<std::complex<double>> BiquadCascade::filter(
+    std::span<const std::complex<double>> x) const {
+  BiquadCascade copy = *this;
+  copy.reset();
+  std::vector<std::complex<double>> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = copy.process(x[i]);
+  return y;
+}
+
+void BiquadCascade::reset() {
+  state_.assign(sections_.size(), State{});
+}
+
+std::complex<double> BiquadCascade::response(double freq_hz, double fs) const {
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, kTwoPi * freq_hz / fs));
+  const std::complex<double> zi = 1.0 / z;
+  std::complex<double> h(1.0, 0.0);
+  for (const Biquad& s : sections_) {
+    const std::complex<double> num = s.b0 + s.b1 * zi + s.b2 * zi * zi;
+    const std::complex<double> den = 1.0 + s.a1 * zi + s.a2 * zi * zi;
+    h *= num / den;
+  }
+  return h;
+}
+
+bool BiquadCascade::is_stable() const {
+  for (const Biquad& s : sections_) {
+    // Stability triangle for 1 + a1 z^-1 + a2 z^-2.
+    if (!(std::abs(s.a2) < 1.0 && std::abs(s.a1) < 1.0 + s.a2)) return false;
+  }
+  return true;
+}
+
+BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double fs) {
+  check_design(order, cutoff_hz, fs);
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) sections.push_back(rbj_lowpass(cutoff_hz, fs, q));
+  if (order % 2 == 1) sections.push_back(first_order(cutoff_hz, fs, /*highpass=*/false));
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade butterworth_highpass(int order, double cutoff_hz, double fs) {
+  check_design(order, cutoff_hz, fs);
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) sections.push_back(rbj_highpass(cutoff_hz, fs, q));
+  if (order % 2 == 1) sections.push_back(first_order(cutoff_hz, fs, /*highpass=*/true));
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade butterworth_bandpass(int order, double low_hz, double high_hz, double fs) {
+  require(low_hz > 0.0 && high_hz > low_hz && high_hz < fs / 2.0,
+          "butterworth_bandpass: invalid band");
+  // Cascade of an order-n high-pass at the low edge and an order-n low-pass at
+  // the high edge; adequate for channel isolation and unconditionally stable.
+  BiquadCascade hp = butterworth_highpass(order, low_hz, fs);
+  BiquadCascade lp = butterworth_lowpass(order, high_hz, fs);
+  std::vector<Biquad> sections = hp.sections();
+  for (const Biquad& s : lp.sections()) sections.push_back(s);
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace pab::dsp

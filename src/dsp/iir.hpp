@@ -1,0 +1,64 @@
+// Butterworth IIR filters as cascaded biquad sections.
+//
+// The paper's receiver "employs a Butterworth filter on each of the receive
+// channels to isolate the signal of interest and reduce interference from
+// concurrent transmissions" (section 5.1b).  We implement analog Butterworth
+// prototypes mapped through the bilinear transform with frequency prewarping.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace pab::dsp {
+
+// One second-order section, direct form II transposed.
+struct Biquad {
+  // Normalized so a0 == 1.
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections)
+      : sections_(std::move(sections)), state_(sections_.size()) {}
+
+  // Process one sample, maintaining state across calls (streaming).
+  [[nodiscard]] double process(double x);
+  [[nodiscard]] std::complex<double> process(std::complex<double> x);
+
+  // Filter a whole buffer from zero initial state.
+  [[nodiscard]] std::vector<double> filter(std::span<const double> x) const;
+  [[nodiscard]] std::vector<std::complex<double>> filter(
+      std::span<const std::complex<double>> x) const;
+
+  void reset();
+
+  [[nodiscard]] const std::vector<Biquad>& sections() const { return sections_; }
+
+  // Complex frequency response at `freq_hz` for signals sampled at `fs`.
+  [[nodiscard]] std::complex<double> response(double freq_hz, double fs) const;
+
+  // True if all poles lie strictly inside the unit circle.
+  [[nodiscard]] bool is_stable() const;
+
+ private:
+  struct State {
+    double s1r = 0.0, s2r = 0.0;  // real channel
+    double s1i = 0.0, s2i = 0.0;  // imaginary channel
+  };
+  std::vector<Biquad> sections_;
+  std::vector<State> state_;
+};
+
+// Designers.  `order` is the analog prototype order (1..12 supported).
+[[nodiscard]] BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double fs);
+[[nodiscard]] BiquadCascade butterworth_highpass(int order, double cutoff_hz, double fs);
+// Band-pass of total order 2*`order` between [low_hz, high_hz].
+[[nodiscard]] BiquadCascade butterworth_bandpass(int order, double low_hz,
+                                                 double high_hz, double fs);
+
+}  // namespace pab::dsp

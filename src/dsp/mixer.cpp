@@ -1,0 +1,74 @@
+#include "dsp/mixer.hpp"
+
+#include <cmath>
+
+#include "dsp/iir.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+
+Signal make_tone(double freq_hz, double amplitude, double duration_s,
+                 double sample_rate, double phase) {
+  require(sample_rate > 0.0, "make_tone: sample rate must be positive");
+  require(duration_s >= 0.0, "make_tone: negative duration");
+  const auto n = static_cast<std::size_t>(duration_s * sample_rate);
+  Signal s;
+  s.sample_rate = sample_rate;
+  s.samples.resize(n);
+  const double w = kTwoPi * freq_hz / sample_rate;
+  for (std::size_t i = 0; i < n; ++i)
+    s.samples[i] = amplitude * std::sin(w * static_cast<double>(i) + phase);
+  return s;
+}
+
+BasebandSignal downconvert(const Signal& x, double carrier_hz) {
+  require(x.sample_rate > 0.0, "downconvert: sample rate unset");
+  BasebandSignal y;
+  y.sample_rate = x.sample_rate;
+  y.carrier_hz = carrier_hz;
+  y.samples.resize(x.size());
+  const double w = kTwoPi * carrier_hz / x.sample_rate;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = w * static_cast<double>(i);
+    // Multiply by exp(-j w n); factor 2 recovers the baseband envelope
+    // amplitude after low-pass filtering.
+    y.samples[i] = 2.0 * x.samples[i] * cplx(std::cos(ph), -std::sin(ph));
+  }
+  return y;
+}
+
+BasebandSignal downconvert_filtered(const Signal& x, double carrier_hz,
+                                    double lowpass_hz, int order,
+                                    std::size_t decim) {
+  require(decim >= 1, "downconvert_filtered: decim must be >= 1");
+  BasebandSignal y = downconvert(x, carrier_hz);
+  const BiquadCascade lp = butterworth_lowpass(order, lowpass_hz, y.sample_rate);
+  auto filtered = lp.filter(std::span<const cplx>(y.samples));
+  if (decim == 1) {
+    y.samples = std::move(filtered);
+    return y;
+  }
+  BasebandSignal out;
+  out.carrier_hz = carrier_hz;
+  out.sample_rate = y.sample_rate / static_cast<double>(decim);
+  out.samples.reserve(filtered.size() / decim + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += decim)
+    out.samples.push_back(filtered[i]);
+  return out;
+}
+
+Signal upconvert(const BasebandSignal& x, double carrier_hz) {
+  require(x.sample_rate > 0.0, "upconvert: sample rate unset");
+  Signal y;
+  y.sample_rate = x.sample_rate;
+  y.samples.resize(x.size());
+  const double w = kTwoPi * carrier_hz / x.sample_rate;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = w * static_cast<double>(i);
+    y.samples[i] = x.samples[i].real() * std::cos(ph) - x.samples[i].imag() * std::sin(ph);
+  }
+  return y;
+}
+
+}  // namespace pab::dsp

@@ -1,0 +1,28 @@
+// Carrier generation, mixing, and down-conversion.
+#pragma once
+
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace pab::dsp {
+
+// Real sine carrier: amplitude * sin(2*pi*f*t + phase).
+[[nodiscard]] Signal make_tone(double freq_hz, double amplitude, double duration_s,
+                               double sample_rate, double phase = 0.0);
+
+// Quadrature down-conversion: y[n] = x[n] * exp(-j*2*pi*fc*n/fs).  The result
+// must be low-pass filtered (and optionally decimated) by the caller to remove
+// the 2*fc image.
+[[nodiscard]] BasebandSignal downconvert(const Signal& x, double carrier_hz);
+
+// Full receiver front-end step: down-convert, Butterworth low-pass at
+// `lowpass_hz` (order `order`), and decimate by `decim`.
+[[nodiscard]] BasebandSignal downconvert_filtered(const Signal& x, double carrier_hz,
+                                                  double lowpass_hz, int order = 5,
+                                                  std::size_t decim = 1);
+
+// Upconvert a complex baseband signal back to a real passband signal.
+[[nodiscard]] Signal upconvert(const BasebandSignal& x, double carrier_hz);
+
+}  // namespace pab::dsp

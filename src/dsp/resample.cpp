@@ -1,0 +1,69 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::dsp {
+namespace {
+
+template <typename T>
+std::vector<T> decimate_impl(std::span<const T> x, std::size_t factor) {
+  require(factor >= 1, "decimate: factor must be >= 1");
+  std::vector<T> out;
+  out.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < x.size(); i += factor) out.push_back(x[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> decimate(std::span<const double> x, std::size_t factor) {
+  return decimate_impl<double>(x, factor);
+}
+
+std::vector<cplx> decimate(std::span<const cplx> x, std::size_t factor) {
+  return decimate_impl<cplx>(x, factor);
+}
+
+std::vector<double> fractional_delay(std::span<const double> x, double delay_samples) {
+  require(delay_samples >= 0.0, "fractional_delay: negative delay");
+  const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(int_delay);
+  std::vector<double> out(x.size() + int_delay + (frac > 0.0 ? 1 : 0), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i + int_delay] += x[i] * (1.0 - frac);
+    if (frac > 0.0) out[i + int_delay + 1] += x[i] * frac;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T, typename G>
+void add_delayed_scaled_impl(std::vector<T>& acc, std::span<const T> y,
+                             double delay_samples, G gain) {
+  require(delay_samples >= 0.0, "add_delayed_scaled: negative delay");
+  const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(int_delay);
+  const std::size_t needed = y.size() + int_delay + 1;
+  if (acc.size() < needed) acc.resize(needed, T{});
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    acc[i + int_delay] += gain * y[i] * (1.0 - frac);
+    acc[i + int_delay + 1] += gain * y[i] * frac;
+  }
+}
+
+}  // namespace
+
+void add_delayed_scaled(std::vector<double>& acc, std::span<const double> y,
+                        double delay_samples, double gain) {
+  add_delayed_scaled_impl(acc, y, delay_samples, gain);
+}
+
+void add_delayed_scaled(std::vector<cplx>& acc, std::span<const cplx> y,
+                        double delay_samples, cplx gain) {
+  add_delayed_scaled_impl(acc, y, delay_samples, gain);
+}
+
+}  // namespace pab::dsp

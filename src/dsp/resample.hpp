@@ -1,0 +1,32 @@
+// Decimation and fractional-delay utilities.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace pab::dsp {
+
+// Keep every `factor`-th sample.  Caller is responsible for anti-alias
+// filtering first.
+[[nodiscard]] std::vector<double> decimate(std::span<const double> x, std::size_t factor);
+[[nodiscard]] std::vector<cplx> decimate(std::span<const cplx> x, std::size_t factor);
+
+// Delay `x` by a fractional number of samples using linear interpolation,
+// producing an output of length |x| + ceil(delay).  Used by the multipath
+// channel to place echoes at non-integer sample offsets.
+[[nodiscard]] std::vector<double> fractional_delay(std::span<const double> x,
+                                                   double delay_samples);
+
+// Add `y`, delayed by `delay_samples` and scaled by `gain`, into `acc`
+// (resizing `acc` as needed).  The workhorse of the image-method channel.
+void add_delayed_scaled(std::vector<double>& acc, std::span<const double> y,
+                        double delay_samples, double gain);
+
+// Complex-envelope variant with a complex per-tap gain (amplitude and carrier
+// phase rotation of a multipath echo).
+void add_delayed_scaled(std::vector<cplx>& acc, std::span<const cplx> y,
+                        double delay_samples, cplx gain);
+
+}  // namespace pab::dsp

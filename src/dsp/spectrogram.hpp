@@ -1,0 +1,46 @@
+// Short-time Fourier transform / spectrogram.
+//
+// Used for capture inspection (the time-frequency view of a backscatter
+// session: carrier turn-on, sideband structure, concurrent channels) and by
+// analysis tooling.  Plain magnitude STFT with configurable window/hop.
+#pragma once
+
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+#include "dsp/window.hpp"
+
+namespace pab::dsp {
+
+struct SpectrogramConfig {
+  std::size_t fft_size = 1024;
+  std::size_t hop = 256;
+  WindowType window = WindowType::kHann;
+};
+
+struct Spectrogram {
+  // magnitude[frame][bin], bins 0..fft_size/2.
+  std::vector<std::vector<double>> magnitude;
+  std::vector<double> time_s;        // frame centers
+  std::vector<double> frequency_hz;  // bin centers
+
+  [[nodiscard]] std::size_t frames() const { return magnitude.size(); }
+  [[nodiscard]] std::size_t bins() const {
+    return magnitude.empty() ? 0 : magnitude.front().size();
+  }
+};
+
+[[nodiscard]] Spectrogram compute_spectrogram(const Signal& signal,
+                                              const SpectrogramConfig& config = {});
+
+// Frequency of the strongest bin in each frame -- tracks the dominant
+// carrier over time.
+[[nodiscard]] std::vector<double> dominant_frequency_track(const Spectrogram& spec);
+
+// Mean band power [linear] between [low_hz, high_hz] for each frame -- the
+// energy-vs-time profile of one channel.
+[[nodiscard]] std::vector<double> band_power_track(const Spectrogram& spec,
+                                                   double low_hz, double high_hz);
+
+}  // namespace pab::dsp

@@ -1,0 +1,123 @@
+#include "dsp/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace pab::dsp {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+pab::ErrorCode write_wav(const std::string& path, const Signal& signal,
+                         double full_scale) {
+  pab::require(signal.sample_rate > 0.0, "write_wav: sample rate unset");
+  pab::require(full_scale > 0.0, "write_wav: full scale must be positive");
+
+  const auto n = static_cast<std::uint32_t>(signal.size());
+  const std::uint32_t data_bytes = n * 2;
+  std::vector<std::uint8_t> out;
+  out.reserve(44 + data_bytes);
+
+  const auto rate = static_cast<std::uint32_t>(std::lround(signal.sample_rate));
+  out.insert(out.end(), {'R', 'I', 'F', 'F'});
+  put_u32(out, 36 + data_bytes);
+  out.insert(out.end(), {'W', 'A', 'V', 'E', 'f', 'm', 't', ' '});
+  put_u32(out, 16);        // fmt chunk size
+  put_u16(out, 1);         // PCM
+  put_u16(out, 1);         // mono
+  put_u32(out, rate);
+  put_u32(out, rate * 2);  // byte rate
+  put_u16(out, 2);         // block align
+  put_u16(out, 16);        // bits per sample
+  out.insert(out.end(), {'d', 'a', 't', 'a'});
+  put_u32(out, data_bytes);
+  for (double v : signal.samples) {
+    const double scaled = std::clamp(v / full_scale, -1.0, 1.0) * 32767.0;
+    const auto s = static_cast<std::int16_t>(std::lround(scaled));
+    put_u16(out, static_cast<std::uint16_t>(s));
+  }
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return pab::ErrorCode::kInvalidArgument;
+  f.write(reinterpret_cast<const char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  return f.good() ? pab::ErrorCode::kOk : pab::ErrorCode::kInvalidArgument;
+}
+
+pab::Expected<Signal> read_wav(const std::string& path, double full_scale) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    return pab::Error{pab::ErrorCode::kInvalidArgument, "cannot open " + path};
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+  if (buf.size() < 44 || std::memcmp(buf.data(), "RIFF", 4) != 0 ||
+      std::memcmp(buf.data() + 8, "WAVE", 4) != 0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument, "not a WAV file"};
+
+  // Walk chunks for fmt and data.
+  std::size_t pos = 12;
+  std::uint16_t channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  const std::uint8_t* data = nullptr;
+  std::uint32_t data_len = 0;
+  while (pos + 8 <= buf.size()) {
+    const char* id = reinterpret_cast<const char*>(buf.data() + pos);
+    const std::uint32_t len = get_u32(buf.data() + pos + 4);
+    if (pos + 8 + len > buf.size()) break;
+    if (std::memcmp(id, "fmt ", 4) == 0 && len >= 16) {
+      const std::uint8_t* p = buf.data() + pos + 8;
+      const std::uint16_t format = get_u16(p);
+      channels = get_u16(p + 2);
+      rate = get_u32(p + 4);
+      bits = get_u16(p + 14);
+      if (format != 1)
+        return pab::Error{pab::ErrorCode::kInvalidArgument, "not PCM"};
+    } else if (std::memcmp(id, "data", 4) == 0) {
+      data = buf.data() + pos + 8;
+      data_len = len;
+    }
+    pos += 8 + len + (len & 1);
+  }
+  if (data == nullptr || channels == 0 || bits != 16 || rate == 0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument, "unsupported WAV layout"};
+
+  Signal s;
+  s.sample_rate = static_cast<double>(rate);
+  const std::uint32_t frame_bytes = channels * 2u;
+  const std::uint32_t frames = data_len / frame_bytes;
+  s.samples.resize(frames);
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    const auto raw =
+        static_cast<std::int16_t>(get_u16(data + i * frame_bytes));
+    s.samples[i] = static_cast<double>(raw) / 32767.0 * full_scale;
+  }
+  return s;
+}
+
+}  // namespace pab::dsp

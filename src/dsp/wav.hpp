@@ -1,0 +1,26 @@
+// Minimal RIFF/WAVE I/O for hydrophone captures.
+//
+// The paper records the hydrophone through a PC sound card with Audacity and
+// decodes offline in MATLAB (section 5.1b).  These helpers let simulated (or
+// real) captures round-trip through standard mono WAV files so the same
+// offline workflow works here: dump a capture, reload it, decode it.
+#pragma once
+
+#include <string>
+
+#include "dsp/signal.hpp"
+#include "util/error.hpp"
+
+namespace pab::dsp {
+
+// Write a mono 16-bit PCM WAV.  Samples are scaled by `full_scale` (values at
+// +/-full_scale map to +/-32767) and clipped beyond it.
+[[nodiscard]] pab::ErrorCode write_wav(const std::string& path, const Signal& signal,
+                                       double full_scale = 1.0);
+
+// Read a mono (or first-channel of a multichannel) 16-bit PCM WAV back into
+// a Signal, scaled so +/-32767 maps to +/-full_scale.
+[[nodiscard]] pab::Expected<Signal> read_wav(const std::string& path,
+                                             double full_scale = 1.0);
+
+}  // namespace pab::dsp

@@ -1,0 +1,38 @@
+// Window functions for FIR design and spectral analysis.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pab::dsp {
+
+enum class WindowType { kRectangular, kHann, kHamming, kBlackman };
+
+[[nodiscard]] inline std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n < 2) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) + 0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace pab::dsp

@@ -1,0 +1,50 @@
+// Cold-start and steady-state harvesting dynamics.
+//
+// Combines the recto-piezo DC output with the supercapacitor and power-up
+// logic: during cold start the pull-down transistor is open so all harvested
+// energy charges the capacitor (paper section 4.2.1); once the capacitor
+// crosses the power-up threshold (2.5 V, Fig. 3) the MCU boots and begins
+// drawing its state-dependent load.
+#pragma once
+
+#include "circuit/rectopiezo.hpp"
+#include "circuit/storage.hpp"
+#include "energy/ledger.hpp"
+#include "energy/mcu.hpp"
+
+namespace pab::energy {
+
+struct HarvesterParams {
+  double power_up_threshold_v = 2.5;  // capacitor voltage to boot (Fig. 3)
+  double brown_out_v = 2.1;           // below this the MCU resets
+};
+
+class Harvester {
+ public:
+  Harvester(circuit::Supercapacitor cap, HarvesterParams params = {});
+
+  // Advance by `dt` with `p_harvest` watts of DC input (already through the
+  // rectifier), `p_load` watts of digital load, and `v_ceiling` the
+  // rectifier's open-circuit voltage at the current incident level.
+  void step(double dt, double p_harvest, double p_load, double v_ceiling);
+
+  [[nodiscard]] bool powered_up() const { return powered_up_; }
+  [[nodiscard]] double capacitor_voltage() const { return cap_.voltage(); }
+  [[nodiscard]] const EnergyLedger& ledger() const { return ledger_; }
+  EnergyLedger& ledger() { return ledger_; }
+
+  // Time to first power-up for constant harvest conditions; returns a
+  // negative value if the node can never reach the threshold (ceiling below
+  // threshold or zero harvested power).
+  [[nodiscard]] static double time_to_power_up(double p_harvest, double v_ceiling,
+                                               double capacitance_f = 1000e-6,
+                                               double threshold_v = 2.5);
+
+ private:
+  circuit::Supercapacitor cap_;
+  HarvesterParams params_;
+  EnergyLedger ledger_;
+  bool powered_up_ = false;
+};
+
+}  // namespace pab::energy

@@ -1,0 +1,31 @@
+#include "energy/ledger.hpp"
+
+#include "util/error.hpp"
+
+namespace pab::energy {
+
+void EnergyLedger::add(Category c, double joules) {
+  require(c != Category::kCount, "EnergyLedger: invalid category");
+  require(joules >= 0.0, "EnergyLedger: negative energy");
+  joules_[static_cast<std::size_t>(c)] += joules;
+}
+
+double EnergyLedger::total(Category c) const {
+  require(c != Category::kCount, "EnergyLedger: invalid category");
+  return joules_[static_cast<std::size_t>(c)];
+}
+
+double EnergyLedger::total_consumed() const {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < joules_.size(); ++i) sum += joules_[i];
+  return sum;
+}
+
+double EnergyLedger::average_power_w(Category c, double elapsed_s) const {
+  require(elapsed_s > 0.0, "EnergyLedger: elapsed time must be positive");
+  return total(c) / elapsed_s;
+}
+
+void EnergyLedger::reset() { joules_.fill(0.0); }
+
+}  // namespace pab::energy

@@ -1,0 +1,57 @@
+// Power model of the node's digital section (MSP430G2553-class MCU + LDO).
+//
+// Datasheet anchors (paper section 4.2.2 / 6.4): the MCU draws ~230 uA at
+// 1.8 V in active mode and 0.5 uA in LPM3; the LDO adds ~25 uA of ground
+// current.  The paper measures 124 uW in idle (more than LPM3 alone because
+// a few pins are held high and the LDO burns quiescent power) and ~500 uW
+// while backscattering -- "within 7% of the datasheets specifications".
+#pragma once
+
+#include <cstddef>
+
+namespace pab::energy {
+
+enum class McuState {
+  kOff,          // below power-up threshold, nothing runs
+  kLpm3,         // low-power mode, timer waiting for an edge interrupt
+  kIdle,         // ready to receive/decode downlink (LPM3 + pins held high)
+  kActive,       // decoding or backscattering
+};
+
+struct McuPowerParams {
+  double supply_v = 2.1;          // measured at the LDO input (paper 6.4)
+  double active_current_a = 230e-6;
+  double lpm3_current_a = 0.5e-6;
+  // Extra draw in idle from pins held high (pull-down transistor gate,
+  // interrupt handles): calibrated so idle totals the measured 124 uW.
+  double idle_pin_current_a = 34e-6;
+  double ldo_quiescent_a = 25e-6;
+  // Gate-charge energy per backscatter switch toggle [J].
+  double switch_toggle_energy_j = 2e-9;
+};
+
+class McuPowerModel {
+ public:
+  explicit McuPowerModel(McuPowerParams p = {});
+
+  // Static power [W] in a given state (excludes switching energy).
+  [[nodiscard]] double state_power_w(McuState state) const;
+
+  // Total power while backscattering at `bitrate` bps with FM0 (up to two
+  // toggles per bit): active MCU + LDO + switching.
+  [[nodiscard]] double backscatter_power_w(double bitrate) const;
+
+  // Idle power (the paper's 124 uW point).
+  [[nodiscard]] double idle_power_w() const;
+
+  // Energy for decoding a downlink query of `n_bits` at PWM `unit_s` timing:
+  // the MCU sleeps in LPM3 between edges and wakes briefly per edge.
+  [[nodiscard]] double decode_energy_j(std::size_t n_bits, double unit_s) const;
+
+  [[nodiscard]] const McuPowerParams& params() const { return params_; }
+
+ private:
+  McuPowerParams params_;
+};
+
+}  // namespace pab::energy

@@ -1,0 +1,61 @@
+#include "mac/fdma.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::mac {
+
+ChannelPlan plan_channels(std::size_t n_nodes, const ChannelPlanConfig& config) {
+  require(n_nodes >= 1, "plan_channels: need at least one node");
+  require(config.band_high_hz > config.band_low_hz, "plan_channels: empty band");
+  require(config.min_spacing_hz > 0.0, "plan_channels: spacing must be positive");
+
+  const double band = config.band_high_hz - config.band_low_hz;
+  const auto max_channels =
+      static_cast<std::size_t>(std::floor(band / config.min_spacing_hz)) + 1;
+  require(n_nodes <= max_channels,
+          "plan_channels: band cannot fit the requested channel count");
+
+  ChannelPlan plan;
+  if (n_nodes == 1) {
+    plan.carriers_hz.push_back(0.5 * (config.band_low_hz + config.band_high_hz));
+    return plan;
+  }
+  // Spread across the band edge-to-edge.
+  const double step = band / static_cast<double>(n_nodes - 1);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    plan.carriers_hz.push_back(config.band_low_hz + step * static_cast<double>(i));
+  return plan;
+}
+
+std::vector<std::vector<double>> crosstalk_matrix(const ChannelPlan& plan,
+                                                  double mechanical_resonance_hz) {
+  const std::size_t n = plan.channels();
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  std::vector<circuit::RectoPiezo> nodes;
+  nodes.reserve(n);
+  for (double f : plan.carriers_hz)
+    nodes.push_back(circuit::make_recto_piezo(f, mechanical_resonance_hz));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const double on_channel = nodes[j].modulation_depth(plan.carriers_hz[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double depth = nodes[j].modulation_depth(plan.carriers_hz[i]);
+      m[i][j] = on_channel > 0.0 ? depth / on_channel : 0.0;
+    }
+  }
+  return m;
+}
+
+double fdma_throughput_bps(std::size_t n, double per_link_bps) {
+  require(per_link_bps >= 0.0, "fdma_throughput: negative rate");
+  return static_cast<double>(n) * per_link_bps;
+}
+
+double tdma_throughput_bps(std::size_t n, double per_link_bps) {
+  require(n >= 1, "tdma_throughput: need at least one node");
+  return per_link_bps;  // one node transmits at a time; aggregate = link rate
+}
+
+}  // namespace pab::mac

@@ -1,0 +1,49 @@
+// FDMA channel planning for recto-piezo networks.
+//
+// Different sensors are built (or programmed, via their matching bank) to
+// resonate on different channels; the projector transmits all active carriers
+// at once and the hydrophone separates the concurrent backscatter streams
+// (paper sections 3.3.1-3.3.2).  The plan must respect the transducer's
+// usable mechanical band and the per-channel bandwidth the recto-piezo
+// matching provides.
+#pragma once
+
+#include <vector>
+
+#include "circuit/rectopiezo.hpp"
+
+namespace pab::mac {
+
+struct ChannelPlan {
+  std::vector<double> carriers_hz;  // one per concurrent node
+
+  [[nodiscard]] std::size_t channels() const { return carriers_hz.size(); }
+};
+
+struct ChannelPlanConfig {
+  // The paper's two concurrent channels sit at 15 and 18 kHz, inside the
+  // cylinder's usable mechanical band.
+  double band_low_hz = 15000.0;
+  double band_high_hz = 18000.0;
+  double min_spacing_hz = 2500.0;  // >= recto-piezo bandwidth + guard
+};
+
+// Greedy plan: as many channels as fit with the required spacing, centered in
+// the band.  Throws if none fit.
+[[nodiscard]] ChannelPlan plan_channels(std::size_t n_nodes,
+                                        const ChannelPlanConfig& config = {});
+
+// Cross-talk matrix entry [i][j]: modulation depth of a node matched at
+// carrier j when illuminated at carrier i, normalized by its on-channel
+// depth.  Quantifies how frequency-agnostic backscatter couples channels
+// (the reason collisions must be decoded rather than filtered).
+[[nodiscard]] std::vector<std::vector<double>> crosstalk_matrix(
+    const ChannelPlan& plan, double mechanical_resonance_hz = 16500.0);
+
+// Ideal network throughput of `n` concurrent channels at `per_link_bps`,
+// versus TDMA on one channel (`1/n` share each): the FDMA gain the paper
+// demonstrates for n = 2.
+[[nodiscard]] double fdma_throughput_bps(std::size_t n, double per_link_bps);
+[[nodiscard]] double tdma_throughput_bps(std::size_t n, double per_link_bps);
+
+}  // namespace pab::mac

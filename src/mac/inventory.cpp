@@ -1,0 +1,81 @@
+#include "mac/inventory.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pab::mac {
+
+std::size_t inventory_slot(std::uint8_t node_id, std::uint64_t frame_nonce,
+                           std::size_t slot_count) {
+  require(slot_count >= 1, "inventory_slot: need at least one slot");
+  // SplitMix64-style mixing of (id, nonce): cheap, well distributed, and
+  // implementable on the node's MCU.
+  std::uint64_t x = frame_nonce + 0x9E3779B97F4A7C15ULL * (node_id + 1ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % slot_count);
+}
+
+int adapt_q(int q, std::size_t collisions, std::size_t empties,
+            std::size_t singletons, int min_q, int max_q) {
+  require(min_q <= max_q, "adapt_q: inverted bounds");
+  // Classic heuristic: collisions mean the frame was too small, empties mean
+  // it was too large; singletons are just right.
+  if (collisions > singletons + empties) return std::min(q + 1, max_q);
+  if (empties > collisions + singletons) return std::max(q - 1, min_q);
+  return q;
+}
+
+std::vector<std::uint8_t> run_inventory(std::span<const std::uint8_t> population,
+                                        const InventoryConfig& config,
+                                        InventoryStats* stats) {
+  require(config.min_q >= 0 && config.min_q <= config.max_q,
+          "run_inventory: invalid q bounds");
+  require(config.initial_q >= config.min_q && config.initial_q <= config.max_q,
+          "run_inventory: initial q out of bounds");
+
+  std::vector<std::uint8_t> pending(population.begin(), population.end());
+  std::vector<std::uint8_t> identified;
+  InventoryStats local;
+  int q = config.initial_q;
+  std::uint64_t nonce = config.seed;
+
+  for (int frame = 0; frame < config.max_frames && !pending.empty(); ++frame) {
+    ++local.frames;
+    ++nonce;
+    const std::size_t slot_count = std::size_t{1} << q;
+    local.slots += slot_count;
+
+    // Which nodes answer in which slot this frame.
+    std::map<std::size_t, std::vector<std::uint8_t>> slots;
+    for (std::uint8_t id : pending)
+      slots[inventory_slot(id, nonce, slot_count)].push_back(id);
+
+    std::size_t frame_singletons = 0, frame_collisions = 0;
+    for (const auto& [slot, ids] : slots) {
+      if (ids.size() == 1) {
+        ++frame_singletons;
+        identified.push_back(ids.front());
+        pending.erase(std::find(pending.begin(), pending.end(), ids.front()));
+      } else {
+        ++frame_collisions;
+      }
+    }
+    const std::size_t frame_empties =
+        slot_count - frame_singletons - frame_collisions;
+    local.singletons += frame_singletons;
+    local.collisions += frame_collisions;
+    local.empties += frame_empties;
+
+    q = adapt_q(q, frame_collisions, frame_empties, frame_singletons,
+                config.min_q, config.max_q);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return identified;
+}
+
+}  // namespace pab::mac

@@ -1,0 +1,59 @@
+// Slotted-ALOHA inventory for unknown node populations.
+//
+// The paper's protocol is "similar to that adopted by RFIDs" (section 3.3.2);
+// RFID readers discover unknown tag populations with framed slotted ALOHA
+// (EPC Gen2's Q protocol).  The same applies to a PAB reader facing a tank of
+// freshly deployed battery-free sensors: it announces a frame of 2^Q reply
+// slots, each unidentified node picks one pseudo-randomly, singleton slots
+// identify a node, collision slots are retried in the next frame, and Q
+// adapts to the observed collision/empty ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pab::mac {
+
+struct InventoryConfig {
+  int initial_q = 2;       // first frame has 2^q slots
+  int min_q = 0;
+  int max_q = 8;
+  int max_frames = 32;     // give up after this many frames
+  std::uint64_t seed = 1;  // reader's frame nonce seed
+};
+
+struct InventoryStats {
+  std::size_t frames = 0;
+  std::size_t slots = 0;       // total reply slots spent
+  std::size_t singletons = 0;  // slots that identified a node
+  std::size_t collisions = 0;
+  std::size_t empties = 0;
+
+  [[nodiscard]] double slot_efficiency() const {
+    return slots > 0 ? static_cast<double>(singletons) /
+                           static_cast<double>(slots)
+                     : 0.0;
+  }
+};
+
+// Slot a node picks in a frame: a deterministic hash of its id and the
+// reader's frame nonce (models the tag's PRNG seeded by the query).
+[[nodiscard]] std::size_t inventory_slot(std::uint8_t node_id,
+                                         std::uint64_t frame_nonce,
+                                         std::size_t slot_count);
+
+// Run framed slotted ALOHA over `population` (node ids).  Returns the
+// identified ids in discovery order.  `stats` (optional) receives counters.
+[[nodiscard]] std::vector<std::uint8_t> run_inventory(
+    std::span<const std::uint8_t> population, const InventoryConfig& config = {},
+    InventoryStats* stats = nullptr);
+
+// Q adaptation: one step of the classic heuristic -- grow on many
+// collisions, shrink on many empties.
+[[nodiscard]] int adapt_q(int q, std::size_t collisions, std::size_t empties,
+                          std::size_t singletons, int min_q, int max_q);
+
+}  // namespace pab::mac

@@ -1,0 +1,48 @@
+#include "mac/rate_control.hpp"
+
+namespace pab::mac {
+
+RateController::RateController(RateControlConfig config, std::size_t initial_index)
+    : config_(std::move(config)), index_(initial_index) {
+  require(!config_.rate_table.empty(), "RateController: empty rate table");
+  require(initial_index < config_.rate_table.size(),
+          "RateController: initial index out of range");
+  require(config_.up_margin_db > config_.down_margin_db,
+          "RateController: up margin must exceed down margin");
+  require(config_.up_streak >= 1 && config_.down_streak >= 1,
+          "RateController: streaks must be >= 1");
+}
+
+bool RateController::observe(double snr_db, bool crc_ok) {
+  const double headroom = snr_db - config_.decode_floor_db;
+
+  if ((!crc_ok && config_.downshift_on_crc_failure) ||
+      headroom < config_.down_margin_db) {
+    good_streak_ = 0;
+    ++bad_streak_;
+    if (bad_streak_ >= config_.down_streak && index_ > 0) {
+      --index_;
+      ++downshifts_;
+      bad_streak_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  bad_streak_ = 0;
+  if (headroom >= config_.up_margin_db) {
+    ++good_streak_;
+    if (good_streak_ >= config_.up_streak &&
+        index_ + 1 < config_.rate_table.size()) {
+      ++index_;
+      ++upshifts_;
+      good_streak_ = 0;
+      return true;
+    }
+  } else {
+    good_streak_ = 0;
+  }
+  return false;
+}
+
+}  // namespace pab::mac

@@ -1,0 +1,59 @@
+// Bitrate adaptation for PAB links.
+//
+// The downlink protocol already carries a kSetBitrate command (paper
+// section 5.1a) and the MCU exposes a table of clock-divider rates
+// (section 6.1b).  This controller closes the loop: it walks the rate table
+// using the receiver's SNR estimates and CRC outcomes, with hysteresis so a
+// marginal link does not oscillate -- the standard backscatter reader-side
+// rate adaptation the paper leaves to the reader implementation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pab::mac {
+
+struct RateControlConfig {
+  std::vector<double> rate_table = {100,  200,  400,  600,  800,
+                                    1000, 2000, 2800, 3000, 5000};
+  // SNR margins [dB] relative to the FM0 decode floor (~2 dB, Fig. 7):
+  // upshift when measured SNR clears the floor by `up_margin`, downshift
+  // when it falls within `down_margin`.
+  double decode_floor_db = 2.0;
+  double up_margin_db = 9.0;    // BER ~1e-5 at floor+9 (Fig. 7)
+  double down_margin_db = 3.0;
+  // Consecutive observations required before moving (hysteresis).
+  int up_streak = 3;
+  int down_streak = 1;
+  // CRC failures force an immediate downshift.
+  bool downshift_on_crc_failure = true;
+};
+
+class RateController {
+ public:
+  explicit RateController(RateControlConfig config = {},
+                          std::size_t initial_index = 0);
+
+  // Feed one uplink observation; returns true if the rate changed.
+  bool observe(double snr_db, bool crc_ok);
+
+  [[nodiscard]] std::size_t rate_index() const { return index_; }
+  [[nodiscard]] double rate_bps() const { return config_.rate_table[index_]; }
+  [[nodiscard]] const RateControlConfig& config() const { return config_; }
+
+  // Statistics for reporting.
+  [[nodiscard]] std::size_t upshifts() const { return upshifts_; }
+  [[nodiscard]] std::size_t downshifts() const { return downshifts_; }
+
+ private:
+  RateControlConfig config_;
+  std::size_t index_;
+  int good_streak_ = 0;
+  int bad_streak_ = 0;
+  std::size_t upshifts_ = 0;
+  std::size_t downshifts_ = 0;
+};
+
+}  // namespace pab::mac

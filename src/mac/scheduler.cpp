@@ -1,0 +1,45 @@
+#include "mac/scheduler.hpp"
+
+namespace pab::mac {
+
+PollScheduler::PollScheduler(SchedulerConfig config) : config_(config) {
+  require(config.max_retries >= 0, "PollScheduler: negative retries");
+  require(config.downlink_time_s >= 0.0 && config.turnaround_s >= 0.0,
+          "PollScheduler: negative timing");
+}
+
+pab::Expected<phy::UplinkPacket> PollScheduler::transact(
+    const phy::DownlinkQuery& query, const TransactFn& link,
+    std::size_t uplink_bits, double uplink_bitrate) {
+  require(uplink_bitrate > 0.0, "transact: bitrate must be positive");
+  const double uplink_time =
+      static_cast<double>(uplink_bits) / uplink_bitrate;
+
+  pab::Error last{pab::ErrorCode::kTimeout, "no attempts"};
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.retries;
+    stats_.elapsed_s += config_.downlink_time_s + config_.turnaround_s + uplink_time;
+
+    auto result = link(query);
+    if (result.ok()) {
+      ++stats_.successes;
+      stats_.payload_bits_delivered +=
+          static_cast<double>(result.value().payload.size()) * 8.0;
+      return result;
+    }
+    last = result.error();
+    if (last.code == pab::ErrorCode::kCrcMismatch) ++stats_.crc_failures;
+    else ++stats_.no_response;
+  }
+  return last;
+}
+
+void PollScheduler::poll_round(std::span<const phy::DownlinkQuery> queries,
+                               const TransactFn& link, std::size_t uplink_bits,
+                               double uplink_bitrate) {
+  for (const auto& q : queries)
+    (void)transact(q, link, uplink_bits, uplink_bitrate);
+}
+
+}  // namespace pab::mac

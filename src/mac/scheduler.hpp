@@ -1,0 +1,71 @@
+// MAC scheduling: TDMA polling baseline and FDMA concurrent access.
+//
+// The projector acts as an RFID-style reader.  In TDMA mode it polls one node
+// at a time on a single carrier; in FDMA mode, recto-piezos on different
+// channels answer concurrently and the hydrophone separates collisions with
+// the MIMO decoder -- "enabling doubling the network throughput" (abstract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "phy/packet.hpp"
+#include "util/error.hpp"
+
+namespace pab::mac {
+
+// One reader->node->reader exchange executed by the surrounding simulation.
+// Returns the decoded uplink packet or a link-layer error.
+using TransactFn =
+    std::function<pab::Expected<phy::UplinkPacket>(const phy::DownlinkQuery&)>;
+
+struct TransactionStats {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;
+  std::size_t crc_failures = 0;
+  std::size_t no_response = 0;
+  std::size_t retries = 0;
+  double payload_bits_delivered = 0.0;
+  double elapsed_s = 0.0;
+
+  [[nodiscard]] double success_rate() const {
+    return attempts > 0 ? static_cast<double>(successes) /
+                              static_cast<double>(attempts)
+                        : 0.0;
+  }
+  [[nodiscard]] double goodput_bps() const {
+    return elapsed_s > 0.0 ? payload_bits_delivered / elapsed_s : 0.0;
+  }
+};
+
+struct SchedulerConfig {
+  int max_retries = 2;          // per query, on CRC failure / no response
+  double downlink_time_s = 0.2; // airtime of one query (PWM is slow)
+  double turnaround_s = 0.02;   // guard between downlink and uplink
+};
+
+class PollScheduler {
+ public:
+  explicit PollScheduler(SchedulerConfig config = {});
+
+  // Execute one query with retries; updates stats with airtime accounting.
+  // `uplink_bits` and `uplink_bitrate` size the response airtime.
+  [[nodiscard]] pab::Expected<phy::UplinkPacket> transact(
+      const phy::DownlinkQuery& query, const TransactFn& link,
+      std::size_t uplink_bits, double uplink_bitrate);
+
+  // Poll each (address, query) pair once, in order.
+  void poll_round(std::span<const phy::DownlinkQuery> queries,
+                  const TransactFn& link, std::size_t uplink_bits,
+                  double uplink_bitrate);
+
+  [[nodiscard]] const TransactionStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  SchedulerConfig config_;
+  TransactionStats stats_;
+};
+
+}  // namespace pab::mac

@@ -1,0 +1,24 @@
+// CRC-16 for uplink packet integrity.
+//
+// The paper's receiver "can also use the CRC to perform a checksum on the
+// received packets and request retransmissions of corrupted packets"
+// (section 5.1b).  We use CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the
+// same family RFID air protocols use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bitops.hpp"
+
+namespace pab::phy {
+
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
+                                        std::uint16_t init = 0xFFFF);
+
+// CRC over a bit vector (MSB-first packing; bit count need not be byte-aligned,
+// remaining bits are processed individually).
+[[nodiscard]] std::uint16_t crc16_bits(std::span<const std::uint8_t> bits,
+                                       std::uint16_t init = 0xFFFF);
+
+}  // namespace pab::phy

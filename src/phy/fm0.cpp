@@ -1,0 +1,91 @@
+#include "phy/fm0.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pab::phy {
+
+Chips fm0_encode(std::span<const std::uint8_t> bits, std::int8_t initial_level) {
+  require(initial_level == 1 || initial_level == -1, "fm0_encode: level must be +/-1");
+  Chips chips;
+  chips.reserve(bits.size() * 2);
+  std::int8_t level = initial_level;
+  for (std::uint8_t bit : bits) {
+    level = static_cast<std::int8_t>(-level);  // boundary inversion
+    chips.push_back(level);
+    if ((bit & 1u) == 0) level = static_cast<std::int8_t>(-level);  // data-0 mid inversion
+    chips.push_back(level);
+  }
+  return chips;
+}
+
+Bits fm0_decode_hard(std::span<const std::int8_t> chips, std::int8_t initial_level) {
+  require(chips.size() % 2 == 0, "fm0_decode_hard: odd chip count");
+  (void)initial_level;  // hard decisions don't need the entry level
+  Bits bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2)
+    bits.push_back(chips[i] == chips[i + 1] ? 1 : 0);
+  return bits;
+}
+
+Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
+  require(soft.size() % 2 == 0, "fm0_decode_ml: odd chip count");
+  require(initial_level == 1 || initial_level == -1, "fm0_decode_ml: level must be +/-1");
+  const std::size_t n_bits = soft.size() / 2;
+  if (n_bits == 0) return {};
+
+  // Viterbi over the line level at the *end* of each bit: state 0 -> -1,
+  // state 1 -> +1.  Branch from prev level L: first chip is -L; bit 1 keeps
+  // the level (end = -L), bit 0 inverts again (end = L).
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::array<double, 2> metric{kNegInf, kNegInf};
+  metric[initial_level > 0 ? 1 : 0] = 0.0;
+
+  // back[t][state] = (previous state, decoded bit)
+  std::vector<std::array<std::pair<std::int8_t, std::uint8_t>, 2>> back(n_bits);
+
+  for (std::size_t t = 0; t < n_bits; ++t) {
+    const double x0 = soft[2 * t];
+    const double x1 = soft[2 * t + 1];
+    std::array<double, 2> next{kNegInf, kNegInf};
+    for (int prev = 0; prev < 2; ++prev) {
+      if (metric[prev] == kNegInf) continue;
+      const double level_prev = prev == 1 ? 1.0 : -1.0;
+      const double c0 = -level_prev;
+      // bit = 1: chips (c0, c0), end level = c0.
+      {
+        const double m = metric[prev] + c0 * x0 + c0 * x1;
+        const int end = c0 > 0 ? 1 : 0;
+        if (m > next[end]) {
+          next[end] = m;
+          back[t][end] = {static_cast<std::int8_t>(prev), 1};
+        }
+      }
+      // bit = 0: chips (c0, -c0), end level = -c0.
+      {
+        const double m = metric[prev] + c0 * x0 - c0 * x1;
+        const int end = -c0 > 0 ? 1 : 0;
+        if (m > next[end]) {
+          next[end] = m;
+          back[t][end] = {static_cast<std::int8_t>(prev), 0};
+        }
+      }
+    }
+    metric = next;
+  }
+
+  // Traceback from the better ending state.
+  int state = metric[1] >= metric[0] ? 1 : 0;
+  Bits bits(n_bits);
+  for (std::size_t t = n_bits; t-- > 0;) {
+    bits[t] = back[t][state].second;
+    state = back[t][state].first;
+  }
+  return bits;
+}
+
+}  // namespace pab::phy

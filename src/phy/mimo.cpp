@@ -1,0 +1,54 @@
+#include "phy/mimo.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::phy {
+
+Mat2c Mat2c::inverse() const {
+  const cplx d = det();
+  require(std::abs(d) > 1e-30, "Mat2c: singular channel matrix");
+  return Mat2c{h22 / d, -h12 / d, -h21 / d, h11 / d};
+}
+
+double Mat2c::condition_number() const {
+  // Singular values of a 2x2: from eigenvalues of H^H H.
+  const double a = std::norm(h11) + std::norm(h21);
+  const double b = std::norm(h12) + std::norm(h22);
+  const cplx c = std::conj(h11) * h12 + std::conj(h21) * h22;
+  const double tr = a + b;
+  const double disc = std::sqrt(std::max(0.0, (a - b) * (a - b) + 4.0 * std::norm(c)));
+  const double s1 = std::sqrt(std::max(0.0, (tr + disc) / 2.0));
+  const double s2 = std::sqrt(std::max(0.0, (tr - disc) / 2.0));
+  if (s2 <= 0.0) return 1e30;
+  return s1 / s2;
+}
+
+cplx estimate_channel_gain(std::span<const cplx> y, std::span<const double> x) {
+  require(y.size() == x.size() && !y.empty(), "estimate_channel_gain: size mismatch");
+  cplx num{};
+  double den = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    num += y[i] * x[i];
+    den += x[i] * x[i];
+  }
+  require(den > 0.0, "estimate_channel_gain: zero-energy reference");
+  return num / den;
+}
+
+ZfOutput zero_force(std::span<const cplx> y1, std::span<const cplx> y2,
+                    const Mat2c& h) {
+  require(y1.size() == y2.size(), "zero_force: stream length mismatch");
+  const Mat2c inv = h.inverse();
+  ZfOutput out;
+  out.x1.resize(y1.size());
+  out.x2.resize(y1.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    out.x1[i] = inv.h11 * y1[i] + inv.h12 * y2[i];
+    out.x2[i] = inv.h21 * y1[i] + inv.h22 * y2[i];
+  }
+  return out;
+}
+
+}  // namespace pab::phy

@@ -1,0 +1,47 @@
+// MIMO-style collision decoding for concurrent backscatter transmissions.
+//
+// Backscatter is frequency-agnostic: a powered-up node modulates reflections
+// of *every* impinging carrier (paper section 3.3.2).  With two recto-piezos
+// on carriers f1 and f2, the hydrophone observes
+//     y(f1) = h1(f1) x1 + h2(f1) x2
+//     y(f2) = h1(f2) x1 + h2(f2) x2
+// a 2x2 system whose conditioning comes from the frequency selectivity of the
+// recto-piezo matching.  The receiver estimates H from per-node training
+// segments and decodes by zero-forcing (channel inversion), "projecting on
+// the orthogonal of the unwanted channel vector" (section 6.3).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace pab::phy {
+
+using cplx = std::complex<double>;
+
+struct Mat2c {
+  // Row i = observation at carrier i; column j = transmitting node j.
+  cplx h11{}, h12{}, h21{}, h22{};
+
+  [[nodiscard]] cplx det() const { return h11 * h22 - h12 * h21; }
+  [[nodiscard]] Mat2c inverse() const;
+  // 2-norm condition number (via singular values).
+  [[nodiscard]] double condition_number() const;
+};
+
+// Least-squares scalar channel estimate h = <y, x> / <x, x> over a training
+// segment where node reference `x` (+/-1 chips at sample rate) is known and
+// the other node is silent.
+[[nodiscard]] cplx estimate_channel_gain(std::span<const cplx> y,
+                                         std::span<const double> x);
+
+// Zero-forcing separation: [x1;x2] = H^-1 [y1;y2] per sample.
+struct ZfOutput {
+  std::vector<cplx> x1;
+  std::vector<cplx> x2;
+};
+[[nodiscard]] ZfOutput zero_force(std::span<const cplx> y1, std::span<const cplx> y2,
+                                  const Mat2c& h);
+
+}  // namespace pab::phy

@@ -1,0 +1,198 @@
+#include "phy/modem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "phy/equalizer.hpp"
+#include "phy/fec.hpp"
+#include "dsp/mixer.hpp"
+
+namespace pab::phy {
+
+std::vector<SwitchState> backscatter_waveform(std::span<const std::uint8_t> bits,
+                                              double bitrate, double sample_rate,
+                                              std::int8_t initial_level) {
+  require(bitrate > 0.0 && sample_rate > 0.0, "backscatter_waveform: bad rates");
+  const Chips chips = fm0_encode(bits, initial_level);
+  const double spc = sample_rate / (2.0 * bitrate);  // samples per chip
+  const auto total =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(chips.size()) * spc));
+  std::vector<SwitchState> out(total, SwitchState::kAbsorptive);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto chip = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(i) / spc), chips.size() - 1);
+    out[i] = chips[chip] > 0 ? SwitchState::kReflective : SwitchState::kAbsorptive;
+  }
+  return out;
+}
+
+BackscatterDemodulator::BackscatterDemodulator(DemodConfig config)
+    : config_(config) {
+  require(config.bitrate > 0.0, "Demodulator: bitrate must be positive");
+  require(config.sample_rate > 0.0, "Demodulator: sample rate must be positive");
+  require(config.carrier_hz > 0.0, "Demodulator: carrier must be positive");
+  preamble_chips_ = fm0_encode(uplink_preamble_bits(), /*initial_level=*/-1);
+  // Level at the end of the preamble: the last chip emitted.
+  post_preamble_level_ = preamble_chips_.back();
+}
+
+std::vector<double> BackscatterDemodulator::integrate_chips(
+    std::span<const double> env, double start, double samples_per_chip,
+    std::size_t n_chips) {
+  std::vector<double> out(n_chips, 0.0);
+  for (std::size_t c = 0; c < n_chips; ++c) {
+    const auto lo = static_cast<std::size_t>(
+        std::lround(start + static_cast<double>(c) * samples_per_chip));
+    const auto hi = static_cast<std::size_t>(
+        std::lround(start + static_cast<double>(c + 1) * samples_per_chip));
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = lo; i < hi && i < env.size(); ++i) {
+      acc += env[i];
+      ++n;
+    }
+    out[c] = n > 0 ? acc / static_cast<double>(n) : 0.0;
+  }
+  return out;
+}
+
+Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
+    std::span<const double> envelope, double envelope_rate,
+    std::size_t n_bits) const {
+  const double spc = envelope_rate / (2.0 * config_.bitrate);
+  require(spc >= 2.0, "demodulate: fewer than 2 samples per chip");
+  const std::size_t n_pre_chips = preamble_chips_.size();
+  const std::size_t n_data_chips = 2 * n_bits;
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n_pre_chips + n_data_chips) * spc));
+  if (envelope.size() < needed)
+    return Error{ErrorCode::kNoPreamble, "capture shorter than one packet"};
+
+  // Zero-mean preamble template at envelope rate.
+  std::vector<double> tmpl(static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n_pre_chips) * spc)));
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    const auto chip = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(i) / spc), n_pre_chips - 1);
+    tmpl[i] = static_cast<double>(preamble_chips_[chip]);
+  }
+
+  // Windowed Pearson correlation: immune to the un-modulated carrier offset
+  // beneath the packet and to level transients at the capture edges.
+  const std::vector<double> corr = dsp::pearson_correlation(envelope, tmpl);
+  if (corr.empty()) return Error{ErrorCode::kNoPreamble, "correlation empty"};
+
+  // Restrict the search so the whole packet fits after the detected start.
+  std::size_t search_end = corr.size();
+  if (needed < envelope.size())
+    search_end = std::min(search_end, envelope.size() - needed + 1);
+  // The backscatter component may add in anti-phase with the direct carrier,
+  // inverting the envelope levels; search on |corr| and let the signed
+  // channel estimate absorb the inversion.
+  std::size_t best = 0;
+  double best_v = -1e300;
+  for (std::size_t i = 0; i < search_end; ++i) {
+    const double m = std::abs(corr[i]);
+    if (m > best_v) { best_v = m; best = i; }
+  }
+
+  const double corr_norm = best_v;
+  if (corr_norm < config_.detect_threshold)
+    return Error{ErrorCode::kNoPreamble, "no preamble above threshold"};
+
+  // Channel estimation from the preamble chips.
+  const std::vector<double> pre_soft = integrate_chips(
+      envelope, static_cast<double>(best), spc, n_pre_chips);
+  double hi = 0.0, lo = 0.0;
+  std::size_t nhi = 0, nlo = 0;
+  for (std::size_t c = 0; c < n_pre_chips; ++c) {
+    if (preamble_chips_[c] > 0) { hi += pre_soft[c]; ++nhi; }
+    else { lo += pre_soft[c]; ++nlo; }
+  }
+  if (nhi == 0 || nlo == 0)
+    return Error{ErrorCode::kDecodeFailure, "degenerate preamble"};
+  hi /= static_cast<double>(nhi);
+  lo /= static_cast<double>(nlo);
+  const double amp = (hi - lo) / 2.0;  // signed: negative for inverted levels
+  const double mid = (hi + lo) / 2.0;
+  if (amp == 0.0)
+    return Error{ErrorCode::kDecodeFailure, "zero modulation depth"};
+
+  // Soft data chips, normalized to +/-1 nominal.
+  const double data_start =
+      static_cast<double>(best) + static_cast<double>(n_pre_chips) * spc;
+  std::vector<double> soft = integrate_chips(envelope, data_start, spc, n_data_chips);
+  for (double& v : soft) v = (v - mid) / amp;
+
+  DemodResult r;
+  r.bits = fm0_decode_ml(soft, post_preamble_level_);
+  r.start_sample = best;
+  r.channel_amp = std::abs(amp);
+  r.mid_level = mid;
+  r.preamble_corr = corr_norm;
+
+  if (config_.decision_directed_equalizer) {
+    // Second pass: treat the first decision as training, equalize the chip
+    // stream, decode again.  With a mostly-correct first pass this cancels
+    // the reverberation tail that limits chip SNR.
+    const Chips ref_chips = fm0_encode(r.bits, post_preamble_level_);
+    std::vector<std::complex<double>> rx(soft.size());
+    for (std::size_t c = 0; c < soft.size(); ++c) rx[c] = {soft[c], 0.0};
+    std::vector<double> ref(ref_chips.begin(), ref_chips.end());
+    LinearEqualizer eq;
+    if (rx.size() >= static_cast<std::size_t>(4 * eq.tap_count())) {
+      eq.train(rx, ref);
+      const auto eq_out = eq.apply(rx);
+      std::vector<double> eq_soft(eq_out.size());
+      for (std::size_t c = 0; c < eq_soft.size(); ++c)
+        eq_soft[c] = eq_out[c].real();
+      r.bits = fm0_decode_ml(eq_soft, post_preamble_level_);
+      soft = std::move(eq_soft);
+    }
+  }
+
+  // SNR per the paper: re-encode the decoded bits, compare chip-level.
+  const Chips ref = fm0_encode(r.bits, post_preamble_level_);
+  double noise = 0.0;
+  for (std::size_t c = 0; c < n_data_chips; ++c) {
+    const double e = soft[c] - static_cast<double>(ref[c]);
+    noise += e * e;
+  }
+  noise = noise / static_cast<double>(n_data_chips) * amp * amp;
+  r.snr_db = noise > 0.0
+                 ? std::clamp(10.0 * std::log10(amp * amp / noise), -60.0, 60.0)
+                 : 60.0;
+  return r;
+}
+
+Expected<DemodResult> BackscatterDemodulator::demodulate(
+    const dsp::Signal& passband, std::size_t n_bits) const {
+  require(passband.sample_rate == config_.sample_rate,
+          "demodulate: sample rate mismatch");
+  const double cutoff =
+      std::min(config_.lowpass_factor * config_.bitrate, config_.sample_rate / 2.5);
+  const dsp::BasebandSignal bb = dsp::downconvert_filtered(
+      passband, config_.carrier_hz, cutoff, config_.lowpass_order);
+  std::vector<double> env(bb.size());
+  for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb.samples[i]);
+  return demodulate_envelope(env, bb.sample_rate, n_bits);
+}
+
+Expected<UplinkPacket> demodulate_packet(const dsp::Signal& passband,
+                                         const DemodConfig& config,
+                                         std::size_t payload_len, bool robust) {
+  const BackscatterDemodulator demod(config);
+  const std::size_t body_bits =
+      UplinkPacket::bits_on_air(payload_len, /*include_preamble=*/false);
+  const std::size_t n_bits = robust ? fec_coded_size(body_bits) : body_bits;
+  auto r = demod.demodulate(passband, n_bits);
+  if (!r.ok()) return r.error();
+  Bits body = r.value().bits;
+  if (robust) body = fec_recover(body, body_bits);
+  auto packet = UplinkPacket::from_bits(body, /*has_preamble=*/false);
+  if (!packet) return Error{ErrorCode::kCrcMismatch, "packet CRC failed"};
+  return *packet;
+}
+
+}  // namespace pab::phy

@@ -1,0 +1,95 @@
+// Backscatter uplink modulator and hydrophone-side software demodulator.
+//
+// Modulator: maps packet bits to the FM0 switch waveform the node's MCU
+// drives onto the backscatter transistors.
+//
+// Demodulator: the offline receiver chain of paper section 5.1b --
+// down-convert at the carrier, Butterworth low-pass, envelope, preamble
+// correlation for packet detection, channel (two-level) estimation, soft chip
+// integration, and maximum-likelihood FM0 decoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "phy/fm0.hpp"
+#include "phy/packet.hpp"
+#include "util/error.hpp"
+
+namespace pab::phy {
+
+// --- Modulator ---------------------------------------------------------------
+
+// Per-sample backscatter switch states.
+enum class SwitchState : std::int8_t { kAbsorptive = 0, kReflective = 1 };
+
+// FM0-encode `bits` and expand to one switch state per sample at
+// `sample_rate`.  Chip boundaries land on fractional sample positions when
+// sample_rate/(2*bitrate) is not an integer, exactly as with the MCU's
+// integer clock dividers.
+[[nodiscard]] std::vector<SwitchState> backscatter_waveform(
+    std::span<const std::uint8_t> bits, double bitrate, double sample_rate,
+    std::int8_t initial_level = -1);
+
+// --- Demodulator --------------------------------------------------------------
+
+struct DemodConfig {
+  double carrier_hz = 15000.0;
+  double bitrate = 1000.0;
+  double sample_rate = 96000.0;  // of the hydrophone capture
+  int lowpass_order = 5;
+  double lowpass_factor = 2.5;   // cutoff = factor * bitrate
+  double detect_threshold = 0.5; // min normalized preamble correlation
+  // Decision-directed equalization: after the first ML decode, re-encode the
+  // decision, train a chip-spaced MMSE equalizer on the whole packet, and
+  // decode again.  Helps in reverberant tanks at high bitrates where
+  // inter-chip interference dominates.
+  bool decision_directed_equalizer = false;
+};
+
+struct DemodResult {
+  Bits bits;                  // decoded bits following the preamble
+  std::size_t start_sample = 0;  // envelope index of the packet start
+  double channel_amp = 0.0;   // estimated half-swing between the two states
+  double mid_level = 0.0;     // estimated level midpoint
+  double snr_db = 0.0;        // per the paper's estimator, over the payload
+  double preamble_corr = 0.0; // peak normalized correlation
+};
+
+class BackscatterDemodulator {
+ public:
+  explicit BackscatterDemodulator(DemodConfig config);
+
+  // Demodulate `n_bits` data bits that follow the uplink preamble in the
+  // passband hydrophone capture.
+  [[nodiscard]] Expected<DemodResult> demodulate(const dsp::Signal& passband,
+                                                 std::size_t n_bits) const;
+
+  // Same, from an already down-converted complex envelope.
+  [[nodiscard]] Expected<DemodResult> demodulate_envelope(
+      std::span<const double> envelope, double envelope_rate,
+      std::size_t n_bits) const;
+
+  [[nodiscard]] const DemodConfig& config() const { return config_; }
+
+  // Soft chip integration: mean of `env` over each chip period.
+  [[nodiscard]] static std::vector<double> integrate_chips(
+      std::span<const double> env, double start, double samples_per_chip,
+      std::size_t n_chips);
+
+ private:
+  DemodConfig config_;
+  Chips preamble_chips_;
+  std::int8_t post_preamble_level_;
+};
+
+// Convenience: demodulate and reassemble a full uplink packet with
+// `payload_len` payload bytes; validates the CRC.  With `robust` the body is
+// Hamming(7,4)+interleaver protected (node robust mode).
+[[nodiscard]] Expected<UplinkPacket> demodulate_packet(
+    const dsp::Signal& passband, const DemodConfig& config,
+    std::size_t payload_len, bool robust = false);
+
+}  // namespace pab::phy

@@ -1,0 +1,80 @@
+#include "phy/packet.hpp"
+
+namespace pab::phy {
+
+Bits DownlinkQuery::to_bits() const {
+  Bits bits;
+  append_uint(bits, kDownlinkPreamble, kDownlinkPreambleBits);
+  append_uint(bits, address, 8);
+  append_uint(bits, static_cast<std::uint8_t>(command), 8);
+  append_uint(bits, argument, 8);
+  // 8-bit checksum (xor of the three fields) keeps the downlink short; the
+  // full CRC-16 is reserved for the uplink where corruption matters more.
+  const std::uint8_t checksum = static_cast<std::uint8_t>(
+      address ^ static_cast<std::uint8_t>(command) ^ argument);
+  append_uint(bits, checksum, 8);
+  return bits;
+}
+
+std::optional<DownlinkQuery> DownlinkQuery::from_bits(const Bits& bits) {
+  constexpr std::size_t kTotal = kDownlinkPreambleBits + 32;
+  if (bits.size() < kTotal) return std::nullopt;
+  // Scan for the preamble (the envelope decoder may emit leading noise bits).
+  for (std::size_t off = 0; off + kTotal <= bits.size(); ++off) {
+    if (read_uint(bits, off, kDownlinkPreambleBits) != kDownlinkPreamble) continue;
+    DownlinkQuery q;
+    std::size_t pos = off + kDownlinkPreambleBits;
+    q.address = static_cast<std::uint8_t>(read_uint(bits, pos, 8));
+    q.command = static_cast<Command>(read_uint(bits, pos + 8, 8));
+    q.argument = static_cast<std::uint8_t>(read_uint(bits, pos + 16, 8));
+    const auto checksum = static_cast<std::uint8_t>(read_uint(bits, pos + 24, 8));
+    const std::uint8_t expect = static_cast<std::uint8_t>(
+        q.address ^ static_cast<std::uint8_t>(q.command) ^ q.argument);
+    if (checksum == expect) return q;
+  }
+  return std::nullopt;
+}
+
+Bits UplinkPacket::to_bits(bool include_preamble) const {
+  require(payload.size() <= 255, "UplinkPacket: payload too long");
+  Bits bits;
+  if (include_preamble) {
+    const Bits& p = uplink_preamble_bits();
+    bits.insert(bits.end(), p.begin(), p.end());
+  }
+  Bits body;
+  append_uint(body, node_id, 8);
+  append_uint(body, static_cast<std::uint32_t>(payload.size()), 8);
+  for (std::uint8_t b : payload) append_uint(body, b, 8);
+  const std::uint16_t crc = crc16_bits(body);
+  bits.insert(bits.end(), body.begin(), body.end());
+  append_uint(bits, crc, 16);
+  return bits;
+}
+
+std::optional<UplinkPacket> UplinkPacket::from_bits(const Bits& bits,
+                                                    bool has_preamble) {
+  const std::size_t skip = has_preamble ? uplink_preamble_bits().size() : 0;
+  if (bits.size() < skip + 32) return std::nullopt;
+  std::size_t pos = skip;
+  UplinkPacket p;
+  p.node_id = static_cast<std::uint8_t>(read_uint(bits, pos, 8));
+  const auto len = read_uint(bits, pos + 8, 8);
+  const std::size_t body_bits = 16 + 8 * len;
+  if (bits.size() < skip + body_bits + 16) return std::nullopt;
+  p.payload.resize(len);
+  for (std::size_t i = 0; i < len; ++i)
+    p.payload[i] = static_cast<std::uint8_t>(read_uint(bits, pos + 16 + 8 * i, 8));
+  const auto crc_rx = static_cast<std::uint16_t>(read_uint(bits, pos + body_bits, 16));
+  const std::uint16_t crc = crc16_bits(
+      std::span<const std::uint8_t>(bits).subspan(pos, body_bits));
+  if (crc != crc_rx) return std::nullopt;
+  return p;
+}
+
+std::size_t UplinkPacket::bits_on_air(std::size_t payload_len, bool include_preamble) {
+  return (include_preamble ? uplink_preamble_bits().size() : 0) + 16 +
+         8 * payload_len + 16;
+}
+
+}  // namespace pab::phy

@@ -1,0 +1,76 @@
+// Packet framing for the RFID-style PAB protocol.
+//
+// "The projector is similar to an RFID reader and transmits a query on the
+// downlink which contains a preamble, destination address, and payload.
+// Similarly, the uplink backscatter packet consists of a preamble, a header,
+// and a payload" (paper section 3.3.2), with a CRC for retransmission
+// requests (section 5.1b).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/crc.hpp"
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace pab::phy {
+
+// --- Downlink ---------------------------------------------------------------
+
+// Commands a projector can issue (paper section 5.1a: "setting backscatter
+// link frequency, switching its resonance mode, or requesting certain sensed
+// data like pH, temperature, or pressure").
+enum class Command : std::uint8_t {
+  kPing = 0x01,           // respond with node id
+  kReadPh = 0x02,         // sample the pH sensor
+  kReadTemperature = 0x03,
+  kReadPressure = 0x04,
+  kSetBitrate = 0x05,     // payload: clock-divider index
+  kSetResonance = 0x06,   // payload: recto-piezo bank index
+  kReadAdc = 0x07,        // raw ADC sample of the analog peripheral
+  kSetRobustMode = 0x08,  // payload: 1 = Hamming(7,4)+interleaver uplink
+};
+
+inline constexpr std::uint8_t kBroadcastAddress = 0xFF;
+
+// The paper's downlink query uses a 9-bit preamble (section 5.1a).
+inline constexpr std::uint16_t kDownlinkPreamble = 0b101100111;  // 9 bits
+inline constexpr int kDownlinkPreambleBits = 9;
+
+struct DownlinkQuery {
+  std::uint8_t address = kBroadcastAddress;
+  Command command = Command::kPing;
+  std::uint8_t argument = 0;
+
+  [[nodiscard]] Bits to_bits() const;
+  [[nodiscard]] static std::optional<DownlinkQuery> from_bits(const Bits& bits);
+};
+
+// --- Uplink -----------------------------------------------------------------
+
+// Uplink preamble: a 12-bit pattern with good aperiodic autocorrelation for
+// packet detection and channel estimation at the hydrophone.
+inline const Bits& uplink_preamble_bits();
+
+struct UplinkPacket {
+  std::uint8_t node_id = 0;
+  Bytes payload;  // up to 255 bytes
+
+  // Header = node id (8b) + payload length (8b); CRC-16 covers header+payload.
+  [[nodiscard]] Bits to_bits(bool include_preamble = true) const;
+  [[nodiscard]] static std::optional<UplinkPacket> from_bits(const Bits& bits,
+                                                             bool has_preamble = true);
+
+  // Total bit count on air for a payload of `payload_len` bytes.
+  [[nodiscard]] static std::size_t bits_on_air(std::size_t payload_len,
+                                               bool include_preamble = true);
+};
+
+inline const Bits& uplink_preamble_bits() {
+  static const Bits kPreamble = {1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0};
+  return kPreamble;
+}
+
+}  // namespace pab::phy

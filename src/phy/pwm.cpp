@@ -1,0 +1,60 @@
+#include "phy/pwm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::phy {
+
+std::vector<std::uint8_t> pwm_encode(std::span<const std::uint8_t> bits,
+                                     const PwmParams& params, double sample_rate) {
+  require(sample_rate > 0.0, "pwm_encode: sample rate must be positive");
+  require(params.unit_s > 0.0, "pwm_encode: unit must be positive");
+  const auto unit_n = static_cast<std::size_t>(std::lround(params.unit_s * sample_rate));
+  require(unit_n >= 2, "pwm_encode: unit too short for sample rate");
+
+  std::vector<std::uint8_t> out;
+  auto emit = [&](std::uint8_t level, std::size_t n) { out.insert(out.end(), n, level); };
+
+  // Leading silence so the sync onset is a detectable off->on transition,
+  // then the sync symbol: its onset arms the decoder's interval timer and its
+  // known 2-unit interval to the first data symbol is dropped by the decoder.
+  emit(0, unit_n);
+  emit(1, unit_n);
+  emit(0, unit_n);
+  for (std::uint8_t bit : bits) {
+    emit(1, (bit & 1u) ? 2 * unit_n : unit_n);
+    emit(0, unit_n);
+  }
+  // End delimiter: provides the terminating edge for the last symbol.
+  emit(1, unit_n);
+  emit(0, unit_n);
+  return out;
+}
+
+Bits pwm_decode(std::span<const std::uint8_t> sliced, const PwmParams& params,
+                double sample_rate, double tolerance) {
+  require(sample_rate > 0.0, "pwm_decode: sample rate must be positive");
+  require(tolerance > 0.0 && tolerance < 0.5, "pwm_decode: tolerance must be in (0,0.5)");
+  const double unit_n = params.unit_s * sample_rate;
+
+  // Carrier-onset (rising) edges: in a reverberant channel the onset is the
+  // sharp, reliable feature -- echo build-up can partially cancel the carrier
+  // mid-symbol, while the off->on transition is always clean.
+  std::vector<std::size_t> edges;
+  for (std::size_t i = 1; i < sliced.size(); ++i)
+    if (sliced[i - 1] == 0 && sliced[i] == 1) edges.push_back(i);
+
+  Bits bits;
+  // Interval k -> k+1 spans symbol k's high plus the 1-unit gap; the first
+  // interval is the sync symbol and carries no data.
+  for (std::size_t k = 2; k < edges.size(); ++k) {
+    const double interval = static_cast<double>(edges[k] - edges[k - 1]) / unit_n;
+    if (std::abs(interval - 2.0) <= 2.0 * tolerance) bits.push_back(0);
+    else if (std::abs(interval - 3.0) <= 3.0 * tolerance) bits.push_back(1);
+    // else: glitch or inter-packet gap; skip (the MCU would resynchronize).
+  }
+  return bits;
+}
+
+}  // namespace pab::phy

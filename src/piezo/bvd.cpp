@@ -1,0 +1,71 @@
+#include "piezo/bvd.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::piezo {
+
+double BvdParams::series_resonance_hz() const {
+  require(lm > 0.0 && cm > 0.0, "BvdParams: motional branch not set");
+  return 1.0 / (kTwoPi * std::sqrt(lm * cm));
+}
+
+double BvdParams::parallel_resonance_hz() const {
+  return series_resonance_hz() * std::sqrt(1.0 + cm / c0);
+}
+
+double BvdParams::quality_factor() const {
+  require(rm > 0.0, "BvdParams: rm must be positive");
+  return kTwoPi * series_resonance_hz() * lm / rm;
+}
+
+double BvdParams::coupling_keff() const {
+  return std::sqrt(cm / (cm + c0));
+}
+
+cplx BvdParams::motional_impedance(double freq_hz) const {
+  require(freq_hz > 0.0, "BvdParams: frequency must be positive");
+  const double w = kTwoPi * freq_hz;
+  return cplx(rm, w * lm - 1.0 / (w * cm));
+}
+
+cplx BvdParams::impedance(double freq_hz) const {
+  const double w = kTwoPi * freq_hz;
+  const cplx zm = motional_impedance(freq_hz);
+  const cplx zc0(0.0, -1.0 / (w * c0));
+  return zm * zc0 / (zm + zc0);
+}
+
+BvdParams synthesize_bvd(double f_res, double q, double c0, double keff,
+                         double eta_ea) {
+  require(f_res > 0.0, "synthesize_bvd: resonance must be positive");
+  require(q > 0.0, "synthesize_bvd: Q must be positive");
+  require(c0 > 0.0, "synthesize_bvd: C0 must be positive");
+  require(keff > 0.0 && keff < 1.0, "synthesize_bvd: keff must be in (0,1)");
+  require(eta_ea > 0.0 && eta_ea <= 1.0, "synthesize_bvd: eta_ea must be in (0,1]");
+
+  BvdParams p;
+  p.c0 = c0;
+  // keff^2 = Cm / (Cm + C0)  =>  Cm = C0 keff^2 / (1 - keff^2)
+  p.cm = c0 * keff * keff / (1.0 - keff * keff);
+  const double w0 = kTwoPi * f_res;
+  p.lm = 1.0 / (w0 * w0 * p.cm);
+  p.rm = w0 * p.lm / q;
+  p.r_rad = eta_ea * p.rm;
+  return p;
+}
+
+BvdParams water_load(const BvdParams& in_air, double mass_loading,
+                     double r_radiation) {
+  require(mass_loading >= 0.0, "water_load: negative mass loading");
+  require(r_radiation >= 0.0, "water_load: negative radiation resistance");
+  BvdParams p = in_air;
+  p.lm *= (1.0 + mass_loading);
+  p.rm += r_radiation;
+  p.r_rad = in_air.r_rad + r_radiation;
+  return p;
+}
+
+}  // namespace pab::piezo

@@ -1,0 +1,62 @@
+// Butterworth-Van Dyke (BVD) equivalent circuit of a piezoelectric resonator.
+//
+// Near a mechanical resonance, a piezoelectric transducer is electrically
+// equivalent to a static (clamped) capacitance C0 in parallel with a
+// "motional" series R-L-C branch:
+//
+//        o----+-----[ Rm -- Lm -- Cm ]-----+----o
+//             |                            |
+//             +------------| C0 |----------+
+//
+// Rm lumps mechanical loss plus radiation resistance, Lm the moving mass and
+// Cm the mechanical compliance.  This is the standard lumped model for the
+// ceramic cylinders the paper fabricates (Butler & Sherman 2016, the paper's
+// reference [12]).
+#pragma once
+
+#include <complex>
+
+namespace pab::piezo {
+
+using cplx = std::complex<double>;
+
+struct BvdParams {
+  double c0 = 8e-9;     // clamped capacitance [F]
+  double rm = 500.0;    // motional resistance [ohm] (loss + radiation)
+  double lm = 0.0;      // motional inductance [H]
+  double cm = 0.0;      // motional capacitance [F]
+  double r_rad = 0.0;   // radiation part of rm [ohm]; r_rad <= rm
+
+  // Series (mechanical) resonance frequency [Hz]: 1 / (2 pi sqrt(Lm Cm)).
+  [[nodiscard]] double series_resonance_hz() const;
+  // Parallel (anti-)resonance frequency [Hz].
+  [[nodiscard]] double parallel_resonance_hz() const;
+  // Mechanical quality factor at series resonance.
+  [[nodiscard]] double quality_factor() const;
+  // Effective electromechanical coupling: k_eff^2 = Cm / (Cm + C0).
+  [[nodiscard]] double coupling_keff() const;
+  // -3 dB bandwidth of the motional branch [Hz].
+  [[nodiscard]] double bandwidth_hz() const { return series_resonance_hz() / quality_factor(); }
+
+  // Impedance of the motional branch alone.
+  [[nodiscard]] cplx motional_impedance(double freq_hz) const;
+  // Terminal electrical impedance (C0 parallel with the motional branch).
+  [[nodiscard]] cplx impedance(double freq_hz) const;
+};
+
+// Synthesize BVD parameters from designer-facing quantities:
+//   f_res   - desired series resonance [Hz]
+//   q       - mechanical Q at that resonance (water-loaded Q for in-water use)
+//   c0      - clamped capacitance [F]
+//   keff    - effective coupling coefficient (0..1)
+//   eta_ea  - electroacoustic efficiency at resonance = r_rad / rm (0..1)
+[[nodiscard]] BvdParams synthesize_bvd(double f_res, double q, double c0,
+                                       double keff, double eta_ea);
+
+// Apply water loading to an in-air design: added radiation mass lowers the
+// resonance by `mass_loading` (fractional Lm increase) and radiation
+// resistance lowers Q / raises efficiency.
+[[nodiscard]] BvdParams water_load(const BvdParams& in_air, double mass_loading,
+                                   double r_radiation);
+
+}  // namespace pab::piezo

@@ -1,0 +1,76 @@
+#include "piezo/design.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::piezo {
+namespace {
+
+// Effective circumferential sound speed of the ceramic, calibrated so the
+// paper's Steminc cylinder (mean radius 25.25 mm) resonates at 17 kHz in air.
+constexpr double kCeramicSoundSpeed = 2697.0;  // [m/s]
+constexpr double kCeramicDensity = 7600.0;     // PZT-4-class [kg/m^3]
+constexpr double kWaterDensityLocal = 998.0;
+// Relative permittivity for the static capacitance estimate.
+constexpr double kEpsilonR = 700.0;
+constexpr double kEpsilon0 = 8.854e-12;
+// Radiation-mass coefficient, calibrated so the 17 kHz in-air design lands
+// at ~16.5 kHz water-loaded (the operating point used throughout).
+constexpr double kMassLoadingCoeff = 0.0935;
+
+}  // namespace
+
+double CylinderGeometry::lateral_area_m2() const {
+  return 2.0 * kPi * mean_radius_m * length_m;
+}
+
+double CylinderGeometry::volume_m3() const {
+  return lateral_area_m2() * wall_thickness_m;
+}
+
+double in_air_resonance_hz(const CylinderGeometry& geometry) {
+  pab::require(geometry.mean_radius_m > 0.0, "in_air_resonance: bad radius");
+  // Breathing mode of a thin ring: one circumferential wavelength around the
+  // midline, f = c / (2 pi a).
+  return kCeramicSoundSpeed / (kTwoPi * geometry.mean_radius_m);
+}
+
+CylinderGeometry design_cylinder_for(double f_air_hz) {
+  pab::require(f_air_hz > 0.0, "design_cylinder_for: bad frequency");
+  CylinderGeometry g;
+  g.mean_radius_m = kCeramicSoundSpeed / (kTwoPi * f_air_hz);
+  // Hold the paper's proportions: length/radius = 1.6, wall/radius = 0.2.
+  g.length_m = 1.6 * g.mean_radius_m;
+  g.wall_thickness_m = 0.2 * g.mean_radius_m;
+  return g;
+}
+
+WaterLoadedDesign water_loaded_design(const CylinderGeometry& geometry) {
+  const double f_air = in_air_resonance_hz(geometry);
+  // Radiation mass scales with water displaced around the shell relative to
+  // the ceramic's own mass per unit area.
+  const double mass_loading = kMassLoadingCoeff *
+                              (kWaterDensityLocal * geometry.mean_radius_m) /
+                              (kCeramicDensity * geometry.wall_thickness_m);
+  WaterLoadedDesign d;
+  d.resonance_hz = f_air / std::sqrt(1.0 + mass_loading);
+  // Radiation-dominated loaded Q for an air-backed shell of these
+  // proportions; approximately geometry-independent at fixed aspect ratio.
+  d.loaded_q = 3.5;
+  // Static capacitance of the radially-poled wall.
+  const double c0 = kEpsilonR * kEpsilon0 * geometry.lateral_area_m2() /
+                    geometry.wall_thickness_m;
+  d.bvd = synthesize_bvd(d.resonance_hz, d.loaded_q, c0, /*keff=*/0.30,
+                         /*eta_ea=*/0.70);
+  return d;
+}
+
+Transducer make_transducer_from_geometry(const CylinderGeometry& geometry) {
+  const WaterLoadedDesign d = water_loaded_design(geometry);
+  return Transducer(d.bvd, geometry.lateral_area_m2(), 1.48e6,
+                    "designed-cylinder");
+}
+
+}  // namespace pab::piezo

@@ -1,0 +1,47 @@
+// Cylinder geometry -> transducer parameter synthesis.
+//
+// The paper chooses a 2.5 cm radius x 4 cm ceramic cylinder resonating (in
+// air) at 17 kHz, noting that "the dimensions of the resonator are inversely
+// proportional to its frequency" (section 4.1).  This module closes that
+// design loop: given a cylinder geometry (or a target frequency), produce the
+// water-loaded BVD parameters the rest of the stack consumes.
+#pragma once
+
+#include "piezo/bvd.hpp"
+#include "piezo/transducer.hpp"
+
+namespace pab::piezo {
+
+struct CylinderGeometry {
+  double mean_radius_m = 0.025;   // to the wall midline
+  double length_m = 0.04;
+  double wall_thickness_m = 0.005;
+
+  [[nodiscard]] double lateral_area_m2() const;
+  [[nodiscard]] double volume_m3() const;  // ceramic material volume
+};
+
+// In-air radial ("breathing") resonance of a thin-walled piezoceramic
+// cylinder: f = c_ceramic / (2 pi a), with the ceramic sound speed of
+// PZT-4-class material.  The paper's 2.5 cm cylinder lands at ~17 kHz.
+[[nodiscard]] double in_air_resonance_hz(const CylinderGeometry& geometry);
+
+// Geometry for a desired in-air resonance, holding the paper's aspect ratio
+// (length/radius = 1.6) and relative wall thickness.
+[[nodiscard]] CylinderGeometry design_cylinder_for(double f_air_hz);
+
+// Water loading pulls the resonance down by the radiation-mass factor and
+// sets the loaded Q; this converts an in-air design point into the in-water
+// operating point (the paper's 17 kHz -> ~15-16.5 kHz shift).
+struct WaterLoadedDesign {
+  double resonance_hz = 0.0;
+  double loaded_q = 0.0;
+  BvdParams bvd;
+};
+
+[[nodiscard]] WaterLoadedDesign water_loaded_design(const CylinderGeometry& geometry);
+
+// Full transducer from geometry (air-backed, end-capped construction).
+[[nodiscard]] Transducer make_transducer_from_geometry(const CylinderGeometry& geometry);
+
+}  // namespace pab::piezo

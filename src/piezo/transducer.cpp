@@ -1,0 +1,108 @@
+#include "piezo/transducer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pab::piezo {
+
+Transducer::Transducer(BvdParams bvd, double aperture_area_m2, double rho_c,
+                       std::string name)
+    : bvd_(bvd),
+      aperture_area_m2_(aperture_area_m2),
+      rho_c_(rho_c),
+      name_(std::move(name)) {
+  require(aperture_area_m2 > 0.0, "Transducer: aperture area must be positive");
+  require(rho_c > 0.0, "Transducer: rho*c must be positive");
+  require(bvd_.r_rad > 0.0 && bvd_.r_rad <= bvd_.rm,
+          "Transducer: radiation resistance must be in (0, rm]");
+  // Receive gain from power consistency at resonance: the maximum electrical
+  // power a conjugate-matched load can draw, |V_m|^2 / (8 Rm), equals the
+  // electroacoustic efficiency times the acoustic power captured by the
+  // aperture, eta * (p_rms^2 / rho c) * A.  With p as amplitude,
+  // p_rms^2 = p^2/2.
+  const double eta = bvd_.r_rad / bvd_.rm;
+  g_rx_ = std::sqrt(4.0 * bvd_.rm * eta * aperture_area_m2_ / rho_c_);
+}
+
+double Transducer::radiated_power_w(double v_amplitude, double freq_hz) const {
+  require(v_amplitude >= 0.0, "radiated_power: negative drive");
+  const cplx zm = bvd_.motional_impedance(freq_hz);
+  const double i_m = v_amplitude / std::abs(zm);
+  return 0.5 * i_m * i_m * bvd_.r_rad;
+}
+
+double Transducer::source_level_db(double v_amplitude, double freq_hz) const {
+  const double p = radiated_power_w(v_amplitude, freq_hz);
+  if (p <= 0.0) return -300.0;
+  // SL = 170.8 + 10 log10(P_ac) for omnidirectional radiation in water.
+  return 170.8 + 10.0 * std::log10(p);
+}
+
+double Transducer::pressure_amplitude_at_1m(double v_amplitude, double freq_hz) const {
+  const double sl = source_level_db(v_amplitude, freq_hz);
+  const double p_rms = pressure_pa_from_spl(sl);
+  return p_rms * std::numbers::sqrt2;
+}
+
+double Transducer::tvr_db(double freq_hz) const {
+  return source_level_db(1.0, freq_hz);
+}
+
+double Transducer::mechanical_response(double freq_hz) const {
+  return bvd_.rm / std::abs(bvd_.motional_impedance(freq_hz));
+}
+
+double Transducer::in_branch_voltage(double p_amplitude, double freq_hz) const {
+  require(p_amplitude >= 0.0, "in_branch_voltage: negative pressure");
+  return g_rx_ * p_amplitude * mechanical_response(freq_hz);
+}
+
+double Transducer::thevenin_voltage(double p_amplitude, double freq_hz) const {
+  const cplx zm = bvd_.motional_impedance(freq_hz);
+  const cplx zc0(0.0, -1.0 / (kTwoPi * freq_hz * bvd_.c0));
+  return in_branch_voltage(p_amplitude, freq_hz) * std::abs(zc0 / (zm + zc0));
+}
+
+double Transducer::ocv_sensitivity_db(double freq_hz) const {
+  // Volts (amplitude) per pascal -> dB re 1V/uPa.
+  const double v_per_pa = thevenin_voltage(1.0, freq_hz);
+  const double v_per_upa = v_per_pa * 1e-6;
+  return db_from_amplitude_ratio(v_per_upa);
+}
+
+namespace {
+
+constexpr double kRhoC = 1.48e6;  // fresh water at ~20 C [Pa s/m]
+
+// Effective aperture of the 2.5 cm radius x 4 cm cylinder (lateral surface).
+constexpr double kCylinderApertureM2 = 2.0 * 3.14159265358979 * 0.025 * 0.04;
+
+}  // namespace
+
+Transducer make_node_transducer(double f_res_hz) {
+  // Water-loaded parameters for the Steminc 17 kHz (in-air) cylinder:
+  // loaded Q ~ 6 (bandwidth ~2.5 kHz at 15 kHz), C0 ~ 8 nF, k_eff ~ 0.30,
+  // electroacoustic efficiency at resonance ~ 0.7 (air-backed, end-capped
+  // design; see paper section 4.1).
+  const BvdParams bvd = synthesize_bvd(f_res_hz, /*q=*/3.5, /*c0=*/8e-9,
+                                       /*keff=*/0.30, /*eta_ea=*/0.70);
+  return Transducer(bvd, kCylinderApertureM2, kRhoC, "node-cylinder");
+}
+
+Transducer make_projector_transducer() {
+  // Same cylinder geometry driven as a projector; operated across
+  // 12-18 kHz through per-configuration matching (section 5.1a), modeled as
+  // a slightly broader resonance centered at 15.5 kHz.
+  const BvdParams bvd = synthesize_bvd(15500.0, /*q=*/4.0, /*c0=*/8e-9,
+                                       /*keff=*/0.30, /*eta_ea=*/0.70);
+  return Transducer(bvd, kCylinderApertureM2, kRhoC, "projector-cylinder");
+}
+
+double Hydrophone::volts_per_pascal() const {
+  // -180 dB re 1V/uPa  =>  10^(-180/20) V per uPa  =>  *1e6 per Pa.
+  return std::pow(10.0, sensitivity_db_re_v_per_upa / 20.0) * 1e6;
+}
+
+}  // namespace pab::piezo

@@ -1,0 +1,92 @@
+// Electroacoustic transducer model built on the BVD equivalent circuit.
+//
+// Transmit: a drive voltage V at the terminals pushes motional current
+// I_m = V / Z_m through the motional branch; the radiated acoustic power is
+// P_ac = 1/2 |I_m|^2 R_rad (R_rad is the radiation part of Rm).  Source level
+// then follows SL = 170.8 + 10 log10(P_ac) dB re 1 uPa @ 1 m for an
+// omnidirectional radiator (the paper's cylinders are omnidirectional in the
+// horizontal plane).
+//
+// Receive: an incident pressure p appears as a voltage source
+// V_m = p * G_rx inside the motional branch; the Thevenin equivalent at the
+// electrical terminals is V_th = V_m * Z_C0 / (Z_m + Z_C0) with source
+// impedance Z_s equal to the transducer's electrical impedance.  G_rx is
+// chosen so the maximum electrical power extractable at resonance equals the
+// electroacoustic efficiency times the acoustic power captured by the
+// transducer's effective aperture -- keeping transmit and receive physically
+// consistent (reciprocity).
+#pragma once
+
+#include <string>
+
+#include "piezo/bvd.hpp"
+
+namespace pab::piezo {
+
+class Transducer {
+ public:
+  Transducer(BvdParams bvd, double aperture_area_m2, double rho_c,
+             std::string name);
+
+  // --- Electrical ---------------------------------------------------------
+  [[nodiscard]] cplx impedance(double freq_hz) const { return bvd_.impedance(freq_hz); }
+  [[nodiscard]] const BvdParams& bvd() const { return bvd_; }
+  [[nodiscard]] double resonance_hz() const { return bvd_.series_resonance_hz(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double aperture_area() const { return aperture_area_m2_; }
+
+  // --- Transmit -----------------------------------------------------------
+  // Radiated acoustic power [W] for a sinusoidal drive of amplitude
+  // `v_amplitude` [V] at `freq_hz`.
+  [[nodiscard]] double radiated_power_w(double v_amplitude, double freq_hz) const;
+  // Source level [dB re 1 uPa @ 1 m].
+  [[nodiscard]] double source_level_db(double v_amplitude, double freq_hz) const;
+  // Pressure amplitude [Pa] at the 1 m reference distance.
+  [[nodiscard]] double pressure_amplitude_at_1m(double v_amplitude, double freq_hz) const;
+  // Transmit voltage response [dB re uPa/V @ 1 m] (the TVR curve).
+  [[nodiscard]] double tvr_db(double freq_hz) const;
+
+  // --- Receive ------------------------------------------------------------
+  // Mechanical band-pass shaping of the electromechanical conversion:
+  // Rm / |Z_m(f)|, equal to 1 at series resonance (a Lorentzian in power).
+  // This is the "geometric resonance acts as a bandpass filter" of the
+  // paper's footnote 5.
+  [[nodiscard]] double mechanical_response(double freq_hz) const;
+  // In-branch source voltage amplitude [V] for incident pressure amplitude
+  // `p_amplitude` [Pa] at `freq_hz` (includes the mechanical shaping).
+  [[nodiscard]] double in_branch_voltage(double p_amplitude, double freq_hz) const;
+  // Thevenin open-circuit voltage amplitude at the terminals.
+  [[nodiscard]] double thevenin_voltage(double p_amplitude, double freq_hz) const;
+  // Thevenin source impedance (equals electrical impedance).
+  [[nodiscard]] cplx thevenin_impedance(double freq_hz) const { return impedance(freq_hz); }
+  // Open-circuit receive sensitivity [dB re 1V/uPa] (the OCV curve).
+  [[nodiscard]] double ocv_sensitivity_db(double freq_hz) const;
+
+ private:
+  BvdParams bvd_;
+  double aperture_area_m2_;
+  double rho_c_;   // characteristic impedance of the medium [Pa s/m]
+  double g_rx_;    // receive conversion gain [V/Pa], in-branch
+  std::string name_;
+};
+
+// --- Factories matching the paper's hardware --------------------------------
+
+// The paper's ceramic cylinder (Steminc SMC5447T40111): radius 2.5 cm, length
+// 4 cm, in-air resonance 17 kHz.  Water loading (added radiation mass) brings
+// the mechanical resonance down to ~16.5 kHz with a loaded Q around 3.5;
+// the *electrical* (recto-piezo) resonance inside this band is then set by
+// the matching network.
+[[nodiscard]] Transducer make_node_transducer(double f_res_hz = 16500.0);
+
+// Projector: same fabricated cylinder used as a transmitter (section 5.1a).
+[[nodiscard]] Transducer make_projector_transducer();
+
+// Hydrophone: broadband receiver modeled on the Aquarian H2a (-180 dB re
+// 1V/uPa, flat).  Returns sensitivity in V/Pa for direct use.
+struct Hydrophone {
+  double sensitivity_db_re_v_per_upa = -180.0;
+  [[nodiscard]] double volts_per_pascal() const;
+};
+
+}  // namespace pab::piezo

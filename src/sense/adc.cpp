@@ -1,0 +1,27 @@
+#include "sense/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pab::sense {
+
+Adc::Adc(AdcParams p) : params_(p) {
+  pab::require(p.bits >= 1 && p.bits <= 16, "Adc: bits out of range");
+  pab::require(p.vref > 0.0, "Adc: vref must be positive");
+  pab::require(p.noise_lsb >= 0.0, "Adc: negative noise");
+}
+
+std::uint16_t Adc::sample(double volts, pab::Rng& rng) const {
+  const double lsb = params_.vref / static_cast<double>(1u << params_.bits);
+  const double noisy = volts + rng.gaussian(0.0, params_.noise_lsb * lsb);
+  const double code = std::round(noisy / lsb);
+  const double clipped = std::clamp(code, 0.0, static_cast<double>(max_code()));
+  return static_cast<std::uint16_t>(clipped);
+}
+
+double Adc::to_volts(std::uint16_t code) const {
+  const double lsb = params_.vref / static_cast<double>(1u << params_.bits);
+  return static_cast<double>(code) * lsb;
+}
+
+}  // namespace pab::sense

@@ -1,0 +1,36 @@
+// ADC model for analog peripherals (the MSP430's 10-bit SAR ADC).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pab::sense {
+
+struct AdcParams {
+  int bits = 10;          // MSP430G2553 ADC10
+  double vref = 1.8;      // referenced to the LDO rail
+  double noise_lsb = 0.5; // RMS input-referred noise in LSBs
+};
+
+class Adc {
+ public:
+  explicit Adc(AdcParams p = {});
+
+  // Convert an input voltage to a raw code, clipping at the rails.
+  [[nodiscard]] std::uint16_t sample(double volts, pab::Rng& rng) const;
+
+  // Code -> voltage (the MCU-side conversion).
+  [[nodiscard]] double to_volts(std::uint16_t code) const;
+
+  [[nodiscard]] std::uint16_t max_code() const {
+    return static_cast<std::uint16_t>((1u << params_.bits) - 1u);
+  }
+  [[nodiscard]] const AdcParams& params() const { return params_; }
+
+ private:
+  AdcParams params_;
+};
+
+}  // namespace pab::sense

@@ -1,0 +1,18 @@
+// Ground-truth environment the simulated sensors observe.
+#pragma once
+
+namespace pab::sense {
+
+struct Environment {
+  double ph = 7.0;                 // acidity
+  double temperature_c = 20.0;     // water temperature
+  double pressure_mbar = 1013.25;  // absolute pressure (~1 bar at surface)
+
+  // Pressure at `depth_m` below the surface (adds hydrostatic head).
+  [[nodiscard]] double pressure_at_depth_mbar(double depth_m) const {
+    // ~98.06 mbar per meter of fresh water.
+    return pressure_mbar + 98.06 * depth_m;
+  }
+};
+
+}  // namespace pab::sense

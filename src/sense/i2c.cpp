@@ -1,0 +1,26 @@
+#include "sense/i2c.hpp"
+
+namespace pab::sense {
+
+void I2cBus::attach(std::uint8_t address, std::shared_ptr<I2cDevice> device) {
+  pab::require(device != nullptr, "I2cBus: null device");
+  devices_[address] = std::move(device);
+}
+
+pab::ErrorCode I2cBus::write(std::uint8_t address,
+                             std::span<const std::uint8_t> data) {
+  auto it = devices_.find(address);
+  if (it == devices_.end()) return pab::ErrorCode::kBusError;
+  it->second->write(data);
+  return pab::ErrorCode::kOk;
+}
+
+pab::Expected<std::vector<std::uint8_t>> I2cBus::read(std::uint8_t address,
+                                                      std::size_t n) {
+  auto it = devices_.find(address);
+  if (it == devices_.end())
+    return pab::Error{pab::ErrorCode::kBusError, "no device at address"};
+  return it->second->read(n);
+}
+
+}  // namespace pab::sense

@@ -1,0 +1,45 @@
+// Minimal I2C bus model.
+//
+// The MS5837-class pressure/temperature sensor "directly communicates with
+// the MCU through I2C" (paper section 5.1c).  This models the transaction
+// layer: a master issuing command writes and reads to addressed devices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pab::sense {
+
+class I2cDevice {
+ public:
+  virtual ~I2cDevice() = default;
+  // Handle a command byte written by the master.
+  virtual void write(std::span<const std::uint8_t> data) = 0;
+  // Provide up to `n` bytes for a master read.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read(std::size_t n) = 0;
+};
+
+class I2cBus {
+ public:
+  void attach(std::uint8_t address, std::shared_ptr<I2cDevice> device);
+
+  // Master operations; return an error code on NACK (no such device).
+  [[nodiscard]] pab::ErrorCode write(std::uint8_t address,
+                                     std::span<const std::uint8_t> data);
+  [[nodiscard]] pab::Expected<std::vector<std::uint8_t>> read(std::uint8_t address,
+                                                              std::size_t n);
+
+  [[nodiscard]] bool has_device(std::uint8_t address) const {
+    return devices_.count(address) != 0;
+  }
+
+ private:
+  std::map<std::uint8_t, std::shared_ptr<I2cDevice>> devices_;
+};
+
+}  // namespace pab::sense

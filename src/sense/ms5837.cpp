@@ -1,0 +1,132 @@
+#include "sense/ms5837.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pab::sense {
+namespace {
+
+// Typical calibration constants for an MS5837-30BA (datasheet example values).
+constexpr std::array<std::uint16_t, 8> kTypicalProm = {
+    0x0000, 34982, 36352, 20328, 22354, 26646, 26146, 0x0000};
+
+std::vector<std::uint8_t> pack_u16(std::uint16_t v) {
+  return {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v & 0xFF)};
+}
+
+std::vector<std::uint8_t> pack_u24(std::uint32_t v) {
+  return {static_cast<std::uint8_t>((v >> 16) & 0xFF),
+          static_cast<std::uint8_t>((v >> 8) & 0xFF),
+          static_cast<std::uint8_t>(v & 0xFF)};
+}
+
+}  // namespace
+
+Ms5837Device::Ms5837Device(const Environment* env, double depth_m, pab::Rng rng)
+    : env_(env), depth_m_(depth_m), rng_(rng), prom_(kTypicalProm) {
+  pab::require(env != nullptr, "Ms5837Device: null environment");
+}
+
+std::uint32_t Ms5837Device::raw_d2() const {
+  // Invert the compensation: D2 = C5*2^8 + (TEMP - 2000) * 2^23 / C6,
+  // TEMP in centi-degC.
+  const double temp_centi = env_->temperature_c * 100.0;
+  const double d2 = static_cast<double>(prom_[5]) * 256.0 +
+                    (temp_centi - 2000.0) * 8388608.0 / static_cast<double>(prom_[6]);
+  return static_cast<std::uint32_t>(std::llround(d2));
+}
+
+std::uint32_t Ms5837Device::raw_d1() const {
+  const double d2 = static_cast<double>(raw_d2());
+  const double dt = d2 - static_cast<double>(prom_[5]) * 256.0;
+  const double off = static_cast<double>(prom_[2]) * 65536.0 +
+                     static_cast<double>(prom_[4]) * dt / 128.0;
+  const double sens = static_cast<double>(prom_[1]) * 32768.0 +
+                      static_cast<double>(prom_[3]) * dt / 256.0;
+  // P (0.1 mbar) = (D1 * SENS / 2^21 - OFF) / 2^13  =>  invert for D1.
+  const double p_01mbar = env_->pressure_at_depth_mbar(depth_m_) * 10.0;
+  const double d1 = (p_01mbar * 8192.0 + off) * 2097152.0 / sens;
+  return static_cast<std::uint32_t>(std::llround(d1));
+}
+
+void Ms5837Device::write(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  last_command_ = data[0];
+  if (last_command_ == kMs5837CmdConvertD1) {
+    adc_result_ = raw_d1() + static_cast<std::uint32_t>(rng_.uniform_int(-3, 3));
+  } else if (last_command_ == kMs5837CmdConvertD2) {
+    adc_result_ = raw_d2() + static_cast<std::uint32_t>(rng_.uniform_int(-3, 3));
+  } else if (last_command_ == kMs5837CmdReset) {
+    adc_result_ = 0;
+  }
+}
+
+std::vector<std::uint8_t> Ms5837Device::read(std::size_t n) {
+  if (last_command_ >= kMs5837CmdPromBase &&
+      last_command_ < kMs5837CmdPromBase + 16 && n >= 2) {
+    const std::size_t idx = (last_command_ - kMs5837CmdPromBase) / 2;
+    return pack_u16(prom_[idx]);
+  }
+  if (last_command_ == kMs5837CmdAdcRead && n >= 3) return pack_u24(adc_result_);
+  return std::vector<std::uint8_t>(n, 0);
+}
+
+Ms5837Driver::Ms5837Driver(I2cBus* bus) : bus_(bus) {
+  pab::require(bus != nullptr, "Ms5837Driver: null bus");
+}
+
+pab::Expected<Ms5837Reading> Ms5837Driver::measure() {
+  using pab::ErrorCode;
+  if (!prom_loaded_) {
+    for (std::size_t i = 0; i < prom_.size(); ++i) {
+      const std::uint8_t cmd = static_cast<std::uint8_t>(kMs5837CmdPromBase + 2 * i);
+      if (bus_->write(kMs5837Address, std::span(&cmd, 1)) != ErrorCode::kOk)
+        return pab::Error{ErrorCode::kBusError, "PROM read NACK"};
+      auto word = bus_->read(kMs5837Address, 2);
+      if (!word.ok()) return word.error();
+      prom_[i] = static_cast<std::uint16_t>((word.value()[0] << 8) | word.value()[1]);
+    }
+    prom_loaded_ = true;
+  }
+
+  auto convert = [&](std::uint8_t cmd) -> pab::Expected<std::uint32_t> {
+    if (bus_->write(kMs5837Address, std::span(&cmd, 1)) != ErrorCode::kOk)
+      return pab::Error{ErrorCode::kBusError, "convert NACK"};
+    const std::uint8_t rd = kMs5837CmdAdcRead;
+    if (bus_->write(kMs5837Address, std::span(&rd, 1)) != ErrorCode::kOk)
+      return pab::Error{ErrorCode::kBusError, "adc-read NACK"};
+    auto raw = bus_->read(kMs5837Address, 3);
+    if (!raw.ok()) return raw.error();
+    return static_cast<std::uint32_t>((raw.value()[0] << 16) |
+                                      (raw.value()[1] << 8) | raw.value()[2]);
+  };
+
+  auto d1 = convert(kMs5837CmdConvertD1);
+  if (!d1.ok()) return d1.error();
+  auto d2 = convert(kMs5837CmdConvertD2);
+  if (!d2.ok()) return d2.error();
+  return compensate(d1.value(), d2.value(), prom_);
+}
+
+Ms5837Reading Ms5837Driver::compensate(std::uint32_t d1, std::uint32_t d2,
+                                       const std::array<std::uint16_t, 8>& prom) {
+  // First-order algorithm from the MS5837-30BA datasheet (integer domain).
+  const std::int64_t dt =
+      static_cast<std::int64_t>(d2) - (static_cast<std::int64_t>(prom[5]) << 8);
+  const std::int64_t temp =
+      2000 + (dt * static_cast<std::int64_t>(prom[6]) >> 23);
+  const std::int64_t off = (static_cast<std::int64_t>(prom[2]) << 16) +
+                           ((static_cast<std::int64_t>(prom[4]) * dt) >> 7);
+  const std::int64_t sens = (static_cast<std::int64_t>(prom[1]) << 15) +
+                            ((static_cast<std::int64_t>(prom[3]) * dt) >> 8);
+  const std::int64_t p =
+      (((static_cast<std::int64_t>(d1) * sens) >> 21) - off) >> 13;
+
+  Ms5837Reading r;
+  r.temperature_c = static_cast<double>(temp) / 100.0;
+  r.pressure_mbar = static_cast<double>(p) / 10.0;
+  return r;
+}
+
+}  // namespace pab::sense

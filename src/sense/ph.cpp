@@ -1,0 +1,34 @@
+#include "sense/ph.hpp"
+
+#include "util/error.hpp"
+
+namespace pab::sense {
+
+PhProbe::PhProbe(const Environment* env, PhProbeParams params)
+    : env_(env), params_(params) {
+  pab::require(env != nullptr, "PhProbe: null environment");
+  pab::require(params.afe_gain != 0.0, "PhProbe: zero AFE gain");
+}
+
+double PhProbe::electrode_voltage(pab::Rng& rng) const {
+  // Nernst slope scales with absolute temperature.
+  const double slope = params_.slope_v_per_ph_25c *
+                       (env_->temperature_c + 273.15) / 298.15;
+  return params_.offset_v + slope * (env_->ph - 7.0) +
+         rng.gaussian(0.0, params_.noise_v);
+}
+
+double PhProbe::afe_output(pab::Rng& rng) const {
+  return params_.afe_gain * electrode_voltage(rng) + params_.afe_bias;
+}
+
+double PhProbe::ph_from_adc(std::uint16_t code, const Adc& adc,
+                            double assumed_temp_c) const {
+  const double v_afe = adc.to_volts(code);
+  const double v_elec = (v_afe - params_.afe_bias) / params_.afe_gain;
+  const double slope = params_.slope_v_per_ph_25c *
+                       (assumed_temp_c + 273.15) / 298.15;
+  return 7.0 + (v_elec - params_.offset_v) / slope;
+}
+
+}  // namespace pab::sense

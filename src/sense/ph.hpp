@@ -1,0 +1,43 @@
+// pH probe + signal-conditioning AFE model.
+//
+// A glass pH electrode produces a Nernstian voltage: ~0 V at pH 7 with a
+// slope of -59.16 mV/pH at 25 C.  The LMP91200-style analog front end
+// (paper section 5.1c) buffers and level-shifts this into the MCU ADC range.
+#pragma once
+
+#include "sense/adc.hpp"
+#include "sense/environment.hpp"
+#include "util/rng.hpp"
+
+namespace pab::sense {
+
+struct PhProbeParams {
+  double slope_v_per_ph_25c = -0.05916;  // Nernst slope at 25 C
+  double offset_v = 0.0;                 // electrode offset at pH 7
+  double noise_v = 0.5e-3;               // electrode noise RMS
+  // AFE: Vout = afe_gain * Velec + afe_bias, centered in the ADC range.
+  double afe_gain = 3.0;
+  double afe_bias = 0.9;
+};
+
+class PhProbe {
+ public:
+  PhProbe(const Environment* env, PhProbeParams params = {});
+
+  // Electrode voltage (temperature-compensated Nernst slope).
+  [[nodiscard]] double electrode_voltage(pab::Rng& rng) const;
+  // AFE output presented to the ADC.
+  [[nodiscard]] double afe_output(pab::Rng& rng) const;
+
+  // MCU-side conversion from an ADC code back to pH.
+  [[nodiscard]] double ph_from_adc(std::uint16_t code, const Adc& adc,
+                                   double assumed_temp_c = 25.0) const;
+
+  [[nodiscard]] const PhProbeParams& params() const { return params_; }
+
+ private:
+  const Environment* env_;
+  PhProbeParams params_;
+};
+
+}  // namespace pab::sense

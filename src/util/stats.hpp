@@ -1,0 +1,57 @@
+// Small statistics helpers used by metrology code and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pab {
+
+[[nodiscard]] inline double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+[[nodiscard]] inline double variance(std::span<const double> xs) {
+  require(xs.size() >= 2, "variance: need at least two samples");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+[[nodiscard]] inline double rms(std::span<const double> xs) {
+  require(!xs.empty(), "rms: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+[[nodiscard]] inline double max_abs(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, std::abs(x));
+  return m;
+}
+
+// Median (copies; inputs in benches are small).
+[[nodiscard]] inline double median(std::span<const double> xs) {
+  require(!xs.empty(), "median: empty input");
+  std::vector<double> v(xs.begin(), xs.end());
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pab

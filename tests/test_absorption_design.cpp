@@ -1,0 +1,136 @@
+// Francois-Garrison absorption and cylinder design-synthesis tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/absorption.hpp"
+#include "channel/water.hpp"
+#include "piezo/design.hpp"
+
+namespace pab {
+namespace {
+
+using channel::SeawaterConditions;
+
+TEST(FrancoisGarrison, AgreesWithThorpAtMidBand) {
+  // Both models target temperate seawater; they should agree within ~2x in
+  // the 5-50 kHz band where MgSO4 relaxation dominates.
+  SeawaterConditions cond;  // 10 C, 35 ppt, pH 8
+  for (double f : {5000.0, 15000.0, 50000.0}) {
+    const double fg = channel::francois_garrison_db_per_km(f, cond);
+    const double thorp = channel::thorp_absorption_db_per_km(f);
+    EXPECT_GT(fg, 0.5 * thorp) << f;
+    EXPECT_LT(fg, 2.0 * thorp) << f;
+  }
+}
+
+TEST(FrancoisGarrison, IncreasesWithFrequency) {
+  SeawaterConditions cond;
+  double prev = 0.0;
+  for (double f : {500.0, 2000.0, 10000.0, 50000.0, 200000.0}) {
+    const double a = channel::francois_garrison_db_per_km(f, cond);
+    EXPECT_GT(a, prev) << f;
+    prev = a;
+  }
+}
+
+TEST(FrancoisGarrison, PhControlsBoricAcidTerm) {
+  // More acidic ocean -> less boric-acid absorption (a known climate-change
+  // coupling, and the very quantity PAB senses).
+  SeawaterConditions acidic;
+  acidic.ph = 7.6;
+  SeawaterConditions basic;
+  basic.ph = 8.2;
+  const auto a_lo = channel::francois_garrison_breakdown(1000.0, acidic);
+  const auto a_hi = channel::francois_garrison_breakdown(1000.0, basic);
+  EXPECT_LT(a_lo.boric_acid, a_hi.boric_acid);
+  // The other mechanisms do not depend on pH.
+  EXPECT_NEAR(a_lo.magnesium_sulfate, a_hi.magnesium_sulfate, 1e-12);
+  EXPECT_NEAR(a_lo.pure_water, a_hi.pure_water, 1e-15);
+}
+
+TEST(FrancoisGarrison, MechanismDominanceByBand) {
+  SeawaterConditions cond;
+  // ~1 kHz: boric acid matters most among relaxations.
+  const auto low = channel::francois_garrison_breakdown(800.0, cond);
+  EXPECT_GT(low.boric_acid, low.pure_water);
+  // ~40 kHz: MgSO4 dominates.
+  const auto mid = channel::francois_garrison_breakdown(40000.0, cond);
+  EXPECT_GT(mid.magnesium_sulfate, mid.boric_acid);
+  EXPECT_GT(mid.magnesium_sulfate, mid.pure_water);
+  // 2 MHz: pure water dominates.
+  const auto high = channel::francois_garrison_breakdown(2e6, cond);
+  EXPECT_GT(high.pure_water, high.magnesium_sulfate);
+}
+
+TEST(FrancoisGarrison, DepthReducesRelaxation) {
+  SeawaterConditions shallow;
+  shallow.depth_m = 10.0;
+  SeawaterConditions deep = shallow;
+  deep.depth_m = 3000.0;
+  EXPECT_LT(channel::francois_garrison_db_per_km(40000.0, deep),
+            channel::francois_garrison_db_per_km(40000.0, shallow));
+}
+
+TEST(FrancoisGarrison, BadPhThrows) {
+  SeawaterConditions cond;
+  cond.ph = 3.0;
+  EXPECT_THROW((void)channel::francois_garrison_db_per_km(15000.0, cond),
+               std::invalid_argument);
+}
+
+// --- Cylinder design --------------------------------------------------------------
+
+TEST(CylinderDesign, PaperGeometryResonatesAt17kHz) {
+  piezo::CylinderGeometry steminc;
+  steminc.mean_radius_m = 0.02525;  // Steminc SMC5447T40111 midline
+  steminc.length_m = 0.04;
+  steminc.wall_thickness_m = 0.00355;
+  EXPECT_NEAR(piezo::in_air_resonance_hz(steminc), 17000.0, 150.0);
+}
+
+TEST(CylinderDesign, WaterLoadingLowersResonance) {
+  const auto g = piezo::design_cylinder_for(17000.0);
+  const auto d = piezo::water_loaded_design(g);
+  EXPECT_LT(d.resonance_hz, 17000.0);
+  EXPECT_GT(d.resonance_hz, 15000.0);  // the paper operates at 15-16.5 kHz
+  EXPECT_NEAR(d.bvd.series_resonance_hz(), d.resonance_hz, 1.0);
+}
+
+TEST(CylinderDesign, DesignForFrequencyRoundTrips) {
+  for (double f : {500.0, 5000.0, 17000.0, 40000.0}) {
+    const auto g = piezo::design_cylinder_for(f);
+    EXPECT_NEAR(piezo::in_air_resonance_hz(g), f, f * 1e-9);
+  }
+}
+
+TEST(CylinderDesign, SizeInverselyProportionalToFrequency) {
+  // Paper section 4.1 / footnote 8: dimensions ~ 1/f, volume ~ 1/f^3.
+  const auto g17 = piezo::design_cylinder_for(17000.0);
+  const auto g500 = piezo::design_cylinder_for(500.0);
+  EXPECT_NEAR(g500.mean_radius_m / g17.mean_radius_m, 34.0, 0.01);
+  EXPECT_NEAR(g500.volume_m3() / g17.volume_m3(), 34.0 * 34.0 * 34.0, 50.0);
+}
+
+TEST(CylinderDesign, GeneratedTransducerIsUsable) {
+  const auto g = piezo::design_cylinder_for(17000.0);
+  const auto xdcr = piezo::make_transducer_from_geometry(g);
+  // Behaves like the hand-tuned factory: sensible sensitivity and TVR peak
+  // near the loaded resonance.
+  const double f0 = xdcr.resonance_hz();
+  EXPECT_GT(xdcr.tvr_db(f0), xdcr.tvr_db(f0 * 0.7));
+  EXPECT_GT(xdcr.tvr_db(f0), xdcr.tvr_db(f0 * 1.4));
+  const double ocv = xdcr.ocv_sensitivity_db(f0);
+  EXPECT_GT(ocv, -210.0);
+  EXPECT_LT(ocv, -165.0);
+}
+
+TEST(CylinderDesign, StaticCapacitanceScalesWithArea) {
+  const auto small = piezo::water_loaded_design(piezo::design_cylinder_for(34000.0));
+  const auto large = piezo::water_loaded_design(piezo::design_cylinder_for(17000.0));
+  // Area ~ 1/f^2, thickness ~ 1/f -> C0 ~ 1/f.
+  EXPECT_NEAR(large.bvd.c0 / small.bvd.c0, 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace pab

@@ -1,0 +1,206 @@
+// Integration tests: full waveform-level link, downlink to a node, and the
+// two-node collision pipeline.
+#include <gtest/gtest.h>
+
+#include "core/collision.hpp"
+#include "core/link.hpp"
+#include "core/projector.hpp"
+#include "mac/protocol.hpp"
+#include "node/node.hpp"
+#include "phy/metrics.hpp"
+
+namespace pab::core {
+namespace {
+
+Projector standard_projector(double drive_v = 50.0) {
+  return Projector(piezo::make_projector_transducer(), drive_v);
+}
+
+TEST(Integration, UplinkDecodesCleanly) {
+  LinkSimulator sim(pool_a_config(), Placement{});
+  const auto proj = standard_projector();
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  pab::Rng rng(21);
+  const auto bits = rng.bits(64);
+  UplinkRunConfig cfg;
+  const auto out = sim.run_and_decode(proj, fe, bits, cfg);
+  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
+  EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0);
+  EXPECT_GT(out.demod.value().snr_db, 3.0);
+}
+
+TEST(Integration, FullPacketWithCrc) {
+  LinkSimulator sim(pool_a_config(), Placement{});
+  const auto proj = standard_projector();
+  const auto fe = circuit::make_recto_piezo(15000.0);
+
+  phy::UplinkPacket packet;
+  packet.node_id = 3;
+  packet.payload = node::encode_ph_payload(7.4);
+  const auto bits = packet.to_bits(/*include_preamble=*/false);
+
+  UplinkRunConfig cfg;
+  const auto out = sim.run_and_decode(proj, fe, bits, cfg);
+  ASSERT_TRUE(out.demod.ok());
+  const auto decoded =
+      phy::UplinkPacket::from_bits(out.demod.value().bits, /*has_preamble=*/false);
+  ASSERT_TRUE(decoded.has_value()) << "CRC failed";
+  EXPECT_EQ(decoded->node_id, 3);
+  EXPECT_NEAR(node::decode_ph_payload(decoded->payload), 7.4, 0.005);
+}
+
+TEST(Integration, SnrDropsWithDistance) {
+  SimConfig sc = pool_a_config();
+  const auto proj = standard_projector();
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  pab::Rng rng(22);
+  const auto bits = rng.bits(48);
+
+  Placement near;
+  near.node = {1.0, 1.2, 0.65};
+  Placement far;
+  far.node = {2.5, 3.6, 0.65};
+
+  LinkSimulator sim_near(sc, near);
+  LinkSimulator sim_far(sc, far);
+  const auto rn = sim_near.run_and_decode(proj, fe, bits, UplinkRunConfig{});
+  const auto rf = sim_far.run_and_decode(proj, fe, bits, UplinkRunConfig{});
+  ASSERT_TRUE(rn.demod.ok());
+  // The far node's channel amplitude must be weaker.
+  if (rf.demod.ok()) {
+    EXPECT_LT(rf.demod.value().channel_amp, rn.demod.value().channel_amp);
+  }
+}
+
+TEST(Integration, OffResonanceCarrierWeakensModulation) {
+  LinkSimulator sim(pool_a_config(), Placement{});
+  const auto proj = standard_projector();
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  pab::Rng rng(23);
+  const auto bits = rng.bits(32);
+  UplinkRunConfig on;
+  on.carrier_hz = 15000.0;
+  UplinkRunConfig off;
+  off.carrier_hz = 12000.0;
+  const auto r_on = sim.run_uplink(proj, fe, bits, on);
+  const auto r_off = sim.run_uplink(proj, fe, bits, off);
+  EXPECT_LT(r_off.modulation_pressure_pa, r_on.modulation_pressure_pa);
+}
+
+TEST(Integration, DownlinkQueryReachesNode) {
+  LinkSimulator sim(pool_a_config(), Placement{});
+  const auto proj = standard_projector(300.0);
+  sense::Environment env;
+  node::PabNode node(node::NodeConfig{}, &env);
+  // Power up first (strong CW on resonance).
+  for (int i = 0; i < 6000 && !node.powered_up(); ++i)
+    node.harvest_step(0.01, 15000.0, sim.incident_pressure(proj, 15000.0),
+                      node::NodeState::kColdStart);
+  ASSERT_TRUE(node.powered_up());
+
+  const auto query = mac::make_read_temperature(node.config().id);
+  const auto sliced = sim.downlink_sliced_envelope(
+      proj, query, node.config().downlink_pwm, 15000.0);
+  const auto received = node.receive_downlink(sliced, sim.config().sample_rate);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->command, phy::Command::kReadTemperature);
+  EXPECT_EQ(received->address, node.config().id);
+}
+
+TEST(Integration, EndToEndQueryResponseTransaction) {
+  // The full loop: downlink query -> node decodes -> node senses -> node
+  // backscatters -> hydrophone decodes -> reading matches the environment.
+  SimConfig sc = pool_a_config();
+  LinkSimulator sim(sc, Placement{});
+  const auto proj = standard_projector(300.0);
+  sense::Environment env;
+  env.temperature_c = 17.25;
+  node::NodeConfig ncfg;
+  ncfg.node_depth_m = 0.0;
+  node::PabNode node(ncfg, &env);
+  for (int i = 0; i < 6000 && !node.powered_up(); ++i)
+    node.harvest_step(0.01, 15000.0, sim.incident_pressure(proj, 15000.0),
+                      node::NodeState::kColdStart);
+  ASSERT_TRUE(node.powered_up());
+
+  // Downlink.
+  const auto query = mac::make_read_temperature(node.config().id);
+  const auto sliced = sim.downlink_sliced_envelope(
+      proj, query, node.config().downlink_pwm, 15000.0);
+  const auto received = node.receive_downlink(sliced, sc.sample_rate);
+  ASSERT_TRUE(received.has_value());
+
+  // Node responds.
+  const auto response = node.process_query(*received);
+  ASSERT_TRUE(response.has_value());
+
+  // Uplink.
+  const auto bits = response->to_bits(/*include_preamble=*/false);
+  UplinkRunConfig ucfg;
+  ucfg.bitrate = node.bitrate();
+  const auto out = sim.run_and_decode(proj, node.front_end(), bits, ucfg);
+  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
+  const auto packet =
+      phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+  ASSERT_TRUE(packet.has_value());
+  const auto reading = mac::parse_response(query, *packet);
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_NEAR(reading->value, 17.25, 0.2);
+}
+
+TEST(Integration, CollisionZeroForcingImprovesSinr) {
+  // Fig. 10's mechanism end-to-end: concurrent 15/18 kHz backscatter, SINR
+  // after projection exceeds SINR before.
+  SimConfig sc = pool_a_config();
+  Placement pl;
+  pl.projector = {1.5, 1.5, 0.65};
+  pl.hydrophone = {1.5, 2.5, 0.65};
+  pl.node = {1.0, 2.0, 0.65};
+  CollisionSimulator sim(sc, pl, channel::Vec3{2.0, 2.0, 0.65});
+  const auto proj = Projector::ideal(300.0);
+  const auto n1 = circuit::make_recto_piezo(15000.0);
+  const auto n2 = circuit::make_recto_piezo(18000.0);
+  const auto r = sim.run(proj, n1, n2, CollisionRunConfig{});
+  // After projection both streams are decodable; the interference-limited
+  // stream gains several dB and neither materially degrades.
+  EXPECT_GT(r.sinr_after_db[0], r.sinr_before_db[0] - 1.0);
+  EXPECT_GT(r.sinr_after_db[1], r.sinr_before_db[1] + 2.0);
+  EXPECT_GT(r.sinr_after_db[0], 3.0);
+  EXPECT_GT(r.sinr_after_db[1], 3.0);
+  EXPECT_LT(r.ber_after[0], 0.05);
+  EXPECT_LT(r.ber_after[1], 0.05);
+  EXPECT_LT(r.condition_number, 100.0);
+}
+
+TEST(Integration, SwimmingPoolLinkDecodes) {
+  // The paper "validated that the system operates correctly in an indoor
+  // swimming pool" (section 5.1d); so must we.
+  SimConfig sc = swimming_pool_config();
+  Placement pl;
+  pl.projector = {5.0, 10.0, 1.0};
+  pl.hydrophone = {5.0, 11.5, 1.0};
+  pl.node = {6.2, 12.0, 1.0};
+  LinkSimulator sim(sc, pl);
+  const auto proj = standard_projector(100.0);
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  pab::Rng rng(61);
+  const auto bits = rng.bits(64);
+  const auto out = sim.run_and_decode(proj, fe, bits, UplinkRunConfig{});
+  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
+  EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0);
+}
+
+TEST(Integration, ProjectorIdealIsFlat) {
+  const auto proj = Projector::ideal(100.0);
+  EXPECT_NEAR(proj.pressure_at_1m(12000.0), 100.0, 1e-12);
+  EXPECT_NEAR(proj.pressure_at_1m(18000.0), 100.0, 1e-12);
+}
+
+TEST(Integration, PhysicalProjectorRollsOff) {
+  const auto proj = standard_projector();
+  EXPECT_GT(proj.pressure_at_1m(15500.0), proj.pressure_at_1m(11000.0));
+  EXPECT_GT(proj.pressure_at_1m(15500.0), proj.pressure_at_1m(20000.0));
+}
+
+}  // namespace
+}  // namespace pab::core

@@ -1,0 +1,100 @@
+// FFT, spectrum, and peak detection tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/mixer.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cplx> v(3);
+  EXPECT_THROW(fft_inplace(v), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlat) {
+  std::vector<cplx> v(8, cplx{});
+  v[0] = 1.0;
+  fft_inplace(v);
+  for (const auto& x : v) EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  pab::Rng rng(3);
+  std::vector<cplx> v(256);
+  for (auto& x : v) x = {rng.gaussian(), rng.gaussian()};
+  auto spec = fft(std::span<const cplx>(v));
+  auto back = ifft(spec);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), v[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), v[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  pab::Rng rng(5);
+  std::vector<cplx> v(512);
+  for (auto& x : v) x = {rng.gaussian(), rng.gaussian()};
+  double time_energy = 0.0;
+  for (const auto& x : v) time_energy += std::norm(x);
+  auto spec = fft(std::span<const cplx>(v));
+  double freq_energy = 0.0;
+  for (const auto& x : spec) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(spec.size()), time_energy,
+              time_energy * 1e-10);
+}
+
+TEST(Fft, SinglebinTone) {
+  // A tone at exactly bin 32 of a 1024-point FFT.
+  const double fs = 1024.0;
+  std::vector<double> x(1024);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(kTwoPi * 32.0 * static_cast<double>(i) / fs);
+  auto spec = fft(std::span<const double>(x));
+  EXPECT_NEAR(std::abs(spec[32]), 512.0, 1e-6);
+  EXPECT_NEAR(std::abs(spec[33]), 0.0, 1e-6);
+}
+
+TEST(Spectrum, UnitSineReadsUnity) {
+  const Signal s = make_tone(1500.0, 1.0, 0.1, 48000.0);
+  const Spectrum spec = magnitude_spectrum(s);
+  double peak = 0.0, peak_f = 0.0;
+  for (std::size_t i = 0; i < spec.magnitude.size(); ++i)
+    if (spec.magnitude[i] > peak) { peak = spec.magnitude[i]; peak_f = spec.frequency[i]; }
+  EXPECT_NEAR(peak, 1.0, 0.05);
+  EXPECT_NEAR(peak_f, 1500.0, 15.0);
+}
+
+TEST(SpectralPeaks, FindsTwoCarriers) {
+  // The receiver identifies concurrent downlink carriers by FFT peaks
+  // (paper section 5.1b).
+  Signal s = make_tone(15000.0, 1.0, 0.05, 96000.0);
+  s.accumulate(make_tone(18000.0, 0.7, 0.05, 96000.0));
+  const auto peaks = spectral_peaks(s, 0.25, 500.0);
+  ASSERT_GE(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0], 15000.0, 60.0);
+  EXPECT_NEAR(peaks[1], 18000.0, 60.0);
+}
+
+TEST(SpectralPeaks, IgnoresWeakNoise) {
+  pab::Rng rng(9);
+  Signal s = make_tone(15000.0, 1.0, 0.05, 96000.0);
+  for (auto& v : s.samples) v += rng.gaussian(0.0, 0.01);
+  const auto peaks = spectral_peaks(s, 0.25, 500.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0], 15000.0, 60.0);
+}
+
+}  // namespace
+}  // namespace pab::dsp

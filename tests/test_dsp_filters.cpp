@@ -1,0 +1,130 @@
+// FIR and Butterworth IIR filter design tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/mixer.hpp"
+#include "util/units.hpp"
+
+namespace pab::dsp {
+namespace {
+
+double tone_gain_fir(const std::vector<double>& h, double freq, double fs) {
+  const Signal in = make_tone(freq, 1.0, 0.2, fs);
+  const auto out = fir_filter(h, in.samples);
+  // Skip edges to avoid transient.
+  double peak = 0.0;
+  for (std::size_t i = out.size() / 4; i < 3 * out.size() / 4; ++i)
+    peak = std::max(peak, std::abs(out[i]));
+  return peak;
+}
+
+TEST(Fir, LowpassPassesAndStops) {
+  const double fs = 48000.0;
+  const auto h = design_lowpass_fir(2000.0, fs, 101);
+  EXPECT_NEAR(tone_gain_fir(h, 500.0, fs), 1.0, 0.02);
+  EXPECT_LT(tone_gain_fir(h, 8000.0, fs), 0.01);
+}
+
+TEST(Fir, UnityDcGain) {
+  const auto h = design_lowpass_fir(1000.0, 48000.0, 64);  // even bumps to odd
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(h.size() % 2, 1u);
+}
+
+TEST(Fir, BandpassSelectsBand) {
+  const double fs = 96000.0;
+  const auto h = design_bandpass_fir(14000.0, 16000.0, fs, 257);
+  EXPECT_NEAR(tone_gain_fir(h, 15000.0, fs), 1.0, 0.05);
+  EXPECT_LT(tone_gain_fir(h, 10000.0, fs), 0.02);
+  EXPECT_LT(tone_gain_fir(h, 20000.0, fs), 0.02);
+}
+
+TEST(Fir, InvalidDesignThrows) {
+  EXPECT_THROW((void)design_lowpass_fir(30000.0, 48000.0, 11),
+               std::invalid_argument);
+  EXPECT_THROW((void)design_bandpass_fir(5000.0, 4000.0, 48000.0, 11),
+               std::invalid_argument);
+}
+
+TEST(Iir, ButterworthLowpassResponse) {
+  const double fs = 96000.0;
+  const auto lp = butterworth_lowpass(5, 2000.0, fs);
+  EXPECT_TRUE(lp.is_stable());
+  // -3 dB at cutoff, maximally flat below, steep above.
+  EXPECT_NEAR(std::abs(lp.response(2000.0, fs)), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(std::abs(lp.response(100.0, fs)), 1.0, 0.01);
+  EXPECT_LT(std::abs(lp.response(8000.0, fs)), 0.01);
+}
+
+TEST(Iir, ButterworthHighpassResponse) {
+  const double fs = 96000.0;
+  const auto hp = butterworth_highpass(4, 10000.0, fs);
+  EXPECT_TRUE(hp.is_stable());
+  EXPECT_NEAR(std::abs(hp.response(10000.0, fs)), std::sqrt(0.5), 0.02);
+  EXPECT_LT(std::abs(hp.response(2000.0, fs)), 0.01);
+  EXPECT_NEAR(std::abs(hp.response(30000.0, fs)), 1.0, 0.02);
+}
+
+TEST(Iir, BandpassIsolatesChannel) {
+  // The paper's receiver isolates each backscatter channel with a
+  // Butterworth band-pass (section 5.1b).
+  const double fs = 96000.0;
+  // HP+LP cascade: with band edges this close the skirts overlap, so assert
+  // honest relative selectivity rather than brick-wall numbers.
+  const auto bp = butterworth_bandpass(4, 13000.0, 17000.0, fs);
+  EXPECT_TRUE(bp.is_stable());
+  const double center = std::abs(bp.response(15000.0, fs));
+  EXPECT_GT(center, 0.7);
+  EXPECT_LT(std::abs(bp.response(20000.0, fs)), 0.6 * center);
+  EXPECT_LT(std::abs(bp.response(10000.0, fs)), 0.5 * center);
+  EXPECT_LT(std::abs(bp.response(28000.0, fs)), 0.1);
+  EXPECT_LT(std::abs(bp.response(5000.0, fs)), 0.1);
+}
+
+TEST(Iir, OddOrdersHaveFirstOrderSection) {
+  const auto lp3 = butterworth_lowpass(3, 1000.0, 48000.0);
+  EXPECT_EQ(lp3.sections().size(), 2u);  // one biquad + one first-order
+  const auto lp4 = butterworth_lowpass(4, 1000.0, 48000.0);
+  EXPECT_EQ(lp4.sections().size(), 2u);  // two biquads
+}
+
+TEST(Iir, StreamingMatchesBatch) {
+  const double fs = 48000.0;
+  auto lp = butterworth_lowpass(5, 3000.0, fs);
+  const Signal in = make_tone(1000.0, 1.0, 0.01, fs);
+  const auto batch = lp.filter(std::span<const double>(in.samples));
+  lp.reset();
+  for (std::size_t i = 0; i < in.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(lp.process(in.samples[i]), batch[i]);
+}
+
+TEST(Iir, ComplexFilteringMatchesRealOnRealInput) {
+  const double fs = 48000.0;
+  const auto lp = butterworth_lowpass(4, 3000.0, fs);
+  const Signal in = make_tone(1000.0, 1.0, 0.01, fs);
+  std::vector<cplx> cin(in.samples.size());
+  for (std::size_t i = 0; i < cin.size(); ++i) cin[i] = {in.samples[i], 0.0};
+  const auto real_out = lp.filter(std::span<const double>(in.samples));
+  const auto cplx_out = lp.filter(std::span<const cplx>(cin));
+  for (std::size_t i = 0; i < real_out.size(); ++i) {
+    EXPECT_NEAR(cplx_out[i].real(), real_out[i], 1e-12);
+    EXPECT_NEAR(cplx_out[i].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Iir, InvalidOrderThrows) {
+  EXPECT_THROW((void)butterworth_lowpass(0, 1000.0, 48000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)butterworth_lowpass(13, 1000.0, 48000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)butterworth_lowpass(4, 30000.0, 48000.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pab::dsp

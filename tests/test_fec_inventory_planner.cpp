@@ -1,0 +1,212 @@
+// Tests for the protocol extensions: Hamming FEC + interleaving, slotted
+// inventory, and the energy planner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "energy/planner.hpp"
+#include "mac/inventory.hpp"
+#include "phy/fec.hpp"
+#include "util/rng.hpp"
+
+namespace pab {
+namespace {
+
+// --- Hamming(7,4) --------------------------------------------------------------
+
+TEST(Hamming, EncodeDecodeIdentity) {
+  Rng rng(1);
+  const auto data = rng.bits(128);
+  const auto coded = phy::hamming74_encode(data);
+  EXPECT_EQ(coded.size(), 128u / 4u * 7u);
+  EXPECT_EQ(phy::hamming74_decode(coded), data);
+}
+
+TEST(Hamming, CorrectsAnySingleErrorPerCodeword) {
+  Rng rng(2);
+  const auto data = rng.bits(64);
+  const auto coded = phy::hamming74_encode(data);
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    auto corrupted = coded;
+    corrupted[i] ^= 1;
+    EXPECT_EQ(phy::hamming74_decode(corrupted), data) << "flip at " << i;
+  }
+}
+
+TEST(Hamming, TwoErrorsInOneCodewordMayFail) {
+  // Hamming(7,4) has distance 3: double errors are miscorrected.  Document
+  // the boundary rather than pretend otherwise.
+  const Bits data = {1, 0, 1, 1};
+  auto coded = phy::hamming74_encode(data);
+  coded[0] ^= 1;
+  coded[1] ^= 1;
+  EXPECT_NE(phy::hamming74_decode(coded), data);
+}
+
+TEST(Hamming, NonMultipleLengthsThrow) {
+  EXPECT_THROW((void)phy::hamming74_encode(Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)phy::hamming74_decode(Bits(8, 0)), std::invalid_argument);
+}
+
+// --- Interleaver ---------------------------------------------------------------
+
+TEST(Interleaver, RoundTripAllSizes) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 7u, 13u, 49u, 100u}) {
+    for (std::size_t rows : {1u, 2u, 7u, 11u}) {
+      const auto bits = rng.bits(n);
+      const auto inter = phy::interleave(bits, rows);
+      ASSERT_EQ(inter.size(), n);
+      EXPECT_EQ(phy::deinterleave(inter, rows), bits)
+          << "n=" << n << " rows=" << rows;
+    }
+  }
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  // A burst of `rows` consecutive errors after interleaving lands in
+  // distinct rows (hence distinct codewords) after de-interleaving.
+  const std::size_t rows = 7, n = 70;
+  Bits zeros(n, 0);
+  auto inter = phy::interleave(zeros, rows);
+  for (std::size_t i = 20; i < 20 + rows; ++i) inter[i] ^= 1;  // channel burst
+  const auto de = phy::deinterleave(inter, rows);
+  // Error positions in the de-interleaved stream:
+  std::set<std::size_t> rows_hit;
+  for (std::size_t i = 0; i < n; ++i)
+    if (de[i]) rows_hit.insert(i / (n / rows));
+  EXPECT_GE(rows_hit.size(), rows - 1);  // burst spread across ~all rows
+}
+
+TEST(Fec, PipelineRoundTrip) {
+  Rng rng(4);
+  const auto data = rng.bits(50);  // non-multiple of 4: exercises padding
+  const auto coded = phy::fec_protect(data);
+  EXPECT_EQ(coded.size(), phy::fec_coded_size(50));
+  EXPECT_EQ(phy::fec_recover(coded, 50), data);
+}
+
+TEST(Fec, SurvivesErrorBurst) {
+  // A 7-bit channel burst (one deep fade) is fully corrected thanks to the
+  // interleaver: each affected codeword sees at most one error.
+  Rng rng(5);
+  const auto data = rng.bits(120);
+  auto coded = phy::fec_protect(data);
+  const std::size_t start = coded.size() / 3;
+  for (std::size_t i = start; i < start + 7; ++i) coded[i] ^= 1;
+  EXPECT_EQ(phy::fec_recover(coded, 120), data);
+}
+
+TEST(Fec, UncodedFailsWhereFecSurvives) {
+  Rng rng(6);
+  const auto data = rng.bits(120);
+  // Uncoded: the same 7-bit burst destroys 7 payload bits.
+  auto raw = data;
+  for (std::size_t i = 40; i < 47; ++i) raw[i] ^= 1;
+  EXPECT_EQ(hamming_distance(data, raw), 7u);
+  // Coded: zero residual errors (previous test), at 7/4 overhead.
+  EXPECT_NEAR(static_cast<double>(phy::fec_coded_size(120)) / 120.0, 1.75, 1e-9);
+}
+
+// --- Inventory -------------------------------------------------------------------
+
+TEST(Inventory, IdentifiesWholePopulation) {
+  std::vector<std::uint8_t> population;
+  for (std::uint8_t id = 1; id <= 20; ++id) population.push_back(id);
+  mac::InventoryStats stats;
+  const auto found = mac::run_inventory(population, {}, &stats);
+  ASSERT_EQ(found.size(), population.size());
+  std::set<std::uint8_t> unique(found.begin(), found.end());
+  EXPECT_EQ(unique.size(), population.size());
+  EXPECT_GT(stats.frames, 0u);
+  EXPECT_EQ(stats.singletons, population.size());
+}
+
+TEST(Inventory, SingleNodeIsFast) {
+  const std::vector<std::uint8_t> population = {7};
+  mac::InventoryStats stats;
+  const auto found = mac::run_inventory(population, {}, &stats);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 7);
+  EXPECT_LE(stats.frames, 2u);
+}
+
+TEST(Inventory, EmptyPopulation) {
+  mac::InventoryStats stats;
+  const auto found = mac::run_inventory({}, {}, &stats);
+  EXPECT_TRUE(found.empty());
+  EXPECT_EQ(stats.frames, 0u);
+}
+
+TEST(Inventory, SlotHashIsDeterministicAndSpread) {
+  // Same inputs -> same slot; different nonces decorrelate the choice.
+  EXPECT_EQ(mac::inventory_slot(5, 100, 16), mac::inventory_slot(5, 100, 16));
+  std::set<std::size_t> seen;
+  for (std::uint64_t nonce = 0; nonce < 64; ++nonce)
+    seen.insert(mac::inventory_slot(5, nonce, 16));
+  EXPECT_GE(seen.size(), 12u);  // uses most of the 16 slots across frames
+}
+
+TEST(Inventory, QAdaptationDirections) {
+  EXPECT_EQ(mac::adapt_q(3, /*collisions=*/10, /*empties=*/1, /*singles=*/2, 0, 8), 4);
+  EXPECT_EQ(mac::adapt_q(3, 1, 10, 2, 0, 8), 2);
+  EXPECT_EQ(mac::adapt_q(3, 2, 2, 3, 0, 8), 3);
+  EXPECT_EQ(mac::adapt_q(8, 100, 0, 0, 0, 8), 8);  // clamped
+  EXPECT_EQ(mac::adapt_q(0, 0, 100, 0, 0, 8), 0);
+}
+
+TEST(Inventory, AdaptiveBeatsTinyFixedFrames) {
+  // 60 nodes against q=2 frames with no adaptation would thrash; the
+  // adaptive reader converges within the frame budget.
+  std::vector<std::uint8_t> population;
+  for (std::uint8_t id = 1; id <= 60; ++id) population.push_back(id);
+  mac::InventoryConfig cfg;
+  cfg.initial_q = 2;
+  mac::InventoryStats stats;
+  const auto found = mac::run_inventory(population, cfg, &stats);
+  EXPECT_EQ(found.size(), 60u);
+  EXPECT_GT(stats.slot_efficiency(), 0.15);  // theoretical ALOHA max ~0.37
+}
+
+// --- Energy planner ---------------------------------------------------------------
+
+TEST(Planner, TransactionEnergyBreakdown) {
+  energy::EnergyPlanner planner;
+  energy::TransactionCost cost;
+  const double e = planner.transaction_energy_j(cost);
+  // Decode (41 bits at PWM pace) + backscatter (76 bits at 1 kbps) + sensing.
+  EXPECT_GT(e, 50e-6);
+  EXPECT_LT(e, 1e-3);
+}
+
+TEST(Planner, SustainabilityThreshold) {
+  energy::EnergyPlanner planner;
+  energy::TransactionCost cost;
+  const double rate = 1.0;  // one transaction per second
+  const double demand = planner.mcu().idle_power_w() +
+                        rate * planner.transaction_energy_j(cost);
+  EXPECT_TRUE(planner.sustainable(demand * 1.01, cost, rate));
+  EXPECT_FALSE(planner.sustainable(demand * 0.99, cost, rate));
+}
+
+TEST(Planner, MaxRateConsistent) {
+  energy::EnergyPlanner planner;
+  energy::TransactionCost cost;
+  const double harvest = 400e-6;  // a node a few meters out
+  const double max_rate = planner.max_transaction_rate_hz(harvest, cost);
+  EXPECT_GT(max_rate, 0.0);
+  EXPECT_TRUE(planner.sustainable(harvest, cost, max_rate * 0.99));
+  EXPECT_FALSE(planner.sustainable(harvest, cost, max_rate * 1.01));
+}
+
+TEST(Planner, BelowIdleMeansZeroRate) {
+  energy::EnergyPlanner planner;
+  EXPECT_EQ(planner.max_transaction_rate_hz(50e-6, energy::TransactionCost{}),
+            0.0);
+  EXPECT_GT(planner.recharge_time_s(50e-6, energy::TransactionCost{}), 0.0);
+  EXPECT_LT(planner.recharge_time_s(0.0, energy::TransactionCost{}), 0.0);
+}
+
+}  // namespace
+}  // namespace pab

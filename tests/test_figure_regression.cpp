@@ -1,0 +1,159 @@
+// Figure-shape regression suite.
+//
+// The benches print the full series; these tests pin the *shape* of every
+// reproduced figure (peaks, thresholds, orderings, crossovers) so a model or
+// receiver change that silently breaks the reproduction fails CI.  Bounds are
+// deliberately loose -- they encode the paper's qualitative claims, not our
+// current decimal places.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/tank.hpp"
+#include "circuit/rectopiezo.hpp"
+#include "core/projector.hpp"
+#include "energy/mcu.hpp"
+#include "phy/fm0.hpp"
+#include "phy/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pab {
+namespace {
+
+// --- Figure 3 ------------------------------------------------------------------
+
+TEST(FigureRegression, Fig3RectoPiezoCurves) {
+  const auto rp15 = circuit::make_recto_piezo(15000.0);
+  const auto rp18 = circuit::make_recto_piezo(18000.0);
+  const double p = 65.0;
+
+  const auto scan = [&](const circuit::RectoPiezo& rp) {
+    double peak = 0.0, peak_f = 0.0, lo = 0.0, hi = 0.0;
+    for (double f = 11000.0; f <= 21000.0; f += 100.0) {
+      const double v = rp.rectified_open_voltage(f, p);
+      if (v > peak) { peak = v; peak_f = f; }
+      if (v >= 2.5) {
+        if (lo == 0.0) lo = f;
+        hi = f;
+      }
+    }
+    return std::tuple{peak, peak_f, hi - lo};
+  };
+
+  const auto [peak15, f15, bw15] = scan(rp15);
+  const auto [peak18, f18, bw18] = scan(rp18);
+  // ~4 V peaks at the match frequencies.
+  EXPECT_NEAR(peak15, 4.1, 1.0);
+  EXPECT_NEAR(peak18, 4.3, 1.0);
+  EXPECT_NEAR(f15, 15000.0, 400.0);
+  EXPECT_NEAR(f18, 18000.0, 500.0);
+  // Usable bandwidths of order 1-3 kHz.
+  EXPECT_GT(bw15, 500.0);
+  EXPECT_LT(bw15, 3500.0);
+  EXPECT_GT(bw18, 500.0);
+  EXPECT_LT(bw18, 3500.0);
+  // Complementary: each device weak on the other's channel.
+  EXPECT_LT(rp15.rectified_open_voltage(18000.0, p), 2.5);
+  EXPECT_LT(rp18.rectified_open_voltage(15000.0, p), 2.5);
+}
+
+// --- Figure 7 ------------------------------------------------------------------
+
+TEST(FigureRegression, Fig7BerSnrShape) {
+  Rng rng(77);
+  const auto ber_at = [&](double snr_db) {
+    const double sigma = 1.0 / std::sqrt(power_ratio_from_db(snr_db));
+    std::size_t errors = 0, total = 0;
+    while (total < 60000 && errors < 200) {
+      const auto bits = rng.bits(1000);
+      const auto chips = phy::fm0_encode(bits);
+      std::vector<double> soft(chips.size());
+      for (std::size_t i = 0; i < soft.size(); ++i)
+        soft[i] = chips[i] + rng.gaussian(0.0, sigma);
+      errors += hamming_distance(bits, phy::fm0_decode_ml(soft));
+      total += bits.size();
+    }
+    return static_cast<double>(errors) / static_cast<double>(total);
+  };
+  // Decodable (paper: "minimum SNR around 2 dB").
+  EXPECT_LT(ber_at(2.0), 0.1);
+  // Effectively error-free above ~11 dB (paper: BER 1e-5 floor).
+  EXPECT_LT(ber_at(11.0), 2e-4);
+  // And monotone between.
+  EXPECT_GT(ber_at(2.0), ber_at(6.0));
+  EXPECT_GT(ber_at(6.0), ber_at(10.0));
+}
+
+// --- Figure 9 ------------------------------------------------------------------
+
+TEST(FigureRegression, Fig9PoolBBeatsPoolA) {
+  const auto fe = circuit::make_recto_piezo(15000.0);
+  const energy::McuPowerModel mcu;
+  const core::Projector proj(piezo::make_projector_transducer(), 200.0);
+  const double p1m = proj.pressure_at_1m(15000.0);
+
+  const auto max_range = [&](const channel::Tank& tank, channel::Vec3 start,
+                             channel::Vec3 dir, double limit) {
+    double best = 0.0;
+    for (double d = 0.4; d <= limit; d += 0.2) {
+      double p = 0.0;
+      for (double j : {-0.08, 0.0, 0.08}) {
+        const channel::Vec3 rx{start.x + dir.x * (d + j),
+                               start.y + dir.y * (d + j), start.z};
+        if (!tank.contains(rx)) continue;
+        const auto taps = channel::image_method_taps(tank, start, rx, 2, 15000.0);
+        p = std::max(p, p1m * channel::coherent_gain(taps, 15000.0));
+      }
+      if (fe.rectified_open_voltage(15000.0, p) >= 2.5 &&
+          fe.harvested_dc_power(15000.0, p) >= mcu.idle_power_w())
+        best = d;
+    }
+    return best;
+  };
+
+  const double range_a = max_range(channel::make_pool_a(), {0.2, 0.2, 0.65},
+                                   {0.555, 0.74, 0.0}, 4.6);
+  const double range_b = max_range(channel::make_pool_b(), {0.6, 0.2, 0.5},
+                                   {0.0, 1.0, 0.0}, 9.6);
+  EXPECT_GT(range_b, range_a);  // the corridor focuses the signal
+  EXPECT_GT(range_a, 1.0);      // meters, not centimeters
+}
+
+// --- Figure 11 ------------------------------------------------------------------
+
+TEST(FigureRegression, Fig11PowerNumbers) {
+  const energy::McuPowerModel mcu;
+  EXPECT_NEAR(mcu.idle_power_w(), 124e-6, 5e-6);
+  for (double rate : {100.0, 1000.0, 3000.0}) {
+    EXPECT_NEAR(mcu.backscatter_power_w(rate), 500e-6, 80e-6) << rate;
+  }
+}
+
+// --- Section 2 energy claim -------------------------------------------------------
+
+TEST(FigureRegression, BackscatterEnergyGap) {
+  const energy::McuPowerModel mcu;
+  const auto xdcr = piezo::make_node_transducer();
+  const double backscatter_per_bit = mcu.backscatter_power_w(1000.0) / 1000.0;
+  const double eta = xdcr.bvd().r_rad / xdcr.bvd().rm;
+  const double active_per_bit = (0.1 / eta / 0.8) / 1000.0;
+  const double orders = std::log10(active_per_bit / backscatter_per_bit);
+  EXPECT_GE(orders, 2.0);  // paper: "two to three orders of magnitude"
+  EXPECT_LE(orders, 3.5);
+}
+
+// --- Figure 8 cliff (model-level proxy) --------------------------------------------
+
+TEST(FigureRegression, Fig8EfficiencyDeclinesWithBitrate) {
+  const auto rp = circuit::make_recto_piezo(15000.0);
+  const double e1k = rp.bandwidth_efficiency(15000.0, 1000.0);
+  const double e3k = rp.bandwidth_efficiency(15000.0, 3000.0);
+  const double e5k = rp.bandwidth_efficiency(15000.0, 5000.0);
+  EXPECT_GT(e1k, e3k);
+  EXPECT_GT(e3k, e5k);
+  EXPECT_LT(e5k, 0.7);  // substantial sideband loss at 5 kbps
+}
+
+}  // namespace
+}  // namespace pab

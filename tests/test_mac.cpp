@@ -1,0 +1,152 @@
+// MAC layer tests: protocol builders, scheduler retries, FDMA planning.
+#include <gtest/gtest.h>
+
+#include "mac/fdma.hpp"
+#include "mac/protocol.hpp"
+#include "mac/scheduler.hpp"
+
+namespace pab::mac {
+namespace {
+
+TEST(Protocol, BuildersSetFields) {
+  const auto q = make_read_ph(5);
+  EXPECT_EQ(q.address, 5);
+  EXPECT_EQ(q.command, phy::Command::kReadPh);
+  const auto s = make_set_bitrate(3, 8);
+  EXPECT_EQ(s.argument, 8);
+}
+
+TEST(Protocol, ParsePhResponse) {
+  const auto q = make_read_ph(1);
+  phy::UplinkPacket p;
+  p.node_id = 1;
+  p.payload = node::encode_ph_payload(7.25);
+  const auto r = parse_response(q, p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->value, 7.25, 0.005);
+  EXPECT_EQ(r->unit, "pH");
+}
+
+TEST(Protocol, ParseRejectsWrongSize) {
+  const auto q = make_read_pressure(1);
+  phy::UplinkPacket p;
+  p.payload = {0x01};  // pressure needs 4 bytes
+  EXPECT_FALSE(parse_response(q, p).has_value());
+}
+
+TEST(Protocol, ResponseSizes) {
+  EXPECT_EQ(response_payload_size(phy::Command::kPing), 1u);
+  EXPECT_EQ(response_payload_size(phy::Command::kReadPh), 2u);
+  EXPECT_EQ(response_payload_size(phy::Command::kReadPressure), 4u);
+}
+
+TEST(Scheduler, SucceedsFirstTry) {
+  PollScheduler sched;
+  const auto link = [](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    phy::UplinkPacket p;
+    p.payload = {1, 2};
+    return p;
+  };
+  const auto r = sched.transact(make_ping(1), link, 60, 1000.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(sched.stats().attempts, 1u);
+  EXPECT_EQ(sched.stats().successes, 1u);
+  EXPECT_EQ(sched.stats().retries, 0u);
+  EXPECT_NEAR(sched.stats().payload_bits_delivered, 16.0, 1e-9);
+}
+
+TEST(Scheduler, RetriesOnCrcFailure) {
+  PollScheduler sched(SchedulerConfig{2, 0.2, 0.02});
+  int calls = 0;
+  const auto link = [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    if (++calls < 3) return pab::Error{pab::ErrorCode::kCrcMismatch, "noise"};
+    phy::UplinkPacket p;
+    p.payload = {9};
+    return p;
+  };
+  const auto r = sched.transact(make_ping(1), link, 60, 1000.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(sched.stats().attempts, 3u);
+  EXPECT_EQ(sched.stats().retries, 2u);
+  EXPECT_EQ(sched.stats().crc_failures, 2u);
+}
+
+TEST(Scheduler, GivesUpAfterMaxRetries) {
+  PollScheduler sched(SchedulerConfig{1, 0.2, 0.02});
+  const auto link = [](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    return pab::Error{pab::ErrorCode::kNoPreamble, "dead link"};
+  };
+  const auto r = sched.transact(make_ping(1), link, 60, 1000.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(sched.stats().attempts, 2u);  // initial + 1 retry
+  EXPECT_EQ(sched.stats().successes, 0u);
+}
+
+TEST(Scheduler, AirtimeAccounting) {
+  PollScheduler sched(SchedulerConfig{0, 0.2, 0.02});
+  const auto link = [](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    phy::UplinkPacket p;
+    p.payload = {1};
+    return p;
+  };
+  (void)sched.transact(make_ping(1), link, 100, 1000.0);
+  // 0.2 downlink + 0.02 turnaround + 0.1 uplink.
+  EXPECT_NEAR(sched.stats().elapsed_s, 0.32, 1e-9);
+  EXPECT_GT(sched.stats().goodput_bps(), 0.0);
+}
+
+TEST(Scheduler, PollRoundHitsAllQueries) {
+  PollScheduler sched;
+  int calls = 0;
+  const auto link = [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    ++calls;
+    phy::UplinkPacket p;
+    p.payload = {0};
+    return p;
+  };
+  const std::vector<phy::DownlinkQuery> queries = {make_ping(1), make_ping(2),
+                                                   make_ping(3)};
+  sched.poll_round(queries, link, 60, 1000.0);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Fdma, TwoChannelPlanMatchesPaper) {
+  // The paper's two concurrent recto-piezos sit at 15 and 18 kHz.
+  const auto plan = plan_channels(2, ChannelPlanConfig{15000.0, 18000.0, 2500.0});
+  ASSERT_EQ(plan.channels(), 2u);
+  EXPECT_NEAR(plan.carriers_hz[0], 15000.0, 1e-9);
+  EXPECT_NEAR(plan.carriers_hz[1], 18000.0, 1e-9);
+}
+
+TEST(Fdma, RejectsOvercrowdedBand) {
+  EXPECT_THROW((void)plan_channels(10, ChannelPlanConfig{15000.0, 18000.0, 2500.0}),
+               std::invalid_argument);
+}
+
+TEST(Fdma, SingleNodeCentered) {
+  const auto plan = plan_channels(1, ChannelPlanConfig{14000.0, 18000.0, 2000.0});
+  ASSERT_EQ(plan.channels(), 1u);
+  EXPECT_NEAR(plan.carriers_hz[0], 16000.0, 1e-9);
+}
+
+TEST(Fdma, CrosstalkMatrixDiagonalDominant) {
+  const auto plan = plan_channels(2, ChannelPlanConfig{15000.0, 18000.0, 2500.0});
+  const auto m = crosstalk_matrix(plan);
+  // Diagonal is normalized to 1; off-diagonal nonzero (frequency-agnostic
+  // backscatter) but below on-channel.
+  EXPECT_NEAR(m[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(m[1][1], 1.0, 1e-9);
+  EXPECT_GT(m[0][1], 0.0);
+  EXPECT_LT(m[0][1], 1.0);
+  EXPECT_GT(m[1][0], 0.0);
+  EXPECT_LT(m[1][0], 1.0);
+}
+
+TEST(Fdma, ThroughputDoubling) {
+  // The headline network claim: 2 concurrent channels double the aggregate.
+  EXPECT_NEAR(fdma_throughput_bps(2, 1000.0) / tdma_throughput_bps(2, 1000.0),
+              2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pab::mac

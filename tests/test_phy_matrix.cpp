@@ -1,0 +1,144 @@
+// CMatrix (complex linear algebra) and N-stream zero-forcing tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/matrix.hpp"
+#include "phy/mimo.hpp"
+#include "util/rng.hpp"
+
+namespace pab::phy {
+namespace {
+
+CMatrix random_matrix(std::size_t n, Rng& rng) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m.at(i, j) = {rng.gaussian(), rng.gaussian()};
+  return m;
+}
+
+TEST(CMatrix, IdentityProperties) {
+  const auto id = CMatrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(id.at(i, j), (i == j ? cplx(1.0, 0.0) : cplx{}));
+  EXPECT_NEAR(id.condition_number(), 1.0, 1e-6);
+}
+
+TEST(CMatrix, MultiplyAgainstHandComputed) {
+  CMatrix a(2, 2), b(2, 2);
+  a.at(0, 0) = {1, 0}; a.at(0, 1) = {2, 0};
+  a.at(1, 0) = {3, 0}; a.at(1, 1) = {4, 0};
+  b.at(0, 0) = {0, 1}; b.at(0, 1) = {1, 0};
+  b.at(1, 0) = {1, 0}; b.at(1, 1) = {0, -1};
+  const auto c = a * b;
+  EXPECT_EQ(c.at(0, 0), cplx(2, 1));
+  EXPECT_EQ(c.at(0, 1), cplx(1, -2));
+  EXPECT_EQ(c.at(1, 0), cplx(4, 3));
+  EXPECT_EQ(c.at(1, 1), cplx(3, -4));
+}
+
+TEST(CMatrix, SolveRecoversKnownVector) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    const CMatrix a = random_matrix(n, rng);
+    std::vector<cplx> x_true(n);
+    for (auto& v : x_true) v = {rng.gaussian(), rng.gaussian()};
+    const auto b = a * x_true;
+    const auto x = a.solve(b);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  const CMatrix a = random_matrix(4, rng);
+  const auto prod = a * a.inverse();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(std::abs(prod.at(i, j) - (i == j ? cplx(1, 0) : cplx{})), 0.0,
+                  1e-9);
+}
+
+TEST(CMatrix, SingularMatrixThrows) {
+  CMatrix a(2, 2);
+  a.at(0, 0) = {1, 0}; a.at(0, 1) = {2, 0};
+  a.at(1, 0) = {2, 0}; a.at(1, 1) = {4, 0};  // rank 1
+  EXPECT_THROW((void)a.solve({cplx(1, 0), cplx(1, 0)}), std::invalid_argument);
+}
+
+TEST(CMatrix, PivotingHandlesZeroDiagonal) {
+  CMatrix a(2, 2);
+  a.at(0, 0) = {0, 0}; a.at(0, 1) = {1, 0};
+  a.at(1, 0) = {1, 0}; a.at(1, 1) = {0, 0};
+  const auto x = a.solve({cplx(3, 0), cplx(7, 0)});
+  EXPECT_NEAR(std::abs(x[0] - cplx(7, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - cplx(3, 0)), 0.0, 1e-12);
+}
+
+TEST(CMatrix, ConditionNumberOfScaledIdentity) {
+  CMatrix a = CMatrix::identity(3);
+  a.at(2, 2) = {0.01, 0.0};  // singular values 1, 1, 0.01
+  EXPECT_NEAR(a.condition_number(), 100.0, 1.0);
+}
+
+TEST(CMatrix, ConjugateTranspose) {
+  CMatrix a(2, 3);
+  a.at(0, 2) = {1, 2};
+  const auto ah = a.conjugate_transpose();
+  EXPECT_EQ(ah.rows(), 3u);
+  EXPECT_EQ(ah.cols(), 2u);
+  EXPECT_EQ(ah.at(2, 0), cplx(1, -2));
+}
+
+TEST(ZeroForceN, SeparatesThreeStreams) {
+  Rng rng(3);
+  const std::size_t n = 3, len = 500;
+  const CMatrix h = random_matrix(n, rng);
+  std::vector<std::vector<double>> x(n, std::vector<double>(len));
+  std::vector<std::vector<cplx>> y(n, std::vector<cplx>(len));
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t j = 0; j < n; ++j)
+      x[j][t] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx acc{};
+      for (std::size_t j = 0; j < n; ++j) acc += h.at(i, j) * x[j][t];
+      y[i][t] = acc;
+    }
+  }
+  const auto out = zero_force_n(y, h);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t t = 0; t < len; ++t)
+      EXPECT_NEAR(out[j][t].real(), x[j][t], 1e-9);
+}
+
+TEST(ZeroForceN, RejectsShapeMismatch) {
+  const CMatrix h = CMatrix::identity(2);
+  std::vector<std::vector<cplx>> y(3, std::vector<cplx>(10));
+  EXPECT_THROW((void)zero_force_n(y, h), std::invalid_argument);
+}
+
+TEST(ZeroForceN, MatchesMat2cOnTwoStreams) {
+  // The generic path must agree with the specialized 2x2 decoder.
+  Rng rng(4);
+  Mat2c h2{{1.0, 0.2}, {0.3, -0.1}, {-0.2, 0.5}, {0.8, 0.0}};
+  CMatrix h(2, 2);
+  h.at(0, 0) = h2.h11; h.at(0, 1) = h2.h12;
+  h.at(1, 0) = h2.h21; h.at(1, 1) = h2.h22;
+  std::vector<cplx> y1(100), y2(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    y1[t] = {rng.gaussian(), rng.gaussian()};
+    y2[t] = {rng.gaussian(), rng.gaussian()};
+  }
+  const auto a = zero_force(y1, y2, h2);
+  const auto b = zero_force_n({y1, y2}, h);
+  for (std::size_t t = 0; t < 100; ++t) {
+    EXPECT_NEAR(std::abs(a.x1[t] - b[0][t]), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(a.x2[t] - b[1][t]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pab::phy

@@ -1,0 +1,250 @@
+// Modem, metrics, CFO, and MIMO collision decoding tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/mixer.hpp"
+#include "phy/cfo.hpp"
+#include "phy/fm0.hpp"
+#include "phy/metrics.hpp"
+#include "phy/mimo.hpp"
+#include "phy/modem.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pab::phy {
+namespace {
+
+// Build a clean synthetic envelope carrying preamble+bits at the given rates.
+std::vector<double> synth_envelope(const Bits& data, double bitrate, double fs,
+                                   double mid, double amp, std::size_t lead,
+                                   pab::Rng* rng = nullptr, double noise = 0.0) {
+  Bits full(uplink_preamble_bits());
+  full.insert(full.end(), data.begin(), data.end());
+  const auto sw = backscatter_waveform(full, bitrate, fs);
+  std::vector<double> env(lead, mid - amp);
+  for (auto s : sw)
+    env.push_back(s == SwitchState::kReflective ? mid + amp : mid - amp);
+  env.insert(env.end(), lead, mid - amp);
+  if (rng != nullptr)
+    for (auto& v : env) v += rng->gaussian(0.0, noise);
+  return env;
+}
+
+TEST(Modem, SwitchWaveformLengthAndLevels) {
+  const Bits bits = {1, 0, 1};
+  const auto sw = backscatter_waveform(bits, 1000.0, 96000.0);
+  EXPECT_EQ(sw.size(), static_cast<std::size_t>(6 * 48));  // 6 chips * 48 samp
+  // First chip of first bit is reflective (boundary flip from -1).
+  EXPECT_EQ(sw.front(), SwitchState::kReflective);
+}
+
+TEST(Modem, CleanEnvelopeDecodes) {
+  pab::Rng rng(1);
+  const auto bits = rng.bits(64);
+  const auto env = synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 500);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto r = demod.demodulate_envelope(env, 96000.0, bits.size());
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_EQ(r.value().bits, bits);
+  EXPECT_NEAR(r.value().channel_amp, 0.05, 0.005);
+  EXPECT_GT(r.value().preamble_corr, 0.95);
+}
+
+TEST(Modem, InvertedEnvelopeDecodes) {
+  // Anti-phase backscatter flips the levels; the demodulator must cope.
+  pab::Rng rng(2);
+  const auto bits = rng.bits(64);
+  auto env = synth_envelope(bits, 1000.0, 96000.0, 1.0, -0.05, 500);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto r = demod.demodulate_envelope(env, 96000.0, bits.size());
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_EQ(r.value().bits, bits);
+}
+
+TEST(Modem, NoisyEnvelopeLowBer) {
+  pab::Rng rng(3);
+  const auto bits = rng.bits(256);
+  const auto env =
+      synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 300, &rng, 0.05);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto r = demod.demodulate_envelope(env, 96000.0, bits.size());
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_LT(bit_error_rate(bits, r.value().bits), 0.02);
+}
+
+TEST(Modem, NoPacketReturnsNoPreamble) {
+  pab::Rng rng(4);
+  std::vector<double> env(20000, 1.0);
+  for (auto& v : env) v += rng.gaussian(0.0, 0.001);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto r = demod.demodulate_envelope(env, 96000.0, 32);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), pab::ErrorCode::kNoPreamble);
+}
+
+TEST(Modem, FractionalSamplesPerChip) {
+  // 2.8 kbps at 96 kHz -> 17.14 samples/chip; must still decode.
+  pab::Rng rng(5);
+  const auto bits = rng.bits(96);
+  const auto env = synth_envelope(bits, 2800.0, 96000.0, 1.0, 0.05, 400);
+  DemodConfig cfg;
+  cfg.bitrate = 2800.0;
+  BackscatterDemodulator demod(cfg);
+  const auto r = demod.demodulate_envelope(env, 96000.0, bits.size());
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_EQ(r.value().bits, bits);
+}
+
+TEST(Modem, SnrEstimateTracksNoise) {
+  pab::Rng rng(6);
+  const auto bits = rng.bits(128);
+  const auto quiet =
+      synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 300, &rng, 0.005);
+  const auto loud =
+      synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 300, &rng, 0.05);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto rq = demod.demodulate_envelope(quiet, 96000.0, bits.size());
+  const auto rl = demod.demodulate_envelope(loud, 96000.0, bits.size());
+  ASSERT_TRUE(rq.ok() && rl.ok());
+  EXPECT_GT(rq.value().snr_db, rl.value().snr_db + 10.0);
+}
+
+TEST(Metrics, BitErrorRate) {
+  const Bits a = {1, 0, 1, 0};
+  const Bits b = {1, 1, 1, 0};
+  EXPECT_NEAR(bit_error_rate(a, b), 0.25, 1e-12);
+}
+
+TEST(Metrics, SnrEstimatorCalibrated) {
+  // Known SNR by construction: rx = h*ref + noise.
+  pab::Rng rng(7);
+  const double h = 0.8;
+  const double snr_db = 12.0;
+  const double noise_sd = h / std::sqrt(pab::power_ratio_from_db(snr_db));
+  std::vector<double> ref(20000), rx(20000);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    rx[i] = h * ref[i] + rng.gaussian(0.0, noise_sd);
+  }
+  EXPECT_NEAR(estimate_snr_db(rx, ref), snr_db, 0.3);
+}
+
+TEST(Metrics, ComplexSnrMatchesReal) {
+  pab::Rng rng(8);
+  std::vector<double> ref(5000);
+  std::vector<std::complex<double>> rx(5000);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    rx[i] = std::complex<double>(0.5 * ref[i] + rng.gaussian(0.0, 0.1),
+                                 rng.gaussian(0.0, 0.1));
+  }
+  const double snr = estimate_snr_db(rx, ref);
+  EXPECT_GT(snr, 5.0);
+  EXPECT_LT(snr, 20.0);
+}
+
+TEST(Cfo, EstimateAndCorrect) {
+  const double fs = 12000.0;
+  const double cfo = 3.7;  // Hz
+  std::vector<std::complex<double>> x(6000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = pab::kTwoPi * cfo * static_cast<double>(i) / fs;
+    x[i] = std::polar(1.0, ph);
+  }
+  const double est = estimate_cfo_hz(x, fs);
+  EXPECT_NEAR(est, cfo, 0.01);
+  const auto y = correct_cfo(x, est, fs);
+  // After correction the phase is ~constant.
+  EXPECT_NEAR(std::arg(y.back() * std::conj(y.front())), 0.0, 0.01);
+}
+
+TEST(Cfo, RobustToAmplitudeModulation) {
+  pab::Rng rng(9);
+  const double fs = 12000.0;
+  const double cfo = -2.2;
+  std::vector<std::complex<double>> x(6000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double am = 1.0 + 0.3 * ((i / 50) % 2 ? 1.0 : -1.0);
+    const double ph = pab::kTwoPi * cfo * static_cast<double>(i) / fs;
+    x[i] = am * std::polar(1.0, ph);
+  }
+  EXPECT_NEAR(estimate_cfo_hz(x, fs), cfo, 0.05);
+}
+
+TEST(Mimo, InverseIsExact) {
+  Mat2c h{{1.0, 0.2}, {0.3, -0.1}, {-0.2, 0.5}, {0.8, 0.0}};
+  const Mat2c inv = h.inverse();
+  // H * H^-1 = I.
+  const cplx i11 = h.h11 * inv.h11 + h.h12 * inv.h21;
+  const cplx i12 = h.h11 * inv.h12 + h.h12 * inv.h22;
+  EXPECT_NEAR(std::abs(i11 - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(i12), 0.0, 1e-12);
+}
+
+TEST(Mimo, ConditionNumberIdentityIsOne) {
+  Mat2c h{{1.0, 0.0}, {}, {}, {1.0, 0.0}};
+  EXPECT_NEAR(h.condition_number(), 1.0, 1e-9);
+}
+
+TEST(Mimo, ConditionNumberDegenerateIsHuge) {
+  Mat2c h{{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_GT(h.condition_number(), 1e12);
+}
+
+TEST(Mimo, ChannelEstimateRecoversGain) {
+  pab::Rng rng(10);
+  const cplx h_true(0.4, -0.7);
+  std::vector<double> x(4000);
+  std::vector<cplx> y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    y[i] = h_true * x[i] + cplx(rng.gaussian(0.0, 0.05), rng.gaussian(0.0, 0.05));
+  }
+  const cplx h_est = estimate_channel_gain(y, x);
+  EXPECT_NEAR(std::abs(h_est - h_true), 0.0, 0.01);
+}
+
+TEST(Mimo, ZeroForcingSeparatesStreams) {
+  // Synthetic 2x2 collision: ZF recovers both streams exactly (no noise).
+  pab::Rng rng(11);
+  Mat2c h{{1.0, 0.1}, {0.4, -0.3}, {0.2, 0.6}, {0.9, -0.2}};
+  std::vector<double> x1(1000), x2(1000);
+  std::vector<cplx> y1(1000), y2(1000);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    x1[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    x2[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    y1[i] = h.h11 * x1[i] + h.h12 * x2[i];
+    y2[i] = h.h21 * x1[i] + h.h22 * x2[i];
+  }
+  const auto out = zero_force(y1, y2, h);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(out.x1[i].real(), x1[i], 1e-9);
+    EXPECT_NEAR(out.x2[i].real(), x2[i], 1e-9);
+  }
+}
+
+TEST(Mimo, ZfImprovesSinrUnderInterference) {
+  // The Fig. 10 mechanism in miniature: heavy cross-channel interference
+  // before projection, clean after.
+  pab::Rng rng(12);
+  Mat2c h{{1.0, 0.0}, {0.8, 0.2}, {0.7, -0.1}, {1.0, 0.0}};
+  const std::size_t n = 20000;
+  std::vector<double> x1(n), x2(n);
+  std::vector<cplx> y1(n), y2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    x2[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const cplx noise1(rng.gaussian(0.0, 0.05), rng.gaussian(0.0, 0.05));
+    const cplx noise2(rng.gaussian(0.0, 0.05), rng.gaussian(0.0, 0.05));
+    y1[i] = h.h11 * x1[i] + h.h12 * x2[i] + noise1;
+    y2[i] = h.h21 * x1[i] + h.h22 * x2[i] + noise2;
+  }
+  const double before = measure_sinr_db(y1, x1);
+  const auto out = zero_force(y1, y2, h);
+  const double after = measure_sinr_db(out.x1, x1);
+  EXPECT_GT(after, before + 6.0);
+}
+
+}  // namespace
+}  // namespace pab::phy

@@ -1,0 +1,138 @@
+// BVD equivalent circuit and transducer model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "piezo/bvd.hpp"
+#include "piezo/transducer.hpp"
+#include "util/units.hpp"
+
+namespace pab::piezo {
+namespace {
+
+TEST(Bvd, SynthesisRoundTrip) {
+  const BvdParams p = synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.7);
+  EXPECT_NEAR(p.series_resonance_hz(), 15000.0, 0.01);
+  EXPECT_NEAR(p.quality_factor(), 6.0, 1e-9);
+  EXPECT_NEAR(p.coupling_keff(), 0.3, 1e-12);
+  EXPECT_NEAR(p.r_rad / p.rm, 0.7, 1e-12);
+}
+
+TEST(Bvd, ParallelResonanceAboveSeries) {
+  const BvdParams p = synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.7);
+  EXPECT_GT(p.parallel_resonance_hz(), p.series_resonance_hz());
+  // fp = fs * sqrt(1 + Cm/C0).
+  EXPECT_NEAR(p.parallel_resonance_hz(),
+              15000.0 * std::sqrt(1.0 + p.cm / p.c0), 0.1);
+}
+
+TEST(Bvd, MotionalImpedanceMinimalAtResonance) {
+  const BvdParams p = synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.7);
+  const double at_res = std::abs(p.motional_impedance(15000.0));
+  EXPECT_NEAR(at_res, p.rm, p.rm * 1e-6);
+  EXPECT_GT(std::abs(p.motional_impedance(13000.0)), at_res);
+  EXPECT_GT(std::abs(p.motional_impedance(17000.0)), at_res);
+}
+
+TEST(Bvd, BandwidthMatchesQ) {
+  const BvdParams p = synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.7);
+  EXPECT_NEAR(p.bandwidth_hz(), 2500.0, 1.0);
+}
+
+TEST(Bvd, ImpedanceIsCapacitiveFarBelowResonance) {
+  const BvdParams p = synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.7);
+  const cplx z = p.impedance(1000.0);
+  EXPECT_LT(z.imag(), 0.0);  // dominated by C0
+}
+
+TEST(Bvd, WaterLoadingLowersResonanceAndQ) {
+  const BvdParams air = synthesize_bvd(17000.0, 20.0, 8e-9, 0.3, 0.3);
+  const BvdParams wet = water_load(air, 0.3, 1000.0);
+  EXPECT_LT(wet.series_resonance_hz(), air.series_resonance_hz());
+  EXPECT_LT(wet.quality_factor(), air.quality_factor());
+  EXPECT_GT(wet.r_rad, air.r_rad);
+}
+
+TEST(Bvd, InvalidSynthesisThrows) {
+  EXPECT_THROW((void)synthesize_bvd(-1.0, 6.0, 8e-9, 0.3, 0.7),
+               std::invalid_argument);
+  EXPECT_THROW((void)synthesize_bvd(15000.0, 6.0, 8e-9, 1.5, 0.7),
+               std::invalid_argument);
+  EXPECT_THROW((void)synthesize_bvd(15000.0, 6.0, 8e-9, 0.3, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Transducer, TvrPeaksAtResonance) {
+  const Transducer t = make_node_transducer(15000.0);
+  const double tvr_res = t.tvr_db(15000.0);
+  EXPECT_GT(tvr_res, t.tvr_db(12000.0));
+  EXPECT_GT(tvr_res, t.tvr_db(18000.0));
+}
+
+TEST(Transducer, RadiatedPowerScalesWithVoltageSquared) {
+  const Transducer t = make_projector_transducer();
+  const double p1 = t.radiated_power_w(10.0, 15000.0);
+  const double p2 = t.radiated_power_w(20.0, 15000.0);
+  EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Transducer, SourceLevelFollowsPower) {
+  const Transducer t = make_projector_transducer();
+  // +20 dB drive (10x voltage) -> +20 dB source level.
+  const double sl1 = t.source_level_db(10.0, 15000.0);
+  const double sl2 = t.source_level_db(100.0, 15000.0);
+  EXPECT_NEAR(sl2 - sl1, 20.0, 1e-9);
+}
+
+TEST(Transducer, SourceLevelSaneAbsolute) {
+  // A cylinder at ~1 W acoustic should sit near 170.8 dB re uPa @ 1m.
+  const Transducer t = make_projector_transducer();
+  // Find drive for ~1 W at resonance.
+  const double p1 = t.radiated_power_w(1.0, 15500.0);
+  const double v = std::sqrt(1.0 / p1);
+  EXPECT_NEAR(t.source_level_db(v, 15500.0), 170.8, 0.1);
+}
+
+TEST(Transducer, ReceiveShapedByMechanicalResonance) {
+  const Transducer t = make_node_transducer(16500.0);
+  EXPECT_NEAR(t.mechanical_response(16500.0), 1.0, 1e-9);
+  EXPECT_LT(t.mechanical_response(12000.0), 0.5);
+  EXPECT_GT(t.thevenin_voltage(100.0, 16500.0), t.thevenin_voltage(100.0, 12000.0));
+}
+
+TEST(Transducer, TheveninVoltageLinearInPressure) {
+  const Transducer t = make_node_transducer();
+  EXPECT_NEAR(t.thevenin_voltage(200.0, 15000.0),
+              2.0 * t.thevenin_voltage(100.0, 15000.0), 1e-9);
+}
+
+TEST(Transducer, OcvSensitivityPlausible) {
+  // Piezoelectric cylinders of this size: roughly -190 +/- 15 dB re 1V/uPa
+  // near resonance.
+  const Transducer t = make_node_transducer();
+  const double s = t.ocv_sensitivity_db(16500.0);
+  EXPECT_GT(s, -210.0);
+  EXPECT_LT(s, -170.0);
+}
+
+TEST(Transducer, ReciprocityPowerBalance) {
+  // The maximum extractable electrical power equals eta * captured acoustic
+  // power at resonance (construction invariant of the receive gain).
+  const Transducer t = make_node_transducer(15000.0);
+  const double p_pa = 100.0;
+  const double f = 15000.0;
+  const double v_m = t.in_branch_voltage(p_pa, f);
+  const double p_max = v_m * v_m / (8.0 * t.bvd().rm);
+  const double rho_c = 1.48e6;
+  const double intensity = p_pa * p_pa / (2.0 * rho_c);
+  const double eta = t.bvd().r_rad / t.bvd().rm;
+  EXPECT_NEAR(p_max, eta * intensity * t.aperture_area(), p_max * 1e-9);
+}
+
+TEST(Hydrophone, SensitivityConversion) {
+  Hydrophone h;  // -180 dB re 1V/uPa
+  EXPECT_NEAR(h.volts_per_pascal(), 1e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace pab::piezo

@@ -1,0 +1,116 @@
+// Robust-uplink (FEC) protocol mode: node-side switch, waveform sizing, and
+// end-to-end decoding through the simulator.
+#include <gtest/gtest.h>
+
+#include "core/link.hpp"
+#include "mac/protocol.hpp"
+#include "node/node.hpp"
+#include "phy/fec.hpp"
+#include "phy/metrics.hpp"
+
+namespace pab {
+namespace {
+
+sense::Environment default_env() { return sense::Environment{}; }
+
+void power_up(node::PabNode& node) {
+  for (int i = 0; i < 5000 && !node.powered_up(); ++i)
+    node.harvest_step(0.01, node.resonance_hz(), 600.0, node::NodeState::kColdStart);
+  ASSERT_TRUE(node.powered_up());
+}
+
+TEST(RobustMode, CommandTogglesNodeState) {
+  const auto env = default_env();
+  node::PabNode node(node::NodeConfig{}, &env);
+  power_up(node);
+  EXPECT_FALSE(node.robust_uplink());
+  const auto on = node.process_query(mac::make_set_robust_mode(node.config().id, true));
+  ASSERT_TRUE(on.has_value());
+  EXPECT_TRUE(node.robust_uplink());
+  const auto off = node.process_query(mac::make_set_robust_mode(node.config().id, false));
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(node.robust_uplink());
+}
+
+TEST(RobustMode, WaveformGrowsByCodeRate) {
+  const auto env = default_env();
+  node::NodeConfig plain_cfg;
+  node::NodeConfig robust_cfg;
+  robust_cfg.robust_uplink = true;
+  node::PabNode plain(plain_cfg, &env);
+  node::PabNode robust(robust_cfg, &env);
+
+  phy::UplinkPacket packet;
+  packet.node_id = 1;
+  packet.payload = {1, 2, 3, 4};
+  const auto w_plain = plain.make_uplink_waveform(packet, 96000.0);
+  const auto w_robust = robust.make_uplink_waveform(packet, 96000.0);
+  // Preamble is uncoded; the body grows by 7/4.
+  const double body_bits = static_cast<double>(
+      phy::UplinkPacket::bits_on_air(4, /*include_preamble=*/false));
+  const double preamble_bits =
+      static_cast<double>(phy::uplink_preamble_bits().size());
+  const double expected_ratio =
+      (preamble_bits + phy::fec_coded_size(static_cast<std::size_t>(body_bits))) /
+      (preamble_bits + body_bits);
+  EXPECT_NEAR(static_cast<double>(w_robust.size()) /
+                  static_cast<double>(w_plain.size()),
+              expected_ratio, 0.02);
+}
+
+TEST(RobustMode, EndToEndThroughSimulator) {
+  core::SimConfig sc = core::pool_a_config();
+  core::LinkSimulator sim(sc, core::Placement{});
+  const core::Projector proj(piezo::make_projector_transducer(), 50.0);
+  const auto fe = circuit::make_recto_piezo(15000.0);
+
+  phy::UplinkPacket packet;
+  packet.node_id = 6;
+  packet.payload = {0xCA, 0xFE};
+  Bits body = packet.to_bits(false);
+  const Bits coded = phy::fec_protect(body);
+
+  const auto run = sim.run_uplink(proj, fe, coded, core::UplinkRunConfig{});
+  phy::DemodConfig dc;
+  dc.sample_rate = sc.sample_rate;
+  const auto decoded = phy::demodulate_packet(run.hydrophone_v, dc,
+                                              packet.payload.size(),
+                                              /*robust=*/true);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(decoded.value().payload, packet.payload);
+  EXPECT_EQ(decoded.value().node_id, 6);
+}
+
+TEST(RobustMode, SurvivesBurstThatBreaksPlainMode) {
+  // Flip a burst of demodulated bits: plain CRC fails, robust recovers.
+  phy::UplinkPacket packet;
+  packet.node_id = 2;
+  packet.payload = {0x12, 0x34, 0x56};
+  const Bits body = packet.to_bits(false);
+
+  // Plain: burst breaks the CRC.
+  Bits corrupted_plain = body;
+  for (std::size_t i = 10; i < 15; ++i) corrupted_plain[i] ^= 1;
+  EXPECT_FALSE(phy::UplinkPacket::from_bits(corrupted_plain, false).has_value());
+
+  // Robust: the same burst on the coded stream is corrected.
+  Bits coded = phy::fec_protect(body);
+  for (std::size_t i = 10; i < 15; ++i) coded[i] ^= 1;
+  const Bits recovered = phy::fec_recover(coded, body.size());
+  const auto packet_back = phy::UplinkPacket::from_bits(recovered, false);
+  ASSERT_TRUE(packet_back.has_value());
+  EXPECT_EQ(packet_back->payload, packet.payload);
+}
+
+TEST(RobustMode, ParseResponseHandlesAck) {
+  const auto q = mac::make_set_robust_mode(3, true);
+  phy::UplinkPacket ack;
+  ack.node_id = 3;
+  ack.payload = {1};
+  const auto r = mac::parse_response(q, ack);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 1.0);
+}
+
+}  // namespace
+}  // namespace pab

@@ -1,0 +1,180 @@
+// Sensing substrate tests: ADC, I2C bus, MS5837, pH probe.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sense/adc.hpp"
+#include "sense/environment.hpp"
+#include "sense/i2c.hpp"
+#include "sense/ms5837.hpp"
+#include "sense/ph.hpp"
+#include "util/rng.hpp"
+
+namespace pab::sense {
+namespace {
+
+TEST(Adc, CodeVoltageRoundTrip) {
+  Adc adc(AdcParams{10, 1.8, 0.0});  // noiseless
+  pab::Rng rng(1);
+  for (double v : {0.0, 0.45, 0.9, 1.35, 1.79}) {
+    const auto code = adc.sample(v, rng);
+    EXPECT_NEAR(adc.to_volts(code), v, 1.8 / 1024.0);
+  }
+}
+
+TEST(Adc, ClipsAtRails) {
+  Adc adc(AdcParams{10, 1.8, 0.0});
+  pab::Rng rng(2);
+  EXPECT_EQ(adc.sample(-0.5, rng), 0);
+  EXPECT_EQ(adc.sample(2.5, rng), adc.max_code());
+}
+
+TEST(Adc, NoiseIsBounded) {
+  Adc adc;  // default 0.5 LSB noise
+  pab::Rng rng(3);
+  double sum = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) sum += adc.to_volts(adc.sample(0.9, rng));
+  EXPECT_NEAR(sum / n, 0.9, 0.002);
+}
+
+TEST(I2c, NackOnMissingDevice) {
+  I2cBus bus;
+  const std::uint8_t cmd = 0x00;
+  EXPECT_EQ(bus.write(0x76, std::span(&cmd, 1)), pab::ErrorCode::kBusError);
+  EXPECT_FALSE(bus.read(0x76, 1).ok());
+}
+
+TEST(I2c, AttachedDeviceResponds) {
+  Environment env;
+  I2cBus bus;
+  bus.attach(kMs5837Address,
+             std::make_shared<Ms5837Device>(&env, 0.5, pab::Rng(4)));
+  EXPECT_TRUE(bus.has_device(kMs5837Address));
+  const std::uint8_t cmd = kMs5837CmdPromBase;
+  EXPECT_EQ(bus.write(kMs5837Address, std::span(&cmd, 1)), pab::ErrorCode::kOk);
+  auto data = bus.read(kMs5837Address, 2);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().size(), 2u);
+}
+
+TEST(Ms5837, CompensationMatchesEnvironment) {
+  // Device generates raw counts from the environment; driver compensation
+  // must recover the ground truth (paper 6.5: "correct readings of room
+  // temperature and atmospheric pressure (around 1 bar)").
+  Environment env;
+  env.temperature_c = 22.5;
+  env.pressure_mbar = 1013.25;
+  I2cBus bus;
+  bus.attach(kMs5837Address,
+             std::make_shared<Ms5837Device>(&env, 0.0, pab::Rng(5)));
+  Ms5837Driver driver(&bus);
+  auto reading = driver.measure();
+  ASSERT_TRUE(reading.ok()) << reading.error().message();
+  EXPECT_NEAR(reading.value().temperature_c, 22.5, 0.1);
+  EXPECT_NEAR(reading.value().pressure_mbar, 1013.25, 2.0);
+}
+
+TEST(Ms5837, DepthAddsHydrostaticPressure) {
+  Environment env;
+  I2cBus bus;
+  bus.attach(kMs5837Address,
+             std::make_shared<Ms5837Device>(&env, 10.0, pab::Rng(6)));
+  Ms5837Driver driver(&bus);
+  auto reading = driver.measure();
+  ASSERT_TRUE(reading.ok());
+  // ~+980 mbar at 10 m.
+  EXPECT_NEAR(reading.value().pressure_mbar, 1013.25 + 980.6, 5.0);
+}
+
+TEST(Ms5837, ColdWaterReading) {
+  Environment env;
+  env.temperature_c = 4.0;
+  I2cBus bus;
+  bus.attach(kMs5837Address,
+             std::make_shared<Ms5837Device>(&env, 0.0, pab::Rng(7)));
+  Ms5837Driver driver(&bus);
+  auto reading = driver.measure();
+  ASSERT_TRUE(reading.ok());
+  EXPECT_NEAR(reading.value().temperature_c, 4.0, 0.1);
+}
+
+TEST(Ms5837, CompensateKnownVector) {
+  // Hand-check the first-order math on the typical PROM constants: raw
+  // counts generated for 20.00 C / 1013.2 mbar must invert exactly.
+  Environment env;
+  env.temperature_c = 20.0;
+  env.pressure_mbar = 1013.2;
+  I2cBus bus;
+  auto dev = std::make_shared<Ms5837Device>(&env, 0.0, pab::Rng(8));
+  bus.attach(kMs5837Address, dev);
+  Ms5837Driver driver(&bus);
+  auto r = driver.measure();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().temperature_c, 20.0, 0.1);
+  EXPECT_NEAR(r.value().pressure_mbar, 1013.2, 2.0);
+}
+
+TEST(PhProbe, NernstVoltageAtPh7IsZero) {
+  Environment env;
+  env.ph = 7.0;
+  PhProbeParams params;
+  params.noise_v = 0.0;
+  PhProbe probe(&env, params);
+  pab::Rng rng(9);
+  EXPECT_NEAR(probe.electrode_voltage(rng), 0.0, 1e-9);
+}
+
+TEST(PhProbe, AcidIsPositive) {
+  // Negative slope: pH < 7 gives positive electrode voltage.
+  Environment env;
+  env.ph = 4.0;
+  PhProbeParams params;
+  params.noise_v = 0.0;
+  PhProbe probe(&env, params);
+  pab::Rng rng(10);
+  EXPECT_GT(probe.electrode_voltage(rng), 0.1);
+}
+
+TEST(PhProbe, AdcRoundTripRecoversPh) {
+  // Full chain: electrode -> AFE -> ADC -> MCU conversion (paper 6.5:
+  // "We verified that the MCU computes the correct pH (of 7)").
+  Environment env;
+  env.ph = 7.0;
+  env.temperature_c = 25.0;
+  PhProbe probe(&env);
+  Adc adc;
+  pab::Rng rng(11);
+  double sum = 0.0;
+  const int n = 32;
+  for (int i = 0; i < n; ++i) {
+    const auto code = adc.sample(probe.afe_output(rng), rng);
+    sum += probe.ph_from_adc(code, adc, 25.0);
+  }
+  EXPECT_NEAR(sum / n, 7.0, 0.05);
+}
+
+TEST(PhProbe, RoundTripAcrossRange) {
+  Adc adc;
+  pab::Rng rng(12);
+  for (double truth : {5.0, 6.0, 7.0, 8.0, 9.0}) {
+    Environment env;
+    env.ph = truth;
+    env.temperature_c = 25.0;
+    PhProbe probe(&env);
+    double sum = 0.0;
+    for (int i = 0; i < 16; ++i)
+      sum += probe.ph_from_adc(adc.sample(probe.afe_output(rng), rng), adc, 25.0);
+    EXPECT_NEAR(sum / 16, truth, 0.1) << "pH " << truth;
+  }
+}
+
+TEST(Environment, DepthPressure) {
+  Environment env;
+  EXPECT_NEAR(env.pressure_at_depth_mbar(0.0), 1013.25, 1e-9);
+  EXPECT_NEAR(env.pressure_at_depth_mbar(1.0) - env.pressure_at_depth_mbar(0.0),
+              98.06, 1e-9);
+}
+
+}  // namespace
+}  // namespace pab::sense

@@ -1,0 +1,138 @@
+// Time-varying channel tests: mobility Doppler and surface-wave fading.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/timevarying.hpp"
+#include "channel/water.hpp"
+#include "phy/cfo.hpp"
+#include "util/units.hpp"
+
+namespace pab::channel {
+namespace {
+
+dsp::BasebandSignal cw_envelope(double amp, double duration, double fs,
+                                double carrier) {
+  dsp::BasebandSignal s;
+  s.sample_rate = fs;
+  s.carrier_hz = carrier;
+  s.samples.assign(static_cast<std::size_t>(duration * fs), dsp::cplx(amp, 0.0));
+  return s;
+}
+
+TEST(Mobility, DopplerShiftFormula) {
+  MovingPathConfig cfg;
+  cfg.source = {0, 0, 0};
+  cfg.rx_start = {10.0, 0, 0};
+  cfg.rx_velocity = {-1.0, 0, 0};  // closing at 1 m/s
+  const double c = sound_speed_mackenzie(cfg.water);
+  EXPECT_NEAR(doppler_shift_hz(cfg, 15000.0), 15000.0 / c, 1e-6);
+  // Receding flips the sign.
+  cfg.rx_velocity = {2.0, 0, 0};
+  EXPECT_NEAR(doppler_shift_hz(cfg, 15000.0), -2.0 * 15000.0 / c, 1e-6);
+  // Transverse motion: no radial Doppler.
+  cfg.rx_velocity = {0, 3.0, 0};
+  EXPECT_NEAR(doppler_shift_hz(cfg, 15000.0), 0.0, 1e-9);
+}
+
+TEST(Mobility, WaveformDopplerMatchesFormula) {
+  // Propagate a CW through a moving path and measure the baseband rotation
+  // rate with the receiver's CFO estimator.
+  MovingPathConfig cfg;
+  cfg.source = {0, 0, 0};
+  cfg.rx_start = {20.0, 0, 0};
+  cfg.rx_velocity = {-2.0, 0, 0};  // closing at 2 m/s (a slow swimmer)
+  const double fs = 48000.0;
+  const auto tx = cw_envelope(1.0, 0.5, fs, 15000.0);
+  const auto rx = propagate_moving(tx, cfg);
+  // Skip the leading flight time, then estimate rotation.
+  const std::size_t skip = static_cast<std::size_t>(0.05 * fs);
+  const std::vector<dsp::cplx> seg(rx.samples.begin() + skip,
+                                   rx.samples.end() - skip);
+  const double measured = phy::estimate_cfo_hz(seg, fs);
+  const double expected = doppler_shift_hz(cfg, 15000.0);
+  EXPECT_NEAR(measured, expected, std::abs(expected) * 0.05 + 0.05);
+}
+
+TEST(Mobility, AmplitudeFollowsRange) {
+  MovingPathConfig cfg;
+  cfg.source = {0, 0, 0};
+  cfg.rx_start = {5.0, 0, 0};
+  cfg.rx_velocity = {5.0, 0, 0};  // receding fast
+  const double fs = 48000.0;
+  const auto tx = cw_envelope(1.0, 1.0, fs, 15000.0);
+  const auto rx = propagate_moving(tx, cfg);
+  const double early = std::abs(rx.samples[static_cast<std::size_t>(0.1 * fs)]);
+  const double late = std::abs(rx.samples[static_cast<std::size_t>(0.9 * fs)]);
+  EXPECT_GT(early, late);
+  // 1/r: at t=0.1 the range is ~5.5 m, at t=0.9 ~9.5 m.
+  EXPECT_NEAR(early / late, 9.5 / 5.5, 0.15);
+}
+
+TEST(Mobility, StationaryMatchesFreeField) {
+  MovingPathConfig cfg;
+  cfg.source = {0, 0, 0};
+  cfg.rx_start = {3.0, 0, 0};
+  cfg.rx_velocity = {0, 0, 0};
+  const double fs = 48000.0;
+  const auto tx = cw_envelope(1.0, 0.2, fs, 15000.0);
+  const auto rx = propagate_moving(tx, cfg);
+  const double steady = std::abs(rx.samples[rx.size() / 2]);
+  EXPECT_NEAR(steady, path_amplitude_gain(3.0, 15000.0), 1e-3);
+}
+
+TEST(WavySurface, FlatSurfaceIsStaticTwoRay) {
+  WavySurfaceConfig cfg;
+  cfg.source = {0, 0, 0.5};
+  cfg.receiver = {4.0, 0, 0.5};
+  cfg.surface_z = 1.0;
+  cfg.wave_amplitude = 0.0;  // flat: classic Lloyd's mirror, static
+  const double fs = 48000.0;
+  const auto tx = cw_envelope(1.0, 0.3, fs, 15000.0);
+  const auto rx = propagate_wavy(tx, cfg);
+  const double a = std::abs(rx.samples[rx.size() / 3]);
+  const double b = std::abs(rx.samples[2 * rx.size() / 3]);
+  EXPECT_NEAR(a, b, 1e-6);
+}
+
+TEST(WavySurface, WavesModulateTheEnvelope) {
+  WavySurfaceConfig cfg;
+  cfg.source = {0, 0, 0.5};
+  cfg.receiver = {4.0, 0, 0.5};
+  cfg.surface_z = 1.0;
+  cfg.wave_amplitude = 0.05;
+  cfg.wave_freq_hz = 2.0;
+  const double fs = 48000.0;
+  const auto tx = cw_envelope(1.0, 1.0, fs, 15000.0);
+  const auto rx = propagate_wavy(tx, cfg);
+  // Envelope varies over a wave period once the flight transient passed.
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t i = rx.size() / 2; i < rx.size(); ++i) {
+    const double v = std::abs(rx.samples[i]);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 1.05);  // visible fading
+}
+
+TEST(WavySurface, FadeDepthGrowsWithWaveAmplitude) {
+  WavySurfaceConfig small;
+  small.source = {0, 0, 0.5};
+  small.receiver = {4.0, 0, 0.5};
+  small.surface_z = 1.0;
+  small.wave_amplitude = 0.01;
+  WavySurfaceConfig big = small;
+  big.wave_amplitude = 0.10;
+  EXPECT_GT(fade_depth_db(big, 15000.0), fade_depth_db(small, 15000.0));
+}
+
+TEST(WavySurface, EndpointAboveSurfaceThrows) {
+  WavySurfaceConfig cfg;
+  cfg.source = {0, 0, 1.5};  // above the 1.0 m surface
+  cfg.receiver = {4.0, 0, 0.5};
+  const auto tx = cw_envelope(1.0, 0.01, 48000.0, 15000.0);
+  EXPECT_THROW((void)propagate_wavy(tx, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pab::channel
