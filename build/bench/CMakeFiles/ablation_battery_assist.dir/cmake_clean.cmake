@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_battery_assist.dir/ablation_battery_assist.cpp.o"
+  "CMakeFiles/ablation_battery_assist.dir/ablation_battery_assist.cpp.o.d"
+  "ablation_battery_assist"
+  "ablation_battery_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_battery_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_battery_assist.
+# This may be replaced when dependencies are built.

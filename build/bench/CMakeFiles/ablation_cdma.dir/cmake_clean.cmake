@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cdma.dir/ablation_cdma.cpp.o"
+  "CMakeFiles/ablation_cdma.dir/ablation_cdma.cpp.o.d"
+  "ablation_cdma"
+  "ablation_cdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_equalizer.dir/ablation_equalizer.cpp.o"
+  "CMakeFiles/ablation_equalizer.dir/ablation_equalizer.cpp.o.d"
+  "ablation_equalizer"
+  "ablation_equalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_equalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdma_scaling.dir/ablation_fdma_scaling.cpp.o"
+  "CMakeFiles/ablation_fdma_scaling.dir/ablation_fdma_scaling.cpp.o.d"
+  "ablation_fdma_scaling"
+  "ablation_fdma_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdma_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fec.dir/ablation_fec.cpp.o"
+  "CMakeFiles/ablation_fec.dir/ablation_fec.cpp.o.d"
+  "ablation_fec"
+  "ablation_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

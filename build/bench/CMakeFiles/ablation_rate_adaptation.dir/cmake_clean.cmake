@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rate_adaptation.dir/ablation_rate_adaptation.cpp.o"
+  "CMakeFiles/ablation_rate_adaptation.dir/ablation_rate_adaptation.cpp.o.d"
+  "ablation_rate_adaptation"
+  "ablation_rate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transducer.dir/ablation_transducer.cpp.o"
+  "CMakeFiles/ablation_transducer.dir/ablation_transducer.cpp.o.d"
+  "ablation_transducer"
+  "ablation_transducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

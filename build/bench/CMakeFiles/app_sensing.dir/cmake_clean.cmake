@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_sensing.dir/app_sensing.cpp.o"
+  "CMakeFiles/app_sensing.dir/app_sensing.cpp.o.d"
+  "app_sensing"
+  "app_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

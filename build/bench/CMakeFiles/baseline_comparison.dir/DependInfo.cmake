@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_comparison.cpp" "bench/CMakeFiles/baseline_comparison.dir/baseline_comparison.cpp.o" "gcc" "bench/CMakeFiles/baseline_comparison.dir/baseline_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_piezo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_sense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_tradeoff.dir/design_tradeoff.cpp.o"
+  "CMakeFiles/design_tradeoff.dir/design_tradeoff.cpp.o.d"
+  "design_tradeoff"
+  "design_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdma_throughput.dir/fdma_throughput.cpp.o"
+  "CMakeFiles/fdma_throughput.dir/fdma_throughput.cpp.o.d"
+  "fdma_throughput"
+  "fdma_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdma_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

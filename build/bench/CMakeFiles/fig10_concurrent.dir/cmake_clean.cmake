@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_concurrent.dir/fig10_concurrent.cpp.o"
+  "CMakeFiles/fig10_concurrent.dir/fig10_concurrent.cpp.o.d"
+  "fig10_concurrent"
+  "fig10_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power.dir/fig11_power.cpp.o"
+  "CMakeFiles/fig11_power.dir/fig11_power.cpp.o.d"
+  "fig11_power"
+  "fig11_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_backscatter_signal.dir/fig2_backscatter_signal.cpp.o"
+  "CMakeFiles/fig2_backscatter_signal.dir/fig2_backscatter_signal.cpp.o.d"
+  "fig2_backscatter_signal"
+  "fig2_backscatter_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_backscatter_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

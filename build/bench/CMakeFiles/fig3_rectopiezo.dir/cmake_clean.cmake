@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rectopiezo.dir/fig3_rectopiezo.cpp.o"
+  "CMakeFiles/fig3_rectopiezo.dir/fig3_rectopiezo.cpp.o.d"
+  "fig3_rectopiezo"
+  "fig3_rectopiezo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rectopiezo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

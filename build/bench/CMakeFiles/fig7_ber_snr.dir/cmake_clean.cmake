@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ber_snr.dir/fig7_ber_snr.cpp.o"
+  "CMakeFiles/fig7_ber_snr.dir/fig7_ber_snr.cpp.o.d"
+  "fig7_ber_snr"
+  "fig7_ber_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ber_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_snr_bitrate.dir/fig8_snr_bitrate.cpp.o"
+  "CMakeFiles/fig8_snr_bitrate.dir/fig8_snr_bitrate.cpp.o.d"
+  "fig8_snr_bitrate"
+  "fig8_snr_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_snr_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_range.dir/fig9_range.cpp.o"
+  "CMakeFiles/fig9_range.dir/fig9_range.cpp.o.d"
+  "fig9_range"
+  "fig9_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility.dir/mobility.cpp.o"
+  "CMakeFiles/mobility.dir/mobility.cpp.o.d"
+  "mobility"
+  "mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marine_tag_fdma.dir/marine_tag_fdma.cpp.o"
+  "CMakeFiles/marine_tag_fdma.dir/marine_tag_fdma.cpp.o.d"
+  "marine_tag_fdma"
+  "marine_tag_fdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marine_tag_fdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

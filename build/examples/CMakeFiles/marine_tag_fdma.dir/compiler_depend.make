@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for marine_tag_fdma.
+# This may be replaced when dependencies are built.

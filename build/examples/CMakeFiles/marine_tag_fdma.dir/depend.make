@@ -1,0 +1,2 @@
+# Empty dependencies file for marine_tag_fdma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_discovery.dir/node_discovery.cpp.o"
+  "CMakeFiles/node_discovery.dir/node_discovery.cpp.o.d"
+  "node_discovery"
+  "node_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

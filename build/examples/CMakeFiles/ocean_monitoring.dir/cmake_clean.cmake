@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_monitoring.dir/ocean_monitoring.cpp.o"
+  "CMakeFiles/ocean_monitoring.dir/ocean_monitoring.cpp.o.d"
+  "ocean_monitoring"
+  "ocean_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_water.dir/open_water.cpp.o"
+  "CMakeFiles/open_water.dir/open_water.cpp.o.d"
+  "open_water"
+  "open_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

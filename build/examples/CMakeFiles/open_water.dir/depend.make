@@ -1,0 +1,2 @@
+# Empty dependencies file for open_water.
+# This may be replaced when dependencies are built.

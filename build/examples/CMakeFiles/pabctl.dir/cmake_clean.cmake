@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pabctl.dir/pabctl.cpp.o"
+  "CMakeFiles/pabctl.dir/pabctl.cpp.o.d"
+  "pabctl"
+  "pabctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pabctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_survey.dir/range_survey.cpp.o"
+  "CMakeFiles/range_survey.dir/range_survey.cpp.o.d"
+  "range_survey"
+  "range_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for range_survey.
+# This may be replaced when dependencies are built.

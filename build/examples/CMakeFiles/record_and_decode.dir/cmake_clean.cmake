@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_and_decode.dir/record_and_decode.cpp.o"
+  "CMakeFiles/record_and_decode.dir/record_and_decode.cpp.o.d"
+  "record_and_decode"
+  "record_and_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_and_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for record_and_decode.
+# This may be replaced when dependencies are built.

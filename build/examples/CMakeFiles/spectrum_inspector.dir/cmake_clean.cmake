@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_inspector.dir/spectrum_inspector.cpp.o"
+  "CMakeFiles/spectrum_inspector.dir/spectrum_inspector.cpp.o.d"
+  "spectrum_inspector"
+  "spectrum_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/absorption.cpp" "src/CMakeFiles/pab_channel.dir/channel/absorption.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/absorption.cpp.o.d"
+  "/root/repo/src/channel/noise.cpp" "src/CMakeFiles/pab_channel.dir/channel/noise.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/noise.cpp.o.d"
+  "/root/repo/src/channel/propagation.cpp" "src/CMakeFiles/pab_channel.dir/channel/propagation.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/propagation.cpp.o.d"
+  "/root/repo/src/channel/tank.cpp" "src/CMakeFiles/pab_channel.dir/channel/tank.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/tank.cpp.o.d"
+  "/root/repo/src/channel/timevarying.cpp" "src/CMakeFiles/pab_channel.dir/channel/timevarying.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/timevarying.cpp.o.d"
+  "/root/repo/src/channel/water.cpp" "src/CMakeFiles/pab_channel.dir/channel/water.cpp.o" "gcc" "src/CMakeFiles/pab_channel.dir/channel/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_channel.dir/channel/absorption.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/absorption.cpp.o.d"
+  "CMakeFiles/pab_channel.dir/channel/noise.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/noise.cpp.o.d"
+  "CMakeFiles/pab_channel.dir/channel/propagation.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/propagation.cpp.o.d"
+  "CMakeFiles/pab_channel.dir/channel/tank.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/tank.cpp.o.d"
+  "CMakeFiles/pab_channel.dir/channel/timevarying.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/timevarying.cpp.o.d"
+  "CMakeFiles/pab_channel.dir/channel/water.cpp.o"
+  "CMakeFiles/pab_channel.dir/channel/water.cpp.o.d"
+  "libpab_channel.a"
+  "libpab_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/impedance.cpp" "src/CMakeFiles/pab_circuit.dir/circuit/impedance.cpp.o" "gcc" "src/CMakeFiles/pab_circuit.dir/circuit/impedance.cpp.o.d"
+  "/root/repo/src/circuit/matching.cpp" "src/CMakeFiles/pab_circuit.dir/circuit/matching.cpp.o" "gcc" "src/CMakeFiles/pab_circuit.dir/circuit/matching.cpp.o.d"
+  "/root/repo/src/circuit/rectifier.cpp" "src/CMakeFiles/pab_circuit.dir/circuit/rectifier.cpp.o" "gcc" "src/CMakeFiles/pab_circuit.dir/circuit/rectifier.cpp.o.d"
+  "/root/repo/src/circuit/rectopiezo.cpp" "src/CMakeFiles/pab_circuit.dir/circuit/rectopiezo.cpp.o" "gcc" "src/CMakeFiles/pab_circuit.dir/circuit/rectopiezo.cpp.o.d"
+  "/root/repo/src/circuit/storage.cpp" "src/CMakeFiles/pab_circuit.dir/circuit/storage.cpp.o" "gcc" "src/CMakeFiles/pab_circuit.dir/circuit/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_piezo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_circuit.dir/circuit/impedance.cpp.o"
+  "CMakeFiles/pab_circuit.dir/circuit/impedance.cpp.o.d"
+  "CMakeFiles/pab_circuit.dir/circuit/matching.cpp.o"
+  "CMakeFiles/pab_circuit.dir/circuit/matching.cpp.o.d"
+  "CMakeFiles/pab_circuit.dir/circuit/rectifier.cpp.o"
+  "CMakeFiles/pab_circuit.dir/circuit/rectifier.cpp.o.d"
+  "CMakeFiles/pab_circuit.dir/circuit/rectopiezo.cpp.o"
+  "CMakeFiles/pab_circuit.dir/circuit/rectopiezo.cpp.o.d"
+  "CMakeFiles/pab_circuit.dir/circuit/storage.cpp.o"
+  "CMakeFiles/pab_circuit.dir/circuit/storage.cpp.o.d"
+  "libpab_circuit.a"
+  "libpab_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

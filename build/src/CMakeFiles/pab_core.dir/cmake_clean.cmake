@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_core.dir/core/collision.cpp.o"
+  "CMakeFiles/pab_core.dir/core/collision.cpp.o.d"
+  "CMakeFiles/pab_core.dir/core/controller.cpp.o"
+  "CMakeFiles/pab_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/pab_core.dir/core/link.cpp.o"
+  "CMakeFiles/pab_core.dir/core/link.cpp.o.d"
+  "CMakeFiles/pab_core.dir/core/network.cpp.o"
+  "CMakeFiles/pab_core.dir/core/network.cpp.o.d"
+  "CMakeFiles/pab_core.dir/core/projector.cpp.o"
+  "CMakeFiles/pab_core.dir/core/projector.cpp.o.d"
+  "libpab_core.a"
+  "libpab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

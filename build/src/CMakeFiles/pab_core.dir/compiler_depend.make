@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pab_core.
+# This may be replaced when dependencies are built.

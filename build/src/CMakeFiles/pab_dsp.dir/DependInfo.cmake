@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/correlate.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/correlate.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/correlate.cpp.o.d"
+  "/root/repo/src/dsp/envelope.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/envelope.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/envelope.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/fir.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/goertzel.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/iir.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/iir.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/iir.cpp.o.d"
+  "/root/repo/src/dsp/mixer.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/mixer.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/mixer.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/resample.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/resample.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/spectrogram.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/wav.cpp" "src/CMakeFiles/pab_dsp.dir/dsp/wav.cpp.o" "gcc" "src/CMakeFiles/pab_dsp.dir/dsp/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

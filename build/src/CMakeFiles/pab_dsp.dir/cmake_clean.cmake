@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_dsp.dir/dsp/correlate.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/correlate.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/envelope.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/envelope.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/fir.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/fir.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/goertzel.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/goertzel.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/iir.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/iir.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/mixer.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/mixer.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/resample.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/resample.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/spectrogram.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "CMakeFiles/pab_dsp.dir/dsp/wav.cpp.o"
+  "CMakeFiles/pab_dsp.dir/dsp/wav.cpp.o.d"
+  "libpab_dsp.a"
+  "libpab_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

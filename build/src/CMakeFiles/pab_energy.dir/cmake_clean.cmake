@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_energy.dir/energy/harvester.cpp.o"
+  "CMakeFiles/pab_energy.dir/energy/harvester.cpp.o.d"
+  "CMakeFiles/pab_energy.dir/energy/ledger.cpp.o"
+  "CMakeFiles/pab_energy.dir/energy/ledger.cpp.o.d"
+  "CMakeFiles/pab_energy.dir/energy/mcu.cpp.o"
+  "CMakeFiles/pab_energy.dir/energy/mcu.cpp.o.d"
+  "CMakeFiles/pab_energy.dir/energy/planner.cpp.o"
+  "CMakeFiles/pab_energy.dir/energy/planner.cpp.o.d"
+  "libpab_energy.a"
+  "libpab_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

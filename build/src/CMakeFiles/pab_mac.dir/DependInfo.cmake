@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/fdma.cpp" "src/CMakeFiles/pab_mac.dir/mac/fdma.cpp.o" "gcc" "src/CMakeFiles/pab_mac.dir/mac/fdma.cpp.o.d"
+  "/root/repo/src/mac/inventory.cpp" "src/CMakeFiles/pab_mac.dir/mac/inventory.cpp.o" "gcc" "src/CMakeFiles/pab_mac.dir/mac/inventory.cpp.o.d"
+  "/root/repo/src/mac/protocol.cpp" "src/CMakeFiles/pab_mac.dir/mac/protocol.cpp.o" "gcc" "src/CMakeFiles/pab_mac.dir/mac/protocol.cpp.o.d"
+  "/root/repo/src/mac/rate_control.cpp" "src/CMakeFiles/pab_mac.dir/mac/rate_control.cpp.o" "gcc" "src/CMakeFiles/pab_mac.dir/mac/rate_control.cpp.o.d"
+  "/root/repo/src/mac/scheduler.cpp" "src/CMakeFiles/pab_mac.dir/mac/scheduler.cpp.o" "gcc" "src/CMakeFiles/pab_mac.dir/mac/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_piezo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_sense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_mac.dir/mac/fdma.cpp.o"
+  "CMakeFiles/pab_mac.dir/mac/fdma.cpp.o.d"
+  "CMakeFiles/pab_mac.dir/mac/inventory.cpp.o"
+  "CMakeFiles/pab_mac.dir/mac/inventory.cpp.o.d"
+  "CMakeFiles/pab_mac.dir/mac/protocol.cpp.o"
+  "CMakeFiles/pab_mac.dir/mac/protocol.cpp.o.d"
+  "CMakeFiles/pab_mac.dir/mac/rate_control.cpp.o"
+  "CMakeFiles/pab_mac.dir/mac/rate_control.cpp.o.d"
+  "CMakeFiles/pab_mac.dir/mac/scheduler.cpp.o"
+  "CMakeFiles/pab_mac.dir/mac/scheduler.cpp.o.d"
+  "libpab_mac.a"
+  "libpab_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_node.dir/node/node.cpp.o"
+  "CMakeFiles/pab_node.dir/node/node.cpp.o.d"
+  "libpab_node.a"
+  "libpab_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

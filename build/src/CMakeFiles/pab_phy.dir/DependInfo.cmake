@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/cdma.cpp" "src/CMakeFiles/pab_phy.dir/phy/cdma.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/cdma.cpp.o.d"
+  "/root/repo/src/phy/cfo.cpp" "src/CMakeFiles/pab_phy.dir/phy/cfo.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/cfo.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/CMakeFiles/pab_phy.dir/phy/crc.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/crc.cpp.o.d"
+  "/root/repo/src/phy/equalizer.cpp" "src/CMakeFiles/pab_phy.dir/phy/equalizer.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/equalizer.cpp.o.d"
+  "/root/repo/src/phy/fec.cpp" "src/CMakeFiles/pab_phy.dir/phy/fec.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/fec.cpp.o.d"
+  "/root/repo/src/phy/fm0.cpp" "src/CMakeFiles/pab_phy.dir/phy/fm0.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/fm0.cpp.o.d"
+  "/root/repo/src/phy/matrix.cpp" "src/CMakeFiles/pab_phy.dir/phy/matrix.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/matrix.cpp.o.d"
+  "/root/repo/src/phy/metrics.cpp" "src/CMakeFiles/pab_phy.dir/phy/metrics.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/metrics.cpp.o.d"
+  "/root/repo/src/phy/mimo.cpp" "src/CMakeFiles/pab_phy.dir/phy/mimo.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/mimo.cpp.o.d"
+  "/root/repo/src/phy/modem.cpp" "src/CMakeFiles/pab_phy.dir/phy/modem.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/modem.cpp.o.d"
+  "/root/repo/src/phy/packet.cpp" "src/CMakeFiles/pab_phy.dir/phy/packet.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/packet.cpp.o.d"
+  "/root/repo/src/phy/pwm.cpp" "src/CMakeFiles/pab_phy.dir/phy/pwm.cpp.o" "gcc" "src/CMakeFiles/pab_phy.dir/phy/pwm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pab_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_phy.dir/phy/cdma.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/cdma.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/cfo.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/cfo.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/crc.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/crc.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/equalizer.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/equalizer.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/fec.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/fec.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/fm0.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/fm0.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/matrix.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/matrix.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/metrics.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/metrics.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/mimo.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/mimo.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/modem.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/modem.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/packet.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/packet.cpp.o.d"
+  "CMakeFiles/pab_phy.dir/phy/pwm.cpp.o"
+  "CMakeFiles/pab_phy.dir/phy/pwm.cpp.o.d"
+  "libpab_phy.a"
+  "libpab_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pab_phy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/piezo/bvd.cpp" "src/CMakeFiles/pab_piezo.dir/piezo/bvd.cpp.o" "gcc" "src/CMakeFiles/pab_piezo.dir/piezo/bvd.cpp.o.d"
+  "/root/repo/src/piezo/design.cpp" "src/CMakeFiles/pab_piezo.dir/piezo/design.cpp.o" "gcc" "src/CMakeFiles/pab_piezo.dir/piezo/design.cpp.o.d"
+  "/root/repo/src/piezo/transducer.cpp" "src/CMakeFiles/pab_piezo.dir/piezo/transducer.cpp.o" "gcc" "src/CMakeFiles/pab_piezo.dir/piezo/transducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

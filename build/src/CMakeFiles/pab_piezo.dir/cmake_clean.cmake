@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_piezo.dir/piezo/bvd.cpp.o"
+  "CMakeFiles/pab_piezo.dir/piezo/bvd.cpp.o.d"
+  "CMakeFiles/pab_piezo.dir/piezo/design.cpp.o"
+  "CMakeFiles/pab_piezo.dir/piezo/design.cpp.o.d"
+  "CMakeFiles/pab_piezo.dir/piezo/transducer.cpp.o"
+  "CMakeFiles/pab_piezo.dir/piezo/transducer.cpp.o.d"
+  "libpab_piezo.a"
+  "libpab_piezo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_piezo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sense/adc.cpp" "src/CMakeFiles/pab_sense.dir/sense/adc.cpp.o" "gcc" "src/CMakeFiles/pab_sense.dir/sense/adc.cpp.o.d"
+  "/root/repo/src/sense/i2c.cpp" "src/CMakeFiles/pab_sense.dir/sense/i2c.cpp.o" "gcc" "src/CMakeFiles/pab_sense.dir/sense/i2c.cpp.o.d"
+  "/root/repo/src/sense/ms5837.cpp" "src/CMakeFiles/pab_sense.dir/sense/ms5837.cpp.o" "gcc" "src/CMakeFiles/pab_sense.dir/sense/ms5837.cpp.o.d"
+  "/root/repo/src/sense/ph.cpp" "src/CMakeFiles/pab_sense.dir/sense/ph.cpp.o" "gcc" "src/CMakeFiles/pab_sense.dir/sense/ph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_sense.dir/sense/adc.cpp.o"
+  "CMakeFiles/pab_sense.dir/sense/adc.cpp.o.d"
+  "CMakeFiles/pab_sense.dir/sense/i2c.cpp.o"
+  "CMakeFiles/pab_sense.dir/sense/i2c.cpp.o.d"
+  "CMakeFiles/pab_sense.dir/sense/ms5837.cpp.o"
+  "CMakeFiles/pab_sense.dir/sense/ms5837.cpp.o.d"
+  "CMakeFiles/pab_sense.dir/sense/ph.cpp.o"
+  "CMakeFiles/pab_sense.dir/sense/ph.cpp.o.d"
+  "libpab_sense.a"
+  "libpab_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

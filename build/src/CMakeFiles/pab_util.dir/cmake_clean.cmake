@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pab_util.dir/util/util.cpp.o"
+  "CMakeFiles/pab_util.dir/util/util.cpp.o.d"
+  "libpab_util.a"
+  "libpab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

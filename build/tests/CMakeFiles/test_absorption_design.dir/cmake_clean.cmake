@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absorption_design.dir/test_absorption_design.cpp.o"
+  "CMakeFiles/test_absorption_design.dir/test_absorption_design.cpp.o.d"
+  "test_absorption_design"
+  "test_absorption_design.pdb"
+  "test_absorption_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absorption_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/test_circuit.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_component_sweeps.dir/test_component_sweeps.cpp.o"
+  "CMakeFiles/test_component_sweeps.dir/test_component_sweeps.cpp.o.d"
+  "test_component_sweeps"
+  "test_component_sweeps.pdb"
+  "test_component_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_component_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

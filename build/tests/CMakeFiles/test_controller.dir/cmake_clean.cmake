@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller.dir/test_controller.cpp.o"
+  "CMakeFiles/test_controller.dir/test_controller.cpp.o.d"
+  "test_controller"
+  "test_controller.pdb"
+  "test_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_link.dir/test_core_link.cpp.o"
+  "CMakeFiles/test_core_link.dir/test_core_link.cpp.o.d"
+  "test_core_link"
+  "test_core_link.pdb"
+  "test_core_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cpp.o"
+  "CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cpp.o.d"
+  "test_dsp_fft"
+  "test_dsp_fft.pdb"
+  "test_dsp_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_filters.dir/test_dsp_filters.cpp.o"
+  "CMakeFiles/test_dsp_filters.dir/test_dsp_filters.cpp.o.d"
+  "test_dsp_filters"
+  "test_dsp_filters.pdb"
+  "test_dsp_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_misc.dir/test_dsp_misc.cpp.o"
+  "CMakeFiles/test_dsp_misc.dir/test_dsp_misc.cpp.o.d"
+  "test_dsp_misc"
+  "test_dsp_misc.pdb"
+  "test_dsp_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fec_inventory_planner.dir/test_fec_inventory_planner.cpp.o"
+  "CMakeFiles/test_fec_inventory_planner.dir/test_fec_inventory_planner.cpp.o.d"
+  "test_fec_inventory_planner"
+  "test_fec_inventory_planner.pdb"
+  "test_fec_inventory_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fec_inventory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

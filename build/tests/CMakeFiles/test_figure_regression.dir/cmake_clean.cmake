@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure_regression.dir/test_figure_regression.cpp.o"
+  "CMakeFiles/test_figure_regression.dir/test_figure_regression.cpp.o.d"
+  "test_figure_regression"
+  "test_figure_regression.pdb"
+  "test_figure_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac.dir/test_mac.cpp.o"
+  "CMakeFiles/test_mac.dir/test_mac.cpp.o.d"
+  "test_mac"
+  "test_mac.pdb"
+  "test_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

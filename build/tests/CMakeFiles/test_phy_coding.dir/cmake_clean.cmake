@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_coding.dir/test_phy_coding.cpp.o"
+  "CMakeFiles/test_phy_coding.dir/test_phy_coding.cpp.o.d"
+  "test_phy_coding"
+  "test_phy_coding.pdb"
+  "test_phy_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_matrix.dir/test_phy_matrix.cpp.o"
+  "CMakeFiles/test_phy_matrix.dir/test_phy_matrix.cpp.o.d"
+  "test_phy_matrix"
+  "test_phy_matrix.pdb"
+  "test_phy_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

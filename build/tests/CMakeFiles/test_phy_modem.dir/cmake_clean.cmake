@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_modem.dir/test_phy_modem.cpp.o"
+  "CMakeFiles/test_phy_modem.dir/test_phy_modem.cpp.o.d"
+  "test_phy_modem"
+  "test_phy_modem.pdb"
+  "test_phy_modem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piezo.dir/test_piezo.cpp.o"
+  "CMakeFiles/test_piezo.dir/test_piezo.cpp.o.d"
+  "test_piezo"
+  "test_piezo.pdb"
+  "test_piezo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piezo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_mode.dir/test_robust_mode.cpp.o"
+  "CMakeFiles/test_robust_mode.dir/test_robust_mode.cpp.o.d"
+  "test_robust_mode"
+  "test_robust_mode.pdb"
+  "test_robust_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

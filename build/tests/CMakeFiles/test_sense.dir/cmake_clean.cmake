@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sense.dir/test_sense.cpp.o"
+  "CMakeFiles/test_sense.dir/test_sense.cpp.o.d"
+  "test_sense"
+  "test_sense.pdb"
+  "test_sense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

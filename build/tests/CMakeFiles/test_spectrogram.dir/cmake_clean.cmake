@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrogram.dir/test_spectrogram.cpp.o"
+  "CMakeFiles/test_spectrogram.dir/test_spectrogram.cpp.o.d"
+  "test_spectrogram"
+  "test_spectrogram.pdb"
+  "test_spectrogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_properties.dir/test_system_properties.cpp.o"
+  "CMakeFiles/test_system_properties.dir/test_system_properties.cpp.o.d"
+  "test_system_properties"
+  "test_system_properties.pdb"
+  "test_system_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

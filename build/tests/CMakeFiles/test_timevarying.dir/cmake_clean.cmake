@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timevarying.dir/test_timevarying.cpp.o"
+  "CMakeFiles/test_timevarying.dir/test_timevarying.cpp.o.d"
+  "test_timevarying"
+  "test_timevarying.pdb"
+  "test_timevarying[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timevarying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

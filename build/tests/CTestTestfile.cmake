@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_piezo[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_modem[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_sense[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_mac[1]_include.cmake")
+include("/root/repo/build/tests/test_core_link[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_timevarying[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrogram[1]_include.cmake")
+include("/root/repo/build/tests/test_fec_inventory_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_system_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_absorption_design[1]_include.cmake")
+include("/root/repo/build/tests/test_component_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_figure_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_robust_mode[1]_include.cmake")
