@@ -11,6 +11,7 @@
 #include "phy/cdma.hpp"
 #include "phy/fm0.hpp"
 #include "phy/metrics.hpp"
+#include "sim/batch.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -43,32 +44,38 @@ void print_series() {
               "same total spectrum (the paper's footnote-4 argument).\n\n");
 
   // --- Near-far: decode the weak user under a strong interferer ----------------
-  Rng rng(8);
+  // 20 Monte-Carlo trials per power ratio, fanned over a BatchRunner with
+  // per-trial RNG substreams.
+  const sim::BatchRunner batch;
   bench::print_row({"power ratio", "weak-user BER (CDMA, SF=4)"});
+  std::uint64_t ratio_idx = 0;
   for (double ratio : {1.0, 3.0, 10.0, 30.0}) {
     const auto code1 = phy::walsh_code(4, 1);
     const auto code2 = phy::walsh_code(4, 2);
+    const auto errors_per_trial = batch.map_seeded(
+        20, 8000 + ratio_idx++, [&](std::size_t, Rng& rng) {
+          const auto bits1 = rng.bits(100);
+          const auto bits2 = rng.bits(100);
+          const auto d1 = phy::fm0_encode(bits1);
+          const auto d2 = phy::fm0_encode(bits2);
+          const auto s1 = phy::cdma_spread(d1, code1);
+          const auto s2 = phy::cdma_spread(d2, code2);
+          // User 2 is `ratio`x stronger and arrives 1 chip late (asynchronous
+          // backscatter: the reader cannot chip-align two passive reflectors).
+          std::vector<double> rx(s1.size());
+          for (std::size_t i = 0; i < rx.size(); ++i) {
+            const double a = static_cast<double>(s1[i]);
+            const double b = i >= 1 ? static_cast<double>(s2[i - 1]) : 0.0;
+            rx[i] = a + ratio * b + rng.gaussian(0.0, 0.3);
+          }
+          const auto soft = phy::cdma_despread(rx, code1);
+          const auto decoded = phy::fm0_decode_ml(soft);
+          return hamming_distance(bits1, decoded);
+        });
     std::size_t errors = 0, total = 0;
-    for (int trial = 0; trial < 20; ++trial) {
-      const auto bits1 = rng.bits(100);
-      const auto bits2 = rng.bits(100);
-      const auto d1 = phy::fm0_encode(bits1);
-      const auto d2 = phy::fm0_encode(bits2);
-      const auto s1 = phy::cdma_spread(d1, code1);
-      const auto s2 = phy::cdma_spread(d2, code2);
-      // User 2 is `ratio`x stronger and arrives 1 chip late (asynchronous
-      // backscatter: the reader cannot chip-align two passive reflectors).
-      std::vector<double> rx(s1.size());
-      for (std::size_t i = 0; i < rx.size(); ++i) {
-        const double a = static_cast<double>(s1[i]);
-        const double b =
-            i >= 1 ? static_cast<double>(s2[i - 1]) : 0.0;
-        rx[i] = a + ratio * b + rng.gaussian(0.0, 0.3);
-      }
-      const auto soft = phy::cdma_despread(rx, code1);
-      const auto decoded = phy::fm0_decode_ml(soft);
-      errors += hamming_distance(bits1, decoded);
-      total += bits1.size();
+    for (std::size_t e : errors_per_trial) {
+      errors += e;
+      total += 100;
     }
     bench::print_row({bench::fmt(ratio, 0) + "x",
                       bench::fmt_sci(static_cast<double>(errors) /

@@ -12,6 +12,7 @@
 #include "phy/equalizer.hpp"
 #include "phy/fm0.hpp"
 #include "phy/metrics.hpp"
+#include "sim/batch.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -92,20 +93,23 @@ Trial run_trial(double bitrate, double noise_sd, Rng& rng) {
 void print_series() {
   bench::print_header("Ablation: equalization",
                       "BER with/without chip-spaced MMSE equalizer (Pool A ISI)");
-  Rng rng(99);
+  const sim::BatchRunner batch;
   bench::print_row({"rate [bps]", "ISI span", "raw BER", "equalized BER"});
+  std::uint64_t rate_idx = 0;
   for (double rate : {1000.0, 2000.0, 3000.0, 5000.0}) {
     const auto h = chip_isi(rate, 15000.0);
+    constexpr std::size_t kTrials = 5;
+    const auto trials = batch.map_seeded(
+        kTrials, 9900 + rate_idx++,
+        [&](std::size_t, Rng& rng) { return run_trial(rate, 0.15, rng); });
     double raw = 0.0, eq = 0.0;
-    const int trials = 5;
-    for (int i = 0; i < trials; ++i) {
-      const auto t = run_trial(rate, 0.15, rng);
+    for (const auto& t : trials) {
       raw += t.raw_ber;
       eq += t.eq_ber;
     }
     bench::print_row({bench::fmt(rate, 0),
                       bench::fmt(static_cast<double>(h.size()), 0) + " chips",
-                      bench::fmt_sci(raw / trials), bench::fmt_sci(eq / trials)});
+                      bench::fmt_sci(raw / kTrials), bench::fmt_sci(eq / kTrials)});
   }
   std::printf("\nShape: ISI spans more chips at higher bitrates; the trained\n"
               "equalizer recovers most of the loss -- a receiver-side upgrade\n"

@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "core/network.hpp"
+#include "sim/batch.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -43,16 +44,33 @@ void print_series() {
                       "Aggregate goodput and conditioning vs channel count");
   bench::print_row({"N", "goodput [bps]", "gain vs N=1", "cond(H)",
                     "decoded", "worst BER"});
+
+  // One N-node Scenario per channel count, fanned over a BatchRunner.
+  const sim::BatchRunner pool;
+  const auto results = pool.map(5, [&](std::size_t i) {
+    const std::size_t n = i + 1;
+    sim::Scenario sc = sim::Scenario::pool_a().with_seed(500 + n);
+    sc.placement.projector = {1.5, 1.2, 0.65};
+    sc.placement.hydrophone = {1.5, 2.8, 0.65};
+    sc.projector.ideal = true;
+    sc.fdma = plan_for(n);
+    const auto positions = ring_positions(n);
+    sc.placement.node = positions[0];
+    sc.extra_nodes.assign(positions.begin() + 1, positions.end());
+    sc.front_ends.clear();
+    for (double f : sc.fdma.carriers_hz)
+      sc.front_ends.push_back(sim::FrontEndSpec{.match_frequency_hz = f});
+    return sim::Session(sc).run_network(/*trial=*/0);
+  });
+
   double base = 0.0;
-  for (std::size_t n = 1; n <= 5; ++n) {
-    core::SimConfig sc = core::pool_a_config();
-    sc.seed = 500 + n;
-    const auto cfg = plan_for(n);
-    std::vector<circuit::RectoPiezo> fes;
-    for (double f : cfg.carriers_hz) fes.push_back(circuit::make_recto_piezo(f));
-    core::MultiNodeSimulator sim(sc, {1.5, 1.2, 0.65}, {1.5, 2.8, 0.65},
-                                 ring_positions(n));
-    const auto r = sim.run(core::Projector::ideal(300.0), fes, cfg);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t n = i + 1;
+    if (!results[i].ok()) {
+      std::printf("N=%zu failed: %s\n", n, results[i].error().message().c_str());
+      continue;
+    }
+    const core::NetworkRunResult& r = results[i].value();
     if (n == 1) base = r.aggregate_goodput_bps;
     int decoded = 0;
     double worst = 0.0;

@@ -35,8 +35,8 @@ Result run_query(core::LinkSimulator& sim, node::PabNode& node,
   ucfg.bitrate = node.bitrate();
   const auto out = sim.run_and_decode(proj, node.front_end(),
                                       response->to_bits(false), ucfg);
-  if (!out.demod.ok()) return r;
-  const auto packet = phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+  if (!out.ok()) return r;
+  const auto packet = phy::UplinkPacket::from_bits(out.value().demod.bits, false);
   if (!packet) return r;
   const auto reading = mac::parse_response(query, *packet);
   if (!reading) return r;

@@ -5,12 +5,10 @@
 // concurrently, separated by the MIMO decoder).  Reports aggregate goodput
 // and the throughput ratio.
 #include "bench_util.hpp"
-#include "core/collision.hpp"
-#include "core/link.hpp"
 #include "mac/fdma.hpp"
 #include "mac/protocol.hpp"
 #include "mac/scheduler.hpp"
-#include "phy/metrics.hpp"
+#include "sim/batch.hpp"
 
 namespace {
 
@@ -31,38 +29,35 @@ void print_series() {
                       "TDMA vs FDMA (recto-piezo) aggregate throughput");
   const mac::SchedulerConfig sched_cfg{};
 
+  // Both MACs share the paper's concurrent geometry (ideal 300 Pa projector,
+  // nodes at {1.0, 2.0} and {2.0, 2.0} in Pool A).
+  const sim::Scenario base = sim::Scenario::pool_a_concurrent();
+  const sim::BatchRunner pool;
+
   // --- TDMA: alternate single-node uplinks on the 15 kHz channel -----------
-  core::SimConfig sc = core::pool_a_config();
-  core::Placement pl;
-  pl.projector = {1.5, 1.5, 0.65};
-  pl.hydrophone = {1.5, 2.5, 0.65};
-  pl.node = {1.0, 2.0, 0.65};
-  const channel::Vec3 node2_pos{2.0, 2.0, 0.65};
-  const auto proj = core::Projector::ideal(300.0);
-  const auto fe1 = circuit::make_recto_piezo(15000.0);
-  const auto fe2 = circuit::make_recto_piezo(18000.0);
+  // One single-node Scenario per node position; in TDMA both nodes are built
+  // for the single shared channel (15 kHz front end).
+  sim::Waveform w;
+  w.carrier_hz = 15000.0;
+  w.bitrate = kBitrate;
+  w.payload_bits = kPayloadBits;
+  sim::Scenario tdma1 = base.with_waveform(w).with_seed(10);
+  tdma1.extra_nodes.clear();
+  tdma1.front_ends = {sim::FrontEndSpec{}};
+  tdma1.fdma = sim::FdmaPlan{};
+  const sim::Scenario tdma2 =
+      tdma1.with_node(base.node_position(1)).with_seed(11);
 
   double tdma_bits = 0.0, tdma_time = 0.0;
   {
-    for (int round = 0; round < kRounds; ++round) {
-      for (int who = 0; who < 2; ++who) {
-        core::SimConfig sc_t = sc;
-        sc_t.seed = 10 + round * 2 + who;
-        core::Placement pl_t = pl;
-        if (who == 1) pl_t.node = node2_pos;
-        core::LinkSimulator sim(sc_t, pl_t);
-        Rng rng(sc_t.seed);
-        const auto bits = rng.bits(kPayloadBits);
-        core::UplinkRunConfig ucfg;
-        ucfg.bitrate = kBitrate;
-        ucfg.carrier_hz = 15000.0;  // both nodes share one channel in TDMA
-        // In TDMA both nodes are built for the single shared channel.
-        const auto out = sim.run_and_decode(proj, fe1, bits, ucfg);
+    const sim::Session sess1(tdma1), sess2(tdma2);
+    const auto trials1 = pool.run_uplink(sess1, kRounds);
+    const auto trials2 = pool.run_uplink(sess2, kRounds);
+    for (const auto* trials : {&trials1, &trials2}) {
+      for (const auto& t : *trials) {
         tdma_time += transaction_airtime(sched_cfg, kPayloadBits + 12);
-        if (out.demod.ok() &&
-            phy::bit_error_rate(bits, out.demod.value().bits) < 0.02) {
+        if (t.ok() && t.value().ber < 0.02)
           tdma_bits += static_cast<double>(kPayloadBits);
-        }
       }
     }
   }
@@ -70,18 +65,17 @@ void print_series() {
   // --- FDMA: both nodes answer one query concurrently ----------------------
   double fdma_bits = 0.0, fdma_time = 0.0;
   {
-    for (int round = 0; round < kRounds; ++round) {
-      core::SimConfig sc_t = sc;
-      sc_t.seed = 100 + round;
-      core::CollisionSimulator sim(sc_t, pl, node2_pos);
-      core::CollisionRunConfig ccfg;
-      ccfg.bitrate = kBitrate;
-      ccfg.payload_bits = kPayloadBits;
-      const auto r = sim.run(proj, fe1, fe2, ccfg);
+    sim::Scenario fdma = base.with_seed(100);
+    fdma.fdma.bitrate = kBitrate;
+    fdma.fdma.payload_bits = kPayloadBits;
+    const sim::Session sess(fdma);
+    const auto frames = pool.run_network(sess, kRounds);
+    for (const auto& f : frames) {
       // One downlink poll serves both uplinks, which overlap in time.
       fdma_time += transaction_airtime(sched_cfg, kPayloadBits + 2 * 24 + 12);
-      if (r.ber_after[0] < 0.02) fdma_bits += static_cast<double>(kPayloadBits);
-      if (r.ber_after[1] < 0.02) fdma_bits += static_cast<double>(kPayloadBits);
+      if (!f.ok()) continue;
+      for (double ber : f.value().ber_after)
+        if (ber < 0.02) fdma_bits += static_cast<double>(kPayloadBits);
     }
   }
 

@@ -7,6 +7,7 @@
 // location-dependent values.
 #include "bench_util.hpp"
 #include "core/collision.hpp"
+#include "sim/batch.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -31,31 +32,37 @@ const Location kLocations[] = {
 void print_series() {
   bench::print_header(
       "Figure 10", "SINR before/after MIMO projection, 8 locations, 2 nodes");
-  const auto proj = core::Projector::ideal(300.0);
-  const auto n1 = circuit::make_recto_piezo(15000.0);
-  const auto n2 = circuit::make_recto_piezo(18000.0);
+
+  // One Scenario per placement, all derived from the paper's concurrent
+  // preset (ideal 300 Pa projector, 15/18 kHz recto-piezos); the 8 frames fan
+  // out over a BatchRunner.
+  const sim::BatchRunner pool;
+  const std::size_t n_locs = std::size(kLocations);
+  const auto results = pool.map(n_locs, [&](std::size_t i) {
+    sim::Scenario sc = sim::Scenario::pool_a_concurrent()
+                           .with_seed(1000 + static_cast<std::uint64_t>(i) + 1)
+                           .with_node(kLocations[i].node1);
+    sc.extra_nodes = {kLocations[i].node2};
+    return sim::Session(sc).run_network(/*trial=*/0);
+  });
 
   bench::print_row({"location", "before1", "before2", "after1", "after2",
                     "cond(H)", "BER1", "BER2"});
   std::vector<double> gains;
   int after_above_3 = 0, total_streams = 0;
-  int loc_idx = 0;
-  for (const Location& loc : kLocations) {
-    ++loc_idx;
-    core::SimConfig sc = core::pool_a_config();
-    sc.seed = 1000 + static_cast<std::uint64_t>(loc_idx);
-    core::Placement pl;
-    pl.projector = {1.5, 1.5, 0.65};
-    pl.hydrophone = {1.5, 2.5, 0.65};
-    pl.node = loc.node1;
-    core::CollisionSimulator sim(sc, pl, loc.node2);
-    const auto r = sim.run(proj, n1, n2, core::CollisionRunConfig{});
+  for (std::size_t i = 0; i < n_locs; ++i) {
+    if (!results[i].ok()) {
+      std::printf("location %zu failed: %s\n", i + 1,
+                  results[i].error().message().c_str());
+      continue;
+    }
+    const core::NetworkRunResult& r = results[i].value();
     for (int s = 0; s < 2; ++s) {
       gains.push_back(r.sinr_after_db[s] - r.sinr_before_db[s]);
       ++total_streams;
       if (r.sinr_after_db[s] > 3.0) ++after_above_3;
     }
-    bench::print_row({bench::fmt(loc_idx, 0),
+    bench::print_row({bench::fmt(static_cast<double>(i + 1), 0),
                       bench::fmt(r.sinr_before_db[0], 1),
                       bench::fmt(r.sinr_before_db[1], 1),
                       bench::fmt(r.sinr_after_db[0], 1),

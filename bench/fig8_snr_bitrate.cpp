@@ -8,6 +8,7 @@
 #include "core/link.hpp"
 #include "core/projector.hpp"
 #include "phy/metrics.hpp"
+#include "sim/batch.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -28,29 +29,27 @@ core::Placement close_placement() {
 
 void print_series() {
   bench::print_header("Figure 8", "SNR vs backscatter bitrate (3 trials each)");
-  const auto proj = core::Projector(piezo::make_projector_transducer(), 50.0);
-  const auto fe = circuit::make_recto_piezo(15000.0);
+  const sim::BatchRunner pool;
 
   bench::print_row({"rate [bps]", "SNR [dB]", "stddev", "decoded"});
   double snr_1k = 0.0, snr_5k = 0.0;
   for (double rate : kBitrates) {
+    sim::Scenario sc = sim::Scenario::pool_a()
+                           .with_seed(100 + static_cast<std::uint64_t>(rate))
+                           .with_placement(close_placement());
+    // Facility ambient (pumps, building vibration): the tank links in the
+    // paper are noise-limited, which is what bends this curve.
+    sc.medium.noise.psd_db_re_upa = 82.0;
+    sc.waveform.bitrate = rate;
+    sc.waveform.payload_bits = 96;
+    const sim::Session session(sc);
+    const auto trials = pool.run_uplink(session, 3);
     std::vector<double> snrs;
     int decoded = 0;
-    for (int trial = 0; trial < 3; ++trial) {
-      core::SimConfig sc = core::pool_a_config();
-      // Facility ambient (pumps, building vibration): the tank links in the
-      // paper are noise-limited, which is what bends this curve.
-      sc.noise.psd_db_re_upa = 82.0;
-      sc.seed = 100 + static_cast<std::uint64_t>(rate) + trial;
-      core::LinkSimulator sim(sc, close_placement());
-      Rng rng(sc.seed);
-      const auto bits = rng.bits(96);
-      core::UplinkRunConfig cfg;
-      cfg.bitrate = rate;
-      const auto out = sim.run_and_decode(proj, fe, bits, cfg);
-      if (out.demod.ok()) {
-        snrs.push_back(out.demod.value().snr_db);
-        if (phy::bit_error_rate(bits, out.demod.value().bits) < 0.01) ++decoded;
+    for (const auto& t : trials) {
+      if (t.ok()) {
+        snrs.push_back(t.value().demod.snr_db);
+        if (t.value().ber < 0.01) ++decoded;
       } else {
         snrs.push_back(-10.0);  // undetectable: below the decoder floor
       }

@@ -61,8 +61,8 @@ int main() {
     ucfg.bitrate = node.bitrate();
     const auto out = sim.run_and_decode(projector, node.front_end(),
                                         response->to_bits(false), ucfg);
-    if (!out.demod.ok()) return out.demod.error();
-    const auto packet = phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+    if (!out.ok()) return out.error();
+    const auto packet = phy::UplinkPacket::from_bits(out.value().demod.bits, false);
     if (!packet) return Error{ErrorCode::kCrcMismatch, "uplink CRC failed"};
     return *packet;
   };

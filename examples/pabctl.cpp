@@ -178,8 +178,8 @@ int cmd_sense(const Args& a) {
     ucfg.bitrate = node.bitrate();
     const auto out =
         sim.run_and_decode(proj, node.front_end(), resp->to_bits(false), ucfg);
-    if (!out.demod.ok()) continue;
-    const auto packet = phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+    if (!out.ok()) continue;
+    const auto packet = phy::UplinkPacket::from_bits(out.value().demod.bits, false);
     if (!packet) continue;
     const auto reading = mac::parse_response(q, *packet);
     if (reading)

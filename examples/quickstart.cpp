@@ -1,67 +1,58 @@
-// Quickstart: the smallest end-to-end PAB link.
+// Quickstart: the smallest end-to-end PAB experiment, on the Scenario/Session
+// API.
 //
-// Builds a water tank, a projector, a battery-free backscatter node front end,
-// transmits one uplink packet by backscatter, and decodes it at the
-// hydrophone.  Run:  ./quickstart
+// A Scenario is one immutable experiment description (tank, placement,
+// projector, node front end, waveform); a Session instantiates it once and
+// memoizes the shared physics (multipath tap sets, recto-piezo responses); a
+// BatchRunner fans Monte-Carlo trials over a thread pool with bit-identical
+// results at any thread count.  Run:  ./quickstart
 #include <cstdio>
 
-#include "core/link.hpp"
-#include "core/projector.hpp"
-#include "phy/metrics.hpp"
+#include "sim/batch.hpp"
 
 int main() {
   using namespace pab;
 
-  // 1. Environment: the paper's Pool A (3 x 4 m, 1.3 m deep) with default
-  //    instrument placement, 96 kHz hydrophone capture.
-  core::SimConfig config = core::pool_a_config();
-  core::Placement placement;
-  core::LinkSimulator sim(config, placement);
+  // 1. Scenario: the paper's Pool A (3 x 4 m, 1.3 m deep) with the fabricated
+  //    cylinder projector at 50 V and a recto-piezo node matched at 15 kHz,
+  //    backscattering 64-bit payloads at 1 kbps on a 15 kHz carrier.
+  sim::Scenario scenario = sim::Scenario::pool_a().with_seed(7);
 
-  // 2. Projector: the fabricated cylinder transducer driven at 50 V.
-  const core::Projector projector(piezo::make_projector_transducer(), 50.0);
+  // 2. Session: hardware + caches, shared by every trial below.
+  const sim::Session session(scenario);
 
-  // 3. Node front end: a recto-piezo electrically matched at 15 kHz.
-  const circuit::RectoPiezo node = circuit::make_recto_piezo(15000.0);
-
-  // 4. Payload: one uplink packet with 4 bytes of sensor data.
-  phy::UplinkPacket packet;
-  packet.node_id = 1;
-  packet.payload = {0xDE, 0xAD, 0xBE, 0xEF};
-  const Bits bits = packet.to_bits(/*include_preamble=*/false);
-
-  // 5. Simulate the backscatter uplink at 1 kbps and decode.
-  core::UplinkRunConfig link;
-  link.carrier_hz = 15000.0;
-  link.bitrate = 1000.0;
-  const auto out = sim.run_and_decode(projector, node, bits, link);
+  // 3. One Monte-Carlo uplink trial: random payload, backscatter uplink,
+  //    decode at the hydrophone.  Decode failures surface as Expected errors.
+  const auto trial = session.run(/*trial=*/0);
 
   std::printf("PAB quickstart\n--------------\n");
+  if (!trial.ok()) {
+    std::printf("decode failed: %s\n", trial.error().message().c_str());
+    return 1;
+  }
   std::printf("incident pressure at node: %6.1f Pa\n",
-              out.run.incident_pressure_pa);
-  std::printf("carrier at hydrophone:     %6.1f Pa\n",
-              out.run.direct_pressure_pa);
+              trial.value().incident_pressure_pa);
   std::printf("backscatter modulation:    %6.3f Pa\n",
-              out.run.modulation_pressure_pa);
+              trial.value().modulation_pressure_pa);
+  std::printf("estimated SNR:             %6.1f dB\n",
+              trial.value().demod.snr_db);
+  std::printf("bit error rate:            %6.4f\n", trial.value().ber);
 
-  if (!out.demod.ok()) {
-    std::printf("decode failed: %s\n", out.demod.error().message().c_str());
-    return 1;
+  // 4. A batch: 32 trials fanned over the machine's cores.  Trial i draws its
+  //    randomness from RNG substream i of the scenario seed, so the aggregate
+  //    below is bit-identical whether this runs on 1 thread or 16.
+  sim::BatchRunner pool;
+  const auto trials = pool.run_uplink(session, 32);
+  std::size_t decoded = 0;
+  double ber_sum = 0.0;
+  for (const auto& t : trials) {
+    if (!t.ok()) continue;
+    ++decoded;
+    ber_sum += t.value().ber;
   }
-  const auto& demod = out.demod.value();
-  std::printf("preamble correlation:      %6.2f\n", demod.preamble_corr);
-  std::printf("estimated SNR:             %6.1f dB\n", demod.snr_db);
-  std::printf("bit errors:                %6.0f\n",
-              phy::bit_error_rate(bits, demod.bits) *
-                  static_cast<double>(bits.size()));
-
-  const auto decoded = phy::UplinkPacket::from_bits(demod.bits, false);
-  if (!decoded) {
-    std::printf("CRC check failed\n");
-    return 1;
-  }
-  std::printf("decoded node %u payload:   ", decoded->node_id);
-  for (auto b : decoded->payload) std::printf("%02X ", b);
-  std::printf("\nCRC ok - packet delivered battery-free.\n");
+  std::printf("batch (%zu trials, %u threads): %zu decoded, mean BER %.4f\n",
+              trials.size(), pool.threads(), decoded,
+              decoded ? ber_sum / static_cast<double>(decoded) : 1.0);
+  std::printf("packet delivered battery-free.\n");
   return 0;
 }

@@ -1,0 +1,54 @@
+#include "channel/tapcache.hpp"
+
+#include <bit>
+#include <mutex>
+
+namespace pab::channel {
+
+namespace {
+
+std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// splitmix64 finalizer: cheap, well-mixed combiner for the key hash.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::size_t TapCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t b : k.bits) h = mix(h ^ b) + 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(h);
+}
+
+TapCache::TapCache(Tank tank, int max_image_order, bool use_image_method)
+    : tank_(tank),
+      max_image_order_(max_image_order),
+      use_image_method_(use_image_method) {}
+
+std::shared_ptr<const TapCache::Taps> TapCache::taps(const Vec3& a, const Vec3& b,
+                                                     double freq_hz) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const Key key{{to_bits(a.x), to_bits(a.y), to_bits(a.z), to_bits(b.x),
+                 to_bits(b.y), to_bits(b.z), to_bits(freq_hz)}};
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock; a concurrent duplicate computation is benign
+  // (both produce identical taps, the first insert wins).
+  auto computed = std::make_shared<const Taps>(
+      use_image_method_
+          ? image_method_taps(tank_, a, b, max_image_order_, freq_hz)
+          : free_field_tap(a, b, freq_hz, tank_.water));
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(computed));
+  if (inserted) evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+}  // namespace pab::channel

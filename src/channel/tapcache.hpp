@@ -1,0 +1,74 @@
+// Thread-safe memoization of image-method tap sets.
+//
+// Image-method enumeration is the single hottest per-trial cost of the
+// waveform simulators, yet for a fixed scenario only a handful of
+// (endpoint, endpoint, carrier) combinations ever occur.  A TapCache computes
+// each combination once and hands out shared immutable tap sets; concurrent
+// Monte-Carlo trials (sim::BatchRunner) share one cache per session.
+//
+// Keys compare the exact double bit patterns of the endpoints and frequency:
+// two lookups hit the same entry iff they describe bit-identical geometry,
+// which is what deterministic replay requires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/tank.hpp"
+
+namespace pab::channel {
+
+class TapCache {
+ public:
+  using Taps = std::vector<PathTap>;
+
+  // The tank, reflection order, and propagation mode are fixed per cache
+  // (they come from the scenario); only geometry and carrier vary per lookup.
+  TapCache(Tank tank, int max_image_order, bool use_image_method);
+
+  // Memoized taps for the (a -> b, freq_hz) path.  The returned pointer stays
+  // valid for the cache's lifetime and is safe to read from any thread.
+  [[nodiscard]] std::shared_ptr<const Taps> taps(const Vec3& a, const Vec3& b,
+                                                 double freq_hz) const;
+
+  // Observability for regression tests: how many tap sets were actually
+  // computed vs how many lookups were served.
+  [[nodiscard]] std::uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Tank& tank() const { return tank_; }
+  [[nodiscard]] int max_image_order() const { return max_image_order_; }
+  [[nodiscard]] bool use_image_method() const { return use_image_method_; }
+
+ private:
+  struct Key {
+    std::uint64_t bits[7];  // a.xyz, b.xyz, freq as raw IEEE-754 patterns
+    bool operator==(const Key& o) const {
+      for (int i = 0; i < 7; ++i)
+        if (bits[i] != o.bits[i]) return false;
+      return true;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  Tank tank_;
+  int max_image_order_;
+  bool use_image_method_;
+
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<Key, std::shared_ptr<const Taps>, KeyHash> cache_;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
+  mutable std::atomic<std::uint64_t> lookups_{0};
+};
+
+}  // namespace pab::channel

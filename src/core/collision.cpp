@@ -42,7 +42,9 @@ CollisionSimulator::CollisionSimulator(SimConfig config, Placement placement,
     : config_(config),
       placement_(placement),
       node2_pos_(second_node_position),
-      rng_(config.seed) {
+      rng_(config.seed),
+      tap_cache_(std::make_shared<channel::TapCache>(
+          config.tank, config.max_image_order, config.use_image_method)) {
   require(config_.tank.contains(second_node_position),
           "CollisionSimulator: node 2 outside tank");
 }
@@ -106,19 +108,14 @@ CollisionRunResult CollisionSimulator::run(const Projector& projector,
   for (std::size_t ci = 0; ci < 2; ++ci) {
     const double f = cfg.carriers_hz[ci];
     const dsp::BasebandSignal tx = projector.cw_envelope(f, duration, fs);
-    const auto taps_ph = channel::image_method_taps(
-        config_.tank, placement_.projector, placement_.hydrophone,
-        config_.max_image_order, f);
-    dsp::BasebandSignal sum = channel::apply_taps_baseband(tx, taps_ph);
+    const auto taps_ph =
+        tap_cache_->taps(placement_.projector, placement_.hydrophone, f);
+    dsp::BasebandSignal sum = channel::apply_taps_baseband(tx, *taps_ph);
 
     for (std::size_t nj = 0; nj < 2; ++nj) {
-      const auto taps_pn = channel::image_method_taps(
-          config_.tank, placement_.projector, node_pos[nj],
-          config_.max_image_order, f);
-      const auto taps_nh = channel::image_method_taps(
-          config_.tank, node_pos[nj], placement_.hydrophone,
-          config_.max_image_order, f);
-      const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, taps_pn);
+      const auto taps_pn = tap_cache_->taps(placement_.projector, node_pos[nj], f);
+      const auto taps_nh = tap_cache_->taps(node_pos[nj], placement_.hydrophone, f);
+      const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, *taps_pn);
       const dsp::cplx g_r = nodes[nj]->scatter_gain(f, true);
       const dsp::cplx g_a = nodes[nj]->scatter_gain(f, false);
       const auto& st = nj == 0 ? state1 : state2;
@@ -130,7 +127,7 @@ CollisionRunResult CollisionSimulator::run(const Projector& projector,
         const double s = i < st.size() ? st[i] : 0.0;
         scat.samples[i] = at_node.samples[i] * (s > 0.0 ? g_r : g_a);
       }
-      sum.accumulate(channel::apply_taps_baseband(scat, taps_nh));
+      sum.accumulate(channel::apply_taps_baseband(scat, *taps_nh));
     }
     y_env[ci] = std::move(sum.samples);
   }

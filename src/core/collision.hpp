@@ -9,7 +9,9 @@
 #pragma once
 
 #include <array>
+#include <memory>
 
+#include "channel/tapcache.hpp"
 #include "circuit/rectopiezo.hpp"
 #include "core/link.hpp"
 #include "core/projector.hpp"
@@ -52,6 +54,7 @@ class CollisionSimulator {
   Placement placement_;
   channel::Vec3 node2_pos_;
   pab::Rng rng_;
+  std::shared_ptr<channel::TapCache> tap_cache_;
 };
 
 }  // namespace pab::core

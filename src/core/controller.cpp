@@ -84,9 +84,9 @@ pab::Expected<phy::UplinkPacket> ReaderController::transact_once(
   if (robust) body = phy::fec_protect(body);
   const auto out =
       sim.run_and_decode(projector_, entry.node->front_end(), body, ucfg);
-  if (!out.demod.ok()) return out.demod.error();
-  if (snr_out != nullptr) *snr_out = out.demod.value().snr_db;
-  pab::Bits rx_body = out.demod.value().bits;
+  if (!out.ok()) return out.error();
+  if (snr_out != nullptr) *snr_out = out.value().demod.snr_db;
+  pab::Bits rx_body = out.value().demod.bits;
   if (robust) rx_body = phy::fec_recover(rx_body, body_bits);
   const auto packet = phy::UplinkPacket::from_bits(rx_body, false);
   if (!packet) return pab::Error{pab::ErrorCode::kCrcMismatch, "uplink CRC"};

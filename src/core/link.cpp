@@ -8,30 +8,54 @@
 
 namespace pab::core {
 
-LinkSimulator::LinkSimulator(SimConfig config, Placement placement)
-    : config_(config), placement_(placement), rng_(config.seed) {
-  require(config_.sample_rate > 0.0, "LinkSimulator: sample rate must be positive");
+ModulationStates modulation_states(const circuit::RectoPiezo& front_end,
+                                   double carrier_hz, double bitrate) {
+  // Complex scatter gain per state.  The differential component is derated by
+  // the recto-piezo's bandwidth efficiency at this bitrate (sidebands beyond
+  // the electrical resonance modulate weakly).
+  const dsp::cplx g_r0 = front_end.scatter_gain(carrier_hz, /*reflective=*/true);
+  const dsp::cplx g_a0 = front_end.scatter_gain(carrier_hz, /*reflective=*/false);
+  const double eta_bw = front_end.bandwidth_efficiency(carrier_hz, bitrate);
+  const dsp::cplx g_mid = 0.5 * (g_r0 + g_a0);
+  const dsp::cplx g_half = 0.5 * (g_r0 - g_a0) * eta_bw;
+  return ModulationStates{g_mid + g_half, g_mid - g_half};
 }
 
-std::vector<channel::PathTap> LinkSimulator::taps(const channel::Vec3& a,
-                                                  const channel::Vec3& b,
-                                                  double freq_hz) const {
-  if (config_.use_image_method)
-    return channel::image_method_taps(config_.tank, a, b, config_.max_image_order,
-                                      freq_hz);
-  return channel::free_field_tap(a, b, freq_hz, config_.tank.water);
+LinkSimulator::LinkSimulator(SimConfig config, Placement placement)
+    : LinkSimulator(config, placement,
+                    std::make_shared<channel::TapCache>(
+                        config.tank, config.max_image_order,
+                        config.use_image_method)) {}
+
+LinkSimulator::LinkSimulator(SimConfig config, Placement placement,
+                             std::shared_ptr<channel::TapCache> tap_cache)
+    : config_(config),
+      placement_(placement),
+      rng_(config.seed),
+      tap_cache_(std::move(tap_cache)) {
+  require(config_.sample_rate > 0.0, "LinkSimulator: sample rate must be positive");
+  require(tap_cache_ != nullptr, "LinkSimulator: tap cache must not be null");
+}
+
+const std::vector<channel::PathTap>& LinkSimulator::taps(const channel::Vec3& a,
+                                                         const channel::Vec3& b,
+                                                         double freq_hz) const {
+  // The cache owns the tap vectors for its whole lifetime, so handing out a
+  // reference is safe while this simulator (which shares ownership) exists.
+  return *tap_cache_->taps(a, b, freq_hz);
 }
 
 double LinkSimulator::incident_pressure(const Projector& projector,
                                         double freq_hz) const {
-  const auto t = taps(placement_.projector, placement_.node, freq_hz);
+  const auto& t = taps(placement_.projector, placement_.node, freq_hz);
   return projector.pressure_at_1m(freq_hz) * channel::coherent_gain(t, freq_hz);
 }
 
 UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
-                                          const circuit::RectoPiezo& front_end,
+                                          const ModulationStates& states,
                                           std::span<const std::uint8_t> data_bits,
-                                          const UplinkRunConfig& cfg) {
+                                          const UplinkRunConfig& cfg,
+                                          pab::Rng& rng) const {
   const double fs = config_.sample_rate;
   const double f = cfg.carrier_hz;
 
@@ -46,24 +70,16 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
   // Projector CW envelope (amplitude = pressure at 1 m).
   const dsp::BasebandSignal tx = projector.cw_envelope(f, total_s, fs);
 
-  // Propagate to the node and the hydrophone.
-  const auto taps_pn = taps(placement_.projector, placement_.node, f);
-  const auto taps_ph = taps(placement_.projector, placement_.hydrophone, f);
-  const auto taps_nh = taps(placement_.node, placement_.hydrophone, f);
+  // Propagate to the node and the hydrophone (memoized tap sets).
+  const auto& taps_pn = taps(placement_.projector, placement_.node, f);
+  const auto& taps_ph = taps(placement_.projector, placement_.hydrophone, f);
+  const auto& taps_nh = taps(placement_.node, placement_.hydrophone, f);
 
   const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, taps_pn);
   const dsp::BasebandSignal direct = channel::apply_taps_baseband(tx, taps_ph);
 
-  // Node modulation: complex scatter gain per state.  The differential
-  // component is derated by the recto-piezo's bandwidth efficiency at this
-  // bitrate (sidebands beyond the electrical resonance modulate weakly).
-  const dsp::cplx g_r0 = front_end.scatter_gain(f, /*reflective=*/true);
-  const dsp::cplx g_a0 = front_end.scatter_gain(f, /*reflective=*/false);
-  const double eta_bw = front_end.bandwidth_efficiency(f, cfg.bitrate);
-  const dsp::cplx g_mid = 0.5 * (g_r0 + g_a0);
-  const dsp::cplx g_half = 0.5 * (g_r0 - g_a0) * eta_bw;
-  const dsp::cplx g_refl = g_mid + g_half;
-  const dsp::cplx g_abs = g_mid - g_half;
+  const dsp::cplx g_refl = states.g_reflective;
+  const dsp::cplx g_abs = states.g_absorptive;
 
   const auto start_i = static_cast<std::size_t>(cfg.node_start_s * fs);
   dsp::BasebandSignal scattered;
@@ -101,7 +117,7 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
     const double ph = w * static_cast<double>(i);
     const double pressure =
         env.real() * std::cos(ph) - env.imag() * std::sin(ph) +
-        rng_.gaussian(0.0, noise_sd);
+        rng.gaussian(0.0, noise_sd);
     result.hydrophone_v.samples[i] = sens * pressure;
   }
 
@@ -116,18 +132,37 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
   return result;
 }
 
-LinkSimulator::DecodedRun LinkSimulator::run_and_decode(
-    const Projector& projector, const circuit::RectoPiezo& front_end,
-    std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg) {
+UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
+                                          const circuit::RectoPiezo& front_end,
+                                          std::span<const std::uint8_t> data_bits,
+                                          const UplinkRunConfig& cfg) {
+  return run_uplink(projector, modulation_states(front_end, cfg.carrier_hz, cfg.bitrate),
+                    data_bits, cfg, rng_);
+}
+
+pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
+    const Projector& projector, const ModulationStates& states,
+    std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
+    pab::Rng& rng) const {
   DecodedRun out;
-  out.run = run_uplink(projector, front_end, data_bits, cfg);
+  out.run = run_uplink(projector, states, data_bits, cfg, rng);
   phy::DemodConfig dc;
   dc.carrier_hz = cfg.carrier_hz;
   dc.bitrate = cfg.bitrate;
   dc.sample_rate = config_.sample_rate;
   const phy::BackscatterDemodulator demod(dc);
-  out.demod = demod.demodulate(out.run.hydrophone_v, data_bits.size());
+  auto demodulated = demod.demodulate(out.run.hydrophone_v, data_bits.size());
+  if (!demodulated.ok()) return demodulated.error();
+  out.demod = std::move(demodulated).value();
   return out;
+}
+
+pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
+    const Projector& projector, const circuit::RectoPiezo& front_end,
+    std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg) {
+  return run_and_decode(projector,
+                        modulation_states(front_end, cfg.carrier_hz, cfg.bitrate),
+                        data_bits, cfg, rng_);
 }
 
 std::vector<std::uint8_t> LinkSimulator::downlink_sliced_envelope(
@@ -136,7 +171,7 @@ std::vector<std::uint8_t> LinkSimulator::downlink_sliced_envelope(
   const double fs = config_.sample_rate;
   const dsp::BasebandSignal tx =
       projector.query_envelope(query, pwm, freq_hz, fs, /*post_cw_s=*/0.0);
-  const auto taps_pn = taps(placement_.projector, placement_.node, freq_hz);
+  const auto& taps_pn = taps(placement_.projector, placement_.node, freq_hz);
   const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, taps_pn);
 
   // The node's detector: rectified envelope of the piezo voltage through an

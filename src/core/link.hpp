@@ -6,26 +6,44 @@
 // these narrowband links), then reconstructs the real passband voltage the
 // hydrophone would record, adds ambient noise, and hands it to the same
 // receiver chain the paper's MATLAB decoder implements.
+//
+// For Monte-Carlo aggregates prefer the sim/ layer (sim::Scenario +
+// sim::Session + sim::BatchRunner), which shares the tap and front-end
+// response caches across trials and fans trials out over threads.  This class
+// remains the single-trial engine underneath it.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "channel/propagation.hpp"
+#include "channel/tapcache.hpp"
 #include "circuit/rectopiezo.hpp"
 #include "core/projector.hpp"
 #include "core/setup.hpp"
 #include "dsp/signal.hpp"
 #include "phy/modem.hpp"
+#include "sim/waveform.hpp"
 #include "util/rng.hpp"
 
 namespace pab::core {
 
-struct UplinkRunConfig {
-  double carrier_hz = 15000.0;
-  double bitrate = 1000.0;
-  double node_start_s = 0.05;  // node begins backscattering at this link time
-  double tail_s = 0.02;        // extra CW after the packet
+// The per-run uplink parameters are shared with the sim layer; the old name
+// forwards to sim::Waveform (same fields, same defaults).
+using UplinkRunConfig = sim::Waveform;
+
+// The node's two backscatter states at a given carrier/bitrate: the complex
+// scatter gains with the bandwidth-efficiency derating folded in.  Deriving
+// these from a circuit::RectoPiezo walks the BVD + matching-network model;
+// sim::Session memoizes them per (front end, carrier, bitrate).
+struct ModulationStates {
+  dsp::cplx g_reflective{};
+  dsp::cplx g_absorptive{};
 };
+
+// Evaluate the recto-piezo frequency response at (carrier, bitrate).
+[[nodiscard]] ModulationStates modulation_states(const circuit::RectoPiezo& front_end,
+                                                 double carrier_hz, double bitrate);
 
 struct UplinkRunResult {
   dsp::Signal hydrophone_v;        // passband voltage capture [V]
@@ -38,24 +56,40 @@ struct UplinkRunResult {
 class LinkSimulator {
  public:
   LinkSimulator(SimConfig config, Placement placement);
+  // Share an external tap cache (one per sim::Session) so concurrent trials
+  // reuse the same memoized image-method tap sets.
+  LinkSimulator(SimConfig config, Placement placement,
+                std::shared_ptr<channel::TapCache> tap_cache);
 
   // Simulate the node backscattering [uplink-preamble + data_bits] while the
-  // projector transmits CW at `cfg.carrier_hz`.
+  // projector transmits CW at `cfg.carrier_hz`.  Noise is drawn from the
+  // explicit `rng` (deterministic substreams under sim::BatchRunner); the
+  // rng-less overload draws from the simulator's own stream.
+  [[nodiscard]] UplinkRunResult run_uplink(const Projector& projector,
+                                           const ModulationStates& states,
+                                           std::span<const std::uint8_t> data_bits,
+                                           const UplinkRunConfig& cfg,
+                                           pab::Rng& rng) const;
   [[nodiscard]] UplinkRunResult run_uplink(const Projector& projector,
                                            const circuit::RectoPiezo& front_end,
                                            std::span<const std::uint8_t> data_bits,
                                            const UplinkRunConfig& cfg);
 
-  // Run + decode with the standard receiver; returns the demod result (or
-  // error) alongside the waveform-level ground truth.
+  // Run + decode with the standard receiver.  Returns the demod result and
+  // waveform-level ground truth, or the demodulator's error (no preamble,
+  // decode failure) through pab::Expected -- there is no default-constructed
+  // sentinel to inspect.
   struct DecodedRun {
     UplinkRunResult run;
-    pab::Expected<phy::DemodResult> demod{pab::ErrorCode::kDecodeFailure};
+    phy::DemodResult demod;
   };
-  [[nodiscard]] DecodedRun run_and_decode(const Projector& projector,
-                                          const circuit::RectoPiezo& front_end,
-                                          std::span<const std::uint8_t> data_bits,
-                                          const UplinkRunConfig& cfg);
+  [[nodiscard]] pab::Expected<DecodedRun> run_and_decode(
+      const Projector& projector, const ModulationStates& states,
+      std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
+      pab::Rng& rng) const;
+  [[nodiscard]] pab::Expected<DecodedRun> run_and_decode(
+      const Projector& projector, const circuit::RectoPiezo& front_end,
+      std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg);
 
   // CW amplitude [Pa] at the node position for a projector transmitting at
   // `freq_hz` (coherent multipath sum) -- the harvesting drive level.
@@ -73,15 +107,21 @@ class LinkSimulator {
   [[nodiscard]] const Placement& placement() const { return placement_; }
   [[nodiscard]] pab::Rng& rng() { return rng_; }
 
-  // Tap sets (cached per construction geometry, recomputed per carrier).
-  [[nodiscard]] std::vector<channel::PathTap> taps(const channel::Vec3& a,
-                                                   const channel::Vec3& b,
-                                                   double freq_hz) const;
+  // Tap set for the (a -> b) path at `freq_hz`, memoized in the shared
+  // channel::TapCache (each distinct geometry/carrier is computed once per
+  // cache lifetime).
+  [[nodiscard]] const std::vector<channel::PathTap>& taps(const channel::Vec3& a,
+                                                          const channel::Vec3& b,
+                                                          double freq_hz) const;
+  [[nodiscard]] const std::shared_ptr<channel::TapCache>& tap_cache() const {
+    return tap_cache_;
+  }
 
  private:
   SimConfig config_;
   Placement placement_;
   pab::Rng rng_;
+  std::shared_ptr<channel::TapCache> tap_cache_;
 };
 
 }  // namespace pab::core

@@ -39,12 +39,23 @@ std::vector<dsp::cplx> remove_mean(std::span<const dsp::cplx> x) {
 MultiNodeSimulator::MultiNodeSimulator(SimConfig config, channel::Vec3 projector,
                                        channel::Vec3 hydrophone,
                                        std::vector<channel::Vec3> node_positions)
+    : MultiNodeSimulator(config, projector, hydrophone, std::move(node_positions),
+                         std::make_shared<channel::TapCache>(
+                             config.tank, config.max_image_order,
+                             config.use_image_method)) {}
+
+MultiNodeSimulator::MultiNodeSimulator(SimConfig config, channel::Vec3 projector,
+                                       channel::Vec3 hydrophone,
+                                       std::vector<channel::Vec3> node_positions,
+                                       std::shared_ptr<channel::TapCache> tap_cache)
     : config_(config),
       projector_pos_(projector),
       hydrophone_pos_(hydrophone),
       nodes_(std::move(node_positions)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      tap_cache_(std::move(tap_cache)) {
   require(!nodes_.empty(), "MultiNodeSimulator: need at least one node");
+  require(tap_cache_ != nullptr, "MultiNodeSimulator: tap cache must not be null");
   for (const auto& p : nodes_)
     require(config_.tank.contains(p), "MultiNodeSimulator: node outside tank");
 }
@@ -52,6 +63,12 @@ MultiNodeSimulator::MultiNodeSimulator(SimConfig config, channel::Vec3 projector
 NetworkRunResult MultiNodeSimulator::run(
     const Projector& projector, const std::vector<circuit::RectoPiezo>& front_ends,
     const NetworkRunConfig& cfg) {
+  return run(projector, front_ends, cfg, rng_);
+}
+
+NetworkRunResult MultiNodeSimulator::run(
+    const Projector& projector, const std::vector<circuit::RectoPiezo>& front_ends,
+    const NetworkRunConfig& cfg, pab::Rng& rng) const {
   const std::size_t n = nodes_.size();
   require(front_ends.size() == n, "MultiNodeSimulator: front-end count mismatch");
   require(cfg.carriers_hz.size() == n, "MultiNodeSimulator: carrier count mismatch");
@@ -80,7 +97,7 @@ NetworkRunResult MultiNodeSimulator::run(
   // Sequences.
   const auto random_chips = [&](std::size_t count) {
     phy::Chips c(count);
-    for (auto& v : c) v = rng_.bernoulli(0.5) ? 1 : -1;
+    for (auto& v : c) v = rng.bernoulli(0.5) ? 1 : -1;
     return c;
   };
   std::vector<phy::Chips> training(n);
@@ -89,7 +106,7 @@ NetworkRunResult MultiNodeSimulator::run(
   std::vector<std::vector<double>> state(n);
   for (std::size_t j = 0; j < n; ++j) {
     training[j] = random_chips(tr_chips);
-    payload_bits[j] = rng_.bits(cfg.payload_bits);
+    payload_bits[j] = rng.bits(cfg.payload_bits);
     payload_chips[j] = phy::fm0_encode(payload_bits[j]);
     const auto tr = expand_chips(training[j], spc, train_start[j], total);
     const auto pl = expand_chips(payload_chips[j], spc, payload_start, total);
@@ -103,15 +120,12 @@ NetworkRunResult MultiNodeSimulator::run(
   for (std::size_t ci = 0; ci < n; ++ci) {
     const double f = cfg.carriers_hz[ci];
     const dsp::BasebandSignal tx = projector.cw_envelope(f, duration, fs);
-    const auto taps_ph = channel::image_method_taps(
-        config_.tank, projector_pos_, hydrophone_pos_, config_.max_image_order, f);
-    dsp::BasebandSignal sum = channel::apply_taps_baseband(tx, taps_ph);
+    const auto taps_ph = tap_cache_->taps(projector_pos_, hydrophone_pos_, f);
+    dsp::BasebandSignal sum = channel::apply_taps_baseband(tx, *taps_ph);
     for (std::size_t nj = 0; nj < n; ++nj) {
-      const auto taps_pn = channel::image_method_taps(
-          config_.tank, projector_pos_, nodes_[nj], config_.max_image_order, f);
-      const auto taps_nh = channel::image_method_taps(
-          config_.tank, nodes_[nj], hydrophone_pos_, config_.max_image_order, f);
-      const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, taps_pn);
+      const auto taps_pn = tap_cache_->taps(projector_pos_, nodes_[nj], f);
+      const auto taps_nh = tap_cache_->taps(nodes_[nj], hydrophone_pos_, f);
+      const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, *taps_pn);
       const dsp::cplx g_r = front_ends[nj].scatter_gain(f, true);
       const dsp::cplx g_a = front_ends[nj].scatter_gain(f, false);
       dsp::BasebandSignal scat;
@@ -122,7 +136,7 @@ NetworkRunResult MultiNodeSimulator::run(
         const double s = i < state[nj].size() ? state[nj][i] : 0.0;
         scat.samples[i] = at_node.samples[i] * (s > 0.0 ? g_r : g_a);
       }
-      sum.accumulate(channel::apply_taps_baseband(scat, taps_nh));
+      sum.accumulate(channel::apply_taps_baseband(scat, *taps_nh));
     }
     y_env[ci] = std::move(sum.samples);
   }
@@ -136,7 +150,7 @@ NetworkRunResult MultiNodeSimulator::run(
   const double sens = config_.hydrophone.volts_per_pascal();
   const double noise_sd = config_.noise.sample_stddev_pa(fs);
   for (std::size_t i = 0; i < len; ++i) {
-    double p = rng_.gaussian(0.0, noise_sd);
+    double p = rng.gaussian(0.0, noise_sd);
     for (std::size_t ci = 0; ci < n; ++ci) {
       if (i >= y_env[ci].size()) continue;
       const double ph = kTwoPi * cfg.carriers_hz[ci] * static_cast<double>(i) / fs;

@@ -8,22 +8,22 @@
 // transducer bandwidth).
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "channel/tapcache.hpp"
 #include "circuit/rectopiezo.hpp"
 #include "core/projector.hpp"
 #include "core/setup.hpp"
 #include "phy/matrix.hpp"
+#include "sim/waveform.hpp"
 #include "util/rng.hpp"
 
 namespace pab::core {
 
-struct NetworkRunConfig {
-  std::vector<double> carriers_hz;  // one per node (the FDMA plan)
-  double bitrate = 250.0;
-  std::size_t training_bits = 24;
-  std::size_t payload_bits = 96;
-};
+// The frame parameters are shared with the sim layer; the old name forwards
+// to sim::FdmaPlan (same fields, same defaults).
+using NetworkRunConfig = sim::FdmaPlan;
 
 struct NetworkRunResult {
   std::vector<double> sinr_before_db;  // per node, own-carrier readout
@@ -41,13 +41,29 @@ class MultiNodeSimulator {
   MultiNodeSimulator(SimConfig config, channel::Vec3 projector,
                      channel::Vec3 hydrophone,
                      std::vector<channel::Vec3> node_positions);
+  // Share an external tap cache (one per sim::Session).
+  MultiNodeSimulator(SimConfig config, channel::Vec3 projector,
+                     channel::Vec3 hydrophone,
+                     std::vector<channel::Vec3> node_positions,
+                     std::shared_ptr<channel::TapCache> tap_cache);
 
-  // `front_ends` must match the node count; carriers come from `cfg`.
+  // `front_ends` must match the node count; carriers come from `cfg`.  All
+  // randomness (training chips, payloads, noise) is drawn from the explicit
+  // `rng`, making the run a pure function of (scenario, rng state) -- the
+  // property sim::BatchRunner's determinism guarantee rests on.  The rng-less
+  // overload draws from the simulator's own stream.
+  [[nodiscard]] NetworkRunResult run(const Projector& projector,
+                                     const std::vector<circuit::RectoPiezo>& front_ends,
+                                     const NetworkRunConfig& cfg,
+                                     pab::Rng& rng) const;
   [[nodiscard]] NetworkRunResult run(const Projector& projector,
                                      const std::vector<circuit::RectoPiezo>& front_ends,
                                      const NetworkRunConfig& cfg);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::shared_ptr<channel::TapCache>& tap_cache() const {
+    return tap_cache_;
+  }
 
  private:
   SimConfig config_;
@@ -55,6 +71,7 @@ class MultiNodeSimulator {
   channel::Vec3 hydrophone_pos_;
   std::vector<channel::Vec3> nodes_;
   pab::Rng rng_;
+  std::shared_ptr<channel::TapCache> tap_cache_;
 };
 
 }  // namespace pab::core

@@ -32,6 +32,10 @@ struct SimConfig {
   std::uint64_t seed = 42;
 };
 
+// DEPRECATED: prefer the named scenario presets (sim::Scenario::pool_a() /
+// pool_b() / swimming_pool()), which bundle medium, placement, front ends,
+// and waveform into one immutable value.  These free functions remain as
+// forwarding shims for existing callers.
 [[nodiscard]] inline SimConfig pool_a_config() {
   SimConfig c;
   c.tank = channel::make_pool_a();

@@ -1,0 +1,114 @@
+// BatchRunner: deterministic parallel Monte-Carlo execution.
+//
+// Fans independent trials out over a std::thread pool.  Trial `i` always
+// draws its randomness from RNG substream `substream_seed(base_seed, i)` and
+// writes its result into slot `i`, so the result vector is bit-identical at
+// any thread count -- the worker that happens to execute a trial never
+// affects its outcome.  Shared lookups (tap sets, front-end responses) go
+// through the Session's thread-safe caches.
+//
+//   sim::Session session(sim::Scenario::pool_a());
+//   sim::BatchRunner pool(8);
+//   const auto trials = pool.run_uplink(session, 1000);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/session.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pab::sim {
+
+class BatchRunner {
+ public:
+  // `threads == 0` uses the hardware concurrency (at least 1).
+  explicit BatchRunner(unsigned threads = 0)
+      : threads_(threads != 0 ? threads
+                              : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  // out[i] = fn(i) for i in [0, n).  `fn` must be safe to call concurrently;
+  // use this for deterministic sweeps whose per-point work needs no RNG (or
+  // derives it itself, as Session::run does).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<std::optional<R>> slots(n);
+    dispatch(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  // out[i] = fn(i, rng_i) with rng_i seeded from the seed-sequence split of
+  // (base_seed, i): the parallel replacement for serial `for (trial ...)`
+  // loops that thread one Rng through every iteration.
+  template <typename Fn>
+  auto map_seeded(std::size_t n, std::uint64_t base_seed, Fn&& fn) const {
+    return map(n, [&](std::size_t i) {
+      pab::Rng rng(substream_seed(base_seed, i));
+      return fn(i, rng);
+    });
+  }
+
+  // Session conveniences: `trials` Monte-Carlo trials in trial order.
+  [[nodiscard]] std::vector<pab::Expected<Session::UplinkTrial>> run_uplink(
+      const Session& session, std::size_t trials) const {
+    return map(trials,
+               [&](std::size_t i) { return session.run(i); });
+  }
+  [[nodiscard]] std::vector<pab::Expected<core::NetworkRunResult>> run_network(
+      const Session& session, std::size_t trials) const {
+    return map(trials,
+               [&](std::size_t i) { return session.run_network(i); });
+  }
+
+ private:
+  // Run body(i) for every i in [0, n) across the pool; rethrows the first
+  // worker exception after all workers have joined.
+  template <typename Body>
+  void dispatch(std::size_t n, Body&& body) const {
+    if (n == 0) return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  unsigned threads_;
+};
+
+}  // namespace pab::sim

@@ -1,0 +1,83 @@
+#include "sim/scenario.hpp"
+
+#include "piezo/transducer.hpp"
+
+namespace pab::sim {
+
+Scenario Scenario::pool_a() {
+  Scenario s;
+  s.medium = core::SimConfig{};
+  s.medium.tank = channel::make_pool_a();
+  return s;
+}
+
+Scenario Scenario::pool_b() {
+  Scenario s;
+  s.medium.tank = channel::make_pool_b();
+  return s;
+}
+
+Scenario Scenario::swimming_pool() {
+  Scenario s;
+  s.medium.tank = channel::make_swimming_pool();
+  // Default placement scaled into the larger pool (the Pool A default sits in
+  // a corner of a 10 x 25 m basin and would leave most of it unused).
+  s.placement.projector = {5.0, 10.0, 1.0};
+  s.placement.hydrophone = {5.0, 11.5, 1.0};
+  s.placement.node = {6.2, 12.0, 1.0};
+  return s;
+}
+
+Scenario Scenario::pool_a_concurrent() {
+  Scenario s = pool_a();
+  s.placement.projector = {1.5, 1.5, 0.65};
+  s.placement.hydrophone = {1.5, 2.5, 0.65};
+  s.placement.node = {1.0, 2.0, 0.65};
+  s.extra_nodes = {{2.0, 2.0, 0.65}};
+  s.projector.ideal = true;
+  s.projector.ideal_pressure_pa = 300.0;
+  s.front_ends = {FrontEndSpec{.match_frequency_hz = 15000.0},
+                  FrontEndSpec{.match_frequency_hz = 18000.0}};
+  s.fdma.carriers_hz = {15000.0, 18000.0};
+  return s;
+}
+
+Scenario Scenario::with_seed(std::uint64_t seed) const {
+  Scenario s = *this;
+  s.medium.seed = seed;
+  return s;
+}
+
+Scenario Scenario::with_waveform(const Waveform& w) const {
+  Scenario s = *this;
+  s.waveform = w;
+  return s;
+}
+
+Scenario Scenario::with_placement(const core::Placement& p) const {
+  Scenario s = *this;
+  s.placement = p;
+  return s;
+}
+
+Scenario Scenario::with_node(const channel::Vec3& node) const {
+  Scenario s = *this;
+  s.placement.node = node;
+  return s;
+}
+
+core::Projector Scenario::make_projector() const {
+  if (projector.ideal) return core::Projector::ideal(projector.ideal_pressure_pa);
+  return core::Projector(piezo::make_projector_transducer(), projector.drive_v);
+}
+
+circuit::RectoPiezo Scenario::make_front_end(std::size_t j) const {
+  const FrontEndSpec& spec = front_ends.at(j);
+  circuit::RectoPiezoConfig cfg;
+  cfg.match_frequency_hz = spec.match_frequency_hz;
+  cfg.assist_gain_db = spec.assist_gain_db;
+  return circuit::RectoPiezo(piezo::make_node_transducer(spec.mech_resonance_hz),
+                             cfg);
+}
+
+}  // namespace pab::sim

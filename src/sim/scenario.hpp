@@ -1,0 +1,81 @@
+// Scenario: the immutable description of one simulated experiment.
+//
+// A Scenario bundles everything that used to be plumbed separately through
+// core::SimConfig / core::Placement / per-run config structs: the tank and
+// medium, instrument placement, the projector, every node front end, and the
+// waveform / FDMA-frame parameters.  It is a plain value -- copy it, tweak a
+// field, and you have a new experiment; hand it to a sim::Session and it is
+// treated as frozen for the session's lifetime.  All Monte-Carlo randomness
+// derives from `medium.seed` via per-trial substreams (sim/batch.hpp), so a
+// Scenario value pins an experiment bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/tank.hpp"
+#include "circuit/rectopiezo.hpp"
+#include "core/projector.hpp"
+#include "core/setup.hpp"
+#include "sim/waveform.hpp"
+
+namespace pab::sim {
+
+// A node front end by construction parameters (kept as data so Scenario stays
+// a value type; sim::Session instantiates the circuit::RectoPiezo objects).
+struct FrontEndSpec {
+  double match_frequency_hz = 15000.0;  // electrical (FDMA) resonance
+  double mech_resonance_hz = 16500.0;   // transducer mechanical resonance
+  double assist_gain_db = 0.0;          // battery-assisted reflection gain
+};
+
+// The acoustic source: either the paper's physical cylinder transducer at a
+// drive voltage, or an idealized flat source (re-matched per frequency).
+struct ProjectorSpec {
+  double drive_v = 50.0;          // physical model: amplifier drive [V]
+  bool ideal = false;             // true: flat `ideal_pressure_pa` source
+  double ideal_pressure_pa = 300.0;
+};
+
+struct Scenario {
+  // Medium, sampling, noise, and the base RNG seed (the legacy SimConfig
+  // block, embedded whole so the core shims interoperate losslessly).
+  core::SimConfig medium{};
+  // Projector / hydrophone / first-node positions; nodes beyond the first
+  // (concurrent-transmission experiments) go in `extra_nodes`.
+  core::Placement placement{};
+  std::vector<channel::Vec3> extra_nodes{};
+
+  ProjectorSpec projector{};
+  // One spec per node; front_ends[j] belongs to node_position(j).
+  std::vector<FrontEndSpec> front_ends{FrontEndSpec{}};
+
+  Waveform waveform{};  // single-link uplink trials (Session::run)
+  FdmaPlan fdma{};      // concurrent frames (Session::run_network)
+
+  // ---- Named presets (replace the pool_a_config()-style free functions) ----
+  [[nodiscard]] static Scenario pool_a();         // 3 x 4 m tank, section 5.1
+  [[nodiscard]] static Scenario pool_b();         // 1.2 x 10 m corridor
+  [[nodiscard]] static Scenario swimming_pool();  // 10 x 25 m indoor pool
+  // The paper's two-node concurrent setup (section 6.3 / Fig. 10): 15 and
+  // 18 kHz recto-piezos in Pool A with the ideal projector.
+  [[nodiscard]] static Scenario pool_a_concurrent();
+
+  // ---- Derived accessors ----------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return 1 + extra_nodes.size(); }
+  [[nodiscard]] const channel::Vec3& node_position(std::size_t j) const {
+    return j == 0 ? placement.node : extra_nodes[j - 1];
+  }
+
+  // ---- Fluent copies for sweep construction ---------------------------------
+  [[nodiscard]] Scenario with_seed(std::uint64_t seed) const;
+  [[nodiscard]] Scenario with_waveform(const Waveform& w) const;
+  [[nodiscard]] Scenario with_placement(const core::Placement& p) const;
+  [[nodiscard]] Scenario with_node(const channel::Vec3& node) const;
+
+  // Instantiate hardware from the specs.
+  [[nodiscard]] core::Projector make_projector() const;
+  [[nodiscard]] circuit::RectoPiezo make_front_end(std::size_t j) const;
+};
+
+}  // namespace pab::sim

@@ -1,0 +1,102 @@
+#include "sim/session.hpp"
+
+#include <mutex>
+#include <random>
+#include <shared_mutex>
+
+#include "phy/metrics.hpp"
+
+namespace pab::sim {
+
+std::uint64_t substream_seed(std::uint64_t base_seed, std::uint64_t stream) {
+  std::seed_seq seq{static_cast<std::uint32_t>(base_seed),
+                    static_cast<std::uint32_t>(base_seed >> 32),
+                    static_cast<std::uint32_t>(stream),
+                    static_cast<std::uint32_t>(stream >> 32)};
+  std::uint32_t words[2] = {0, 0};
+  seq.generate(words, words + 2);
+  return (static_cast<std::uint64_t>(words[1]) << 32) | words[0];
+}
+
+Session::Session(Scenario scenario)
+    : scenario_(std::move(scenario)),
+      tap_cache_(std::make_shared<channel::TapCache>(
+          scenario_.medium.tank, scenario_.medium.max_image_order,
+          scenario_.medium.use_image_method)),
+      projector_(scenario_.make_projector()),
+      link_(scenario_.medium, scenario_.placement, tap_cache_) {
+  front_ends_.reserve(scenario_.front_ends.size());
+  for (std::size_t j = 0; j < scenario_.front_ends.size(); ++j)
+    front_ends_.push_back(scenario_.make_front_end(j));
+
+  // The network simulator is only constructible when every node position lies
+  // inside the tank; otherwise leave it unset and let run_network report it.
+  std::vector<channel::Vec3> nodes;
+  nodes.reserve(scenario_.node_count());
+  bool placeable = true;
+  for (std::size_t j = 0; j < scenario_.node_count(); ++j) {
+    nodes.push_back(scenario_.node_position(j));
+    placeable = placeable && scenario_.medium.tank.contains(nodes.back());
+  }
+  if (placeable) {
+    network_.emplace(scenario_.medium, scenario_.placement.projector,
+                     scenario_.placement.hydrophone, std::move(nodes),
+                     tap_cache_);
+  }
+}
+
+const core::ModulationStates& Session::modulation(std::size_t j,
+                                                  double carrier_hz,
+                                                  double bitrate) const {
+  const ModKey key{j, carrier_hz, bitrate};
+  {
+    std::shared_lock lock(modulation_mutex_);
+    const auto it = modulation_cache_.find(key);
+    if (it != modulation_cache_.end()) return it->second;
+  }
+  // Evaluate outside the lock (circuit-model walk); losing a concurrent race
+  // is benign, both compute identical values and the first insert wins.
+  const core::ModulationStates states =
+      core::modulation_states(front_ends_.at(j), carrier_hz, bitrate);
+  std::unique_lock lock(modulation_mutex_);
+  const auto [it, inserted] = modulation_cache_.emplace(key, states);
+  if (inserted) modulation_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
+  if (front_ends_.empty())
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "scenario has no front ends"};
+  const Waveform& w = scenario_.waveform;
+  pab::Rng rng = trial_rng(trial);
+  const pab::Bits bits = rng.bits(w.payload_bits);
+  const core::ModulationStates& states = modulation(0, w.carrier_hz, w.bitrate);
+  auto decoded = link_.run_and_decode(projector_, states, bits, w, rng);
+  if (!decoded.ok()) return decoded.error();
+
+  UplinkTrial out;
+  out.sent = bits;
+  out.incident_pressure_pa = decoded.value().run.incident_pressure_pa;
+  out.modulation_pressure_pa = decoded.value().run.modulation_pressure_pa;
+  out.demod = std::move(decoded.value().demod);
+  out.ber = phy::bit_error_rate(bits, out.demod.bits);
+  return out;
+}
+
+pab::Expected<core::NetworkRunResult> Session::run_network(
+    std::uint64_t trial) const {
+  if (!network_.has_value())
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "scenario nodes not placeable inside the tank"};
+  if (scenario_.fdma.carriers_hz.size() != node_count())
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "fdma plan must name one carrier per node"};
+  if (front_ends_.size() != node_count())
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "scenario must specify one front end per node"};
+  pab::Rng rng = trial_rng(trial);
+  return network_->run(projector_, front_ends_, scenario_.fdma, rng);
+}
+
+}  // namespace pab::sim

@@ -1,0 +1,101 @@
+// Session: the executable counterpart of a Scenario.
+//
+// A Session instantiates the scenario's hardware once (projector, recto-piezo
+// front ends, link/network simulators) and owns the memoized caches that make
+// Monte-Carlo aggregation cheap:
+//   * image-method tap sets, keyed by (endpoint, endpoint, carrier) in a
+//     shared channel::TapCache, and
+//   * recto-piezo modulation responses (the BVD + matching-network walk),
+//     keyed by (front end, carrier, bitrate).
+// Both caches are thread-safe: one Session serves trials to every worker of a
+// sim::BatchRunner concurrently.  Each trial draws all of its randomness from
+// a per-trial RNG substream split off `scenario().medium.seed`, so per-trial
+// results are bit-identical at any thread count.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <tuple>
+#include <vector>
+
+#include "core/link.hpp"
+#include "core/network.hpp"
+#include "sim/scenario.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pab::sim {
+
+// Deterministic substream derivation: seed for trial `stream` of a run seeded
+// with `base_seed` (std::seed_seq split, stable across platforms and thread
+// schedules).
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t base_seed,
+                                           std::uint64_t stream);
+
+class Session {
+ public:
+  explicit Session(Scenario scenario);
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const core::Projector& projector() const { return projector_; }
+  [[nodiscard]] const circuit::RectoPiezo& front_end(std::size_t j = 0) const {
+    return front_ends_.at(j);
+  }
+  [[nodiscard]] std::size_t node_count() const { return scenario_.node_count(); }
+  [[nodiscard]] const std::shared_ptr<channel::TapCache>& tap_cache() const {
+    return tap_cache_;
+  }
+  [[nodiscard]] const core::LinkSimulator& link() const { return link_; }
+
+  // Memoized recto-piezo modulation response of node `j` at (carrier,
+  // bitrate).  The first call per key walks the circuit model; later calls
+  // (and concurrent callers) are served from the cache.
+  [[nodiscard]] const core::ModulationStates& modulation(std::size_t j,
+                                                         double carrier_hz,
+                                                         double bitrate) const;
+  // How many responses were actually evaluated (regression observability).
+  [[nodiscard]] std::uint64_t modulation_evaluations() const {
+    return modulation_evaluations_.load(std::memory_order_relaxed);
+  }
+
+  // RNG substream for one trial (all of the trial's randomness).
+  [[nodiscard]] pab::Rng trial_rng(std::uint64_t trial) const {
+    return pab::Rng(substream_seed(scenario_.medium.seed, trial));
+  }
+
+  // ---- Monte-Carlo trials ---------------------------------------------------
+  // One single-link uplink trial: draw `waveform.payload_bits` random bits,
+  // simulate the backscatter uplink, decode with the standard receiver.
+  // Decode failures surface as the demodulator's error through Expected.
+  struct UplinkTrial {
+    pab::Bits sent;
+    phy::DemodResult demod;
+    double ber = 0.0;
+    double incident_pressure_pa = 0.0;
+    double modulation_pressure_pa = 0.0;
+  };
+  [[nodiscard]] pab::Expected<UplinkTrial> run(std::uint64_t trial) const;
+
+  // One concurrent multi-node frame per the scenario's FDMA plan.  Requires
+  // as many front ends and carriers as nodes.
+  [[nodiscard]] pab::Expected<core::NetworkRunResult> run_network(
+      std::uint64_t trial) const;
+
+ private:
+  Scenario scenario_;
+  std::shared_ptr<channel::TapCache> tap_cache_;
+  core::Projector projector_;
+  std::vector<circuit::RectoPiezo> front_ends_;
+  core::LinkSimulator link_;
+  std::optional<core::MultiNodeSimulator> network_;  // built when placements allow
+
+  using ModKey = std::tuple<std::size_t, double, double>;
+  mutable std::shared_mutex modulation_mutex_;
+  mutable std::map<ModKey, core::ModulationStates> modulation_cache_;
+  mutable std::atomic<std::uint64_t> modulation_evaluations_{0};
+};
+
+}  // namespace pab::sim

@@ -1,0 +1,38 @@
+// Shared waveform parameter structs consumed by sim::Scenario.
+//
+// These collapse the duplicated per-run config structs that used to live on
+// each simulator (core::UplinkRunConfig / core::NetworkRunConfig): a single
+// `Waveform` describes a one-node backscatter uplink and a single `FdmaPlan`
+// describes a concurrent multi-node frame.  The legacy names remain as
+// aliases in core/ so existing callers keep compiling.
+//
+// This header is deliberately dependency-free so the lower core/ layer can
+// alias these types without linking against the sim module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pab::sim {
+
+// Single-link backscatter uplink parameters (the former core::UplinkRunConfig).
+struct Waveform {
+  double carrier_hz = 15000.0;
+  double bitrate = 1000.0;
+  double node_start_s = 0.05;  // node begins backscattering at this link time
+  double tail_s = 0.02;        // extra CW after the packet
+  // Payload size drawn per Monte-Carlo trial by sim::Session (ignored by the
+  // legacy call paths, which pass explicit bit vectors).
+  std::size_t payload_bits = 64;
+};
+
+// FDMA channel plan for concurrent multi-node frames (the former
+// core::NetworkRunConfig).  One carrier per node.
+struct FdmaPlan {
+  std::vector<double> carriers_hz;  // one per node (the FDMA plan)
+  double bitrate = 250.0;
+  std::size_t training_bits = 24;
+  std::size_t payload_bits = 96;
+};
+
+}  // namespace pab::sim

@@ -24,9 +24,9 @@ TEST(Integration, UplinkDecodesCleanly) {
   const auto bits = rng.bits(64);
   UplinkRunConfig cfg;
   const auto out = sim.run_and_decode(proj, fe, bits, cfg);
-  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
-  EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0);
-  EXPECT_GT(out.demod.value().snr_db, 3.0);
+  ASSERT_TRUE(out.ok()) << out.error().message();
+  EXPECT_EQ(phy::bit_error_rate(bits, out.value().demod.bits), 0.0);
+  EXPECT_GT(out.value().demod.snr_db, 3.0);
 }
 
 TEST(Integration, FullPacketWithCrc) {
@@ -41,9 +41,9 @@ TEST(Integration, FullPacketWithCrc) {
 
   UplinkRunConfig cfg;
   const auto out = sim.run_and_decode(proj, fe, bits, cfg);
-  ASSERT_TRUE(out.demod.ok());
+  ASSERT_TRUE(out.ok());
   const auto decoded =
-      phy::UplinkPacket::from_bits(out.demod.value().bits, /*has_preamble=*/false);
+      phy::UplinkPacket::from_bits(out.value().demod.bits, /*has_preamble=*/false);
   ASSERT_TRUE(decoded.has_value()) << "CRC failed";
   EXPECT_EQ(decoded->node_id, 3);
   EXPECT_NEAR(node::decode_ph_payload(decoded->payload), 7.4, 0.005);
@@ -65,10 +65,10 @@ TEST(Integration, SnrDropsWithDistance) {
   LinkSimulator sim_far(sc, far);
   const auto rn = sim_near.run_and_decode(proj, fe, bits, UplinkRunConfig{});
   const auto rf = sim_far.run_and_decode(proj, fe, bits, UplinkRunConfig{});
-  ASSERT_TRUE(rn.demod.ok());
+  ASSERT_TRUE(rn.ok());
   // The far node's channel amplitude must be weaker.
-  if (rf.demod.ok()) {
-    EXPECT_LT(rf.demod.value().channel_amp, rn.demod.value().channel_amp);
+  if (rf.ok()) {
+    EXPECT_LT(rf.value().demod.channel_amp, rn.value().demod.channel_amp);
   }
 }
 
@@ -139,9 +139,9 @@ TEST(Integration, EndToEndQueryResponseTransaction) {
   UplinkRunConfig ucfg;
   ucfg.bitrate = node.bitrate();
   const auto out = sim.run_and_decode(proj, node.front_end(), bits, ucfg);
-  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
+  ASSERT_TRUE(out.ok()) << out.error().message();
   const auto packet =
-      phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+      phy::UplinkPacket::from_bits(out.value().demod.bits, false);
   ASSERT_TRUE(packet.has_value());
   const auto reading = mac::parse_response(query, *packet);
   ASSERT_TRUE(reading.has_value());
@@ -186,8 +186,8 @@ TEST(Integration, SwimmingPoolLinkDecodes) {
   pab::Rng rng(61);
   const auto bits = rng.bits(64);
   const auto out = sim.run_and_decode(proj, fe, bits, UplinkRunConfig{});
-  ASSERT_TRUE(out.demod.ok()) << out.demod.error().message();
-  EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0);
+  ASSERT_TRUE(out.ok()) << out.error().message();
+  EXPECT_EQ(phy::bit_error_rate(bits, out.value().demod.bits), 0.0);
 }
 
 TEST(Integration, ProjectorIdealIsFlat) {

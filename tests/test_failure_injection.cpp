@@ -160,8 +160,8 @@ TEST(FailureInjection, ClockSkewToleratedByEnvelopeReceiver) {
     Rng rng(23);
     const auto bits = rng.bits(64);
     const auto out = sim.run_and_decode(proj, fe, bits, UplinkRunConfig{});
-    ASSERT_TRUE(out.demod.ok()) << "ppm=" << ppm;
-    EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0)
+    ASSERT_TRUE(out.ok()) << "ppm=" << ppm;
+    EXPECT_EQ(phy::bit_error_rate(bits, out.value().demod.bits), 0.0)
         << "ppm=" << ppm;
   }
 }

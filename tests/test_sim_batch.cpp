@@ -1,0 +1,196 @@
+// Determinism and caching contract of the Scenario/Session/BatchRunner layer:
+// per-trial results must be bit-identical at any thread count, and the
+// session's memoized physics (tap sets, recto-piezo responses) must be
+// computed exactly once per key regardless of how many trials touch them.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "sim/batch.hpp"
+
+namespace pab::sim {
+namespace {
+
+TEST(Substream, StableAndDistinct) {
+  // The substream split is a pure function of (base, stream)...
+  EXPECT_EQ(substream_seed(7, 0), substream_seed(7, 0));
+  EXPECT_EQ(substream_seed(42, 13), substream_seed(42, 13));
+  // ...and neighboring streams / bases do not collide.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 7ull, 42ull, 1ull << 40}) {
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+      seen.insert(substream_seed(base, stream));
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u);
+}
+
+TEST(BatchRunner, MapPreservesOrderAtAnyThreadCount) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const auto serial = BatchRunner(1).map(100, square);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto parallel = BatchRunner(threads).map(100, square);
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+  }
+}
+
+TEST(BatchRunner, MapSeededGivesEachTrialItsOwnSubstream) {
+  const auto first_draw = [](std::size_t, Rng& rng) { return rng.uniform(); };
+  const auto draws = BatchRunner(4).map_seeded(32, 5, first_draw);
+  // Every trial's substream is independent of the worker that ran it:
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    Rng expected(substream_seed(5, i));
+    EXPECT_EQ(draws[i], expected.uniform()) << "trial " << i;
+  }
+}
+
+TEST(BatchRunner, PropagatesWorkerExceptions) {
+  EXPECT_THROW(BatchRunner(4).map(16,
+                                  [](std::size_t i) -> int {
+                                    if (i == 11) throw std::runtime_error("boom");
+                                    return 0;
+                                  }),
+               std::runtime_error);
+}
+
+// The acceptance criterion of the engine: a Monte-Carlo uplink sweep produces
+// bit-identical per-trial results on 1, 2, 4, and 8 threads.
+TEST(SessionDeterminism, UplinkTrialsBitIdenticalAcrossThreadCounts) {
+  const Session session(Scenario::pool_a().with_seed(97));
+  constexpr std::size_t kTrials = 12;
+  const auto serial = BatchRunner(1).run_uplink(session, kTrials);
+  ASSERT_EQ(serial.size(), kTrials);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto parallel = BatchRunner(threads).run_uplink(session, kTrials);
+    ASSERT_EQ(parallel.size(), kTrials);
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      ASSERT_EQ(serial[i].ok(), parallel[i].ok()) << i;
+      if (!serial[i].ok()) continue;
+      const auto& a = serial[i].value();
+      const auto& b = parallel[i].value();
+      EXPECT_EQ(a.sent, b.sent) << i;
+      EXPECT_EQ(a.demod.bits, b.demod.bits) << i;
+      // Bit-identical doubles, not approximately equal.
+      EXPECT_EQ(a.ber, b.ber) << i;
+      EXPECT_EQ(a.demod.snr_db, b.demod.snr_db) << i;
+      EXPECT_EQ(a.incident_pressure_pa, b.incident_pressure_pa) << i;
+      EXPECT_EQ(a.modulation_pressure_pa, b.modulation_pressure_pa) << i;
+    }
+  }
+}
+
+TEST(SessionDeterminism, NetworkTrialsBitIdenticalAcrossThreadCounts) {
+  const Session session(Scenario::pool_a_concurrent().with_seed(3));
+  constexpr std::size_t kTrials = 4;
+  const auto serial = BatchRunner(1).run_network(session, kTrials);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel = BatchRunner(threads).run_network(session, kTrials);
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      ASSERT_TRUE(serial[i].ok()) << serial[i].error().message();
+      ASSERT_TRUE(parallel[i].ok());
+      EXPECT_EQ(serial[i].value().sinr_after_db, parallel[i].value().sinr_after_db)
+          << i;
+      EXPECT_EQ(serial[i].value().ber_after, parallel[i].value().ber_after) << i;
+    }
+  }
+}
+
+TEST(SessionDeterminism, TrialsDifferFromEachOther) {
+  // Substreams must decorrelate trials: identical payloads across trials
+  // would mean the split is broken.
+  const Session session(Scenario::pool_a().with_seed(11));
+  const auto trials = BatchRunner(2).run_uplink(session, 6);
+  for (std::size_t i = 1; i < trials.size(); ++i) {
+    ASSERT_TRUE(trials[i].ok());
+    EXPECT_NE(trials[i].value().sent, trials[0].value().sent) << i;
+  }
+}
+
+// Satellite bugfix regression: LinkSimulator used to recompute the
+// image-method taps on every run; the shared TapCache must evaluate each
+// (endpoints, carrier) key exactly once no matter how many trials run.
+TEST(TapCache, EvaluatesEachGeometryOnce) {
+  const Session session(Scenario::pool_a().with_seed(1));
+  const auto& cache = *session.tap_cache();
+  const auto trials = BatchRunner(4).run_uplink(session, 10);
+  for (const auto& t : trials) ASSERT_TRUE(t.ok());
+  // One uplink needs three paths (proj->node, node->hyd, proj->hyd), all at
+  // the same carrier: exactly 3 evaluations, served to 10 trials.
+  EXPECT_EQ(cache.evaluations(), 3u);
+  EXPECT_GE(cache.lookups(), 30u);
+}
+
+TEST(TapCache, DistinctKeysEvaluateSeparately) {
+  const channel::Tank tank = channel::make_pool_a();
+  const channel::TapCache cache(tank, 2, true);
+  const channel::Vec3 a{1.0, 1.0, 0.5}, b{2.0, 2.0, 0.5};
+  const auto t1 = cache.taps(a, b, 15000.0);
+  const auto t2 = cache.taps(a, b, 15000.0);  // hit
+  const auto t3 = cache.taps(a, b, 18000.0);  // new carrier
+  const auto t4 = cache.taps(b, a, 15000.0);  // reversed endpoints
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_EQ(cache.evaluations(), 3u);
+  EXPECT_EQ(cache.lookups(), 4u);
+  EXPECT_FALSE(t3->empty());
+  EXPECT_FALSE(t4->empty());
+}
+
+// Satellite: the recto-piezo frequency response is memoized per (front end,
+// carrier, bitrate) -- trials at one operating point share one evaluation.
+TEST(Session, ModulationResponseMemoized) {
+  const Session session(Scenario::pool_a().with_seed(2));
+  const auto trials = BatchRunner(4).run_uplink(session, 8);
+  for (const auto& t : trials) ASSERT_TRUE(t.ok());
+  EXPECT_EQ(session.modulation_evaluations(), 1u);
+  // A different operating point is a fresh evaluation...
+  (void)session.modulation(0, 18000.0, 1000.0);
+  EXPECT_EQ(session.modulation_evaluations(), 2u);
+  // ...and repeating it is not.
+  (void)session.modulation(0, 18000.0, 1000.0);
+  EXPECT_EQ(session.modulation_evaluations(), 2u);
+}
+
+// Satellite: failures surface as Expected errors, not sentinel values.
+TEST(Session, UndecodableRunReturnsError) {
+  Scenario sc = Scenario::pool_a().with_seed(4);
+  sc.medium.noise.psd_db_re_upa = 140.0;  // drown the link
+  sc.projector.drive_v = 1e-3;
+  const Session session(sc);
+  const auto out = session.run(0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_FALSE(out.error().message().empty());
+}
+
+TEST(Session, NetworkRequiresConsistentScenario) {
+  // One node but a two-carrier FDMA plan: a config error, reported as such.
+  Scenario sc = Scenario::pool_a();
+  sc.fdma.carriers_hz = {15000.0, 18000.0};
+  const Session session(sc);
+  const auto out = session.run_network(0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kInvalidArgument);
+}
+
+// Wall-clock sanity: on a multi-core host the fan-out must actually help.
+// Gated on hardware concurrency so single-core CI stays meaningful.
+TEST(BatchRunner, ParallelSpeedupOnMultiCoreHosts) {
+  if (std::thread::hardware_concurrency() < 4)
+    GTEST_SKIP() << "needs >= 4 cores to measure speedup";
+  const Session session(Scenario::pool_a().with_seed(31));
+  constexpr std::size_t kTrials = 32;
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto serial = BatchRunner(1).run_uplink(session, kTrials);
+  const auto t1 = clock::now();
+  const auto parallel = BatchRunner(8).run_uplink(session, kTrials);
+  const auto t2 = clock::now();
+  const double speedup = std::chrono::duration<double>(t1 - t0).count() /
+                         std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_GT(speedup, 1.5) << "8-thread batch not faster than serial";
+  for (std::size_t i = 0; i < kTrials; ++i)
+    EXPECT_EQ(serial[i].value().demod.bits, parallel[i].value().demod.bits);
+}
+
+}  // namespace
+}  // namespace pab::sim

@@ -11,6 +11,8 @@
 #include "core/projector.hpp"
 #include "phy/fec.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "sim/session.hpp"
 #include "util/rng.hpp"
 
 namespace pab {
@@ -73,23 +75,16 @@ class LinkBitrateSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(LinkBitrateSweep, CloseRangeLinkDecodesErrorFree) {
   const double bitrate = GetParam();
-  core::SimConfig sc = core::pool_a_config();
-  core::Placement pl;
-  pl.projector = {1.2, 1.5, 0.65};
-  pl.hydrophone = {1.8, 1.5, 0.65};
-  pl.node = {1.5, 2.1, 0.65};
-  core::LinkSimulator sim(sc, pl);
-  const core::Projector proj(piezo::make_projector_transducer(), 50.0);
-  const auto fe = circuit::make_recto_piezo(15000.0);
-  Rng rng(static_cast<std::uint64_t>(bitrate));
-  const auto bits = rng.bits(64);
-  core::UplinkRunConfig cfg;
-  cfg.bitrate = bitrate;
-  const auto out = sim.run_and_decode(proj, fe, bits, cfg);
-  ASSERT_TRUE(out.demod.ok()) << "rate=" << bitrate << ": "
-                              << out.demod.error().message();
-  EXPECT_EQ(phy::bit_error_rate(bits, out.demod.value().bits), 0.0)
-      << "rate=" << bitrate;
+  sim::Scenario sc =
+      sim::Scenario::pool_a().with_seed(static_cast<std::uint64_t>(bitrate));
+  sc.placement.projector = {1.2, 1.5, 0.65};
+  sc.placement.hydrophone = {1.8, 1.5, 0.65};
+  sc.placement.node = {1.5, 2.1, 0.65};
+  sc.waveform.bitrate = bitrate;
+  const sim::Session session(sc);
+  const auto out = session.run(/*trial=*/0);
+  ASSERT_TRUE(out.ok()) << "rate=" << bitrate << ": " << out.error().message();
+  EXPECT_EQ(out.value().ber, 0.0) << "rate=" << bitrate;
 }
 
 // The paper's usable range in quiet conditions: 100 bps - 2.8 kbps.
@@ -157,8 +152,8 @@ TEST_P(PacketPipelineSweep, WaveformRoundTripWithCrc) {
   const auto bits = packet.to_bits(false);
 
   const auto out = sim.run_and_decode(proj, fe, bits, core::UplinkRunConfig{});
-  ASSERT_TRUE(out.demod.ok()) << "len=" << payload_len;
-  const auto decoded = phy::UplinkPacket::from_bits(out.demod.value().bits, false);
+  ASSERT_TRUE(out.ok()) << "len=" << payload_len;
+  const auto decoded = phy::UplinkPacket::from_bits(out.value().demod.bits, false);
   ASSERT_TRUE(decoded.has_value()) << "len=" << payload_len;
   EXPECT_EQ(decoded->payload, packet.payload);
 }
