@@ -1,14 +1,22 @@
 // Shared helpers for the figure-regeneration benches.
 //
 // Each bench binary prints the series of one of the paper's evaluation
-// figures, then runs google-benchmark timings of the hot kernels involved.
+// figures, runs google-benchmark timings of the hot kernels involved, and
+// writes a metrics JSON sidecar (`<bench>.metrics.json`, next to wherever the
+// bench was run) holding every instrument the run touched in the process-wide
+// obs::MetricRegistry -- cache hit rates, per-stage decode timings, worker
+// balance.  The sidecar is the profiling baseline later perf work reports
+// against.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pab::bench {
 
@@ -35,13 +43,39 @@ inline std::string fmt_sci(double v, int precision = 2) {
   return buf;
 }
 
-// Print the figure series via `print_series`, then run registered
-// google-benchmark timings.
+// `<basename of argv0>.metrics.json` in the working directory.
+inline std::string metrics_sidecar_path(const char* argv0) {
+  std::string_view name = argv0 != nullptr ? argv0 : "bench";
+  if (const auto slash = name.rfind('/'); slash != std::string_view::npos)
+    name.remove_prefix(slash + 1);
+  return std::string(name) + ".metrics.json";
+}
+
+// Dump `registry` as the bench's metrics sidecar; returns the path ("" on
+// I/O failure).  run_bench_main calls this with the global registry -- call
+// it directly only for an isolated registry.
+inline std::string write_metrics_sidecar(
+    const char* argv0,
+    const obs::MetricRegistry& registry = obs::MetricRegistry::global()) {
+  const std::string path = metrics_sidecar_path(argv0);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string json = registry.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+// Print the figure series via `print_series`, run registered google-benchmark
+// timings, then emit the metrics sidecar from the global registry.
 inline int run_bench_main(int argc, char** argv, void (*print_series)()) {
   print_series();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  const std::string sidecar = write_metrics_sidecar(argc > 0 ? argv[0] : nullptr);
+  if (!sidecar.empty())
+    std::printf("\nmetrics sidecar: %s\n", sidecar.c_str());
   return 0;
 }
 

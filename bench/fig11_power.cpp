@@ -4,6 +4,7 @@
 // ~500 uW while backscattering, roughly flat across 100 bps - 3 kbps, within
 // 7% of the component datasheets.
 #include "bench_util.hpp"
+#include "energy/ledger.hpp"
 #include "energy/mcu.hpp"
 
 namespace {
@@ -36,6 +37,20 @@ void print_series() {
               100.0 * (measured - datasheet_active) / datasheet_active);
   std::printf("Energy per backscattered bit at 1 kbps: %.0f nJ\n",
               mcu.backscatter_power_w(1000.0) / 1000.0 * 1e9);
+
+  // Energy accounting for one representative duty cycle (1 s idle listening,
+  // a 1000-bit backscatter frame at 1 kbps), published to the metrics
+  // sidecar through the ledger's category gauges.
+  energy::EnergyLedger ledger;
+  ledger.add(energy::Category::kIdle, mcu.idle_power_w() * 1.0);
+  ledger.add(energy::Category::kBackscatter,
+             mcu.backscatter_power_w(1000.0) * 1.0);
+  ledger.export_to(obs::MetricRegistry::global());
+  std::printf("Duty-cycle ledger: %.0f uJ consumed (%.0f uJ idle, %.0f uJ "
+              "backscatter)\n",
+              ledger.total_consumed() * 1e6,
+              ledger.total(energy::Category::kIdle) * 1e6,
+              ledger.total(energy::Category::kBackscatter) * 1e6);
 }
 
 void bm_power_model(benchmark::State& state) {

@@ -100,6 +100,36 @@ void print_series() {
               std::thread::hardware_concurrency());
   std::printf("per-point error counts bit-identical across thread counts: %s\n",
               serial == parallel ? "yes" : "NO -- DETERMINISM BROKEN");
+
+  // Waveform-level cross-check: a short full-pipeline run (projector ->
+  // tank multipath -> recto-piezo backscatter -> hydrophone -> receiver
+  // chain) in Pool A.  Besides validating that the end-to-end link decodes
+  // where the chip-level curve says it should, this populates the metrics
+  // sidecar with the TapCache hit rate and the per-stage decode timings
+  // (phy.demod.*) of the real receiver.
+  const sim::Session session(sim::Scenario::pool_a().with_seed(kBaseSeed));
+  constexpr std::size_t kWaveformTrials = 16;
+  const auto trials =
+      sim::BatchRunner(4).run_uplink(session, kWaveformTrials);
+  std::size_t decoded = 0;
+  double ber_sum = 0.0, snr_sum = 0.0;
+  for (const auto& t : trials) {
+    if (!t.ok()) continue;
+    ++decoded;
+    ber_sum += t.value().ber;
+    snr_sum += t.value().demod.snr_db;
+  }
+  const auto& taps = *session.tap_cache();
+  std::printf("\nWaveform-level (Pool A, %zu trials): %zu/%zu decoded, "
+              "mean BER %.2e at %.1f dB chip SNR\n",
+              kWaveformTrials, decoded, kWaveformTrials,
+              decoded > 0 ? ber_sum / static_cast<double>(decoded) : 1.0,
+              decoded > 0 ? snr_sum / static_cast<double>(decoded) : 0.0);
+  std::printf("TapCache: %llu lookups, %llu evaluations (hit rate %.1f %%)\n",
+              static_cast<unsigned long long>(taps.lookups()),
+              static_cast<unsigned long long>(taps.evaluations()),
+              100.0 * (1.0 - static_cast<double>(taps.evaluations()) /
+                                 static_cast<double>(taps.lookups())));
 }
 
 void bm_fm0_ml_decode(benchmark::State& state) {

@@ -24,10 +24,16 @@ std::size_t TapCache::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h);
 }
 
-TapCache::TapCache(Tank tank, int max_image_order, bool use_image_method)
+TapCache::TapCache(Tank tank, int max_image_order, bool use_image_method,
+                   obs::MetricRegistry* metrics)
     : tank_(tank),
       max_image_order_(max_image_order),
-      use_image_method_(use_image_method) {}
+      use_image_method_(use_image_method) {
+  if (metrics != nullptr) {
+    hits_ = &metrics->counter("channel.tapcache.hits");
+    misses_ = &metrics->counter("channel.tapcache.misses");
+  }
+}
 
 std::shared_ptr<const TapCache::Taps> TapCache::taps(const Vec3& a, const Vec3& b,
                                                      double freq_hz) const {
@@ -37,8 +43,12 @@ std::shared_ptr<const TapCache::Taps> TapCache::taps(const Vec3& a, const Vec3& 
   {
     std::shared_lock lock(mutex_);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      if (hits_ != nullptr) hits_->add();
+      return it->second;
+    }
   }
+  if (misses_ != nullptr) misses_->add();
   // Compute outside the lock; a concurrent duplicate computation is benign
   // (both produce identical taps, the first insert wins).
   auto computed = std::make_shared<const Taps>(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "channel/tank.hpp"
+#include "obs/metrics.hpp"
 
 namespace pab::channel {
 
@@ -28,7 +29,10 @@ class TapCache {
 
   // The tank, reflection order, and propagation mode are fixed per cache
   // (they come from the scenario); only geometry and carrier vary per lookup.
-  TapCache(Tank tank, int max_image_order, bool use_image_method);
+  // With a registry the cache reports `channel.tapcache.{hits,misses}`
+  // counters (one relaxed atomic increment per lookup -- hot-path safe).
+  TapCache(Tank tank, int max_image_order, bool use_image_method,
+           obs::MetricRegistry* metrics = nullptr);
 
   // Memoized taps for the (a -> b, freq_hz) path.  The returned pointer stays
   // valid for the cache's lifetime and is safe to read from any thread.
@@ -64,6 +68,8 @@ class TapCache {
   Tank tank_;
   int max_image_order_;
   bool use_image_method_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
 
   mutable std::shared_mutex mutex_;
   mutable std::unordered_map<Key, std::shared_ptr<const Taps>, KeyHash> cache_;

@@ -57,7 +57,7 @@ class ReaderController {
   [[nodiscard]] pab::Expected<mac::SensorReading> configure(
       std::uint8_t address, phy::Command command, std::uint8_t argument);
 
-  [[nodiscard]] const mac::TransactionStats& stats() const {
+  [[nodiscard]] mac::TransactionStats stats() const {
     return scheduler_.stats();
   }
   [[nodiscard]] const std::map<std::uint8_t, DeployedNode>& nodes() const {

@@ -37,6 +37,16 @@ LinkSimulator::LinkSimulator(SimConfig config, Placement placement,
   require(tap_cache_ != nullptr, "LinkSimulator: tap cache must not be null");
 }
 
+void LinkSimulator::set_metrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
+  t_uplink_run_ = metrics != nullptr
+                      ? &metrics->histogram("core.link.uplink_run_seconds")
+                      : nullptr;
+  t_decode_ = metrics != nullptr
+                  ? &metrics->histogram("core.link.decode_seconds")
+                  : nullptr;
+}
+
 const std::vector<channel::PathTap>& LinkSimulator::taps(const channel::Vec3& a,
                                                          const channel::Vec3& b,
                                                          double freq_hz) const {
@@ -145,11 +155,16 @@ pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
     std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
     pab::Rng& rng) const {
   DecodedRun out;
-  out.run = run_uplink(projector, states, data_bits, cfg, rng);
+  {
+    const obs::ScopedTimer timer(t_uplink_run_);
+    out.run = run_uplink(projector, states, data_bits, cfg, rng);
+  }
   phy::DemodConfig dc;
   dc.carrier_hz = cfg.carrier_hz;
   dc.bitrate = cfg.bitrate;
   dc.sample_rate = config_.sample_rate;
+  dc.metrics = metrics_;
+  const obs::ScopedTimer timer(t_decode_);
   const phy::BackscatterDemodulator demod(dc);
   auto demodulated = demod.demodulate(out.run.hydrophone_v, data_bits.size());
   if (!demodulated.ok()) return demodulated.error();

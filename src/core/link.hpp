@@ -22,6 +22,7 @@
 #include "core/projector.hpp"
 #include "core/setup.hpp"
 #include "dsp/signal.hpp"
+#include "obs/metrics.hpp"
 #include "phy/modem.hpp"
 #include "sim/waveform.hpp"
 #include "util/rng.hpp"
@@ -117,11 +118,19 @@ class LinkSimulator {
     return tap_cache_;
   }
 
+  // Attach a metrics registry: times the waveform synthesis and decode stages
+  // (`core.link.*`, `phy.demod.*`) of every subsequent run.  The registry
+  // must outlive the simulator; null detaches.
+  void set_metrics(obs::MetricRegistry* metrics);
+
  private:
   SimConfig config_;
   Placement placement_;
   pab::Rng rng_;
   std::shared_ptr<channel::TapCache> tap_cache_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::Histogram* t_uplink_run_ = nullptr;   // waveform synthesis per trial
+  obs::Histogram* t_decode_ = nullptr;       // full receiver chain per trial
 };
 
 }  // namespace pab::core

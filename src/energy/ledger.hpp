@@ -8,6 +8,10 @@
 #include <cstddef>
 #include <string_view>
 
+namespace pab::obs {
+class MetricRegistry;
+}  // namespace pab::obs
+
 namespace pab::energy {
 
 enum class Category : std::size_t {
@@ -44,6 +48,12 @@ class EnergyLedger {
 
   // Average power of a category over `elapsed_s`.
   [[nodiscard]] double average_power_w(Category c, double elapsed_s) const;
+
+  // Publish the ledger as gauges `<prefix>.<category>_joules` plus
+  // `<prefix>.total_consumed_joules` (bench sidecars, energy-per-bit
+  // reporting).
+  void export_to(obs::MetricRegistry& registry,
+                 std::string_view prefix = "energy") const;
 
   void reset();
 

@@ -2,10 +2,44 @@
 
 namespace pab::mac {
 
-PollScheduler::PollScheduler(SchedulerConfig config) : config_(config) {
+PollScheduler::PollScheduler(SchedulerConfig config, obs::MetricRegistry* metrics)
+    : config_(config) {
   require(config.max_retries >= 0, "PollScheduler: negative retries");
   require(config.downlink_time_s >= 0.0 && config.turnaround_s >= 0.0,
           "PollScheduler: negative timing");
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = own_metrics_.get();
+  }
+  n_attempts_ = &metrics->counter("mac.poll.attempts");
+  n_successes_ = &metrics->counter("mac.poll.successes");
+  n_crc_failures_ = &metrics->counter("mac.poll.crc_failures");
+  n_no_response_ = &metrics->counter("mac.poll.no_response");
+  n_retries_ = &metrics->counter("mac.poll.retries");
+  payload_bits_delivered_ = &metrics->gauge("mac.poll.payload_bits_delivered");
+  elapsed_s_ = &metrics->gauge("mac.poll.elapsed_s");
+}
+
+TransactionStats PollScheduler::stats() const {
+  TransactionStats s;
+  s.attempts = n_attempts_->value();
+  s.successes = n_successes_->value();
+  s.crc_failures = n_crc_failures_->value();
+  s.no_response = n_no_response_->value();
+  s.retries = n_retries_->value();
+  s.payload_bits_delivered = payload_bits_delivered_->value();
+  s.elapsed_s = elapsed_s_->value();
+  return s;
+}
+
+void PollScheduler::reset_stats() {
+  n_attempts_->reset();
+  n_successes_->reset();
+  n_crc_failures_->reset();
+  n_no_response_->reset();
+  n_retries_->reset();
+  payload_bits_delivered_->reset();
+  elapsed_s_->reset();
 }
 
 pab::Expected<phy::UplinkPacket> PollScheduler::transact(
@@ -17,20 +51,28 @@ pab::Expected<phy::UplinkPacket> PollScheduler::transact(
 
   pab::Error last{pab::ErrorCode::kTimeout, "no attempts"};
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    ++stats_.attempts;
-    if (attempt > 0) ++stats_.retries;
-    stats_.elapsed_s += config_.downlink_time_s + config_.turnaround_s + uplink_time;
+    n_attempts_->add();
+    if (attempt > 0) n_retries_->add();
+    elapsed_s_->add(config_.downlink_time_s + config_.turnaround_s);
 
     auto result = link(query);
+    // Uplink airtime is only spent when the node actually answered: a decoded
+    // packet or a reply that reached the receiver but failed the CRC.  A
+    // no-response attempt (no preamble, timeout) occupies the channel for the
+    // query and turnaround alone -- charging the response slot too would
+    // understate effective throughput on lossy links.
+    const bool replied =
+        result.ok() || result.error().code == pab::ErrorCode::kCrcMismatch;
+    if (replied) elapsed_s_->add(uplink_time);
     if (result.ok()) {
-      ++stats_.successes;
-      stats_.payload_bits_delivered +=
-          static_cast<double>(result.value().payload.size()) * 8.0;
+      n_successes_->add();
+      payload_bits_delivered_->add(
+          static_cast<double>(result.value().payload.size()) * 8.0);
       return result;
     }
     last = result.error();
-    if (last.code == pab::ErrorCode::kCrcMismatch) ++stats_.crc_failures;
-    else ++stats_.no_response;
+    if (last.code == pab::ErrorCode::kCrcMismatch) n_crc_failures_->add();
+    else n_no_response_->add();
   }
   return last;
 }

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "phy/packet.hpp"
 #include "util/error.hpp"
 
@@ -20,6 +22,9 @@ namespace pab::mac {
 using TransactFn =
     std::function<pab::Expected<phy::UplinkPacket>(const phy::DownlinkQuery&)>;
 
+// Snapshot view of a scheduler's transaction accounting.  The counters live
+// in an obs::MetricRegistry (`mac.poll.*`); this struct is what stats()
+// assembles from them for callers.
 struct TransactionStats {
   std::size_t attempts = 0;
   std::size_t successes = 0;
@@ -47,10 +52,19 @@ struct SchedulerConfig {
 
 class PollScheduler {
  public:
-  explicit PollScheduler(SchedulerConfig config = {});
+  // Transaction accounting goes to `metrics` under `mac.poll.*`.  By default
+  // each scheduler owns a private registry (stats() then reports exactly this
+  // scheduler's transactions, as the old hand-rolled struct did); pass an
+  // external registry to fold the counters into a shared export, e.g. a bench
+  // sidecar via obs::MetricRegistry::global().
+  explicit PollScheduler(SchedulerConfig config = {},
+                         obs::MetricRegistry* metrics = nullptr);
 
   // Execute one query with retries; updates stats with airtime accounting.
-  // `uplink_bits` and `uplink_bitrate` size the response airtime.
+  // `uplink_bits` and `uplink_bitrate` size the response airtime.  Uplink
+  // airtime is charged only for attempts where a reply actually arrived
+  // (decoded or CRC-failed); a no-response attempt costs the downlink query
+  // and turnaround alone.
   [[nodiscard]] pab::Expected<phy::UplinkPacket> transact(
       const phy::DownlinkQuery& query, const TransactFn& link,
       std::size_t uplink_bits, double uplink_bitrate);
@@ -60,12 +74,19 @@ class PollScheduler {
                   const TransactFn& link, std::size_t uplink_bits,
                   double uplink_bitrate);
 
-  [[nodiscard]] const TransactionStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] TransactionStats stats() const;
+  void reset_stats();
 
  private:
   SchedulerConfig config_;
-  TransactionStats stats_;
+  std::unique_ptr<obs::MetricRegistry> own_metrics_;  // when none injected
+  obs::Counter* n_attempts_;
+  obs::Counter* n_successes_;
+  obs::Counter* n_crc_failures_;
+  obs::Counter* n_no_response_;
+  obs::Counter* n_retries_;
+  obs::Gauge* payload_bits_delivered_;
+  obs::Gauge* elapsed_s_;
 };
 
 }  // namespace pab::mac

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/correlate.hpp"
+#include "obs/metrics.hpp"
 #include "phy/equalizer.hpp"
 #include "phy/fec.hpp"
 #include "dsp/mixer.hpp"
@@ -35,6 +36,17 @@ BackscatterDemodulator::BackscatterDemodulator(DemodConfig config)
   preamble_chips_ = fm0_encode(uplink_preamble_bits(), /*initial_level=*/-1);
   // Level at the end of the preamble: the last chip emitted.
   post_preamble_level_ = preamble_chips_.back();
+  if (config_.metrics != nullptr) {
+    auto& m = *config_.metrics;
+    t_correlate_ = &m.histogram("phy.demod.correlate_seconds");
+    t_chanest_ = &m.histogram("phy.demod.chanest_seconds");
+    t_equalize_ = &m.histogram("phy.demod.equalize_seconds");
+    t_downconvert_ = &m.histogram("phy.demod.downconvert_seconds");
+    n_attempts_ = &m.counter("phy.demod.attempts");
+    n_ok_ = &m.counter("phy.demod.ok");
+    n_no_preamble_ = &m.counter("phy.demod.no_preamble");
+    n_decode_failures_ = &m.counter("phy.demod.decode_failures");
+  }
 }
 
 std::vector<double> BackscatterDemodulator::integrate_chips(
@@ -66,64 +78,86 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
   const std::size_t n_data_chips = 2 * n_bits;
   const auto needed = static_cast<std::size_t>(
       std::ceil(static_cast<double>(n_pre_chips + n_data_chips) * spc));
-  if (envelope.size() < needed)
+  if (n_attempts_ != nullptr) n_attempts_->add();
+  if (envelope.size() < needed) {
+    if (n_no_preamble_ != nullptr) n_no_preamble_->add();
     return Error{ErrorCode::kNoPreamble, "capture shorter than one packet"};
-
-  // Zero-mean preamble template at envelope rate.
-  std::vector<double> tmpl(static_cast<std::size_t>(
-      std::ceil(static_cast<double>(n_pre_chips) * spc)));
-  for (std::size_t i = 0; i < tmpl.size(); ++i) {
-    const auto chip = std::min<std::size_t>(
-        static_cast<std::size_t>(static_cast<double>(i) / spc), n_pre_chips - 1);
-    tmpl[i] = static_cast<double>(preamble_chips_[chip]);
   }
 
-  // Windowed Pearson correlation: immune to the un-modulated carrier offset
-  // beneath the packet and to level transients at the capture edges.
-  const std::vector<double> corr = dsp::pearson_correlation(envelope, tmpl);
-  if (corr.empty()) return Error{ErrorCode::kNoPreamble, "correlation empty"};
-
-  // Restrict the search so the whole packet fits after the detected start.
-  std::size_t search_end = corr.size();
-  if (needed < envelope.size())
-    search_end = std::min(search_end, envelope.size() - needed + 1);
-  // The backscatter component may add in anti-phase with the direct carrier,
-  // inverting the envelope levels; search on |corr| and let the signed
-  // channel estimate absorb the inversion.
+  // Packet detection: preamble template correlation + peak search.
   std::size_t best = 0;
-  double best_v = -1e300;
-  for (std::size_t i = 0; i < search_end; ++i) {
-    const double m = std::abs(corr[i]);
-    if (m > best_v) { best_v = m; best = i; }
-  }
+  double corr_norm = 0.0;
+  {
+    const obs::ScopedTimer timer(t_correlate_);
 
-  const double corr_norm = best_v;
-  if (corr_norm < config_.detect_threshold)
+    // Zero-mean preamble template at envelope rate.
+    std::vector<double> tmpl(static_cast<std::size_t>(
+        std::ceil(static_cast<double>(n_pre_chips) * spc)));
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      const auto chip = std::min<std::size_t>(
+          static_cast<std::size_t>(static_cast<double>(i) / spc), n_pre_chips - 1);
+      tmpl[i] = static_cast<double>(preamble_chips_[chip]);
+    }
+
+    // Windowed Pearson correlation: immune to the un-modulated carrier offset
+    // beneath the packet and to level transients at the capture edges.
+    const std::vector<double> corr = dsp::pearson_correlation(envelope, tmpl);
+    if (corr.empty()) {
+      if (n_no_preamble_ != nullptr) n_no_preamble_->add();
+      return Error{ErrorCode::kNoPreamble, "correlation empty"};
+    }
+
+    // Restrict the search so the whole packet fits after the detected start.
+    std::size_t search_end = corr.size();
+    if (needed < envelope.size())
+      search_end = std::min(search_end, envelope.size() - needed + 1);
+    // The backscatter component may add in anti-phase with the direct carrier,
+    // inverting the envelope levels; search on |corr| and let the signed
+    // channel estimate absorb the inversion.
+    double best_v = -1e300;
+    for (std::size_t i = 0; i < search_end; ++i) {
+      const double m = std::abs(corr[i]);
+      if (m > best_v) { best_v = m; best = i; }
+    }
+    corr_norm = best_v;
+  }
+  if (corr_norm < config_.detect_threshold) {
+    if (n_no_preamble_ != nullptr) n_no_preamble_->add();
     return Error{ErrorCode::kNoPreamble, "no preamble above threshold"};
-
-  // Channel estimation from the preamble chips.
-  const std::vector<double> pre_soft = integrate_chips(
-      envelope, static_cast<double>(best), spc, n_pre_chips);
-  double hi = 0.0, lo = 0.0;
-  std::size_t nhi = 0, nlo = 0;
-  for (std::size_t c = 0; c < n_pre_chips; ++c) {
-    if (preamble_chips_[c] > 0) { hi += pre_soft[c]; ++nhi; }
-    else { lo += pre_soft[c]; ++nlo; }
   }
-  if (nhi == 0 || nlo == 0)
-    return Error{ErrorCode::kDecodeFailure, "degenerate preamble"};
-  hi /= static_cast<double>(nhi);
-  lo /= static_cast<double>(nlo);
-  const double amp = (hi - lo) / 2.0;  // signed: negative for inverted levels
-  const double mid = (hi + lo) / 2.0;
-  if (amp == 0.0)
-    return Error{ErrorCode::kDecodeFailure, "zero modulation depth"};
 
-  // Soft data chips, normalized to +/-1 nominal.
-  const double data_start =
-      static_cast<double>(best) + static_cast<double>(n_pre_chips) * spc;
-  std::vector<double> soft = integrate_chips(envelope, data_start, spc, n_data_chips);
-  for (double& v : soft) v = (v - mid) / amp;
+  // Channel estimation from the preamble chips + soft chip integration.
+  double amp = 0.0, mid = 0.0;
+  std::vector<double> soft;
+  {
+    const obs::ScopedTimer timer(t_chanest_);
+    const std::vector<double> pre_soft = integrate_chips(
+        envelope, static_cast<double>(best), spc, n_pre_chips);
+    double hi = 0.0, lo = 0.0;
+    std::size_t nhi = 0, nlo = 0;
+    for (std::size_t c = 0; c < n_pre_chips; ++c) {
+      if (preamble_chips_[c] > 0) { hi += pre_soft[c]; ++nhi; }
+      else { lo += pre_soft[c]; ++nlo; }
+    }
+    if (nhi == 0 || nlo == 0) {
+      if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+      return Error{ErrorCode::kDecodeFailure, "degenerate preamble"};
+    }
+    hi /= static_cast<double>(nhi);
+    lo /= static_cast<double>(nlo);
+    amp = (hi - lo) / 2.0;  // signed: negative for inverted levels
+    mid = (hi + lo) / 2.0;
+    if (amp == 0.0) {
+      if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+      return Error{ErrorCode::kDecodeFailure, "zero modulation depth"};
+    }
+
+    // Soft data chips, normalized to +/-1 nominal.
+    const double data_start =
+        static_cast<double>(best) + static_cast<double>(n_pre_chips) * spc;
+    soft = integrate_chips(envelope, data_start, spc, n_data_chips);
+    for (double& v : soft) v = (v - mid) / amp;
+  }
 
   DemodResult r;
   r.bits = fm0_decode_ml(soft, post_preamble_level_);
@@ -136,6 +170,7 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
     // Second pass: treat the first decision as training, equalize the chip
     // stream, decode again.  With a mostly-correct first pass this cancels
     // the reverberation tail that limits chip SNR.
+    const obs::ScopedTimer timer(t_equalize_);
     const Chips ref_chips = fm0_encode(r.bits, post_preamble_level_);
     std::vector<std::complex<double>> rx(soft.size());
     for (std::size_t c = 0; c < soft.size(); ++c) rx[c] = {soft[c], 0.0};
@@ -163,6 +198,7 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
   r.snr_db = noise > 0.0
                  ? std::clamp(10.0 * std::log10(amp * amp / noise), -60.0, 60.0)
                  : 60.0;
+  if (n_ok_ != nullptr) n_ok_->add();
   return r;
 }
 
@@ -170,13 +206,19 @@ Expected<DemodResult> BackscatterDemodulator::demodulate(
     const dsp::Signal& passband, std::size_t n_bits) const {
   require(passband.sample_rate == config_.sample_rate,
           "demodulate: sample rate mismatch");
-  const double cutoff =
-      std::min(config_.lowpass_factor * config_.bitrate, config_.sample_rate / 2.5);
-  const dsp::BasebandSignal bb = dsp::downconvert_filtered(
-      passband, config_.carrier_hz, cutoff, config_.lowpass_order);
-  std::vector<double> env(bb.size());
-  for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb.samples[i]);
-  return demodulate_envelope(env, bb.sample_rate, n_bits);
+  std::vector<double> env;
+  double envelope_rate = 0.0;
+  {
+    const obs::ScopedTimer timer(t_downconvert_);
+    const double cutoff = std::min(config_.lowpass_factor * config_.bitrate,
+                                   config_.sample_rate / 2.5);
+    const dsp::BasebandSignal bb = dsp::downconvert_filtered(
+        passband, config_.carrier_hz, cutoff, config_.lowpass_order);
+    env.resize(bb.size());
+    for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb.samples[i]);
+    envelope_rate = bb.sample_rate;
+  }
+  return demodulate_envelope(env, envelope_rate, n_bits);
 }
 
 Expected<UplinkPacket> demodulate_packet(const dsp::Signal& passband,
@@ -188,10 +230,20 @@ Expected<UplinkPacket> demodulate_packet(const dsp::Signal& passband,
   const std::size_t n_bits = robust ? fec_coded_size(body_bits) : body_bits;
   auto r = demod.demodulate(passband, n_bits);
   if (!r.ok()) return r.error();
+  // Packet reassembly + CRC validation (timed as the decode chain's last
+  // stage when the config carries a registry).
+  obs::Histogram* t_crc = config.metrics != nullptr
+                              ? &config.metrics->histogram("phy.demod.crc_seconds")
+                              : nullptr;
+  const obs::ScopedTimer timer(t_crc);
   Bits body = r.value().bits;
   if (robust) body = fec_recover(body, body_bits);
   auto packet = UplinkPacket::from_bits(body, /*has_preamble=*/false);
-  if (!packet) return Error{ErrorCode::kCrcMismatch, "packet CRC failed"};
+  if (!packet) {
+    if (config.metrics != nullptr)
+      config.metrics->counter("phy.demod.crc_mismatch").add();
+    return Error{ErrorCode::kCrcMismatch, "packet CRC failed"};
+  }
   return *packet;
 }
 

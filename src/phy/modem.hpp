@@ -18,6 +18,12 @@
 #include "phy/packet.hpp"
 #include "util/error.hpp"
 
+namespace pab::obs {
+class MetricRegistry;
+class Counter;
+class Histogram;
+}  // namespace pab::obs
+
 namespace pab::phy {
 
 // --- Modulator ---------------------------------------------------------------
@@ -47,6 +53,10 @@ struct DemodConfig {
   // decode again.  Helps in reverberant tanks at high bitrates where
   // inter-chip interference dominates.
   bool decision_directed_equalizer = false;
+  // Optional sink for per-stage decode timings and outcome counters
+  // (`phy.demod.*`).  Null disables instrumentation; the registry must
+  // outlive every demodulator built from this config.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct DemodResult {
@@ -83,6 +93,15 @@ class BackscatterDemodulator {
   DemodConfig config_;
   Chips preamble_chips_;
   std::int8_t post_preamble_level_;
+  // Resolved once at construction from config_.metrics (null = metrics off).
+  obs::Histogram* t_correlate_ = nullptr;
+  obs::Histogram* t_chanest_ = nullptr;
+  obs::Histogram* t_equalize_ = nullptr;
+  obs::Histogram* t_downconvert_ = nullptr;
+  obs::Counter* n_attempts_ = nullptr;
+  obs::Counter* n_ok_ = nullptr;
+  obs::Counter* n_no_preamble_ = nullptr;
+  obs::Counter* n_decode_failures_ = nullptr;
 };
 
 // Convenience: demodulate and reassemble a full uplink packet with

@@ -17,11 +17,13 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/session.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -30,10 +32,15 @@ namespace pab::sim {
 
 class BatchRunner {
  public:
-  // `threads == 0` uses the hardware concurrency (at least 1).
-  explicit BatchRunner(unsigned threads = 0)
+  // `threads == 0` uses the hardware concurrency (at least 1).  Dispatch
+  // telemetry (`sim.batch.*`: per-worker trial counts, queue drain time,
+  // exception counts) lands in `metrics` -- the process-global registry by
+  // default, or an explicit registry for isolated accounting.
+  explicit BatchRunner(unsigned threads = 0,
+                       obs::MetricRegistry* metrics = &obs::MetricRegistry::global())
       : threads_(threads != 0 ? threads
-                              : std::max(1u, std::thread::hardware_concurrency())) {}
+                              : std::max(1u, std::thread::hardware_concurrency())),
+        metrics_(metrics) {}
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 
@@ -76,39 +83,62 @@ class BatchRunner {
 
  private:
   // Run body(i) for every i in [0, n) across the pool; rethrows the first
-  // worker exception after all workers have joined.
+  // worker exception after all workers have joined.  A worker exception
+  // cancels the remaining queue: workers finish their in-flight trial and
+  // stop, instead of draining the whole batch to completion.
   template <typename Body>
   void dispatch(std::size_t n, Body&& body) const {
     if (n == 0) return;
+    const obs::ScopedTimer drain_timer(
+        metrics_ != nullptr ? &metrics_->histogram("sim.batch.dispatch_seconds")
+                            : nullptr);
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(threads_, n));
     if (workers <= 1) {
       for (std::size_t i = 0; i < n; ++i) body(i);
+      count_worker_trials(0, n);
       return;
     }
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
-    auto worker = [&] {
+    auto worker = [&](unsigned t) {
+      std::size_t executed = 0;
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         try {
           body(i);
+          ++executed;
         } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (metrics_ != nullptr) metrics_->counter("sim.batch.exceptions").add();
+          {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Cancel the queue: park the cursor at the end so no worker picks
+          // up further trials (each finishes at most its in-flight one).
+          next.store(n, std::memory_order_relaxed);
         }
       }
+      count_worker_trials(t, executed);
     };
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
     for (auto& t : pool) t.join();
     if (first_error) std::rethrow_exception(first_error);
   }
 
+  void count_worker_trials(unsigned worker, std::size_t trials) const {
+    if (metrics_ == nullptr || trials == 0) return;
+    metrics_->counter("sim.batch.trials").add(trials);
+    metrics_->counter("sim.batch.worker." + std::to_string(worker) + ".trials")
+        .add(trials);
+  }
+
   unsigned threads_;
+  obs::MetricRegistry* metrics_;
 };
 
 }  // namespace pab::sim

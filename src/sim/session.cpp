@@ -18,13 +18,21 @@ std::uint64_t substream_seed(std::uint64_t base_seed, std::uint64_t stream) {
   return (static_cast<std::uint64_t>(words[1]) << 32) | words[0];
 }
 
-Session::Session(Scenario scenario)
+Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
     : scenario_(std::move(scenario)),
+      metrics_(metrics),
       tap_cache_(std::make_shared<channel::TapCache>(
           scenario_.medium.tank, scenario_.medium.max_image_order,
-          scenario_.medium.use_image_method)),
+          scenario_.medium.use_image_method, metrics)),
       projector_(scenario_.make_projector()),
       link_(scenario_.medium, scenario_.placement, tap_cache_) {
+  require(metrics_ != nullptr, "Session: metrics registry must not be null");
+  link_.set_metrics(metrics_);
+  n_trials_ = &metrics_->counter("sim.session.trials");
+  n_decode_failures_ = &metrics_->counter("sim.session.decode_failures");
+  n_mod_hits_ = &metrics_->counter("sim.session.modulation_cache_hits");
+  n_mod_misses_ = &metrics_->counter("sim.session.modulation_cache_misses");
+  t_trial_ = &metrics_->histogram("sim.session.trial_seconds");
   front_ends_.reserve(scenario_.front_ends.size());
   for (std::size_t j = 0; j < scenario_.front_ends.size(); ++j)
     front_ends_.push_back(scenario_.make_front_end(j));
@@ -52,8 +60,12 @@ const core::ModulationStates& Session::modulation(std::size_t j,
   {
     std::shared_lock lock(modulation_mutex_);
     const auto it = modulation_cache_.find(key);
-    if (it != modulation_cache_.end()) return it->second;
+    if (it != modulation_cache_.end()) {
+      n_mod_hits_->add();
+      return it->second;
+    }
   }
+  n_mod_misses_->add();
   // Evaluate outside the lock (circuit-model walk); losing a concurrent race
   // is benign, both compute identical values and the first insert wins.
   const core::ModulationStates states =
@@ -68,12 +80,17 @@ pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
   if (front_ends_.empty())
     return pab::Error{pab::ErrorCode::kInvalidArgument,
                       "scenario has no front ends"};
+  const obs::ScopedTimer timer(t_trial_);
+  n_trials_->add();
   const Waveform& w = scenario_.waveform;
   pab::Rng rng = trial_rng(trial);
   const pab::Bits bits = rng.bits(w.payload_bits);
   const core::ModulationStates& states = modulation(0, w.carrier_hz, w.bitrate);
   auto decoded = link_.run_and_decode(projector_, states, bits, w, rng);
-  if (!decoded.ok()) return decoded.error();
+  if (!decoded.ok()) {
+    n_decode_failures_->add();
+    return decoded.error();
+  }
 
   UplinkTrial out;
   out.sent = bits;

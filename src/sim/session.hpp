@@ -23,6 +23,7 @@
 
 #include "core/link.hpp"
 #include "core/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -37,7 +38,17 @@ namespace pab::sim {
 
 class Session {
  public:
-  explicit Session(Scenario scenario);
+  // Instrumentation (cache hit/miss counters, per-trial decode latency
+  // histograms -- `sim.session.*`, `channel.tapcache.*`, `phy.demod.*`)
+  // lands in `metrics`: the process-global registry by default (so bench
+  // sidecars see every session), or an explicit registry for isolated
+  // accounting in tests.  The registry must outlive the session.  All
+  // instruments are relaxed atomics and never touch a trial's RNG substream,
+  // so per-trial results stay bit-identical with metrics enabled.
+  explicit Session(Scenario scenario,
+                   obs::MetricRegistry* metrics = &obs::MetricRegistry::global());
+
+  [[nodiscard]] obs::MetricRegistry& metrics() const { return *metrics_; }
 
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
   [[nodiscard]] const core::Projector& projector() const { return projector_; }
@@ -86,6 +97,7 @@ class Session {
 
  private:
   Scenario scenario_;
+  obs::MetricRegistry* metrics_;
   std::shared_ptr<channel::TapCache> tap_cache_;
   core::Projector projector_;
   std::vector<circuit::RectoPiezo> front_ends_;
@@ -96,6 +108,13 @@ class Session {
   mutable std::shared_mutex modulation_mutex_;
   mutable std::map<ModKey, core::ModulationStates> modulation_cache_;
   mutable std::atomic<std::uint64_t> modulation_evaluations_{0};
+
+  // Instruments resolved once at construction (registry-lifetime pointers).
+  obs::Counter* n_trials_ = nullptr;
+  obs::Counter* n_decode_failures_ = nullptr;
+  obs::Counter* n_mod_hits_ = nullptr;
+  obs::Counter* n_mod_misses_ = nullptr;
+  obs::Histogram* t_trial_ = nullptr;
 };
 
 }  // namespace pab::sim

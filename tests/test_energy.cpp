@@ -4,6 +4,7 @@
 #include "energy/harvester.hpp"
 #include "energy/ledger.hpp"
 #include "energy/mcu.hpp"
+#include "obs/metrics.hpp"
 
 namespace pab::energy {
 namespace {
@@ -55,6 +56,35 @@ TEST(Ledger, AccumulatesByCategory) {
   EXPECT_NEAR(ledger.total(Category::kBackscatter), 5e-4, 1e-15);
   EXPECT_NEAR(ledger.harvested(), 1e-3, 1e-15);
   EXPECT_NEAR(ledger.total_consumed(), 5e-4, 1e-15);
+}
+
+// Regression guard for total_consumed(): it must be the sum of exactly the
+// five consumption categories and exclude harvested energy, independent of
+// the enum's numeric layout (the implementation now iterates the categories
+// by name, with a static_assert pinning the layout).
+TEST(Ledger, TotalConsumedCoversEveryConsumptionCategory) {
+  EnergyLedger ledger;
+  ledger.add(Category::kHarvested, 100.0);  // must never leak into "consumed"
+  ledger.add(Category::kIdle, 1.0);
+  ledger.add(Category::kDecode, 2.0);
+  ledger.add(Category::kBackscatter, 4.0);
+  ledger.add(Category::kSensing, 8.0);
+  ledger.add(Category::kLeakage, 16.0);
+  EXPECT_NEAR(ledger.total_consumed(), 31.0, 1e-12);
+  EXPECT_NEAR(ledger.harvested(), 100.0, 1e-12);
+}
+
+TEST(Ledger, ExportsGaugesToRegistry) {
+  EnergyLedger ledger;
+  ledger.add(Category::kHarvested, 2e-3);
+  ledger.add(Category::kBackscatter, 5e-4);
+  obs::MetricRegistry reg;
+  ledger.export_to(reg, "node0.energy");
+  EXPECT_DOUBLE_EQ(reg.gauge("node0.energy.harvested_joules").value(), 2e-3);
+  EXPECT_DOUBLE_EQ(reg.gauge("node0.energy.backscatter_joules").value(), 5e-4);
+  EXPECT_DOUBLE_EQ(reg.gauge("node0.energy.total_consumed_joules").value(),
+                   5e-4);
+  EXPECT_DOUBLE_EQ(reg.gauge("node0.energy.idle_joules").value(), 0.0);
 }
 
 TEST(Ledger, AveragePower) {

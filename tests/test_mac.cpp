@@ -95,6 +95,76 @@ TEST(Scheduler, AirtimeAccounting) {
   EXPECT_GT(sched.stats().goodput_bps(), 0.0);
 }
 
+// Regression: a no-response attempt used to charge the full uplink slot too,
+// deflating effective-throughput numbers on lossy links.  Only the query and
+// turnaround occupy the channel when the node never answers.
+TEST(Scheduler, NoResponseChargesNoUplinkAirtime) {
+  PollScheduler sched(SchedulerConfig{1, 0.2, 0.02});
+  const auto link = [](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    return pab::Error{pab::ErrorCode::kNoPreamble, "dead link"};
+  };
+  const auto r = sched.transact(make_ping(1), link, 100, 1000.0);
+  EXPECT_FALSE(r.ok());
+  // 2 attempts x (0.2 downlink + 0.02 turnaround), zero uplink airtime.
+  EXPECT_NEAR(sched.stats().elapsed_s, 0.44, 1e-9);
+  EXPECT_EQ(sched.stats().no_response, 2u);
+}
+
+// A CRC-failed reply did arrive, so its uplink airtime is real and stays
+// charged.
+TEST(Scheduler, CrcFailedReplyStillChargesUplinkAirtime) {
+  PollScheduler sched(SchedulerConfig{0, 0.2, 0.02});
+  const auto link = [](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    return pab::Error{pab::ErrorCode::kCrcMismatch, "noise"};
+  };
+  (void)sched.transact(make_ping(1), link, 100, 1000.0);
+  // 0.2 downlink + 0.02 turnaround + 0.1 uplink: the reply was on the air.
+  EXPECT_NEAR(sched.stats().elapsed_s, 0.32, 1e-9);
+}
+
+// Mixed retry sequence: one silent attempt, then a decoded reply.
+TEST(Scheduler, MixedRetrySequenceAirtime) {
+  PollScheduler sched(SchedulerConfig{2, 0.2, 0.02});
+  int calls = 0;
+  const auto link = [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    if (++calls == 1) return pab::Error{pab::ErrorCode::kTimeout, "silent"};
+    phy::UplinkPacket p;
+    p.payload = {7};
+    return p;
+  };
+  const auto r = sched.transact(make_ping(1), link, 100, 1000.0);
+  EXPECT_TRUE(r.ok());
+  // Attempt 1: 0.22 (no reply).  Attempt 2: 0.22 + 0.1 uplink.
+  EXPECT_NEAR(sched.stats().elapsed_s, 0.54, 1e-9);
+}
+
+// The scheduler's counters land in an injected registry under mac.poll.*,
+// so bench sidecars can fold MAC accounting in.
+TEST(Scheduler, CountersVisibleInInjectedRegistry) {
+  obs::MetricRegistry reg;
+  PollScheduler sched(SchedulerConfig{1, 0.2, 0.02}, &reg);
+  int calls = 0;
+  const auto link = [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+    if (++calls == 1) return pab::Error{pab::ErrorCode::kCrcMismatch, "noise"};
+    phy::UplinkPacket p;
+    p.payload = {1, 2};
+    return p;
+  };
+  const auto r = sched.transact(make_ping(1), link, 60, 1000.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(reg.counter("mac.poll.attempts").value(), 2u);
+  EXPECT_EQ(reg.counter("mac.poll.retries").value(), 1u);
+  EXPECT_EQ(reg.counter("mac.poll.successes").value(), 1u);
+  EXPECT_EQ(reg.counter("mac.poll.crc_failures").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("mac.poll.payload_bits_delivered").value(), 16.0);
+  // Snapshot view agrees with the registry.
+  EXPECT_EQ(sched.stats().attempts, 2u);
+  // reset_stats zeroes the scheduler's instruments in place.
+  sched.reset_stats();
+  EXPECT_EQ(reg.counter("mac.poll.attempts").value(), 0u);
+  EXPECT_EQ(sched.stats().attempts, 0u);
+}
+
 TEST(Scheduler, PollRoundHitsAllQueries) {
   PollScheduler sched;
   int calls = 0;

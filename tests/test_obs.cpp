@@ -1,0 +1,234 @@
+// Observability layer tests: registry find-or-create semantics, concurrent
+// mutation (run under -DPAB_SANITIZE=thread in CI), histogram bucket edges,
+// JSON/text export, and the Session/TapCache wiring that makes cache hit
+// rates visible without perturbing determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/batch.hpp"
+
+namespace pab::obs {
+namespace {
+
+TEST(MetricRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Gauge& g = reg.gauge("x.level");
+  g.set(2.5);
+  EXPECT_EQ(&g, &reg.gauge("x.level"));
+  EXPECT_DOUBLE_EQ(reg.gauge("x.level").value(), 2.5);
+
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = reg.histogram("x.lat", bounds);
+  EXPECT_EQ(&h, &reg.histogram("x.lat"));  // bounds fixed by first call
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(MetricRegistry, CounterGaugeAccumulate) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("n");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge& g = reg.gauge("v");
+  g.add(0.25);
+  g.add(0.50);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.observe(0.5);    // <= 1        -> bucket 0
+  h.observe(1.0);    // == edge     -> bucket 0 (upper-inclusive)
+  h.observe(1.0001); // just above  -> bucket 1
+  h.observe(10.0);   // == edge     -> bucket 1
+  h.observe(100.0);  // == last edge-> bucket 2
+  h.observe(1e6);    // above all   -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 1e6, 1e-9);
+}
+
+TEST(Histogram, RejectsUnsortedOrDuplicateBounds) {
+  const double unsorted[] = {2.0, 1.0};
+  const double dupes[] = {1.0, 1.0};
+  EXPECT_THROW((Histogram{std::span<const double>(unsorted)}),
+               std::invalid_argument);
+  EXPECT_THROW((Histogram{std::span<const double>(dupes)}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram h{std::span<const double>(bounds)};
+  // 100 observations uniformly in (1, 2]: all land in bucket 1.
+  for (int i = 1; i <= 100; ++i) h.observe(1.0 + i / 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 1.5, 0.02);
+  EXPECT_NEAR(h.quantile(1.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Histogram{std::span<const double>(bounds)}.quantile(0.5), 0.0);
+}
+
+TEST(MetricRegistry, ConcurrentIncrementsLoseNothing) {
+  // Hammer one counter, one gauge, and one histogram from 8 threads; every
+  // mutation must land.  CI runs this under TSan (-DPAB_SANITIZE=thread).
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg] {
+      // Resolve through the registry inside the thread: the find-or-create
+      // path itself must be thread-safe, not just the instruments.
+      Counter& c = reg.counter("conc.count");
+      Gauge& g = reg.gauge("conc.sum");
+      Histogram& h = reg.histogram("conc.lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(1e-5);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(reg.counter("conc.count").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("conc.sum").value(), 1.0 * kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("conc.lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricRegistry, JsonExportRoundTripsValues) {
+  MetricRegistry reg;
+  reg.counter("a.count").add(42);
+  reg.gauge("a.ratio").set(0.1);  // not exactly representable: needs %.17g
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = reg.histogram("a.lat", bounds);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.count\": 42"), std::string::npos) << json;
+  // 0.1 printed with enough digits to round-trip the exact double.
+  EXPECT_NE(json.find("\"a.ratio\": 0.1000000000000000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\": 1, \"count\": 1}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\": 2, \"count\": 1}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos) << json;
+
+  // Exports of an empty registry are valid JSON skeletons, not garbage.
+  const std::string empty = MetricRegistry().to_json();
+  EXPECT_NE(empty.find("\"counters\": {}"), std::string::npos) << empty;
+}
+
+TEST(MetricRegistry, TextExportListsEveryInstrument) {
+  MetricRegistry reg;
+  reg.counter("t.count").add(7);
+  reg.gauge("t.level").set(1.5);
+  reg.histogram("t.lat").observe(0.1);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("t.count"), std::string::npos);
+  EXPECT_NE(text.find("t.level"), std::string::npos);
+  EXPECT_NE(text.find("t.lat"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("r.count");
+  Histogram& h = reg.histogram("r.lat");
+  c.add(5);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);     // cached pointers stay valid...
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&c, &reg.counter("r.count"));  // ...and still registered.
+}
+
+// ---- Session wiring ---------------------------------------------------------
+
+// The counters must agree with the TapCache's own evaluation accounting (the
+// tap-evaluation-count regression in test_sim_batch.cpp): 10 trials over one
+// geometry/carrier -> 3 misses (3 paths), everything else hits.
+TEST(SessionMetrics, TapCacheHitMissCountersMatchCacheAccounting) {
+  MetricRegistry reg;
+  const sim::Session session(sim::Scenario::pool_a().with_seed(1), &reg);
+  const auto trials = sim::BatchRunner(4, &reg).run_uplink(session, 10);
+  for (const auto& t : trials) ASSERT_TRUE(t.ok());
+
+  const auto& cache = *session.tap_cache();
+  const std::uint64_t hits = reg.counter("channel.tapcache.hits").value();
+  const std::uint64_t misses = reg.counter("channel.tapcache.misses").value();
+  EXPECT_EQ(misses, cache.evaluations());
+  EXPECT_EQ(hits + misses, cache.lookups());
+  EXPECT_EQ(misses, 3u);
+  EXPECT_GE(hits, 27u);
+
+  // Modulation cache: one evaluation (miss), the other 9 trials hit.
+  EXPECT_EQ(reg.counter("sim.session.modulation_cache_misses").value(), 1u);
+  EXPECT_EQ(reg.counter("sim.session.modulation_cache_hits").value(), 9u);
+
+  // Per-trial instrumentation covered every trial.
+  EXPECT_EQ(reg.counter("sim.session.trials").value(), 10u);
+  EXPECT_EQ(reg.histogram("sim.session.trial_seconds").count(), 10u);
+  EXPECT_EQ(reg.counter("sim.batch.trials").value(), 10u);
+
+  // The decode chain's stage timers saw every trial too.
+  EXPECT_EQ(reg.histogram("phy.demod.correlate_seconds").count(), 10u);
+  EXPECT_EQ(reg.histogram("core.link.decode_seconds").count(), 10u);
+}
+
+// Instrumentation must not perturb the RNG substreams: trials through a
+// metered session are bit-identical to the same scenario at any thread count
+// (the broader determinism matrix lives in test_sim_batch.cpp).
+TEST(SessionMetrics, MetricsDoNotPerturbTrialResults) {
+  MetricRegistry reg_a, reg_b;
+  const sim::Session a(sim::Scenario::pool_a().with_seed(5), &reg_a);
+  const sim::Session b(sim::Scenario::pool_a().with_seed(5), &reg_b);
+  const auto ta = sim::BatchRunner(1, &reg_a).run_uplink(a, 6);
+  const auto tb = sim::BatchRunner(4, &reg_b).run_uplink(b, 6);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_TRUE(ta[i].ok());
+    ASSERT_TRUE(tb[i].ok());
+    EXPECT_EQ(ta[i].value().sent, tb[i].value().sent) << i;
+    EXPECT_EQ(ta[i].value().ber, tb[i].value().ber) << i;
+  }
+}
+
+// Worker accounting: every executed trial is attributed to exactly one
+// worker, and the per-worker counts sum to the batch total.
+TEST(BatchMetrics, PerWorkerTrialCountsSumToTotal) {
+  MetricRegistry reg;
+  const sim::BatchRunner pool(4, &reg);
+  (void)pool.map(64, [](std::size_t i) { return i; });
+  std::uint64_t per_worker = 0;
+  for (unsigned t = 0; t < pool.threads(); ++t)
+    per_worker +=
+        reg.counter("sim.batch.worker." + std::to_string(t) + ".trials").value();
+  EXPECT_EQ(per_worker, 64u);
+  EXPECT_EQ(reg.counter("sim.batch.trials").value(), 64u);
+  EXPECT_EQ(reg.histogram("sim.batch.dispatch_seconds").count(), 1u);
+}
+
+}  // namespace
+}  // namespace pab::obs

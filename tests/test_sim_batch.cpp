@@ -54,6 +54,42 @@ TEST(BatchRunner, PropagatesWorkerExceptions) {
                std::runtime_error);
 }
 
+// Regression: a worker exception used to leave the trial cursor running, so
+// the pool executed every remaining trial before rethrowing.  The fix parks
+// the cursor at the end when the error is captured; workers finish at most
+// their in-flight trial.  Trial 0 throws immediately and every other trial
+// takes ~1 ms, so a non-cancelling pool would provably execute all of them.
+TEST(BatchRunner, WorkerExceptionCancelsRemainingTrials) {
+  constexpr std::size_t kTrials = 64;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      BatchRunner(4).map(kTrials,
+                         [&](std::size_t i) -> int {
+                           if (i == 0) throw std::runtime_error("boom");
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(1));
+                           executed.fetch_add(1);
+                           return 0;
+                         }),
+      std::runtime_error);
+  // Pre-fix this is exactly kTrials - 1 (everything but the throwing trial);
+  // with prompt cancellation only the few trials already in flight finish.
+  EXPECT_LT(executed.load(), kTrials / 2);
+}
+
+// The exception counter in an injected registry sees the failure.
+TEST(BatchRunner, ExceptionCountReported) {
+  obs::MetricRegistry reg;
+  EXPECT_THROW(BatchRunner(2, &reg).map(8,
+                                        [](std::size_t i) -> int {
+                                          if (i == 3)
+                                            throw std::runtime_error("boom");
+                                          return 0;
+                                        }),
+               std::runtime_error);
+  EXPECT_GE(reg.counter("sim.batch.exceptions").value(), 1u);
+}
+
 // The acceptance criterion of the engine: a Monte-Carlo uplink sweep produces
 // bit-identical per-trial results on 1, 2, 4, and 8 threads.
 TEST(SessionDeterminism, UplinkTrialsBitIdenticalAcrossThreadCounts) {
