@@ -9,6 +9,7 @@
 #include "core/link.hpp"
 #include "mac/protocol.hpp"
 #include "node/node.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
@@ -53,7 +54,7 @@ void print_series() {
   env.temperature_c = 21.0; // room temperature
   env.pressure_mbar = 1013.25;  // ~1 bar
 
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(sc, core::Placement{});
   const auto proj = core::Projector(piezo::make_projector_transducer(), 300.0);
 

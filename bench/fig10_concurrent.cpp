@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "core/collision.hpp"
 #include "sim/batch.hpp"
+#include "sim/scenario.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -79,7 +80,7 @@ void print_series() {
 }
 
 void bm_collision_run(benchmark::State& state) {
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::Placement pl;
   pl.projector = {1.5, 1.5, 0.65};
   pl.hydrophone = {1.5, 2.5, 0.65};

@@ -11,6 +11,7 @@
 #include "core/link.hpp"
 #include "core/projector.hpp"
 #include "dsp/mixer.hpp"
+#include "sim/scenario.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -26,7 +27,7 @@ constexpr double kNodeOn = 0.7;     // node starts backscattering at t=0.7 s
 constexpr double kTotal = 1.6;
 
 dsp::Signal synthesize_trace() {
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::Placement pl;
   const auto proj = core::Projector(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);

@@ -9,6 +9,7 @@
 #include "core/projector.hpp"
 #include "phy/metrics.hpp"
 #include "sim/batch.hpp"
+#include "sim/scenario.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -68,7 +69,7 @@ void print_series() {
 }
 
 void bm_uplink_run(benchmark::State& state) {
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(sc, close_placement());
   const auto proj = core::Projector(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);

@@ -9,6 +9,7 @@
 
 #include "core/collision.hpp"
 #include "mac/fdma.hpp"
+#include "sim/scenario.hpp"
 
 int main() {
   using namespace pab;
@@ -26,7 +27,7 @@ int main() {
   std::printf("  tag1 on ch2: %.0f%%   tag2 on ch1: %.0f%%\n\n",
               100.0 * crosstalk[1][0], 100.0 * crosstalk[0][1]);
 
-  core::SimConfig config = core::pool_a_config();
+  core::SimConfig config = sim::Scenario::pool_a().medium;
   core::Placement placement;
   placement.projector = {1.5, 1.5, 0.65};
   placement.hydrophone = {1.5, 2.5, 0.65};

@@ -12,6 +12,7 @@
 #include "mac/protocol.hpp"
 #include "mac/scheduler.hpp"
 #include "node/node.hpp"
+#include "sim/scenario.hpp"
 
 int main() {
   using namespace pab;
@@ -22,7 +23,7 @@ int main() {
   env.temperature_c = 16.0;
   env.pressure_mbar = 1013.25;
 
-  core::SimConfig config = core::pool_a_config();
+  core::SimConfig config = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(config, core::Placement{});
   const core::Projector projector(piezo::make_projector_transducer(), 300.0);
 

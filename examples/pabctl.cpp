@@ -25,6 +25,7 @@
 #include "node/node.hpp"
 #include "phy/metrics.hpp"
 #include "piezo/design.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
@@ -61,7 +62,7 @@ Args parse(int argc, char** argv, int first) {
 }
 
 core::SimConfig pool_config(const Args& a) {
-  return a.str("pool", "A") == "B" ? core::pool_b_config() : core::pool_a_config();
+  return a.str("pool", "A") == "B" ? sim::Scenario::pool_b().medium : sim::Scenario::pool_a().medium;
 }
 
 // --- subcommands ----------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "core/projector.hpp"
 #include "dsp/wav.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace pab;
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
 
   // 1. Simulate a capture (skip if the user supplied their own WAV to decode
   //    *and* it already exists).
-  core::SimConfig config = core::pool_a_config();
+  core::SimConfig config = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(config, core::Placement{});
   const core::Projector projector(piezo::make_projector_transducer(), 50.0);
   const auto node = circuit::make_recto_piezo(15000.0);

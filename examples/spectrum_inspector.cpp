@@ -12,6 +12,7 @@
 #include "core/collision.hpp"
 #include "dsp/spectrogram.hpp"
 #include "dsp/wav.hpp"
+#include "sim/scenario.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -19,7 +20,7 @@ namespace {
 using namespace pab;
 
 dsp::Signal synthesize_session() {
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::Placement pl;
   pl.projector = {1.5, 1.5, 0.65};
   pl.hydrophone = {1.5, 2.5, 0.65};

@@ -1,5 +1,6 @@
 #include "channel/propagation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dsp/resample.hpp"
@@ -31,6 +32,49 @@ dsp::BasebandSignal apply_taps_baseband(const dsp::BasebandSignal& x,
                             t.delay_s * x.sample_rate, gain);
   }
   return y;
+}
+
+std::size_t apply_taps_length(std::size_t n, double sample_rate,
+                              const std::vector<PathTap>& taps) {
+  require(sample_rate > 0.0, "apply_taps_length: sample rate unset");
+  std::size_t len = 0;
+  for (const PathTap& t : taps) {
+    const auto int_delay =
+        static_cast<std::size_t>(std::floor(t.delay_s * sample_rate));
+    len = std::max(len, n + int_delay + 1);
+  }
+  return len;
+}
+
+void apply_taps_into(std::span<const double> x, double sample_rate,
+                     const std::vector<PathTap>& taps, std::span<double> y) {
+  require(y.size() == apply_taps_length(x.size(), sample_rate, taps),
+          "apply_taps_into: output size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (const PathTap& t : taps)
+    dsp::add_delayed_scaled_into(y, x, t.delay_s * sample_rate, t.gain);
+}
+
+void apply_taps_baseband_into(std::span<const dsp::cplx> x, double sample_rate,
+                              double carrier_hz, const std::vector<PathTap>& taps,
+                              std::span<dsp::cplx> y) {
+  require(y.size() == apply_taps_length(x.size(), sample_rate, taps),
+          "apply_taps_baseband_into: output size mismatch");
+  std::fill(y.begin(), y.end(), dsp::cplx{});
+  for (const PathTap& t : taps) {
+    const double phase = -pab::kTwoPi * carrier_hz * t.delay_s;
+    const dsp::cplx gain = t.gain * dsp::cplx(std::cos(phase), std::sin(phase));
+    dsp::add_delayed_scaled_into(y, x, t.delay_s * sample_rate, gain);
+  }
+}
+
+dsp::CplxView apply_taps_baseband(dsp::CplxView x,
+                                  const std::vector<PathTap>& taps,
+                                  dsp::Arena& arena) {
+  auto out = arena.alloc<dsp::cplx>(
+      apply_taps_length(x.size(), x.sample_rate, taps));
+  apply_taps_baseband_into(x.samples, x.sample_rate, x.carrier_hz, taps, out);
+  return dsp::CplxView(out, x.sample_rate, x.carrier_hz);
 }
 
 Propagator::Propagator(const Tank& tank, const Vec3& src, const Vec3& rx,

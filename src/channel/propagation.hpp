@@ -1,10 +1,12 @@
 // Applying a multipath channel to sample-domain signals.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "channel/noise.hpp"
 #include "channel/tank.hpp"
+#include "dsp/arena.hpp"
 #include "dsp/signal.hpp"
 
 namespace pab::channel {
@@ -20,6 +22,27 @@ namespace pab::channel {
 // which is exact for narrowband signals.
 [[nodiscard]] dsp::BasebandSignal apply_taps_baseband(const dsp::BasebandSignal& x,
                                                       const std::vector<PathTap>& taps);
+
+// ---- into-output kernels (allocation-free; wrapped by the above) ----
+
+// Output length of either apply_taps variant for an n-sample input:
+// max_k(floor(tau_k * fs) + n + 1), or 0 when `taps` is empty.
+[[nodiscard]] std::size_t apply_taps_length(std::size_t n, double sample_rate,
+                                            const std::vector<PathTap>& taps);
+
+// y.size() must equal apply_taps_length(...); `y` is zero-filled before the
+// taps accumulate and must not alias `x`.
+void apply_taps_into(std::span<const double> x, double sample_rate,
+                     const std::vector<PathTap>& taps, std::span<double> y);
+void apply_taps_baseband_into(std::span<const dsp::cplx> x, double sample_rate,
+                              double carrier_hz, const std::vector<PathTap>& taps,
+                              std::span<dsp::cplx> y);
+
+// Arena convenience: propagate a baseband view into fresh arena scratch,
+// preserving rate and carrier metadata.
+[[nodiscard]] dsp::CplxView apply_taps_baseband(dsp::CplxView x,
+                                                const std::vector<PathTap>& taps,
+                                                dsp::Arena& arena);
 
 // A point-to-point acoustic link inside a tank (or free field when
 // `use_image_method` is false): caches the taps for a given geometry.

@@ -1,6 +1,7 @@
 #include "core/collision.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "dsp/mixer.hpp"
 #include "phy/fm0.hpp"
@@ -26,13 +27,13 @@ std::vector<double> expand_chips(const phy::Chips& chips, double spc,
 }
 
 // Remove the mean of a complex stream (the un-modulated carrier offset).
-std::vector<dsp::cplx> remove_mean(std::span<const dsp::cplx> x) {
+std::vector<dsp::cplx> remove_mean(std::vector<dsp::cplx> x) {
+  // By value + in place: callers move the baseband in, avoiding a full copy.
   dsp::cplx mean{};
   for (const auto& v : x) mean += v;
   mean /= static_cast<double>(std::max<std::size_t>(x.size(), 1));
-  std::vector<dsp::cplx> out(x.begin(), x.end());
-  for (auto& v : out) v -= mean;
-  return out;
+  for (auto& v : x) v -= mean;
+  return x;
 }
 
 }  // namespace
@@ -152,9 +153,9 @@ CollisionRunResult CollisionSimulator::run(const Projector& projector,
   const double cutoff = 2.5 * cfg.bitrate;
   std::array<std::vector<dsp::cplx>, 2> y;
   for (std::size_t ci = 0; ci < 2; ++ci) {
-    const dsp::BasebandSignal bb =
+    dsp::BasebandSignal bb =
         dsp::downconvert_filtered(capture, cfg.carriers_hz[ci], cutoff, 5);
-    y[ci] = remove_mean(bb.samples);
+    y[ci] = remove_mean(std::move(bb.samples));
   }
 
   // Alignment: the node modulates on its local clock, so the state pattern

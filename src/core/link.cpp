@@ -1,5 +1,6 @@
 #include "core/link.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dsp/envelope.hpp"
@@ -61,57 +62,65 @@ double LinkSimulator::incident_pressure(const Projector& projector,
   return projector.pressure_at_1m(freq_hz) * channel::coherent_gain(t, freq_hz);
 }
 
-UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
-                                          const ModulationStates& states,
-                                          std::span<const std::uint8_t> data_bits,
-                                          const UplinkRunConfig& cfg,
-                                          pab::Rng& rng) const {
+void LinkSimulator::run_uplink_into(const Projector& projector,
+                                    const ModulationStates& states,
+                                    std::span<const std::uint8_t> data_bits,
+                                    const UplinkRunConfig& cfg, pab::Rng& rng,
+                                    phy::Workspace& ws,
+                                    UplinkRunResult& out) const {
   const double fs = config_.sample_rate;
   const double f = cfg.carrier_hz;
+  dsp::Arena& arena = ws.arena();
+  const auto frame = arena.frame();
 
   // Full on-air bit stream: uplink preamble + data.
-  pab::Bits full_bits(phy::uplink_preamble_bits());
-  full_bits.insert(full_bits.end(), data_bits.begin(), data_bits.end());
-  const auto sw = phy::backscatter_waveform(full_bits, cfg.bitrate, fs);
+  const pab::Bits& preamble = phy::uplink_preamble_bits();
+  auto full_bits = arena.alloc<std::uint8_t>(preamble.size() + data_bits.size());
+  std::copy(preamble.begin(), preamble.end(), full_bits.begin());
+  std::copy(data_bits.begin(), data_bits.end(),
+            full_bits.begin() + static_cast<std::ptrdiff_t>(preamble.size()));
+  auto sw = arena.alloc<phy::SwitchState>(
+      phy::backscatter_waveform_length(full_bits.size(), cfg.bitrate, fs));
+  phy::backscatter_waveform_into(full_bits, cfg.bitrate, fs,
+                                 /*initial_level=*/-1, sw, arena);
 
   const double packet_s = static_cast<double>(sw.size()) / fs;
   const double total_s = cfg.node_start_s + packet_s + cfg.tail_s;
 
   // Projector CW envelope (amplitude = pressure at 1 m).
-  const dsp::BasebandSignal tx = projector.cw_envelope(f, total_s, fs);
+  auto tx_samples =
+      arena.alloc<dsp::cplx>(Projector::cw_envelope_length(total_s, fs));
+  projector.cw_envelope_into(f, fs, /*lead_silence_s=*/0.0, tx_samples);
+  const dsp::CplxView tx(tx_samples, fs, f);
 
   // Propagate to the node and the hydrophone (memoized tap sets).
   const auto& taps_pn = taps(placement_.projector, placement_.node, f);
   const auto& taps_ph = taps(placement_.projector, placement_.hydrophone, f);
   const auto& taps_nh = taps(placement_.node, placement_.hydrophone, f);
 
-  const dsp::BasebandSignal at_node = channel::apply_taps_baseband(tx, taps_pn);
-  const dsp::BasebandSignal direct = channel::apply_taps_baseband(tx, taps_ph);
+  const dsp::CplxView at_node = channel::apply_taps_baseband(tx, taps_pn, arena);
+  const dsp::CplxView direct = channel::apply_taps_baseband(tx, taps_ph, arena);
 
   const dsp::cplx g_refl = states.g_reflective;
   const dsp::cplx g_abs = states.g_absorptive;
 
   const auto start_i = static_cast<std::size_t>(cfg.node_start_s * fs);
-  dsp::BasebandSignal scattered;
-  scattered.sample_rate = fs;
-  scattered.carrier_hz = f;
-  scattered.samples.resize(at_node.size(), dsp::cplx{});
+  auto scattered_samples = arena.alloc<dsp::cplx>(at_node.size());
   for (std::size_t i = 0; i < at_node.size(); ++i) {
     dsp::cplx g = g_abs;  // idle switch open = absorptive/matched state
     if (i >= start_i && i - start_i < sw.size() &&
         sw[i - start_i] == phy::SwitchState::kReflective) {
       g = g_refl;
     }
-    scattered.samples[i] = at_node.samples[i] * g;
+    scattered_samples[i] = at_node[i] * g;
   }
-  const dsp::BasebandSignal backscatter =
-      channel::apply_taps_baseband(scattered, taps_nh);
+  const dsp::CplxView backscatter = channel::apply_taps_baseband(
+      dsp::CplxView(scattered_samples, fs, f), taps_nh, arena);
 
   // Hydrophone: passband voltage with ambient noise.
   const std::size_t n = std::max(direct.size(), backscatter.size());
-  UplinkRunResult result;
-  result.hydrophone_v.sample_rate = fs;
-  result.hydrophone_v.samples.resize(n);
+  out.hydrophone_v.sample_rate = fs;
+  out.hydrophone_v.samples.resize(n);  // reuses capacity in steady state
   const double sens = config_.hydrophone.volts_per_pascal();
   const double noise_sd = config_.noise.sample_stddev_pa(fs);
   // Recording-clock offset (paper footnote 12): in the recorder's time base
@@ -122,23 +131,33 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
   const double w = kTwoPi * f * skew / fs;
   for (std::size_t i = 0; i < n; ++i) {
     dsp::cplx env{};
-    if (i < direct.size()) env += direct.samples[i];
-    if (i < backscatter.size()) env += backscatter.samples[i];
+    if (i < direct.size()) env += direct[i];
+    if (i < backscatter.size()) env += backscatter[i];
     const double ph = w * static_cast<double>(i);
     const double pressure =
         env.real() * std::cos(ph) - env.imag() * std::sin(ph) +
         rng.gaussian(0.0, noise_sd);
-    result.hydrophone_v.samples[i] = sens * pressure;
+    out.hydrophone_v.samples[i] = sens * pressure;
   }
 
-  result.sent_bits.assign(data_bits.begin(), data_bits.end());
-  result.incident_pressure_pa =
+  out.sent_bits.assign(data_bits.begin(), data_bits.end());
+  out.incident_pressure_pa =
       projector.pressure_at_1m(f) * channel::coherent_gain(taps_pn, f);
-  result.direct_pressure_pa =
+  out.direct_pressure_pa =
       projector.pressure_at_1m(f) * channel::coherent_gain(taps_ph, f);
-  result.modulation_pressure_pa = result.incident_pressure_pa *
-                                  std::abs(g_refl - g_abs) *
-                                  channel::coherent_gain(taps_nh, f);
+  out.modulation_pressure_pa = out.incident_pressure_pa *
+                               std::abs(g_refl - g_abs) *
+                               channel::coherent_gain(taps_nh, f);
+}
+
+UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
+                                          const ModulationStates& states,
+                                          std::span<const std::uint8_t> data_bits,
+                                          const UplinkRunConfig& cfg,
+                                          pab::Rng& rng) const {
+  phy::Workspace ws;
+  UplinkRunResult result;
+  run_uplink_into(projector, states, data_bits, cfg, rng, ws, result);
   return result;
 }
 
@@ -150,14 +169,13 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
                     data_bits, cfg, rng_);
 }
 
-pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
+pab::Expected<bool> LinkSimulator::run_and_decode_into(
     const Projector& projector, const ModulationStates& states,
     std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
-    pab::Rng& rng) const {
-  DecodedRun out;
+    pab::Rng& rng, phy::Workspace& ws, DecodedRun& out) const {
   {
     const obs::ScopedTimer timer(t_uplink_run_);
-    out.run = run_uplink(projector, states, data_bits, cfg, rng);
+    run_uplink_into(projector, states, data_bits, cfg, rng, ws, out.run);
   }
   phy::DemodConfig dc;
   dc.carrier_hz = cfg.carrier_hz;
@@ -165,10 +183,21 @@ pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
   dc.sample_rate = config_.sample_rate;
   dc.metrics = metrics_;
   const obs::ScopedTimer timer(t_decode_);
-  const phy::BackscatterDemodulator demod(dc);
-  auto demodulated = demod.demodulate(out.run.hydrophone_v, data_bits.size());
-  if (!demodulated.ok()) return demodulated.error();
-  out.demod = std::move(demodulated).value();
+  const phy::BackscatterDemodulator& demod = ws.demodulator(dc);
+  return demod.demodulate_into(out.run.hydrophone_v.samples,
+                               out.run.hydrophone_v.sample_rate,
+                               data_bits.size(), ws.arena(), out.demod);
+}
+
+pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
+    const Projector& projector, const ModulationStates& states,
+    std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
+    pab::Rng& rng) const {
+  phy::Workspace ws;
+  DecodedRun out;
+  const auto ok =
+      run_and_decode_into(projector, states, data_bits, cfg, rng, ws, out);
+  if (!ok.ok()) return ok.error();
   return out;
 }
 

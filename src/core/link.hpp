@@ -24,6 +24,7 @@
 #include "dsp/signal.hpp"
 #include "obs/metrics.hpp"
 #include "phy/modem.hpp"
+#include "phy/workspace.hpp"
 #include "sim/waveform.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +77,16 @@ class LinkSimulator {
                                            std::span<const std::uint8_t> data_bits,
                                            const UplinkRunConfig& cfg);
 
+  // Zero-allocation variant: every intermediate waveform (switch stream, CW
+  // envelope, propagated basebands, scattered envelope) lives in the
+  // workspace arena for the duration of the call; only `out` fields persist,
+  // and those reuse their capacity across calls.  Bit-identical to
+  // run_uplink, which wraps this.
+  void run_uplink_into(const Projector& projector, const ModulationStates& states,
+                       std::span<const std::uint8_t> data_bits,
+                       const UplinkRunConfig& cfg, pab::Rng& rng,
+                       phy::Workspace& ws, UplinkRunResult& out) const;
+
   // Run + decode with the standard receiver.  Returns the demod result and
   // waveform-level ground truth, or the demodulator's error (no preamble,
   // decode failure) through pab::Expected -- there is no default-constructed
@@ -91,6 +102,15 @@ class LinkSimulator {
   [[nodiscard]] pab::Expected<DecodedRun> run_and_decode(
       const Projector& projector, const circuit::RectoPiezo& front_end,
       std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg);
+
+  // Zero-allocation variant: synthesizes into out.run, decodes into
+  // out.demod with the workspace's cached demodulator and arena scratch.
+  // The success path performs no heap allocation once `out` and the
+  // workspace have warmed up.  run_and_decode wraps this.
+  [[nodiscard]] pab::Expected<bool> run_and_decode_into(
+      const Projector& projector, const ModulationStates& states,
+      std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg,
+      pab::Rng& rng, phy::Workspace& ws, DecodedRun& out) const;
 
   // CW amplitude [Pa] at the node position for a projector transmitting at
   // `freq_hz` (coherent multipath sum) -- the harvesting drive level.

@@ -1,6 +1,7 @@
 #include "core/network.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "channel/propagation.hpp"
 #include "dsp/mixer.hpp"
@@ -25,13 +26,13 @@ std::vector<double> expand_chips(const phy::Chips& chips, double spc,
   return out;
 }
 
-std::vector<dsp::cplx> remove_mean(std::span<const dsp::cplx> x) {
+std::vector<dsp::cplx> remove_mean(std::vector<dsp::cplx> x) {
+  // By value + in place: callers move the baseband in, avoiding a full copy.
   dsp::cplx mean{};
   for (const auto& v : x) mean += v;
   mean /= static_cast<double>(std::max<std::size_t>(x.size(), 1));
-  std::vector<dsp::cplx> out(x.begin(), x.end());
-  for (auto& v : out) v -= mean;
-  return out;
+  for (auto& v : x) v -= mean;
+  return x;
 }
 
 }  // namespace
@@ -163,9 +164,9 @@ NetworkRunResult MultiNodeSimulator::run(
   const double cutoff = 2.5 * cfg.bitrate;
   std::vector<std::vector<dsp::cplx>> y(n);
   for (std::size_t ci = 0; ci < n; ++ci) {
-    const auto bb = dsp::downconvert_filtered(capture, cfg.carriers_hz[ci],
-                                              cutoff, 5);
-    y[ci] = remove_mean(bb.samples);
+    dsp::BasebandSignal bb = dsp::downconvert_filtered(capture, cfg.carriers_hz[ci],
+                                                       cutoff, 5);
+    y[ci] = remove_mean(std::move(bb.samples));
   }
 
   // Per-node alignment: node->hydrophone delay refined by training

@@ -29,18 +29,33 @@ void Projector::set_drive_voltage(double v) {
   drive_v_ = v;
 }
 
+std::size_t Projector::cw_envelope_length(double duration_s, double sample_rate,
+                                          double lead_silence_s) {
+  require(sample_rate > 0.0, "cw_envelope: sample rate must be positive");
+  require(duration_s >= 0.0 && lead_silence_s >= 0.0, "cw_envelope: negative time");
+  return static_cast<std::size_t>(lead_silence_s * sample_rate) +
+         static_cast<std::size_t>(duration_s * sample_rate);
+}
+
+void Projector::cw_envelope_into(double freq_hz, double sample_rate,
+                                 double lead_silence_s,
+                                 std::span<dsp::cplx> out) const {
+  require(sample_rate > 0.0, "cw_envelope: sample rate must be positive");
+  const auto lead = static_cast<std::size_t>(lead_silence_s * sample_rate);
+  require(lead <= out.size(), "cw_envelope_into: lead exceeds output");
+  const dsp::cplx amp(pressure_at_1m(freq_hz), 0.0);
+  for (std::size_t i = 0; i < lead; ++i) out[i] = dsp::cplx(0.0, 0.0);
+  for (std::size_t i = lead; i < out.size(); ++i) out[i] = amp;
+}
+
 dsp::BasebandSignal Projector::cw_envelope(double freq_hz, double duration_s,
                                            double sample_rate,
                                            double lead_silence_s) const {
-  require(sample_rate > 0.0, "cw_envelope: sample rate must be positive");
-  require(duration_s >= 0.0 && lead_silence_s >= 0.0, "cw_envelope: negative time");
   dsp::BasebandSignal s;
   s.sample_rate = sample_rate;
   s.carrier_hz = freq_hz;
-  const auto lead = static_cast<std::size_t>(lead_silence_s * sample_rate);
-  const auto n = static_cast<std::size_t>(duration_s * sample_rate);
-  s.samples.assign(lead, dsp::cplx(0.0, 0.0));
-  s.samples.insert(s.samples.end(), n, dsp::cplx(pressure_at_1m(freq_hz), 0.0));
+  s.samples.resize(cw_envelope_length(duration_s, sample_rate, lead_silence_s));
+  cw_envelope_into(freq_hz, sample_rate, lead_silence_s, s.samples);
   return s;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "dsp/signal.hpp"
 #include "phy/packet.hpp"
@@ -37,6 +38,14 @@ class Projector {
   [[nodiscard]] dsp::BasebandSignal cw_envelope(double freq_hz, double duration_s,
                                                 double sample_rate,
                                                 double lead_silence_s = 0.0) const;
+
+  // Samples cw_envelope would produce, and the into-output variant
+  // (out.size() must equal cw_envelope_length).
+  [[nodiscard]] static std::size_t cw_envelope_length(double duration_s,
+                                                      double sample_rate,
+                                                      double lead_silence_s = 0.0);
+  void cw_envelope_into(double freq_hz, double sample_rate,
+                        double lead_silence_s, std::span<dsp::cplx> out) const;
 
   // PWM on/off-keyed downlink query envelope followed by `post_cw_s` of
   // continuous carrier (the energy/backscatter phase after the query).

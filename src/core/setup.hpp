@@ -32,26 +32,9 @@ struct SimConfig {
   std::uint64_t seed = 42;
 };
 
-// DEPRECATED: prefer the named scenario presets (sim::Scenario::pool_a() /
-// pool_b() / swimming_pool()), which bundle medium, placement, front ends,
-// and waveform into one immutable value.  These free functions remain as
-// forwarding shims for existing callers.
-[[nodiscard]] inline SimConfig pool_a_config() {
-  SimConfig c;
-  c.tank = channel::make_pool_a();
-  return c;
-}
-
-[[nodiscard]] inline SimConfig pool_b_config() {
-  SimConfig c;
-  c.tank = channel::make_pool_b();
-  return c;
-}
-
-[[nodiscard]] inline SimConfig swimming_pool_config() {
-  SimConfig c;
-  c.tank = channel::make_swimming_pool();
-  return c;
-}
+// For tank presets use sim::Scenario::pool_a() / pool_b() / swimming_pool()
+// (sim/scenario.hpp) and take the `.medium` member: the old
+// pool_a_config()-style free functions were removed once every caller
+// migrated to the scenario presets.
 
 }  // namespace pab::core

@@ -3,18 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace pab::dsp {
+
+std::size_t correlation_length(std::size_t nx, std::size_t nt) {
+  if (nt == 0 || nx < nt) return 0;
+  return nx - nt + 1;
+}
+
+void cross_correlate_into(std::span<const std::complex<double>> x,
+                          std::span<const std::complex<double>> t,
+                          std::span<std::complex<double>> out) {
+  require(out.size() == correlation_length(x.size(), t.size()),
+          "cross_correlate_into: output size mismatch");
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    std::complex<double> acc{};
+    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
+    out[k] = acc;
+  }
+}
+
+void cross_correlate_into(std::span<const double> x, std::span<const double> t,
+                          std::span<double> out) {
+  require(out.size() == correlation_length(x.size(), t.size()),
+          "cross_correlate_into: output size mismatch");
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * t[i];
+    out[k] = acc;
+  }
+}
 
 std::vector<std::complex<double>> cross_correlate(
     std::span<const std::complex<double>> x,
     std::span<const std::complex<double>> t) {
   if (t.empty() || x.size() < t.size()) return {};
   std::vector<std::complex<double>> out(x.size() - t.size() + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    std::complex<double> acc{};
-    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
-    out[k] = acc;
-  }
+  cross_correlate_into(x, t, out);
   return out;
 }
 
@@ -22,24 +48,24 @@ std::vector<double> cross_correlate(std::span<const double> x,
                                     std::span<const double> t) {
   if (t.empty() || x.size() < t.size()) return {};
   std::vector<double> out(x.size() - t.size() + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * t[i];
-    out[k] = acc;
-  }
+  cross_correlate_into(x, t, out);
   return out;
 }
 
-std::vector<double> normalized_correlation(std::span<const std::complex<double>> x,
-                                           std::span<const std::complex<double>> t) {
-  if (t.empty() || x.size() < t.size()) return {};
+void normalized_correlation_into(std::span<const std::complex<double>> x,
+                                 std::span<const std::complex<double>> t,
+                                 std::span<double> out) {
+  require(out.size() == correlation_length(x.size(), t.size()),
+          "normalized_correlation_into: output size mismatch");
   double t_energy = 0.0;
   for (const auto& v : t) t_energy += std::norm(v);
   const double t_norm = std::sqrt(t_energy);
-  if (t_norm == 0.0) return std::vector<double>(x.size() - t.size() + 1, 0.0);
+  if (t_norm == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
 
   // Running window energy of x.
-  std::vector<double> out(x.size() - t.size() + 1);
   double win_energy = 0.0;
   for (std::size_t i = 0; i < t.size(); ++i) win_energy += std::norm(x[i]);
   for (std::size_t k = 0; k < out.size(); ++k) {
@@ -50,20 +76,31 @@ std::vector<double> normalized_correlation(std::span<const std::complex<double>>
     if (k + t.size() < x.size())
       win_energy += std::norm(x[k + t.size()]) - std::norm(x[k]);
   }
+}
+
+std::vector<double> normalized_correlation(std::span<const std::complex<double>> x,
+                                           std::span<const std::complex<double>> t) {
+  if (t.empty() || x.size() < t.size()) return {};
+  std::vector<double> out(x.size() - t.size() + 1);
+  normalized_correlation_into(x, t, out);
   return out;
 }
 
-std::vector<double> pearson_correlation(std::span<const double> x,
-                                        std::span<const double> t) {
-  if (t.size() < 2 || x.size() < t.size()) return {};
+void pearson_correlation_into(std::span<const double> x,
+                              std::span<const double> t, std::span<double> out) {
+  require(t.size() >= 2, "pearson_correlation_into: template too short");
+  require(out.size() == correlation_length(x.size(), t.size()),
+          "pearson_correlation_into: output size mismatch");
   const auto n = static_cast<double>(t.size());
 
   double t_sum = 0.0, t_sq = 0.0;
   for (double v : t) { t_sum += v; t_sq += v * v; }
   const double t_var = t_sq - t_sum * t_sum / n;
-  if (t_var <= 0.0) return std::vector<double>(x.size() - t.size() + 1, 0.0);
+  if (t_var <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
 
-  std::vector<double> out(x.size() - t.size() + 1);
   for (std::size_t k = 0; k < out.size(); ++k) {
     // Window statistics computed fresh per window, centered on the window
     // mean: cancellation-safe for small modulations on a large pedestal and
@@ -80,6 +117,13 @@ std::vector<double> pearson_correlation(std::span<const double> x,
     }
     out[k] = x_var > 1e-300 ? cov / std::sqrt(x_var * t_var) : 0.0;
   }
+}
+
+std::vector<double> pearson_correlation(std::span<const double> x,
+                                        std::span<const double> t) {
+  if (t.size() < 2 || x.size() < t.size()) return {};
+  std::vector<double> out(x.size() - t.size() + 1);
+  pearson_correlation_into(x, t, out);
   return out;
 }
 

@@ -31,4 +31,25 @@ namespace pab::dsp {
 // Index of the maximum element; returns 0 for empty input.
 [[nodiscard]] std::size_t argmax(std::span<const double> xs);
 
+// ---- into-output kernels (allocation-free; wrapped by the above) ----
+
+// Valid-range correlation length: |x| - |t| + 1, or 0 when the template is
+// empty or longer than the signal (the wrappers return {} in that case).
+[[nodiscard]] std::size_t correlation_length(std::size_t nx, std::size_t nt);
+
+// All into-kernels require a non-degenerate template (the wrapper-level
+// empty/short guards) and out.size() == correlation_length(|x|, |t|); `out`
+// must not alias `x` or `t`.
+void cross_correlate_into(std::span<const std::complex<double>> x,
+                          std::span<const std::complex<double>> t,
+                          std::span<std::complex<double>> out);
+void cross_correlate_into(std::span<const double> x, std::span<const double> t,
+                          std::span<double> out);
+void normalized_correlation_into(std::span<const std::complex<double>> x,
+                                 std::span<const std::complex<double>> t,
+                                 std::span<double> out);
+// Requires |t| >= 2 in addition to the above.
+void pearson_correlation_into(std::span<const double> x,
+                              std::span<const double> t, std::span<double> out);
+
 }  // namespace pab::dsp

@@ -8,19 +8,35 @@
 
 namespace pab::dsp {
 
-std::vector<double> envelope_rc(std::span<const double> x, double sample_rate,
-                                double tau_s) {
+void envelope_rc_into(std::span<const double> x, double sample_rate,
+                      double tau_s, std::span<double> out) {
   require(sample_rate > 0.0, "envelope_rc: sample rate must be positive");
   require(tau_s > 0.0, "envelope_rc: time constant must be positive");
+  require(out.size() == x.size(), "envelope_rc_into: size mismatch");
   const double alpha = std::exp(-1.0 / (tau_s * sample_rate));
-  std::vector<double> env(x.size());
   double y = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double rect = std::abs(x[i]);
     // Diode detector: charge fast on rising input, discharge through RC.
     y = rect > y ? rect : alpha * y + (1.0 - alpha) * rect;
-    env[i] = y;
+    out[i] = y;
   }
+}
+
+std::vector<double> envelope_rc(std::span<const double> x, double sample_rate,
+                                double tau_s) {
+  std::vector<double> env(x.size());
+  envelope_rc_into(x, sample_rate, tau_s, env);
+  return env;
+}
+
+std::span<double> envelope_coherent(std::span<const double> x, double sample_rate,
+                                    double carrier_hz, double lowpass_hz,
+                                    int order, Arena& arena) {
+  const CplxView bb = downconvert_filtered(x, sample_rate, carrier_hz,
+                                           lowpass_hz, order, /*decim=*/1, arena);
+  auto env = arena.alloc<double>(bb.size());
+  for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb[i]);
   return env;
 }
 
@@ -32,13 +48,14 @@ std::vector<double> envelope_coherent(const Signal& x, double carrier_hz,
   return env;
 }
 
-std::vector<std::uint8_t> schmitt_slice(std::span<const double> envelope,
-                                        double high_fraction, double low_fraction) {
+void schmitt_slice_into(std::span<const double> envelope, double high_fraction,
+                        double low_fraction, std::span<std::uint8_t> out) {
   require(high_fraction > low_fraction, "schmitt_slice: thresholds inverted");
-  std::vector<std::uint8_t> out(envelope.size(), 0);
-  if (envelope.empty()) return out;
+  require(out.size() == envelope.size(), "schmitt_slice_into: size mismatch");
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  if (envelope.empty()) return;
   const double peak = *std::max_element(envelope.begin(), envelope.end());
-  if (peak <= 0.0) return out;
+  if (peak <= 0.0) return;
   const double hi = high_fraction * peak;
   const double lo = low_fraction * peak;
   std::uint8_t level = 0;
@@ -47,6 +64,12 @@ std::vector<std::uint8_t> schmitt_slice(std::span<const double> envelope,
     else if (level == 1 && envelope[i] <= lo) level = 0;
     out[i] = level;
   }
+}
+
+std::vector<std::uint8_t> schmitt_slice(std::span<const double> envelope,
+                                        double high_fraction, double low_fraction) {
+  std::vector<std::uint8_t> out(envelope.size(), 0);
+  schmitt_slice_into(envelope, high_fraction, low_fraction, out);
   return out;
 }
 

@@ -68,10 +68,11 @@ std::vector<double> design_bandpass_fir(double low_hz, double high_hz,
 namespace {
 
 template <typename T>
-std::vector<T> fir_apply(std::span<const double> h, std::span<const T> x) {
+void fir_apply_into(std::span<const double> h, std::span<const T> x,
+                    std::span<T> y) {
   require(!h.empty(), "fir_filter: empty kernel");
+  require(y.size() == x.size(), "fir_filter_into: output size mismatch");
   const std::size_t delay = (h.size() - 1) / 2;
-  std::vector<T> y(x.size(), T{});
   for (std::size_t i = 0; i < x.size(); ++i) {
     T acc{};
     // y[i] = sum_k h[k] * x[i + delay - k]
@@ -84,6 +85,12 @@ std::vector<T> fir_apply(std::span<const double> h, std::span<const T> x) {
     }
     y[i] = acc;
   }
+}
+
+template <typename T>
+std::vector<T> fir_apply(std::span<const double> h, std::span<const T> x) {
+  std::vector<T> y(x.size(), T{});
+  fir_apply_into<T>(h, x, y);
   return y;
 }
 
@@ -96,6 +103,17 @@ std::vector<double> fir_filter(std::span<const double> h, std::span<const double
 std::vector<std::complex<double>> fir_filter(std::span<const double> h,
                                              std::span<const std::complex<double>> x) {
   return fir_apply<std::complex<double>>(h, x);
+}
+
+void fir_filter_into(std::span<const double> h, std::span<const double> x,
+                     std::span<double> y) {
+  fir_apply_into<double>(h, x, y);
+}
+
+void fir_filter_into(std::span<const double> h,
+                     std::span<const std::complex<double>> x,
+                     std::span<std::complex<double>> y) {
+  fir_apply_into<std::complex<double>>(h, x, y);
 }
 
 }  // namespace pab::dsp

@@ -31,4 +31,14 @@ namespace pab::dsp {
 [[nodiscard]] std::vector<std::complex<double>> fir_filter(
     std::span<const double> h, std::span<const std::complex<double>> x);
 
+// Into-output kernels: y.size() must equal x.size(); `y` must not alias `x`
+// (the convolution reads neighbours of x[i] after y[i] is written).  The
+// vector-returning overloads above are thin wrappers over these, so results
+// are bit-identical by construction.
+void fir_filter_into(std::span<const double> h, std::span<const double> x,
+                     std::span<double> y);
+void fir_filter_into(std::span<const double> h,
+                     std::span<const std::complex<double>> x,
+                     std::span<std::complex<double>> y);
+
 }  // namespace pab::dsp

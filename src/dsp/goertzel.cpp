@@ -28,4 +28,12 @@ double tone_amplitude(std::span<const double> x, double freq_hz, double sample_r
          static_cast<double>(x.size());
 }
 
+void tone_amplitudes_into(std::span<const double> x,
+                          std::span<const double> freqs_hz, double sample_rate,
+                          std::span<double> out) {
+  require(out.size() == freqs_hz.size(), "tone_amplitudes_into: size mismatch");
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i)
+    out[i] = tone_amplitude(x, freqs_hz[i], sample_rate);
+}
+
 }  // namespace pab::dsp

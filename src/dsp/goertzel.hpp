@@ -15,4 +15,11 @@ namespace pab::dsp {
 [[nodiscard]] double tone_amplitude(std::span<const double> x, double freq_hz,
                                     double sample_rate);
 
+// Batch probe: out[i] = tone_amplitude(x, freqs[i], fs).  The Goertzel
+// recurrence is already allocation-free; this is the span-style entry point
+// for multi-carrier scans (FDMA carrier sense).
+void tone_amplitudes_into(std::span<const double> x,
+                          std::span<const double> freqs_hz, double sample_rate,
+                          std::span<double> out);
+
 }  // namespace pab::dsp

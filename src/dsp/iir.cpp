@@ -73,14 +73,24 @@ void check_design(int order, double fc, double fs) {
 
 }  // namespace
 
+// One direct-form-II-transposed step of one section.  The single definition
+// shared by the streaming process() and the buffer filter_into() guarantees
+// identical arithmetic (same expressions, same order) on both paths.
+namespace {
+
+inline double biquad_step(const Biquad& c, double x, double& s1, double& s2) {
+  const double y = c.b0 * x + s1;
+  s1 = c.b1 * x - c.a1 * y + s2;
+  s2 = c.b2 * x - c.a2 * y;
+  return y;
+}
+
+}  // namespace
+
 double BiquadCascade::process(double x) {
   for (std::size_t i = 0; i < sections_.size(); ++i) {
-    const Biquad& c = sections_[i];
     State& st = state_[i];
-    const double y = c.b0 * x + st.s1r;
-    st.s1r = c.b1 * x - c.a1 * y + st.s2r;
-    st.s2r = c.b2 * x - c.a2 * y;
-    x = y;
+    x = biquad_step(sections_[i], x, st.s1r, st.s2r);
   }
   return x;
 }
@@ -89,31 +99,72 @@ std::complex<double> BiquadCascade::process(std::complex<double> x) {
   for (std::size_t i = 0; i < sections_.size(); ++i) {
     const Biquad& c = sections_[i];
     State& st = state_[i];
-    const double yr = c.b0 * x.real() + st.s1r;
-    st.s1r = c.b1 * x.real() - c.a1 * yr + st.s2r;
-    st.s2r = c.b2 * x.real() - c.a2 * yr;
-    const double yi = c.b0 * x.imag() + st.s1i;
-    st.s1i = c.b1 * x.imag() - c.a1 * yi + st.s2i;
-    st.s2i = c.b2 * x.imag() - c.a2 * yi;
+    const double yr = biquad_step(c, x.real(), st.s1r, st.s2r);
+    const double yi = biquad_step(c, x.imag(), st.s1i, st.s2i);
     x = {yr, yi};
   }
   return x;
 }
 
+namespace {
+
+// Designer-produced cascades top out at 12 sections (bandpass: order-12
+// high-pass + order-12 low-pass = 6 + 6).  24 leaves headroom for
+// hand-assembled cascades without touching the heap.
+constexpr std::size_t kMaxStackSections = 24;
+
+}  // namespace
+
+void BiquadCascade::filter_into(std::span<const double> x,
+                                std::span<double> y) const {
+  require(y.size() == x.size(), "BiquadCascade::filter_into: size mismatch");
+  State stack_state[kMaxStackSections] = {};
+  std::vector<State> heap_state;  // only for oversized hand-built cascades
+  State* st = stack_state;
+  if (sections_.size() > kMaxStackSections) {
+    heap_state.resize(sections_.size());
+    st = heap_state.data();
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double v = x[i];
+    for (std::size_t s = 0; s < sections_.size(); ++s)
+      v = biquad_step(sections_[s], v, st[s].s1r, st[s].s2r);
+    y[i] = v;
+  }
+}
+
+void BiquadCascade::filter_into(std::span<const std::complex<double>> x,
+                                std::span<std::complex<double>> y) const {
+  require(y.size() == x.size(), "BiquadCascade::filter_into: size mismatch");
+  State stack_state[kMaxStackSections] = {};
+  std::vector<State> heap_state;
+  State* st = stack_state;
+  if (sections_.size() > kMaxStackSections) {
+    heap_state.resize(sections_.size());
+    st = heap_state.data();
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::complex<double> in = x[i];
+    double vr = in.real(), vi = in.imag();
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const Biquad& c = sections_[s];
+      vr = biquad_step(c, vr, st[s].s1r, st[s].s2r);
+      vi = biquad_step(c, vi, st[s].s1i, st[s].s2i);
+    }
+    y[i] = {vr, vi};
+  }
+}
+
 std::vector<double> BiquadCascade::filter(std::span<const double> x) const {
-  BiquadCascade copy = *this;
-  copy.reset();
   std::vector<double> y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = copy.process(x[i]);
+  filter_into(x, y);
   return y;
 }
 
 std::vector<std::complex<double>> BiquadCascade::filter(
     std::span<const std::complex<double>> x) const {
-  BiquadCascade copy = *this;
-  copy.reset();
   std::vector<std::complex<double>> y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = copy.process(x[i]);
+  filter_into(x, y);
   return y;
 }
 

@@ -35,6 +35,15 @@ class BiquadCascade {
   [[nodiscard]] std::vector<std::complex<double>> filter(
       std::span<const std::complex<double>> x) const;
 
+  // Into-output kernels from zero initial state; y.size() must equal
+  // x.size() and `y` may alias `x` (in-place filtering).  Filter state lives
+  // on the stack for the designer-produced section counts (<= 24), so these
+  // perform no heap allocation.  The vector-returning overloads above are
+  // thin wrappers, bit-identical by construction.
+  void filter_into(std::span<const double> x, std::span<double> y) const;
+  void filter_into(std::span<const std::complex<double>> x,
+                   std::span<std::complex<double>> y) const;
+
   void reset();
 
   [[nodiscard]] const std::vector<Biquad>& sections() const { return sections_; }

@@ -8,33 +8,48 @@
 
 namespace pab::dsp {
 
+std::size_t tone_length(double duration_s, double sample_rate) {
+  require(sample_rate > 0.0, "tone_length: sample rate must be positive");
+  require(duration_s >= 0.0, "tone_length: negative duration");
+  return static_cast<std::size_t>(duration_s * sample_rate);
+}
+
+void make_tone_into(double freq_hz, double amplitude, double sample_rate,
+                    double phase, std::span<double> out) {
+  require(sample_rate > 0.0, "make_tone: sample rate must be positive");
+  const double w = kTwoPi * freq_hz / sample_rate;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = amplitude * std::sin(w * static_cast<double>(i) + phase);
+}
+
 Signal make_tone(double freq_hz, double amplitude, double duration_s,
                  double sample_rate, double phase) {
-  require(sample_rate > 0.0, "make_tone: sample rate must be positive");
-  require(duration_s >= 0.0, "make_tone: negative duration");
-  const auto n = static_cast<std::size_t>(duration_s * sample_rate);
   Signal s;
   s.sample_rate = sample_rate;
-  s.samples.resize(n);
-  const double w = kTwoPi * freq_hz / sample_rate;
-  for (std::size_t i = 0; i < n; ++i)
-    s.samples[i] = amplitude * std::sin(w * static_cast<double>(i) + phase);
+  s.samples.resize(tone_length(duration_s, sample_rate));
+  make_tone_into(freq_hz, amplitude, sample_rate, phase, s.samples);
   return s;
 }
 
-BasebandSignal downconvert(const Signal& x, double carrier_hz) {
-  require(x.sample_rate > 0.0, "downconvert: sample rate unset");
-  BasebandSignal y;
-  y.sample_rate = x.sample_rate;
-  y.carrier_hz = carrier_hz;
-  y.samples.resize(x.size());
-  const double w = kTwoPi * carrier_hz / x.sample_rate;
+void downconvert_into(std::span<const double> x, double sample_rate,
+                      double carrier_hz, std::span<cplx> out) {
+  require(sample_rate > 0.0, "downconvert: sample rate unset");
+  require(out.size() == x.size(), "downconvert_into: size mismatch");
+  const double w = kTwoPi * carrier_hz / sample_rate;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double ph = w * static_cast<double>(i);
     // Multiply by exp(-j w n); factor 2 recovers the baseband envelope
     // amplitude after low-pass filtering.
-    y.samples[i] = 2.0 * x.samples[i] * cplx(std::cos(ph), -std::sin(ph));
+    out[i] = 2.0 * x[i] * cplx(std::cos(ph), -std::sin(ph));
   }
+}
+
+BasebandSignal downconvert(const Signal& x, double carrier_hz) {
+  BasebandSignal y;
+  y.sample_rate = x.sample_rate;
+  y.carrier_hz = carrier_hz;
+  y.samples.resize(x.size());
+  downconvert_into(x.samples, x.sample_rate, carrier_hz, y.samples);
   return y;
 }
 
@@ -58,16 +73,45 @@ BasebandSignal downconvert_filtered(const Signal& x, double carrier_hz,
   return out;
 }
 
+CplxView downconvert_filtered(std::span<const double> x, double sample_rate,
+                              double carrier_hz, const BiquadCascade& lowpass,
+                              std::size_t decim, Arena& arena) {
+  require(decim >= 1, "downconvert_filtered: decim must be >= 1");
+  auto buf = arena.alloc<cplx>(x.size());
+  downconvert_into(x, sample_rate, carrier_hz, buf);
+  lowpass.filter_into(buf, buf);  // alias-safe in place
+  if (decim == 1) return CplxView(buf, sample_rate, carrier_hz);
+  // In-place decimation: the forward stride only ever reads at or ahead of
+  // the write cursor, so compacting toward the front is safe.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < buf.size(); i += decim) buf[j++] = buf[i];
+  return CplxView(buf.first(j), sample_rate / static_cast<double>(decim),
+                  carrier_hz);
+}
+
+CplxView downconvert_filtered(std::span<const double> x, double sample_rate,
+                              double carrier_hz, double lowpass_hz, int order,
+                              std::size_t decim, Arena& arena) {
+  const BiquadCascade lp = butterworth_lowpass(order, lowpass_hz, sample_rate);
+  return downconvert_filtered(x, sample_rate, carrier_hz, lp, decim, arena);
+}
+
+void upconvert_into(std::span<const cplx> x, double sample_rate,
+                    double carrier_hz, std::span<double> out) {
+  require(sample_rate > 0.0, "upconvert: sample rate unset");
+  require(out.size() == x.size(), "upconvert_into: size mismatch");
+  const double w = kTwoPi * carrier_hz / sample_rate;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = w * static_cast<double>(i);
+    out[i] = x[i].real() * std::cos(ph) - x[i].imag() * std::sin(ph);
+  }
+}
+
 Signal upconvert(const BasebandSignal& x, double carrier_hz) {
-  require(x.sample_rate > 0.0, "upconvert: sample rate unset");
   Signal y;
   y.sample_rate = x.sample_rate;
   y.samples.resize(x.size());
-  const double w = kTwoPi * carrier_hz / x.sample_rate;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double ph = w * static_cast<double>(i);
-    y.samples[i] = x.samples[i].real() * std::cos(ph) - x.samples[i].imag() * std::sin(ph);
-  }
+  upconvert_into(x.samples, x.sample_rate, carrier_hz, y.samples);
   return y;
 }
 

@@ -1,8 +1,10 @@
 // Carrier generation, mixing, and down-conversion.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "dsp/arena.hpp"
 #include "dsp/signal.hpp"
 
 namespace pab::dsp {
@@ -24,5 +26,39 @@ namespace pab::dsp {
 
 // Upconvert a complex baseband signal back to a real passband signal.
 [[nodiscard]] Signal upconvert(const BasebandSignal& x, double carrier_hz);
+
+// ---- into-output kernels (allocation-free; the overloads above wrap them
+// or compute the same arithmetic in the same order) ----
+
+// Samples of a tone of `duration_s`: floor(duration_s * fs).
+[[nodiscard]] std::size_t tone_length(double duration_s, double sample_rate);
+
+// out[i] = amplitude * sin(2*pi*f*i/fs + phase); the tone length is out.size().
+void make_tone_into(double freq_hz, double amplitude, double sample_rate,
+                    double phase, std::span<double> out);
+
+// out[i] = 2 * x[i] * exp(-j*2*pi*fc*i/fs); out.size() must equal x.size().
+void downconvert_into(std::span<const double> x, double sample_rate,
+                      double carrier_hz, std::span<cplx> out);
+
+// Arena variant of downconvert_filtered: down-convert, low-pass, and
+// decimate entirely in arena scratch.  Returns a view into the arena valid
+// until the enclosing frame ends.
+[[nodiscard]] CplxView downconvert_filtered(std::span<const double> x,
+                                            double sample_rate, double carrier_hz,
+                                            double lowpass_hz, int order,
+                                            std::size_t decim, Arena& arena);
+
+// As above with a caller-owned low-pass cascade (build it once with
+// butterworth_lowpass and reuse it; designing a filter allocates).
+class BiquadCascade;
+[[nodiscard]] CplxView downconvert_filtered(std::span<const double> x,
+                                            double sample_rate, double carrier_hz,
+                                            const BiquadCascade& lowpass,
+                                            std::size_t decim, Arena& arena);
+
+// out[i] = Re(x[i]) cos(w i) - Im(x[i]) sin(w i); out.size() == x.size().
+void upconvert_into(std::span<const cplx> x, double sample_rate,
+                    double carrier_hz, std::span<double> out);
 
 }  // namespace pab::dsp

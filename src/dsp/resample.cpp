@@ -1,18 +1,32 @@
 #include "dsp/resample.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
 
 namespace pab::dsp {
+
+std::size_t decimated_length(std::size_t n, std::size_t factor) {
+  require(factor >= 1, "decimate: factor must be >= 1");
+  return (n + factor - 1) / factor;
+}
+
 namespace {
 
 template <typename T>
+void decimate_into_impl(std::span<const T> x, std::size_t factor,
+                        std::span<T> out) {
+  require(out.size() == decimated_length(x.size(), factor),
+          "decimate_into: output size mismatch");
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < x.size(); i += factor) out[j++] = x[i];
+}
+
+template <typename T>
 std::vector<T> decimate_impl(std::span<const T> x, std::size_t factor) {
-  require(factor >= 1, "decimate: factor must be >= 1");
-  std::vector<T> out;
-  out.reserve(x.size() / factor + 1);
-  for (std::size_t i = 0; i < x.size(); i += factor) out.push_back(x[i]);
+  std::vector<T> out(decimated_length(x.size(), factor));
+  decimate_into_impl<T>(x, factor, out);
   return out;
 }
 
@@ -26,32 +40,66 @@ std::vector<cplx> decimate(std::span<const cplx> x, std::size_t factor) {
   return decimate_impl<cplx>(x, factor);
 }
 
-std::vector<double> fractional_delay(std::span<const double> x, double delay_samples) {
+void decimate_into(std::span<const double> x, std::size_t factor,
+                   std::span<double> out) {
+  decimate_into_impl<double>(x, factor, out);
+}
+
+void decimate_into(std::span<const cplx> x, std::size_t factor,
+                   std::span<cplx> out) {
+  decimate_into_impl<cplx>(x, factor, out);
+}
+
+std::size_t delayed_length(std::size_t n, double delay_samples) {
   require(delay_samples >= 0.0, "fractional_delay: negative delay");
   const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
   const double frac = delay_samples - static_cast<double>(int_delay);
-  std::vector<double> out(x.size() + int_delay + (frac > 0.0 ? 1 : 0), 0.0);
+  return n + int_delay + (frac > 0.0 ? 1 : 0);
+}
+
+void fractional_delay_into(std::span<const double> x, double delay_samples,
+                           std::span<double> out) {
+  require(out.size() == delayed_length(x.size(), delay_samples),
+          "fractional_delay_into: output size mismatch");
+  const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(int_delay);
+  std::fill(out.begin(), out.end(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     out[i + int_delay] += x[i] * (1.0 - frac);
     if (frac > 0.0) out[i + int_delay + 1] += x[i] * frac;
   }
+}
+
+std::vector<double> fractional_delay(std::span<const double> x, double delay_samples) {
+  std::vector<double> out(delayed_length(x.size(), delay_samples));
+  fractional_delay_into(x, delay_samples, out);
   return out;
 }
 
 namespace {
 
 template <typename T, typename G>
-void add_delayed_scaled_impl(std::vector<T>& acc, std::span<const T> y,
-                             double delay_samples, G gain) {
+void add_delayed_scaled_into_impl(std::span<T> acc, std::span<const T> y,
+                                  double delay_samples, G gain) {
   require(delay_samples >= 0.0, "add_delayed_scaled: negative delay");
   const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
   const double frac = delay_samples - static_cast<double>(int_delay);
-  const std::size_t needed = y.size() + int_delay + 1;
-  if (acc.size() < needed) acc.resize(needed, T{});
+  require(acc.size() >= y.size() + int_delay + 1,
+          "add_delayed_scaled_into: accumulator too small");
   for (std::size_t i = 0; i < y.size(); ++i) {
     acc[i + int_delay] += gain * y[i] * (1.0 - frac);
     acc[i + int_delay + 1] += gain * y[i] * frac;
   }
+}
+
+template <typename T, typename G>
+void add_delayed_scaled_impl(std::vector<T>& acc, std::span<const T> y,
+                             double delay_samples, G gain) {
+  require(delay_samples >= 0.0, "add_delayed_scaled: negative delay");
+  const auto int_delay = static_cast<std::size_t>(std::floor(delay_samples));
+  const std::size_t needed = y.size() + int_delay + 1;
+  if (acc.size() < needed) acc.resize(needed, T{});
+  add_delayed_scaled_into_impl<T, G>(acc, y, delay_samples, gain);
 }
 
 }  // namespace
@@ -64,6 +112,16 @@ void add_delayed_scaled(std::vector<double>& acc, std::span<const double> y,
 void add_delayed_scaled(std::vector<cplx>& acc, std::span<const cplx> y,
                         double delay_samples, cplx gain) {
   add_delayed_scaled_impl(acc, y, delay_samples, gain);
+}
+
+void add_delayed_scaled_into(std::span<double> acc, std::span<const double> y,
+                             double delay_samples, double gain) {
+  add_delayed_scaled_into_impl(acc, y, delay_samples, gain);
+}
+
+void add_delayed_scaled_into(std::span<cplx> acc, std::span<const cplx> y,
+                             double delay_samples, cplx gain) {
+  add_delayed_scaled_into_impl(acc, y, delay_samples, gain);
 }
 
 }  // namespace pab::dsp

@@ -29,4 +29,31 @@ void add_delayed_scaled(std::vector<double>& acc, std::span<const double> y,
 void add_delayed_scaled(std::vector<cplx>& acc, std::span<const cplx> y,
                         double delay_samples, cplx gain);
 
+// ---- into-output kernels (allocation-free; wrapped by the above) ----
+
+// Output length of decimate(x, factor) for |x| == n: ceil(n / factor).
+[[nodiscard]] std::size_t decimated_length(std::size_t n, std::size_t factor);
+
+// out must have exactly decimated_length(x.size(), factor) elements; `out`
+// may alias the front of `x` (forward-stride compaction).
+void decimate_into(std::span<const double> x, std::size_t factor, std::span<double> out);
+void decimate_into(std::span<const cplx> x, std::size_t factor, std::span<cplx> out);
+
+// Output length of fractional_delay(x, d) for |x| == n.
+[[nodiscard]] std::size_t delayed_length(std::size_t n, double delay_samples);
+
+// out must have exactly delayed_length(x.size(), delay) elements and must
+// not alias x; it is zero-filled before accumulation.
+void fractional_delay_into(std::span<const double> x, double delay_samples,
+                           std::span<double> out);
+
+// Accumulate `gain * y` delayed by `delay_samples` into `acc`, which the
+// caller has zero-initialized (or already holds prior taps) and sized to at
+// least floor(delay) + |y| + 1 samples.  Unlike the vector overloads, the
+// span never grows -- size it with the channel's apply_taps_length.
+void add_delayed_scaled_into(std::span<double> acc, std::span<const double> y,
+                             double delay_samples, double gain);
+void add_delayed_scaled_into(std::span<cplx> acc, std::span<const cplx> y,
+                             double delay_samples, cplx gain);
+
 }  // namespace pab::dsp

@@ -66,6 +66,54 @@ struct BasebandSignal {
   }
 };
 
+// Non-owning view of a real passband waveform, typically arena-backed.
+// The span aliases storage owned elsewhere (a dsp::Arena frame or a
+// std::vector); views are cheap to copy and never allocate.
+struct SignalView {
+  std::span<double> samples;
+  double sample_rate = 0.0;  // [Hz]
+
+  SignalView() = default;
+  SignalView(std::span<double> s, double fs) : samples(s), sample_rate(fs) {}
+  // A mutable Signal is viewable in place.
+  explicit SignalView(Signal& s) : samples(s.samples), sample_rate(s.sample_rate) {}
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+  [[nodiscard]] double duration() const {
+    return sample_rate > 0.0 ? static_cast<double>(samples.size()) / sample_rate : 0.0;
+  }
+  [[nodiscard]] double& operator[](std::size_t i) const { return samples[i]; }
+
+  // Materialize an owning copy (compatibility seam for value-based callers).
+  [[nodiscard]] Signal to_signal() const {
+    return Signal(std::vector<double>(samples.begin(), samples.end()), sample_rate);
+  }
+};
+
+// Non-owning view of a complex baseband waveform (after down-conversion).
+struct CplxView {
+  std::span<cplx> samples;
+  double sample_rate = 0.0;  // [Hz]
+  double carrier_hz = 0.0;   // carrier this baseband was mixed down from
+
+  CplxView() = default;
+  CplxView(std::span<cplx> s, double fs, double fc)
+      : samples(s), sample_rate(fs), carrier_hz(fc) {}
+  explicit CplxView(BasebandSignal& s)
+      : samples(s.samples), sample_rate(s.sample_rate), carrier_hz(s.carrier_hz) {}
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+  [[nodiscard]] cplx& operator[](std::size_t i) const { return samples[i]; }
+
+  // Truncate the view to its first `n` samples (used after in-place
+  // decimation, which compacts the signal toward the front).
+  [[nodiscard]] CplxView first(std::size_t n) const {
+    return CplxView(samples.first(n), sample_rate, carrier_hz);
+  }
+};
+
 // Mean power (mean square) of a span of samples.
 [[nodiscard]] inline double signal_power(std::span<const double> xs) {
   if (xs.empty()) return 0.0;

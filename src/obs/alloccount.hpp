@@ -1,0 +1,37 @@
+// Process-wide heap-allocation counters for allocation-regression tests.
+//
+// The counters are driven by replacement global operator new/delete defined
+// in pab_alloccount (src/obs/alloccount/alloccount.cpp).  That library is
+// deliberately NOT part of pab_obs: linking it changes the allocator for the
+// whole binary, so only tests and benches that assert allocation behavior
+// (tests/test_zero_alloc.cpp, bench/fig7_ber_snr.cpp) pull it in.  Binaries
+// that do not link pab_alloccount must not call these functions.
+#pragma once
+
+#include <cstdint>
+
+namespace pab::obs {
+
+// operator-new calls / bytes requested since process start (relaxed atomics;
+// exact in single-threaded sections, monotone everywhere).
+[[nodiscard]] std::uint64_t heap_allocations();
+[[nodiscard]] std::uint64_t heap_bytes();
+
+// True when the counting allocator is linked in (counters are meaningful).
+[[nodiscard]] bool alloc_counting_enabled();
+
+// Scope helper: allocations observed since construction.
+class AllocScope {
+ public:
+  AllocScope() : start_allocs_(heap_allocations()), start_bytes_(heap_bytes()) {}
+  [[nodiscard]] std::uint64_t allocations() const {
+    return heap_allocations() - start_allocs_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return heap_bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace pab::obs

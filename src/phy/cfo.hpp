@@ -24,4 +24,9 @@ namespace pab::phy {
 [[nodiscard]] std::vector<std::complex<double>> correct_cfo(
     std::span<const std::complex<double>> x, double cfo_hz, double sample_rate);
 
+// Into-output variant: out.size() must equal x.size(); `out` may alias `x`
+// (pure per-sample rotation).  The vector overload wraps this.
+void correct_cfo_into(std::span<const std::complex<double>> x, double cfo_hz,
+                      double sample_rate, std::span<std::complex<double>> out);
+
 }  // namespace pab::phy

@@ -3,22 +3,29 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace pab::phy {
 
-Chips fm0_encode(std::span<const std::uint8_t> bits, std::int8_t initial_level) {
+void fm0_encode_into(std::span<const std::uint8_t> bits,
+                     std::int8_t initial_level, std::span<std::int8_t> out) {
   require(initial_level == 1 || initial_level == -1, "fm0_encode: level must be +/-1");
-  Chips chips;
-  chips.reserve(bits.size() * 2);
+  require(out.size() == bits.size() * 2, "fm0_encode_into: output size mismatch");
   std::int8_t level = initial_level;
+  std::size_t j = 0;
   for (std::uint8_t bit : bits) {
     level = static_cast<std::int8_t>(-level);  // boundary inversion
-    chips.push_back(level);
+    out[j++] = level;
     if ((bit & 1u) == 0) level = static_cast<std::int8_t>(-level);  // data-0 mid inversion
-    chips.push_back(level);
+    out[j++] = level;
   }
+}
+
+Chips fm0_encode(std::span<const std::uint8_t> bits, std::int8_t initial_level) {
+  Chips chips(bits.size() * 2);
+  fm0_encode_into(bits, initial_level, chips);
   return chips;
 }
 
@@ -32,11 +39,22 @@ Bits fm0_decode_hard(std::span<const std::int8_t> chips, std::int8_t initial_lev
   return bits;
 }
 
-Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
-  require(soft.size() % 2 == 0, "fm0_decode_ml: odd chip count");
-  require(initial_level == 1 || initial_level == -1, "fm0_decode_ml: level must be +/-1");
+namespace {
+
+// back[t][state] = (previous state, decoded bit); a plain aggregate so the
+// arena's trivially-copyable requirement holds (std::pair is not trivial).
+struct BackPtr {
+  std::int8_t prev;
+  std::uint8_t bit;
+};
+using BackEntry = std::array<BackPtr, 2>;
+
+// The two-state Viterbi shared by the vector wrapper and the arena-backed
+// into-kernel; `back` is caller-provided scratch of soft.size()/2 entries.
+void decode_ml_core(std::span<const double> soft, std::int8_t initial_level,
+                    std::span<BackEntry> back, std::span<std::uint8_t> out) {
   const std::size_t n_bits = soft.size() / 2;
-  if (n_bits == 0) return {};
+  if (n_bits == 0) return;
 
   // Viterbi over the line level at the *end* of each bit: state 0 -> -1,
   // state 1 -> +1.  Branch from prev level L: first chip is -L; bit 1 keeps
@@ -44,9 +62,6 @@ Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::array<double, 2> metric{kNegInf, kNegInf};
   metric[initial_level > 0 ? 1 : 0] = 0.0;
-
-  // back[t][state] = (previous state, decoded bit)
-  std::vector<std::array<std::pair<std::int8_t, std::uint8_t>, 2>> back(n_bits);
 
   for (std::size_t t = 0; t < n_bits; ++t) {
     const double x0 = soft[2 * t];
@@ -80,11 +95,31 @@ Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
 
   // Traceback from the better ending state.
   int state = metric[1] >= metric[0] ? 1 : 0;
-  Bits bits(n_bits);
   for (std::size_t t = n_bits; t-- > 0;) {
-    bits[t] = back[t][state].second;
-    state = back[t][state].first;
+    out[t] = back[t][static_cast<std::size_t>(state)].bit;
+    state = back[t][static_cast<std::size_t>(state)].prev;
   }
+}
+
+}  // namespace
+
+void fm0_decode_ml_into(std::span<const double> soft, std::int8_t initial_level,
+                        std::span<std::uint8_t> out, dsp::Arena& scratch) {
+  require(soft.size() % 2 == 0, "fm0_decode_ml: odd chip count");
+  require(initial_level == 1 || initial_level == -1, "fm0_decode_ml: level must be +/-1");
+  require(out.size() == soft.size() / 2, "fm0_decode_ml_into: output size mismatch");
+  const auto frame = scratch.frame();
+  decode_ml_core(soft, initial_level, scratch.alloc<BackEntry>(out.size()), out);
+}
+
+Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
+  require(soft.size() % 2 == 0, "fm0_decode_ml: odd chip count");
+  require(initial_level == 1 || initial_level == -1, "fm0_decode_ml: level must be +/-1");
+  const std::size_t n_bits = soft.size() / 2;
+  if (n_bits == 0) return {};
+  std::vector<BackEntry> back(n_bits);
+  Bits bits(n_bits);
+  decode_ml_core(soft, initial_level, back, bits);
   return bits;
 }
 

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/arena.hpp"
 #include "util/bitops.hpp"
 
 namespace pab::phy {
@@ -33,5 +34,16 @@ using Chips = std::vector<std::int8_t>;
 // Returns soft.size()/2 bits.
 [[nodiscard]] Bits fm0_decode_ml(std::span<const double> soft,
                                  std::int8_t initial_level = -1);
+
+// ---- into-output kernels (allocation-free; wrapped by the above) ----
+
+// out.size() must equal 2 * bits.size().
+void fm0_encode_into(std::span<const std::uint8_t> bits,
+                     std::int8_t initial_level, std::span<std::int8_t> out);
+
+// out.size() must equal soft.size() / 2; the Viterbi back-pointer table is
+// carved from `scratch` (released by the caller's frame).
+void fm0_decode_ml_into(std::span<const double> soft, std::int8_t initial_level,
+                        std::span<std::uint8_t> out, dsp::Arena& scratch);
 
 }  // namespace pab::phy

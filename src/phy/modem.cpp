@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "dsp/correlate.hpp"
 #include "obs/metrics.hpp"
@@ -11,20 +12,39 @@
 
 namespace pab::phy {
 
-std::vector<SwitchState> backscatter_waveform(std::span<const std::uint8_t> bits,
-                                              double bitrate, double sample_rate,
-                                              std::int8_t initial_level) {
+std::size_t backscatter_waveform_length(std::size_t n_bits, double bitrate,
+                                        double sample_rate) {
   require(bitrate > 0.0 && sample_rate > 0.0, "backscatter_waveform: bad rates");
-  const Chips chips = fm0_encode(bits, initial_level);
   const double spc = sample_rate / (2.0 * bitrate);  // samples per chip
-  const auto total =
-      static_cast<std::size_t>(std::ceil(static_cast<double>(chips.size()) * spc));
-  std::vector<SwitchState> out(total, SwitchState::kAbsorptive);
-  for (std::size_t i = 0; i < total; ++i) {
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n_bits * 2) * spc));
+}
+
+void backscatter_waveform_into(std::span<const std::uint8_t> bits,
+                               double bitrate, double sample_rate,
+                               std::int8_t initial_level,
+                               std::span<SwitchState> out, dsp::Arena& scratch) {
+  require(out.size() == backscatter_waveform_length(bits.size(), bitrate, sample_rate),
+          "backscatter_waveform_into: output size mismatch");
+  const auto frame = scratch.frame();
+  auto chips = scratch.alloc<std::int8_t>(bits.size() * 2);
+  fm0_encode_into(bits, initial_level, chips);
+  const double spc = sample_rate / (2.0 * bitrate);  // samples per chip
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const auto chip = std::min<std::size_t>(
         static_cast<std::size_t>(static_cast<double>(i) / spc), chips.size() - 1);
     out[i] = chips[chip] > 0 ? SwitchState::kReflective : SwitchState::kAbsorptive;
   }
+}
+
+std::vector<SwitchState> backscatter_waveform(std::span<const std::uint8_t> bits,
+                                              double bitrate, double sample_rate,
+                                              std::int8_t initial_level) {
+  std::vector<SwitchState> out(
+      backscatter_waveform_length(bits.size(), bitrate, sample_rate),
+      SwitchState::kAbsorptive);
+  dsp::Arena scratch(bits.size() * 2 + dsp::Arena::kAlign);
+  backscatter_waveform_into(bits, bitrate, sample_rate, initial_level, out, scratch);
   return out;
 }
 
@@ -36,6 +56,11 @@ BackscatterDemodulator::BackscatterDemodulator(DemodConfig config)
   preamble_chips_ = fm0_encode(uplink_preamble_bits(), /*initial_level=*/-1);
   // Level at the end of the preamble: the last chip emitted.
   post_preamble_level_ = preamble_chips_.back();
+  // Receiver low-pass, designed once here and reused on every demodulation.
+  const double cutoff = std::min(config_.lowpass_factor * config_.bitrate,
+                                 config_.sample_rate / 2.5);
+  lowpass_ = dsp::butterworth_lowpass(config_.lowpass_order, cutoff,
+                                      config_.sample_rate);
   if (config_.metrics != nullptr) {
     auto& m = *config_.metrics;
     t_correlate_ = &m.histogram("phy.demod.correlate_seconds");
@@ -49,11 +74,11 @@ BackscatterDemodulator::BackscatterDemodulator(DemodConfig config)
   }
 }
 
-std::vector<double> BackscatterDemodulator::integrate_chips(
-    std::span<const double> env, double start, double samples_per_chip,
-    std::size_t n_chips) {
-  std::vector<double> out(n_chips, 0.0);
-  for (std::size_t c = 0; c < n_chips; ++c) {
+void BackscatterDemodulator::integrate_chips_into(std::span<const double> env,
+                                                  double start,
+                                                  double samples_per_chip,
+                                                  std::span<double> out) {
+  for (std::size_t c = 0; c < out.size(); ++c) {
     const auto lo = static_cast<std::size_t>(
         std::lround(start + static_cast<double>(c) * samples_per_chip));
     const auto hi = static_cast<std::size_t>(
@@ -66,12 +91,20 @@ std::vector<double> BackscatterDemodulator::integrate_chips(
     }
     out[c] = n > 0 ? acc / static_cast<double>(n) : 0.0;
   }
+}
+
+std::vector<double> BackscatterDemodulator::integrate_chips(
+    std::span<const double> env, double start, double samples_per_chip,
+    std::size_t n_chips) {
+  std::vector<double> out(n_chips, 0.0);
+  integrate_chips_into(env, start, samples_per_chip, out);
   return out;
 }
 
-Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
-    std::span<const double> envelope, double envelope_rate,
-    std::size_t n_bits) const {
+Expected<bool> BackscatterDemodulator::demodulate_envelope_into(
+    std::span<const double> envelope, double envelope_rate, std::size_t n_bits,
+    dsp::Arena& scratch, DemodResult& out) const {
+  const auto arena_frame = scratch.frame();
   const double spc = envelope_rate / (2.0 * config_.bitrate);
   require(spc >= 2.0, "demodulate: fewer than 2 samples per chip");
   const std::size_t n_pre_chips = preamble_chips_.size();
@@ -91,7 +124,7 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
     const obs::ScopedTimer timer(t_correlate_);
 
     // Zero-mean preamble template at envelope rate.
-    std::vector<double> tmpl(static_cast<std::size_t>(
+    auto tmpl = scratch.alloc<double>(static_cast<std::size_t>(
         std::ceil(static_cast<double>(n_pre_chips) * spc)));
     for (std::size_t i = 0; i < tmpl.size(); ++i) {
       const auto chip = std::min<std::size_t>(
@@ -101,11 +134,14 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
 
     // Windowed Pearson correlation: immune to the un-modulated carrier offset
     // beneath the packet and to level transients at the capture edges.
-    const std::vector<double> corr = dsp::pearson_correlation(envelope, tmpl);
-    if (corr.empty()) {
+    const std::size_t corr_len =
+        dsp::correlation_length(envelope.size(), tmpl.size());
+    if (corr_len == 0 || tmpl.size() < 2) {
       if (n_no_preamble_ != nullptr) n_no_preamble_->add();
       return Error{ErrorCode::kNoPreamble, "correlation empty"};
     }
+    auto corr = scratch.alloc<double>(corr_len);
+    dsp::pearson_correlation_into(envelope, tmpl, corr);
 
     // Restrict the search so the whole packet fits after the detected start.
     std::size_t search_end = corr.size();
@@ -128,11 +164,11 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
 
   // Channel estimation from the preamble chips + soft chip integration.
   double amp = 0.0, mid = 0.0;
-  std::vector<double> soft;
+  auto soft = scratch.alloc<double>(n_data_chips);
   {
     const obs::ScopedTimer timer(t_chanest_);
-    const std::vector<double> pre_soft = integrate_chips(
-        envelope, static_cast<double>(best), spc, n_pre_chips);
+    auto pre_soft = scratch.alloc<double>(n_pre_chips);
+    integrate_chips_into(envelope, static_cast<double>(best), spc, pre_soft);
     double hi = 0.0, lo = 0.0;
     std::size_t nhi = 0, nlo = 0;
     for (std::size_t c = 0; c < n_pre_chips; ++c) {
@@ -155,23 +191,24 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
     // Soft data chips, normalized to +/-1 nominal.
     const double data_start =
         static_cast<double>(best) + static_cast<double>(n_pre_chips) * spc;
-    soft = integrate_chips(envelope, data_start, spc, n_data_chips);
+    integrate_chips_into(envelope, data_start, spc, soft);
     for (double& v : soft) v = (v - mid) / amp;
   }
 
-  DemodResult r;
-  r.bits = fm0_decode_ml(soft, post_preamble_level_);
-  r.start_sample = best;
-  r.channel_amp = std::abs(amp);
-  r.mid_level = mid;
-  r.preamble_corr = corr_norm;
+  out.bits.resize(n_bits);  // reuses capacity in steady state
+  fm0_decode_ml_into(soft, post_preamble_level_, out.bits, scratch);
+  out.start_sample = best;
+  out.channel_amp = std::abs(amp);
+  out.mid_level = mid;
+  out.preamble_corr = corr_norm;
 
   if (config_.decision_directed_equalizer) {
     // Second pass: treat the first decision as training, equalize the chip
     // stream, decode again.  With a mostly-correct first pass this cancels
-    // the reverberation tail that limits chip SNR.
+    // the reverberation tail that limits chip SNR.  (This optional pass
+    // still allocates: the normal-equation solve is vector-based.)
     const obs::ScopedTimer timer(t_equalize_);
-    const Chips ref_chips = fm0_encode(r.bits, post_preamble_level_);
+    const Chips ref_chips = fm0_encode(out.bits, post_preamble_level_);
     std::vector<std::complex<double>> rx(soft.size());
     for (std::size_t c = 0; c < soft.size(); ++c) rx[c] = {soft[c], 0.0};
     std::vector<double> ref(ref_chips.begin(), ref_chips.end());
@@ -179,46 +216,65 @@ Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
     if (rx.size() >= static_cast<std::size_t>(4 * eq.tap_count())) {
       eq.train(rx, ref);
       const auto eq_out = eq.apply(rx);
-      std::vector<double> eq_soft(eq_out.size());
-      for (std::size_t c = 0; c < eq_soft.size(); ++c)
-        eq_soft[c] = eq_out[c].real();
-      r.bits = fm0_decode_ml(eq_soft, post_preamble_level_);
-      soft = std::move(eq_soft);
+      for (std::size_t c = 0; c < soft.size(); ++c) soft[c] = eq_out[c].real();
+      out.bits = fm0_decode_ml(soft, post_preamble_level_);
     }
   }
 
   // SNR per the paper: re-encode the decoded bits, compare chip-level.
-  const Chips ref = fm0_encode(r.bits, post_preamble_level_);
+  auto ref = scratch.alloc<std::int8_t>(n_data_chips);
+  fm0_encode_into(out.bits, post_preamble_level_, ref);
   double noise = 0.0;
   for (std::size_t c = 0; c < n_data_chips; ++c) {
     const double e = soft[c] - static_cast<double>(ref[c]);
     noise += e * e;
   }
   noise = noise / static_cast<double>(n_data_chips) * amp * amp;
-  r.snr_db = noise > 0.0
-                 ? std::clamp(10.0 * std::log10(amp * amp / noise), -60.0, 60.0)
-                 : 60.0;
+  out.snr_db = noise > 0.0
+                   ? std::clamp(10.0 * std::log10(amp * amp / noise), -60.0, 60.0)
+                   : 60.0;
   if (n_ok_ != nullptr) n_ok_->add();
-  return r;
+  return true;
+}
+
+Expected<DemodResult> BackscatterDemodulator::demodulate_envelope(
+    std::span<const double> envelope, double envelope_rate,
+    std::size_t n_bits) const {
+  dsp::Arena scratch;
+  DemodResult out;
+  const auto ok = demodulate_envelope_into(envelope, envelope_rate, n_bits,
+                                           scratch, out);
+  if (!ok.ok()) return ok.error();
+  return out;
+}
+
+Expected<bool> BackscatterDemodulator::demodulate_into(
+    std::span<const double> passband, double sample_rate, std::size_t n_bits,
+    dsp::Arena& scratch, DemodResult& out) const {
+  require(sample_rate == config_.sample_rate, "demodulate: sample rate mismatch");
+  const auto arena_frame = scratch.frame();
+  std::span<double> env;
+  double envelope_rate = 0.0;
+  {
+    const obs::ScopedTimer timer(t_downconvert_);
+    const dsp::CplxView bb = dsp::downconvert_filtered(
+        passband, sample_rate, config_.carrier_hz, lowpass_, /*decim=*/1, scratch);
+    auto e = scratch.alloc<double>(bb.size());
+    for (std::size_t i = 0; i < bb.size(); ++i) e[i] = std::abs(bb[i]);
+    env = e;
+    envelope_rate = bb.sample_rate;
+  }
+  return demodulate_envelope_into(env, envelope_rate, n_bits, scratch, out);
 }
 
 Expected<DemodResult> BackscatterDemodulator::demodulate(
     const dsp::Signal& passband, std::size_t n_bits) const {
-  require(passband.sample_rate == config_.sample_rate,
-          "demodulate: sample rate mismatch");
-  std::vector<double> env;
-  double envelope_rate = 0.0;
-  {
-    const obs::ScopedTimer timer(t_downconvert_);
-    const double cutoff = std::min(config_.lowpass_factor * config_.bitrate,
-                                   config_.sample_rate / 2.5);
-    const dsp::BasebandSignal bb = dsp::downconvert_filtered(
-        passband, config_.carrier_hz, cutoff, config_.lowpass_order);
-    env.resize(bb.size());
-    for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb.samples[i]);
-    envelope_rate = bb.sample_rate;
-  }
-  return demodulate_envelope(env, envelope_rate, n_bits);
+  dsp::Arena scratch;
+  DemodResult out;
+  const auto ok = demodulate_into(passband.samples, passband.sample_rate, n_bits,
+                                  scratch, out);
+  if (!ok.ok()) return ok.error();
+  return out;
 }
 
 Expected<UplinkPacket> demodulate_packet(const dsp::Signal& passband,
@@ -236,7 +292,7 @@ Expected<UplinkPacket> demodulate_packet(const dsp::Signal& passband,
                               ? &config.metrics->histogram("phy.demod.crc_seconds")
                               : nullptr;
   const obs::ScopedTimer timer(t_crc);
-  Bits body = r.value().bits;
+  Bits body = std::move(r.value().bits);
   if (robust) body = fec_recover(body, body_bits);
   auto packet = UplinkPacket::from_bits(body, /*has_preamble=*/false);
   if (!packet) {

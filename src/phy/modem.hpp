@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "dsp/arena.hpp"
+#include "dsp/iir.hpp"
 #include "dsp/signal.hpp"
 #include "phy/fm0.hpp"
 #include "phy/packet.hpp"
@@ -39,6 +41,18 @@ enum class SwitchState : std::int8_t { kAbsorptive = 0, kReflective = 1 };
     std::span<const std::uint8_t> bits, double bitrate, double sample_rate,
     std::int8_t initial_level = -1);
 
+// Samples the waveform for `n_bits` bits occupies: ceil(2 * n_bits * spc).
+[[nodiscard]] std::size_t backscatter_waveform_length(std::size_t n_bits,
+                                                      double bitrate,
+                                                      double sample_rate);
+
+// Into-output variant: out.size() must equal backscatter_waveform_length;
+// the FM0 chips are carved from `scratch`.  The vector overload wraps this.
+void backscatter_waveform_into(std::span<const std::uint8_t> bits,
+                               double bitrate, double sample_rate,
+                               std::int8_t initial_level,
+                               std::span<SwitchState> out, dsp::Arena& scratch);
+
 // --- Demodulator --------------------------------------------------------------
 
 struct DemodConfig {
@@ -57,6 +71,10 @@ struct DemodConfig {
   // (`phy.demod.*`).  Null disables instrumentation; the registry must
   // outlive every demodulator built from this config.
   obs::MetricRegistry* metrics = nullptr;
+
+  // Member-wise equality: lets a phy::Workspace cache one demodulator per
+  // operating point instead of rebuilding it every trial.
+  [[nodiscard]] bool operator==(const DemodConfig&) const = default;
 };
 
 struct DemodResult {
@@ -82,6 +100,24 @@ class BackscatterDemodulator {
       std::span<const double> envelope, double envelope_rate,
       std::size_t n_bits) const;
 
+  // Zero-allocation variants: all intermediate waveforms (baseband, envelope,
+  // correlation, soft chips, Viterbi scratch) are carved from `scratch` and
+  // released before returning; decoded bits land in `out.bits`, which only
+  // allocates when its capacity grows (steady-state reuse is free).  The
+  // Expected<bool> success path carries no heap state; error details may
+  // allocate, but a failed decode leaves the trial loop anyway.  The
+  // Expected<DemodResult> overloads above are thin wrappers -- results are
+  // bit-identical by construction.  The decision-directed equalizer second
+  // pass (off by default) still allocates in its matrix solve.
+  [[nodiscard]] Expected<bool> demodulate_into(std::span<const double> passband,
+                                               double sample_rate,
+                                               std::size_t n_bits,
+                                               dsp::Arena& scratch,
+                                               DemodResult& out) const;
+  [[nodiscard]] Expected<bool> demodulate_envelope_into(
+      std::span<const double> envelope, double envelope_rate,
+      std::size_t n_bits, dsp::Arena& scratch, DemodResult& out) const;
+
   [[nodiscard]] const DemodConfig& config() const { return config_; }
 
   // Soft chip integration: mean of `env` over each chip period.
@@ -89,10 +125,18 @@ class BackscatterDemodulator {
       std::span<const double> env, double start, double samples_per_chip,
       std::size_t n_chips);
 
+  // Into-output variant: out.size() is the chip count.
+  static void integrate_chips_into(std::span<const double> env, double start,
+                                   double samples_per_chip,
+                                   std::span<double> out);
+
  private:
   DemodConfig config_;
   Chips preamble_chips_;
   std::int8_t post_preamble_level_;
+  // Receiver low-pass, designed once at construction (designing per call
+  // would allocate in the hot path).
+  dsp::BiquadCascade lowpass_;
   // Resolved once at construction from config_.metrics (null = metrics off).
   obs::Histogram* t_correlate_ = nullptr;
   obs::Histogram* t_chanest_ = nullptr;

@@ -1,0 +1,57 @@
+// Per-trial receiver workspace: one arena for every intermediate waveform in
+// the modem chain plus a cached demodulator.
+//
+// Ownership rules (see src/README.md):
+//   * One Workspace per worker thread.  It is not synchronized; never share a
+//     live Workspace across threads.  sim::Session keeps a pool and leases one
+//     per trial.
+//   * The arena is sized on first use and only grows; steady-state trials
+//     reuse the same blocks, so the hot loop performs zero heap allocations.
+//   * demodulator(config) rebuilds only when the config changes (member-wise
+//     equality on DemodConfig); a Monte-Carlo sweep that fixes the operating
+//     point constructs the demodulator exactly once.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "dsp/arena.hpp"
+#include "phy/modem.hpp"
+
+namespace pab::phy {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(std::size_t initial_bytes) : arena_(initial_bytes) {}
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  [[nodiscard]] dsp::Arena& arena() { return arena_; }
+
+  // Convenience: open a scratch frame directly on the workspace arena.
+  [[nodiscard]] dsp::Arena::Frame frame() { return arena_.frame(); }
+
+  // Grow the arena up-front so the first trial doesn't pay the block
+  // allocations.  `bytes` is the expected per-trial high-water mark.
+  void reserve(std::size_t bytes) { arena_.reserve(bytes); }
+
+  // The demodulator for `config`, building it on first use and rebuilding
+  // only when the config changes.  The reference stays valid until the next
+  // call with a different config.
+  [[nodiscard]] const BackscatterDemodulator& demodulator(
+      const DemodConfig& config) {
+    if (!demod_.has_value() || !(demod_->config() == config))
+      demod_.emplace(config);
+    return *demod_;
+  }
+
+ private:
+  dsp::Arena arena_;
+  std::optional<BackscatterDemodulator> demod_;
+};
+
+}  // namespace pab::phy

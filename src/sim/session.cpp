@@ -1,21 +1,54 @@
 #include "sim/session.hpp"
 
 #include <mutex>
-#include <random>
 #include <shared_mutex>
+#include <utility>
 
 #include "phy/metrics.hpp"
 
 namespace pab::sim {
 
 std::uint64_t substream_seed(std::uint64_t base_seed, std::uint64_t stream) {
-  std::seed_seq seq{static_cast<std::uint32_t>(base_seed),
-                    static_cast<std::uint32_t>(base_seed >> 32),
-                    static_cast<std::uint32_t>(stream),
-                    static_cast<std::uint32_t>(stream >> 32)};
-  std::uint32_t words[2] = {0, 0};
-  seq.generate(words, words + 2);
-  return (static_cast<std::uint64_t>(words[1]) << 32) | words[0];
+  // The std::seed_seq::generate algorithm ([rand.util.seedseq]) specialized
+  // to four 32-bit input words and two output words.  seed_seq itself keeps a
+  // heap-allocated copy of the inputs, which would put one malloc/free pair
+  // in every trial; this open-coded version is allocation-free and verified
+  // bit-equal against std::seed_seq in the test suite.
+  const std::uint32_t v[4] = {static_cast<std::uint32_t>(base_seed),
+                              static_cast<std::uint32_t>(base_seed >> 32),
+                              static_cast<std::uint32_t>(stream),
+                              static_cast<std::uint32_t>(stream >> 32)};
+  constexpr std::size_t n = 2;                        // output words
+  constexpr std::size_t s = 4;                        // input words
+  constexpr std::size_t t = (n - 1) / 2;              // 0
+  constexpr std::size_t p = (n - t) / 2;              // 1
+  constexpr std::size_t q = p + t;                    // 1
+  constexpr std::size_t m = (s + 1 > n) ? s + 1 : n;  // 5
+  const auto tmix = [](std::uint32_t x) { return x ^ (x >> 27); };
+  std::uint32_t b[n] = {0x8b8b8b8bu, 0x8b8b8b8bu};
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::uint32_t r1 =
+        1664525u * tmix(b[k % n] ^ b[(k + p) % n] ^ b[(k + n - 1) % n]);
+    std::uint32_t r2 = r1;
+    if (k == 0)
+      r2 += static_cast<std::uint32_t>(s);
+    else if (k <= s)
+      r2 += static_cast<std::uint32_t>(k % n) + v[k - 1];
+    else
+      r2 += static_cast<std::uint32_t>(k % n);
+    b[(k + p) % n] += r1;
+    b[(k + q) % n] += r2;
+    b[k % n] = r2;
+  }
+  for (std::size_t k = m; k < m + n; ++k) {
+    const std::uint32_t r3 =
+        1566083941u * tmix(b[k % n] + b[(k + p) % n] + b[(k + n - 1) % n]);
+    const std::uint32_t r4 = r3 - static_cast<std::uint32_t>(k % n);
+    b[(k + p) % n] ^= r3;
+    b[(k + q) % n] ^= r4;
+    b[k % n] = r4;
+  }
+  return (static_cast<std::uint64_t>(b[1]) << 32) | b[0];
 }
 
 Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
@@ -33,6 +66,9 @@ Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
   n_mod_hits_ = &metrics_->counter("sim.session.modulation_cache_hits");
   n_mod_misses_ = &metrics_->counter("sim.session.modulation_cache_misses");
   t_trial_ = &metrics_->histogram("sim.session.trial_seconds");
+  g_arena_capacity_ = &metrics_->gauge("sim.session.arena.capacity_bytes");
+  g_arena_high_water_ = &metrics_->gauge("sim.session.arena.high_water_bytes");
+  g_arena_blocks_ = &metrics_->gauge("sim.session.arena.heap_blocks");
   front_ends_.reserve(scenario_.front_ends.size());
   for (std::size_t j = 0; j < scenario_.front_ends.size(); ++j)
     front_ends_.push_back(scenario_.make_front_end(j));
@@ -76,7 +112,8 @@ const core::ModulationStates& Session::modulation(std::size_t j,
   return it->second;
 }
 
-pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
+pab::Expected<bool> Session::run_into(std::uint64_t trial,
+                                      UplinkTrial& out) const {
   if (front_ends_.empty())
     return pab::Error{pab::ErrorCode::kInvalidArgument,
                       "scenario has no front ends"};
@@ -84,20 +121,36 @@ pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
   n_trials_->add();
   const Waveform& w = scenario_.waveform;
   pab::Rng rng = trial_rng(trial);
-  const pab::Bits bits = rng.bits(w.payload_bits);
+  out.sent.resize(w.payload_bits);  // reuses capacity in steady state
+  rng.bits_into(out.sent);
   const core::ModulationStates& states = modulation(0, w.carrier_hz, w.bitrate);
-  auto decoded = link_.run_and_decode(projector_, states, bits, w, rng);
-  if (!decoded.ok()) {
+  const auto ctx = trial_contexts_.lease();
+  const auto ok = link_.run_and_decode_into(projector_, states, out.sent, w,
+                                            rng, ctx->workspace, ctx->decoded);
+  {
+    // Arena footprint of this trial's workspace; last write wins, and in
+    // steady state every pooled workspace reports the same numbers.
+    const dsp::Arena& arena = ctx->workspace.arena();
+    g_arena_capacity_->set(static_cast<double>(arena.capacity_bytes()));
+    g_arena_high_water_->set(static_cast<double>(arena.high_water_bytes()));
+    g_arena_blocks_->set(static_cast<double>(arena.block_allocations()));
+  }
+  if (!ok.ok()) {
     n_decode_failures_->add();
-    return decoded.error();
+    return ok.error();
   }
 
+  out.incident_pressure_pa = ctx->decoded.run.incident_pressure_pa;
+  out.modulation_pressure_pa = ctx->decoded.run.modulation_pressure_pa;
+  std::swap(out.demod, ctx->decoded.demod);
+  out.ber = phy::bit_error_rate(out.sent, out.demod.bits);
+  return true;
+}
+
+pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
   UplinkTrial out;
-  out.sent = bits;
-  out.incident_pressure_pa = decoded.value().run.incident_pressure_pa;
-  out.modulation_pressure_pa = decoded.value().run.modulation_pressure_pa;
-  out.demod = std::move(decoded.value().demod);
-  out.ber = phy::bit_error_rate(bits, out.demod.bits);
+  const auto ok = run_into(trial, out);
+  if (!ok.ok()) return ok.error();
   return out;
 }
 

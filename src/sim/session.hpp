@@ -24,15 +24,18 @@
 #include "core/link.hpp"
 #include "core/network.hpp"
 #include "obs/metrics.hpp"
+#include "phy/workspace.hpp"
 #include "sim/scenario.hpp"
 #include "util/error.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 
 namespace pab::sim {
 
 // Deterministic substream derivation: seed for trial `stream` of a run seeded
-// with `base_seed` (std::seed_seq split, stable across platforms and thread
-// schedules).
+// with `base_seed` (the std::seed_seq generate algorithm, stable across
+// platforms and thread schedules; implemented without seed_seq's heap
+// allocation and verified bit-equal against it in the test suite).
 [[nodiscard]] std::uint64_t substream_seed(std::uint64_t base_seed,
                                            std::uint64_t stream);
 
@@ -90,6 +93,15 @@ class Session {
   };
   [[nodiscard]] pab::Expected<UplinkTrial> run(std::uint64_t trial) const;
 
+  // Zero-allocation variant: trial scratch (workspace arena + waveform
+  // buffers) is leased from an internal pool keyed by nothing -- one context
+  // per concurrently in-flight trial, reused across trials.  `out` fields
+  // resize in place, so a caller that reuses one UplinkTrial per worker sees
+  // no heap allocation after the first few trials.  Bit-identical to run(),
+  // which wraps this.
+  [[nodiscard]] pab::Expected<bool> run_into(std::uint64_t trial,
+                                             UplinkTrial& out) const;
+
   // One concurrent multi-node frame per the scenario's FDMA plan.  Requires
   // as many front ends and carriers as nodes.
   [[nodiscard]] pab::Expected<core::NetworkRunResult> run_network(
@@ -109,12 +121,27 @@ class Session {
   mutable std::map<ModKey, core::ModulationStates> modulation_cache_;
   mutable std::atomic<std::uint64_t> modulation_evaluations_{0};
 
+  // Per-trial scratch: a workspace (arena + cached demodulator) plus the
+  // synthesis/decode result buffers.  Pooled like the tap cache -- one
+  // context per concurrently in-flight trial, leased per run_into call and
+  // returned warm, so steady-state trials allocate nothing.
+  struct TrialContext {
+    phy::Workspace workspace;
+    core::LinkSimulator::DecodedRun decoded;
+  };
+  mutable util::Pool<TrialContext> trial_contexts_;
+
   // Instruments resolved once at construction (registry-lifetime pointers).
   obs::Counter* n_trials_ = nullptr;
   obs::Counter* n_decode_failures_ = nullptr;
   obs::Counter* n_mod_hits_ = nullptr;
   obs::Counter* n_mod_misses_ = nullptr;
   obs::Histogram* t_trial_ = nullptr;
+  // Arena footprint of the most recent trial's workspace (bytes / blocks):
+  // how much scratch one trial needs and whether it ever re-grew.
+  obs::Gauge* g_arena_capacity_ = nullptr;
+  obs::Gauge* g_arena_high_water_ = nullptr;
+  obs::Gauge* g_arena_blocks_ = nullptr;
 };
 
 }  // namespace pab::sim

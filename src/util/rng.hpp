@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 namespace pab {
@@ -37,8 +38,14 @@ class Rng {
   // Random payload bits, used heavily by PHY tests and benches.
   [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t n) {
     std::vector<std::uint8_t> out(n);
-    for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 1u);
+    bits_into(out);
     return out;
+  }
+
+  // Allocation-free variant: fills `out`, drawing exactly out.size() engine
+  // words (identical stream consumption to bits(out.size())).
+  void bits_into(std::span<std::uint8_t> out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 1u);
   }
 
   [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {

@@ -3,13 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "core/controller.hpp"
+#include "sim/scenario.hpp"
 
 namespace pab::core {
 namespace {
 
 struct Rig {
   sense::Environment env;
-  SimConfig config = pool_a_config();
+  SimConfig config = sim::Scenario::pool_a().medium;
   Placement base;
   Rig() {
     env.ph = 7.5;

@@ -8,6 +8,7 @@
 #include "mac/protocol.hpp"
 #include "node/node.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
 
 namespace pab::core {
 namespace {
@@ -17,7 +18,7 @@ Projector standard_projector(double drive_v = 50.0) {
 }
 
 TEST(Integration, UplinkDecodesCleanly) {
-  LinkSimulator sim(pool_a_config(), Placement{});
+  LinkSimulator sim(sim::Scenario::pool_a().medium, Placement{});
   const auto proj = standard_projector();
   const auto fe = circuit::make_recto_piezo(15000.0);
   pab::Rng rng(21);
@@ -30,7 +31,7 @@ TEST(Integration, UplinkDecodesCleanly) {
 }
 
 TEST(Integration, FullPacketWithCrc) {
-  LinkSimulator sim(pool_a_config(), Placement{});
+  LinkSimulator sim(sim::Scenario::pool_a().medium, Placement{});
   const auto proj = standard_projector();
   const auto fe = circuit::make_recto_piezo(15000.0);
 
@@ -50,7 +51,7 @@ TEST(Integration, FullPacketWithCrc) {
 }
 
 TEST(Integration, SnrDropsWithDistance) {
-  SimConfig sc = pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   const auto proj = standard_projector();
   const auto fe = circuit::make_recto_piezo(15000.0);
   pab::Rng rng(22);
@@ -73,7 +74,7 @@ TEST(Integration, SnrDropsWithDistance) {
 }
 
 TEST(Integration, OffResonanceCarrierWeakensModulation) {
-  LinkSimulator sim(pool_a_config(), Placement{});
+  LinkSimulator sim(sim::Scenario::pool_a().medium, Placement{});
   const auto proj = standard_projector();
   const auto fe = circuit::make_recto_piezo(15000.0);
   pab::Rng rng(23);
@@ -88,7 +89,7 @@ TEST(Integration, OffResonanceCarrierWeakensModulation) {
 }
 
 TEST(Integration, DownlinkQueryReachesNode) {
-  LinkSimulator sim(pool_a_config(), Placement{});
+  LinkSimulator sim(sim::Scenario::pool_a().medium, Placement{});
   const auto proj = standard_projector(300.0);
   sense::Environment env;
   node::PabNode node(node::NodeConfig{}, &env);
@@ -110,7 +111,7 @@ TEST(Integration, DownlinkQueryReachesNode) {
 TEST(Integration, EndToEndQueryResponseTransaction) {
   // The full loop: downlink query -> node decodes -> node senses -> node
   // backscatters -> hydrophone decodes -> reading matches the environment.
-  SimConfig sc = pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   LinkSimulator sim(sc, Placement{});
   const auto proj = standard_projector(300.0);
   sense::Environment env;
@@ -151,7 +152,7 @@ TEST(Integration, EndToEndQueryResponseTransaction) {
 TEST(Integration, CollisionZeroForcingImprovesSinr) {
   // Fig. 10's mechanism end-to-end: concurrent 15/18 kHz backscatter, SINR
   // after projection exceeds SINR before.
-  SimConfig sc = pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   Placement pl;
   pl.projector = {1.5, 1.5, 0.65};
   pl.hydrophone = {1.5, 2.5, 0.65};
@@ -175,7 +176,7 @@ TEST(Integration, CollisionZeroForcingImprovesSinr) {
 TEST(Integration, SwimmingPoolLinkDecodes) {
   // The paper "validated that the system operates correctly in an indoor
   // swimming pool" (section 5.1d); so must we.
-  SimConfig sc = swimming_pool_config();
+  SimConfig sc = sim::Scenario::swimming_pool().medium;
   Placement pl;
   pl.projector = {5.0, 10.0, 1.0};
   pl.hydrophone = {5.0, 11.5, 1.0};

@@ -1,0 +1,436 @@
+// Equivalence suite for the into-output (span/arena) kernels: every rewritten
+// kernel must produce EXACTLY the same samples as its vector-returning
+// wrapper on random inputs.  Exact (bit-level) equality is the contract --
+// the into-kernels are the same arithmetic in the same order, and the
+// Monte-Carlo determinism suite depends on it.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "channel/propagation.hpp"
+#include "channel/tank.hpp"
+#include "core/projector.hpp"
+#include "dsp/arena.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/mixer.hpp"
+#include "dsp/resample.hpp"
+#include "phy/cdma.hpp"
+#include "phy/cfo.hpp"
+#include "phy/equalizer.hpp"
+#include "phy/fm0.hpp"
+#include "phy/modem.hpp"
+#include "phy/packet.hpp"
+#include "util/rng.hpp"
+
+namespace pab {
+namespace {
+
+std::vector<double> random_vec(Rng& rng, std::size_t n, double scale = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0, scale);
+  return v;
+}
+
+std::vector<dsp::cplx> random_cvec(Rng& rng, std::size_t n) {
+  std::vector<dsp::cplx> v(n);
+  for (auto& x : v) x = {rng.gaussian(), rng.gaussian()};
+  return v;
+}
+
+template <typename T>
+void expect_exactly_equal(const std::vector<T>& want, std::span<const T> got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << "sample " << i;
+}
+
+// --- dsp ----------------------------------------------------------------------
+
+TEST(DspInto, FirFilterMatchesWrapper) {
+  Rng rng(101);
+  const auto h = random_vec(rng, 17, 0.3);
+  const auto x = random_vec(rng, 400);
+  const auto want = dsp::fir_filter(h, x);
+  std::vector<double> got(x.size());
+  dsp::fir_filter_into(h, x, got);
+  expect_exactly_equal<double>(want, got);
+
+  const auto cx = random_cvec(rng, 300);
+  const auto cwant = dsp::fir_filter(h, cx);
+  std::vector<dsp::cplx> cgot(cx.size());
+  dsp::fir_filter_into(h, cx, cgot);
+  expect_exactly_equal<dsp::cplx>(cwant, cgot);
+}
+
+TEST(DspInto, BiquadCascadeFilterMatchesWrapperAndAliases) {
+  Rng rng(102);
+  const auto lp = dsp::butterworth_lowpass(5, 2500.0, 96000.0);
+  const auto x = random_vec(rng, 1000);
+  const auto want = lp.filter(x);
+  std::vector<double> got(x.size());
+  lp.filter_into(x, got);
+  expect_exactly_equal<double>(want, got);
+  // In place: y aliases x.
+  std::vector<double> inplace = x;
+  lp.filter_into(inplace, inplace);
+  expect_exactly_equal<double>(want, inplace);
+
+  const auto cx = random_cvec(rng, 800);
+  const auto cwant = lp.filter(cx);
+  std::vector<dsp::cplx> cin = cx;
+  lp.filter_into(cin, cin);
+  expect_exactly_equal<dsp::cplx>(cwant, cin);
+}
+
+TEST(DspInto, MakeToneMatchesWrapper) {
+  const dsp::Signal want = dsp::make_tone(15000.0, 0.7, 0.01, 96000.0, 0.3);
+  std::vector<double> got(dsp::tone_length(0.01, 96000.0));
+  dsp::make_tone_into(15000.0, 0.7, 96000.0, 0.3, got);
+  expect_exactly_equal<double>(want.samples, got);
+}
+
+TEST(DspInto, DownconvertMatchesWrapper) {
+  Rng rng(103);
+  const dsp::Signal x(random_vec(rng, 2000), 96000.0);
+  const dsp::BasebandSignal want = dsp::downconvert(x, 15000.0);
+  std::vector<dsp::cplx> got(x.size());
+  dsp::downconvert_into(x.samples, x.sample_rate, 15000.0, got);
+  expect_exactly_equal<dsp::cplx>(want.samples, got);
+}
+
+TEST(DspInto, UpconvertMatchesWrapper) {
+  Rng rng(104);
+  dsp::BasebandSignal x;
+  x.samples = random_cvec(rng, 1500);
+  x.sample_rate = 96000.0;
+  x.carrier_hz = 15000.0;
+  const dsp::Signal want = dsp::upconvert(x, 15000.0);
+  std::vector<double> got(x.size());
+  dsp::upconvert_into(x.samples, x.sample_rate, 15000.0, got);
+  expect_exactly_equal<double>(want.samples, got);
+}
+
+TEST(DspInto, DownconvertFilteredArenaMatchesWrapper) {
+  Rng rng(105);
+  const dsp::Signal x(random_vec(rng, 4096), 96000.0);
+  dsp::Arena arena;
+  for (const std::size_t decim : {std::size_t{1}, std::size_t{4}}) {
+    const dsp::BasebandSignal want =
+        dsp::downconvert_filtered(x, 15000.0, 2500.0, 5, decim);
+    const auto frame = arena.frame();
+    const dsp::CplxView got = dsp::downconvert_filtered(
+        x.samples, x.sample_rate, 15000.0, 2500.0, 5, decim, arena);
+    EXPECT_EQ(want.sample_rate, got.sample_rate);
+    EXPECT_EQ(want.carrier_hz, got.carrier_hz);
+    expect_exactly_equal<dsp::cplx>(want.samples, got.samples);
+  }
+}
+
+TEST(DspInto, DecimateMatchesWrapperIncludingInPlace) {
+  Rng rng(106);
+  const auto x = random_vec(rng, 1003);
+  const auto want = dsp::decimate(x, 4);
+  ASSERT_EQ(want.size(), dsp::decimated_length(x.size(), 4));
+  std::vector<double> got(want.size());
+  dsp::decimate_into(x, 4, got);
+  expect_exactly_equal<double>(want, got);
+  // In place: out aliases the front of x.
+  std::vector<double> inplace = x;
+  dsp::decimate_into(inplace, 4, std::span<double>(inplace).first(want.size()));
+  expect_exactly_equal<double>(want,
+                               std::span<const double>(inplace).first(want.size()));
+}
+
+TEST(DspInto, FractionalDelayMatchesWrapper) {
+  Rng rng(107);
+  const auto x = random_vec(rng, 250);
+  for (const double delay : {0.0, 3.0, 7.25, 12.9}) {
+    const auto want = dsp::fractional_delay(x, delay);
+    ASSERT_EQ(want.size(), dsp::delayed_length(x.size(), delay));
+    std::vector<double> got(want.size(), 1e300);  // into must overwrite all
+    dsp::fractional_delay_into(x, delay, got);
+    expect_exactly_equal<double>(want, got);
+  }
+}
+
+TEST(DspInto, AddDelayedScaledMatchesWrapper) {
+  Rng rng(108);
+  const auto y = random_vec(rng, 300);
+  const auto cy = random_cvec(rng, 300);
+  for (const double delay : {0.5, 4.75, 20.0}) {
+    std::vector<double> want = random_vec(rng, 340);
+    std::vector<double> got = want;
+    dsp::add_delayed_scaled(want, y, delay, 0.8);
+    dsp::add_delayed_scaled_into(got, y, delay, 0.8);
+    ASSERT_GE(got.size(), want.size());
+    expect_exactly_equal<double>(want,
+                                 std::span<const double>(got).first(want.size()));
+
+    std::vector<dsp::cplx> cwant = random_cvec(rng, 340);
+    std::vector<dsp::cplx> cgot = cwant;
+    dsp::add_delayed_scaled(cwant, cy, delay, dsp::cplx{0.3, -0.6});
+    dsp::add_delayed_scaled_into(cgot, cy, delay, dsp::cplx{0.3, -0.6});
+    expect_exactly_equal<dsp::cplx>(
+        cwant, std::span<const dsp::cplx>(cgot).first(cwant.size()));
+  }
+}
+
+TEST(DspInto, CorrelationsMatchWrappers) {
+  Rng rng(109);
+  const auto x = random_vec(rng, 500);
+  const auto t = random_vec(rng, 37);
+  const std::size_t len = dsp::correlation_length(x.size(), t.size());
+
+  const auto want_cross = dsp::cross_correlate(x, t);
+  ASSERT_EQ(want_cross.size(), len);
+  std::vector<double> got_cross(len);
+  dsp::cross_correlate_into(x, t, got_cross);
+  expect_exactly_equal<double>(want_cross, got_cross);
+
+  const auto cx = random_cvec(rng, 400);
+  const auto ct = random_cvec(rng, 25);
+  const auto want_ccross = dsp::cross_correlate(cx, ct);
+  std::vector<dsp::cplx> got_ccross(want_ccross.size());
+  dsp::cross_correlate_into(cx, ct, got_ccross);
+  expect_exactly_equal<dsp::cplx>(want_ccross, got_ccross);
+
+  const auto want_norm = dsp::normalized_correlation(cx, ct);
+  std::vector<double> got_norm(want_norm.size());
+  dsp::normalized_correlation_into(cx, ct, got_norm);
+  expect_exactly_equal<double>(want_norm, got_norm);
+
+  const auto want_pearson = dsp::pearson_correlation(x, t);
+  std::vector<double> got_pearson(want_pearson.size());
+  dsp::pearson_correlation_into(x, t, got_pearson);
+  expect_exactly_equal<double>(want_pearson, got_pearson);
+}
+
+TEST(DspInto, EnvelopeKernelsMatchWrappers) {
+  Rng rng(110);
+  const auto x = random_vec(rng, 600);
+  const auto want_rc = dsp::envelope_rc(x, 96000.0, 0.25e-3);
+  std::vector<double> inplace = x;
+  dsp::envelope_rc_into(inplace, 96000.0, 0.25e-3, inplace);  // aliasing ok
+  expect_exactly_equal<double>(want_rc, inplace);
+
+  const dsp::Signal sig(random_vec(rng, 3000), 96000.0);
+  const auto want_coh = dsp::envelope_coherent(sig, 15000.0, 2500.0, 5);
+  dsp::Arena arena;
+  const auto frame = arena.frame();
+  const std::span<double> got_coh =
+      dsp::envelope_coherent(sig.samples, sig.sample_rate, 15000.0, 2500.0, 5, arena);
+  expect_exactly_equal<double>(want_coh, got_coh);
+
+  const auto want_sliced = dsp::schmitt_slice(want_coh);
+  std::vector<std::uint8_t> got_sliced(want_coh.size());
+  dsp::schmitt_slice_into(want_coh, 0.55, 0.45, got_sliced);
+  expect_exactly_equal<std::uint8_t>(want_sliced, got_sliced);
+}
+
+TEST(DspInto, ToneAmplitudesMatchScalarGoertzel) {
+  Rng rng(111);
+  const auto x = random_vec(rng, 960);
+  const std::vector<double> freqs{12000.0, 15000.0, 18000.0};
+  std::vector<double> got(freqs.size());
+  dsp::tone_amplitudes_into(x, freqs, 96000.0, got);
+  for (std::size_t i = 0; i < freqs.size(); ++i)
+    EXPECT_EQ(dsp::tone_amplitude(x, freqs[i], 96000.0), got[i]);
+}
+
+// --- channel ------------------------------------------------------------------
+
+TEST(DspInto, ApplyTapsMatchesWrapper) {
+  Rng rng(112);
+  const double fs = 96000.0;
+  const channel::Tank tank = channel::make_pool_a();
+  const channel::Propagator prop(tank, {0.5, 0.8, 0.65}, {1.6, 2.2, 0.65},
+                                 15000.0);
+  const auto& taps = prop.taps();
+  ASSERT_FALSE(taps.empty());
+
+  const dsp::Signal x(random_vec(rng, 2000), fs);
+  const dsp::Signal want = channel::apply_taps(x, taps);
+  const std::size_t len = channel::apply_taps_length(x.size(), fs, taps);
+  ASSERT_EQ(want.size(), len);
+  std::vector<double> got(len);
+  channel::apply_taps_into(x.samples, fs, taps, got);
+  expect_exactly_equal<double>(want.samples, got);
+
+  dsp::BasebandSignal bx;
+  bx.samples = random_cvec(rng, 2000);
+  bx.sample_rate = fs;
+  bx.carrier_hz = 15000.0;
+  const dsp::BasebandSignal bwant = channel::apply_taps_baseband(bx, taps);
+  std::vector<dsp::cplx> bgot(channel::apply_taps_length(bx.size(), fs, taps));
+  channel::apply_taps_baseband_into(bx.samples, fs, bx.carrier_hz, taps, bgot);
+  expect_exactly_equal<dsp::cplx>(bwant.samples, bgot);
+
+  dsp::Arena arena;
+  const auto frame = arena.frame();
+  const dsp::CplxView aview =
+      channel::apply_taps_baseband(dsp::CplxView(bx), taps, arena);
+  EXPECT_EQ(bwant.sample_rate, aview.sample_rate);
+  EXPECT_EQ(bwant.carrier_hz, aview.carrier_hz);
+  expect_exactly_equal<dsp::cplx>(bwant.samples, aview.samples);
+}
+
+// --- phy ----------------------------------------------------------------------
+
+TEST(DspInto, Fm0EncodeDecodeMatchWrappers) {
+  Rng rng(113);
+  const auto bits = rng.bits(257);
+  const phy::Chips want_chips = phy::fm0_encode(bits, -1);
+  std::vector<std::int8_t> got_chips(bits.size() * 2);
+  phy::fm0_encode_into(bits, -1, got_chips);
+  expect_exactly_equal<std::int8_t>(want_chips, got_chips);
+
+  std::vector<double> soft(want_chips.size());
+  for (std::size_t i = 0; i < soft.size(); ++i)
+    soft[i] = static_cast<double>(want_chips[i]) + rng.gaussian(0.0, 0.8);
+  const Bits want_bits = phy::fm0_decode_ml(soft, -1);
+  dsp::Arena arena;
+  std::vector<std::uint8_t> got_bits(soft.size() / 2);
+  phy::fm0_decode_ml_into(soft, -1, got_bits, arena);
+  expect_exactly_equal<std::uint8_t>(want_bits, got_bits);
+}
+
+TEST(DspInto, CorrectCfoMatchesWrapper) {
+  Rng rng(114);
+  const auto x = random_cvec(rng, 700);
+  const auto want = phy::correct_cfo(x, 12.5, 96000.0);
+  std::vector<dsp::cplx> inplace = x;
+  phy::correct_cfo_into(inplace, 12.5, 96000.0, inplace);  // aliasing ok
+  expect_exactly_equal<dsp::cplx>(want, inplace);
+}
+
+TEST(DspInto, EqualizerApplyMatchesWrapper) {
+  Rng rng(115);
+  const auto ref = random_vec(rng, 200);
+  std::vector<dsp::cplx> rx(ref.size());
+  for (std::size_t i = 0; i < rx.size(); ++i)
+    rx[i] = {ref[i] + rng.gaussian(0.0, 0.1), rng.gaussian(0.0, 0.1)};
+  phy::LinearEqualizer eq;
+  eq.train(rx, ref);
+  const auto want = eq.apply(rx);
+  std::vector<dsp::cplx> got(rx.size());
+  eq.apply_into(rx, got);
+  expect_exactly_equal<dsp::cplx>(want, got);
+}
+
+TEST(DspInto, CdmaKernelsMatchWrappers) {
+  Rng rng(116);
+  const auto want_code = phy::walsh_code(16, 5);
+  std::vector<std::int8_t> got_code(16);
+  phy::walsh_code_into(5, got_code);
+  expect_exactly_equal<std::int8_t>(want_code, got_code);
+
+  std::vector<std::int8_t> data(40);
+  for (auto& d : data) d = rng.bernoulli(0.5) ? 1 : -1;
+  const auto want_spread = phy::cdma_spread(data, want_code);
+  std::vector<std::int8_t> got_spread(data.size() * want_code.size());
+  phy::cdma_spread_into(data, want_code, got_spread);
+  expect_exactly_equal<std::int8_t>(want_spread, got_spread);
+
+  std::vector<double> rx(want_spread.size());
+  for (std::size_t i = 0; i < rx.size(); ++i)
+    rx[i] = static_cast<double>(want_spread[i]) + rng.gaussian(0.0, 0.3);
+  const auto want_despread = phy::cdma_despread(rx, want_code);
+  std::vector<double> got_despread(rx.size() / want_code.size());
+  phy::cdma_despread_into(rx, want_code, got_despread);
+  expect_exactly_equal<double>(want_despread, got_despread);
+}
+
+TEST(DspInto, BackscatterWaveformMatchesWrapper) {
+  Rng rng(117);
+  const auto bits = rng.bits(64);
+  const auto want = phy::backscatter_waveform(bits, 1000.0, 96000.0);
+  ASSERT_EQ(want.size(),
+            phy::backscatter_waveform_length(bits.size(), 1000.0, 96000.0));
+  dsp::Arena arena;
+  std::vector<phy::SwitchState> got(want.size());
+  phy::backscatter_waveform_into(bits, 1000.0, 96000.0, -1, got, arena);
+  expect_exactly_equal<phy::SwitchState>(want, got);
+}
+
+TEST(DspInto, DemodulateIntoMatchesWrapperOnSynthesizedCapture) {
+  // Clean FM0 envelope: preamble + payload at two levels around a carrier
+  // offset, upconverted to passband -- enough for the full demodulate chain.
+  Rng rng(118);
+  phy::DemodConfig dc;
+  dc.bitrate = 1000.0;
+  const phy::BackscatterDemodulator demod(dc);
+
+  const auto payload = rng.bits(48);
+  Bits all_bits(phy::uplink_preamble_bits());
+  all_bits.insert(all_bits.end(), payload.begin(), payload.end());
+  const auto sw = phy::backscatter_waveform(all_bits, dc.bitrate, dc.sample_rate);
+
+  const std::size_t lead = 512;
+  dsp::BasebandSignal bb;
+  bb.sample_rate = dc.sample_rate;
+  bb.carrier_hz = dc.carrier_hz;
+  bb.samples.assign(lead + sw.size() + 512, dsp::cplx{1.0, 0.0});
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    const double level = sw[i] == phy::SwitchState::kReflective ? 1.3 : 0.7;
+    bb.samples[lead + i] = {level, 0.0};
+  }
+  dsp::Signal passband = dsp::upconvert(bb, dc.carrier_hz);
+  for (auto& v : passband.samples) v += rng.gaussian(0.0, 0.05);
+
+  const auto want = demod.demodulate(passband, payload.size());
+  ASSERT_TRUE(want.ok());
+
+  dsp::Arena arena;
+  phy::DemodResult got;
+  const auto ok = demod.demodulate_into(passband.samples, passband.sample_rate,
+                                        payload.size(), arena, got);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(want.value().bits, got.bits);
+  EXPECT_EQ(want.value().start_sample, got.start_sample);
+  EXPECT_EQ(want.value().channel_amp, got.channel_amp);
+  EXPECT_EQ(want.value().mid_level, got.mid_level);
+  EXPECT_EQ(want.value().snr_db, got.snr_db);
+  EXPECT_EQ(want.value().preamble_corr, got.preamble_corr);
+  EXPECT_EQ(payload, got.bits);
+}
+
+// --- core ---------------------------------------------------------------------
+
+TEST(DspInto, CwEnvelopeMatchesWrapper) {
+  const auto proj = core::Projector::ideal(300.0);
+  const dsp::BasebandSignal want = proj.cw_envelope(15000.0, 0.01, 96000.0, 0.002);
+  std::vector<dsp::cplx> got(
+      core::Projector::cw_envelope_length(0.01, 96000.0, 0.002));
+  proj.cw_envelope_into(15000.0, 96000.0, 0.002, got);
+  expect_exactly_equal<dsp::cplx>(want.samples, got);
+}
+
+// --- arena semantics ----------------------------------------------------------
+
+TEST(DspInto, ArenaFrameRewindsAndSpansSurviveGrowth) {
+  dsp::Arena arena(1024);
+  const auto a = arena.alloc<double>(16);
+  {
+    const auto frame = arena.frame();
+    // Force growth past the first block: earlier spans must stay valid
+    // (the arena adds blocks, it never reallocates live ones).
+    const auto big = arena.alloc<double>(4096);
+    a[0] = 42.0;
+    big[0] = 1.0;
+    EXPECT_GE(arena.capacity_bytes(), 4096 * sizeof(double));
+  }
+  // Frame rewound: the next alloc reuses the same offset.
+  const std::size_t used_before = arena.used_bytes();
+  const auto b = arena.alloc<double>(8);
+  (void)b;
+  EXPECT_EQ(used_before + 8 * sizeof(double), arena.used_bytes());
+  EXPECT_EQ(42.0, a[0]);
+}
+
+}  // namespace
+}  // namespace pab

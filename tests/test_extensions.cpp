@@ -13,6 +13,7 @@
 #include "phy/equalizer.hpp"
 #include "phy/fm0.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace pab {
@@ -152,7 +153,7 @@ TEST(Equalizer, DecisionDirectedPassLiftsChipSnr) {
   // The demodulator's second (decision-directed) pass equalizes the tank's
   // reverberation tail: chip SNR rises ~2-3 dB at high bitrates with BER
   // staying essentially zero.
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   sc.noise.psd_db_re_upa = 76.0;
   core::Placement pl;
   pl.projector = {1.2, 1.5, 0.65};

@@ -11,6 +11,7 @@
 #include "mac/scheduler.hpp"
 #include "node/node.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
 
 namespace pab {
 namespace {
@@ -114,7 +115,7 @@ TEST(FailureInjection, SameChannelCollisionCorruptsWithoutZf) {
   // Two nodes violating the FDMA plan (same 15 kHz channel, simultaneous):
   // the plain single-link receiver cannot decode reliably -- the failure mode
   // that motivates recto-piezo FDMA + collision decoding.
-  SimConfig sc = core::pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   Placement pl;
   LinkSimulator sim(sc, pl);
   const auto proj = strong_projector();
@@ -152,7 +153,7 @@ TEST(FailureInjection, ClockSkewToleratedByEnvelopeReceiver) {
   // +/-100 ppm sound-card skew (footnote 12's CFO source) must not break the
   // envelope-based decoder.
   for (double ppm : {-100.0, 100.0}) {
-    SimConfig sc = core::pool_a_config();
+    SimConfig sc = sim::Scenario::pool_a().medium;
     sc.receiver_clock_offset_ppm = ppm;
     LinkSimulator sim(sc, Placement{});
     const auto proj = Projector(piezo::make_projector_transducer(), 50.0);
@@ -167,7 +168,7 @@ TEST(FailureInjection, ClockSkewToleratedByEnvelopeReceiver) {
 }
 
 TEST(FailureInjection, WrongBitrateAssumptionFailsCleanly) {
-  SimConfig sc = core::pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   LinkSimulator sim(sc, Placement{});
   const auto proj = Projector(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);
@@ -188,7 +189,7 @@ TEST(FailureInjection, WrongBitrateAssumptionFailsCleanly) {
 }
 
 TEST(FailureInjection, TruncatedCaptureReportsNoPreamble) {
-  SimConfig sc = core::pool_a_config();
+  SimConfig sc = sim::Scenario::pool_a().medium;
   LinkSimulator sim(sc, Placement{});
   const auto proj = Projector(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);

@@ -4,13 +4,14 @@
 #include <cmath>
 
 #include "core/network.hpp"
+#include "sim/scenario.hpp"
 #include "util/units.hpp"
 
 namespace pab::core {
 namespace {
 
 struct Rig {
-  SimConfig config = pool_a_config();
+  SimConfig config = sim::Scenario::pool_a().medium;
   channel::Vec3 projector{1.5, 1.2, 0.65};
   channel::Vec3 hydrophone{1.5, 2.8, 0.65};
 };

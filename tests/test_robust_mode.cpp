@@ -7,6 +7,7 @@
 #include "node/node.hpp"
 #include "phy/fec.hpp"
 #include "phy/metrics.hpp"
+#include "sim/scenario.hpp"
 
 namespace pab {
 namespace {
@@ -59,7 +60,7 @@ TEST(RobustMode, WaveformGrowsByCodeRate) {
 }
 
 TEST(RobustMode, EndToEndThroughSimulator) {
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(sc, core::Placement{});
   const core::Projector proj(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);

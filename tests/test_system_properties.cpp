@@ -140,7 +140,7 @@ class PacketPipelineSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(PacketPipelineSweep, WaveformRoundTripWithCrc) {
   const auto payload_len = static_cast<std::size_t>(GetParam());
-  core::SimConfig sc = core::pool_a_config();
+  core::SimConfig sc = sim::Scenario::pool_a().medium;
   core::LinkSimulator sim(sc, core::Placement{});
   const core::Projector proj(piezo::make_projector_transducer(), 50.0);
   const auto fe = circuit::make_recto_piezo(15000.0);
