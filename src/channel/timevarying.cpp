@@ -8,17 +8,19 @@
 #include "util/units.hpp"
 
 namespace pab::channel {
-namespace {
 
-// Linear-interpolated read of x at fractional sample position `pos`; zero
-// outside the record.
-dsp::cplx sample_at(const std::vector<dsp::cplx>& x, double pos) {
+dsp::cplx sample_at(std::span<const dsp::cplx> x, double pos) {
   if (pos < 0.0) return {};
   const auto i = static_cast<std::size_t>(pos);
-  if (i + 1 >= x.size()) return {};
+  if (i >= x.size()) return {};
   const double frac = pos - static_cast<double>(i);
-  return x[i] * (1.0 - frac) + x[i + 1] * frac;
+  // The last interval interpolates against implicit zero-padding: x[i] is
+  // valid for every pos < size, including [size-1, size).
+  const dsp::cplx next = i + 1 < x.size() ? x[i + 1] : dsp::cplx{};
+  return x[i] * (1.0 - frac) + next * frac;
 }
+
+namespace {
 
 Vec3 position_at(const MovingPathConfig& cfg, double t) {
   return {cfg.rx_start.x + cfg.rx_velocity.x * t,

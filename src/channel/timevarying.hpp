@@ -9,10 +9,20 @@
 //     producing time-varying multipath fading.
 #pragma once
 
+#include <span>
+
 #include "channel/tank.hpp"
 #include "dsp/signal.hpp"
 
 namespace pab::channel {
+
+// Linear-interpolated read of `x` at fractional sample position `pos`; zero
+// outside [0, size).  Positions in the final interval [size-1, size)
+// interpolate x[size-1] against an implicit zero-padding sample, so the tail
+// of a delayed path decays instead of being truncated (a position where x[i]
+// is valid must never read as silence).  Shared by the time-varying
+// propagation drivers below and the src/check channel invariants.
+[[nodiscard]] dsp::cplx sample_at(std::span<const dsp::cplx> x, double pos);
 
 // Straight-line motion of the receive end relative to a fixed source in
 // free field.  The output sample at time t is the input evaluated at

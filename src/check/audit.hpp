@@ -1,0 +1,66 @@
+// Seeded audit driver: runs every invariant for N trials and reports any
+// violation together with the exact per-trial seed that reproduces it
+// (`pab_audit --invariant <name> --seed <seed> --trials 1`).  Results are
+// exported through obs::MetricRegistry so CI can assert on the sidecar:
+//   check.audit.<invariant>.trials      counter
+//   check.audit.<invariant>.violations  counter
+//   check.audit.invariants              gauge
+//   check.audit.violations_total        gauge
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "obs/metrics.hpp"
+
+namespace pab::check {
+
+struct AuditConfig {
+  std::uint64_t base_seed = 1234;
+  std::size_t trials = 100;    // per invariant
+  std::string only;            // run only invariants whose name contains this
+  bool stop_on_first = false;  // stop an invariant's loop at its first failure
+};
+
+// The per-trial seed for `trial` of the invariant called `name` under
+// `base_seed`.  Deterministic and order-independent: a violation reported for
+// (name, seed) reproduces with trials=1 regardless of which other invariants
+// or trials ran alongside it.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       const std::string& name,
+                                       std::uint64_t trial);
+
+struct InvariantOutcome {
+  std::string name;
+  std::string guards;
+  std::size_t trials = 0;
+  std::size_t violations = 0;
+  std::uint64_t first_failing_seed = 0;  // valid when violations > 0
+  std::string first_detail;              // detail string of the first failure
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+struct AuditReport {
+  std::vector<InvariantOutcome> outcomes;
+
+  [[nodiscard]] std::size_t total_violations() const {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) n += o.violations;
+    return n;
+  }
+  [[nodiscard]] bool ok() const { return total_violations() == 0; }
+};
+
+// Run `invariants` (default_invariants() for the overload) under `config`.
+// A checker that throws is counted as a violation of that trial.  When
+// `registry` is non-null the pass/fail counters above are exported into it.
+[[nodiscard]] AuditReport run_audit(const AuditConfig& config,
+                                    const std::vector<Invariant>& invariants,
+                                    obs::MetricRegistry* registry = nullptr);
+[[nodiscard]] AuditReport run_audit(const AuditConfig& config,
+                                    obs::MetricRegistry* registry = nullptr);
+
+}  // namespace pab::check

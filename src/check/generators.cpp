@@ -1,0 +1,192 @@
+#include "check/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace pab::check {
+
+channel::MovingPathConfig gen_moving_path(Rng& rng) {
+  channel::MovingPathConfig cfg;
+  cfg.source = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                rng.uniform(-2.0, 0.0)};
+  cfg.rx_start = {cfg.source.x + rng.uniform(0.5, 20.0),
+                  cfg.source.y + rng.uniform(-5.0, 5.0),
+                  cfg.source.z + rng.uniform(-1.0, 1.0)};
+  // Swimmer to small-ROV speeds, any direction.
+  cfg.rx_velocity = {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0),
+                     rng.uniform(-0.5, 0.5)};
+  cfg.water.temperature_c = rng.uniform(4.0, 28.0);
+  cfg.water.salinity_ppt = rng.bernoulli(0.5) ? 0.0 : rng.uniform(5.0, 35.0);
+  return cfg;
+}
+
+channel::WavySurfaceConfig gen_wavy_surface(Rng& rng) {
+  channel::WavySurfaceConfig cfg;
+  cfg.surface_z = rng.uniform(0.8, 3.0);
+  // Endpoints strictly below the lowest instantaneous surface excursion.
+  cfg.wave_amplitude = rng.uniform(0.0, 0.15);
+  const double ceiling = cfg.surface_z - cfg.wave_amplitude - 0.1;
+  cfg.source = {0.0, 0.0, rng.uniform(0.0, ceiling)};
+  cfg.receiver = {rng.uniform(1.0, 10.0), rng.uniform(-2.0, 2.0),
+                  rng.uniform(0.0, ceiling)};
+  cfg.wave_freq_hz = rng.uniform(0.1, 2.0);
+  cfg.surface_reflection = -rng.uniform(0.7, 1.0);
+  cfg.water.temperature_c = rng.uniform(4.0, 28.0);
+  return cfg;
+}
+
+dsp::BasebandSignal gen_baseband_burst(Rng& rng, double sample_rate,
+                                       double carrier_hz) {
+  dsp::BasebandSignal s;
+  s.sample_rate = sample_rate;
+  s.carrier_hz = carrier_hz;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(64, 512));
+  const double amp = rng.uniform(0.1, 2.0);
+  const double phase = rng.uniform(0.0, kTwoPi);
+  const double noise = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.1 * amp) : 0.0;
+  s.samples.resize(n);
+  for (auto& v : s.samples) {
+    v = amp * dsp::cplx(std::cos(phase), std::sin(phase));
+    if (noise > 0.0) v += dsp::cplx(rng.gaussian(0.0, noise), rng.gaussian(0.0, noise));
+  }
+  return s;
+}
+
+mac::RateControlConfig gen_rate_config(Rng& rng) {
+  mac::RateControlConfig cfg;  // the paper's rate table
+  cfg.down_margin_db = rng.uniform(1.0, 4.0);
+  cfg.up_margin_db = cfg.down_margin_db + rng.uniform(2.0, 8.0);
+  cfg.up_streak = static_cast<int>(rng.uniform_int(1, 4));
+  cfg.down_streak = static_cast<int>(rng.uniform_int(1, 3));
+  // Both polarities: the no-forced-downshift mode is where streak bugs hide.
+  cfg.downshift_on_crc_failure = rng.bernoulli(0.5);
+  return cfg;
+}
+
+std::vector<RateObservation> gen_rate_observations(
+    Rng& rng, const mac::RateControlConfig& config, std::size_t n) {
+  std::vector<RateObservation> obs;
+  obs.reserve(n);
+  const double hi = config.decode_floor_db + config.up_margin_db;
+  const double lo = config.decode_floor_db + config.down_margin_db;
+  while (obs.size() < n) {
+    // A cluster: good streak (with CRC failures sprinkled in), a fade, or
+    // mid-band dithering around the hysteresis window.
+    const auto kind = rng.uniform_int(0, 2);
+    const auto len = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t i = 0; i < len && obs.size() < n; ++i) {
+      RateObservation o;
+      if (kind == 0) {
+        o.snr_db = hi + rng.uniform(0.5, 12.0);
+        o.crc_ok = !rng.bernoulli(0.3);
+      } else if (kind == 1) {
+        o.snr_db = lo - rng.uniform(0.5, 8.0);
+        o.crc_ok = !rng.bernoulli(0.6);
+      } else {
+        o.snr_db = rng.uniform(lo, hi);
+        o.crc_ok = !rng.bernoulli(0.2);
+      }
+      obs.push_back(o);
+    }
+  }
+  return obs;
+}
+
+std::vector<LinkOutcome> gen_link_script(Rng& rng, std::size_t n) {
+  std::vector<LinkOutcome> script(n);
+  for (auto& o : script) {
+    const double u = rng.uniform();
+    o = u < 0.5 ? LinkOutcome::kDecoded
+        : u < 0.8 ? LinkOutcome::kCrcFailure
+                  : LinkOutcome::kSilent;
+  }
+  return script;
+}
+
+mac::SchedulerConfig gen_scheduler_config(Rng& rng) {
+  mac::SchedulerConfig cfg;
+  cfg.max_retries = static_cast<int>(rng.uniform_int(0, 4));
+  cfg.downlink_time_s = rng.uniform(0.05, 0.5);
+  cfg.turnaround_s = rng.uniform(0.0, 0.05);
+  return cfg;
+}
+
+std::vector<std::uint8_t> gen_population(Rng& rng) {
+  // Random subset of ids 1..255 (0 kept free, 255 is the broadcast address
+  // but a valid inventory id as far as slotting is concerned).
+  std::vector<std::uint8_t> ids(255);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    ids[i] = static_cast<std::uint8_t>(i + 1);
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  ids.resize(static_cast<std::size_t>(rng.uniform_int(1, 120)));
+  return ids;
+}
+
+mac::InventoryConfig gen_inventory_config(Rng& rng) {
+  mac::InventoryConfig cfg;
+  cfg.min_q = static_cast<int>(rng.uniform_int(0, 2));
+  cfg.max_q = static_cast<int>(rng.uniform_int(cfg.min_q, 8));
+  cfg.initial_q = static_cast<int>(rng.uniform_int(cfg.min_q, cfg.max_q));
+  cfg.max_frames = static_cast<int>(rng.uniform_int(1, 64));
+  cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  return cfg;
+}
+
+std::vector<std::pair<energy::Category, double>> gen_ledger_entries(
+    Rng& rng, std::size_t n) {
+  std::vector<std::pair<energy::Category, double>> entries;
+  entries.reserve(n);
+  constexpr auto kCount = static_cast<std::int64_t>(energy::Category::kCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<energy::Category>(rng.uniform_int(0, kCount - 1));
+    // uJ .. J, log-uniform, plus occasional exact zeros.
+    const double joules =
+        rng.bernoulli(0.1) ? 0.0 : std::pow(10.0, rng.uniform(-6.0, 0.0));
+    entries.emplace_back(c, joules);
+  }
+  return entries;
+}
+
+energy::TransactionCost gen_transaction_cost(Rng& rng) {
+  energy::TransactionCost cost;
+  cost.downlink_bits = static_cast<std::size_t>(rng.uniform_int(8, 128));
+  cost.downlink_unit_s = rng.uniform(1e-3, 20e-3);
+  cost.uplink_bits = static_cast<std::size_t>(rng.uniform_int(16, 512));
+  cost.uplink_bitrate = rng.uniform(100.0, 5000.0);
+  cost.sensing_energy_j = rng.uniform(0.0, 200e-6);
+  return cost;
+}
+
+sim::Scenario gen_scenario(Rng& rng) {
+  sim::Scenario s = sim::Scenario::pool_a();
+  s.medium.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  const auto& size = s.medium.tank.size;
+  const auto place = [&](double margin) {
+    return channel::Vec3{rng.uniform(margin, size.x - margin),
+                         rng.uniform(margin, size.y - margin),
+                         rng.uniform(margin, size.z - margin)};
+  };
+  s.placement.projector = place(0.2);
+  s.placement.hydrophone = place(0.2);
+  s.placement.node = place(0.2);
+  s.waveform = gen_waveform(rng);
+  if (rng.bernoulli(0.3)) {
+    s.extra_nodes.push_back(place(0.2));
+    s.front_ends.push_back(sim::FrontEndSpec{18000.0, 19500.0, 0.0});
+  }
+  return s;
+}
+
+sim::Waveform gen_waveform(Rng& rng) {
+  sim::Waveform w;
+  w.carrier_hz = rng.uniform(12000.0, 20000.0);
+  w.bitrate = static_cast<double>(rng.uniform_int(2, 30)) * 100.0;
+  w.node_start_s = rng.uniform(0.01, 0.1);
+  w.tail_s = rng.uniform(0.005, 0.05);
+  w.payload_bits = static_cast<std::size_t>(rng.uniform_int(16, 96));
+  return w;
+}
+
+}  // namespace pab::check

@@ -1,0 +1,86 @@
+// Seeded random-input generators for the cross-layer invariant audit.
+//
+// Every generator is a pure function of the Rng handed in: the audit driver
+// (check/audit.hpp) derives one Rng per (invariant, trial) from a base seed,
+// so any reported violation is reproducible from its trial seed alone.  The
+// generators deliberately bias toward the regions where accounting bugs hide
+// (record tails, CRC-failure runs inside good-SNR streaks, lossy retry
+// sequences, q-bound extremes) rather than sampling uniformly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "channel/timevarying.hpp"
+#include "dsp/signal.hpp"
+#include "energy/ledger.hpp"
+#include "energy/planner.hpp"
+#include "mac/inventory.hpp"
+#include "mac/rate_control.hpp"
+#include "mac/scheduler.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace pab::check {
+
+// --- channel ----------------------------------------------------------------
+
+// Free-field mobility geometry: metre-scale ranges, swimmer-to-ROV speeds,
+// tank-to-brackish water properties.
+[[nodiscard]] channel::MovingPathConfig gen_moving_path(Rng& rng);
+
+// Two-path surface geometry with both endpoints strictly below the surface.
+[[nodiscard]] channel::WavySurfaceConfig gen_wavy_surface(Rng& rng);
+
+// Complex baseband record: a CW burst with random amplitude and phase (and
+// optional additive noise), short enough that trial loops stay cheap.
+[[nodiscard]] dsp::BasebandSignal gen_baseband_burst(Rng& rng,
+                                                     double sample_rate,
+                                                     double carrier_hz);
+
+// --- mac --------------------------------------------------------------------
+
+struct RateObservation {
+  double snr_db = 0.0;
+  bool crc_ok = true;
+};
+
+[[nodiscard]] mac::RateControlConfig gen_rate_config(Rng& rng);
+
+// Clustered observation sequence: runs of high-headroom observations with
+// occasional CRC failures sprinkled in (exactly the pattern where streak
+// accounting bugs hide), interleaved with deep fades.
+[[nodiscard]] std::vector<RateObservation> gen_rate_observations(
+    Rng& rng, const mac::RateControlConfig& config, std::size_t n);
+
+// Per-attempt link outcome script for scheduler trials.
+enum class LinkOutcome : std::uint8_t { kDecoded, kCrcFailure, kSilent };
+
+[[nodiscard]] std::vector<LinkOutcome> gen_link_script(Rng& rng, std::size_t n);
+[[nodiscard]] mac::SchedulerConfig gen_scheduler_config(Rng& rng);
+
+// Unique node ids (random subset of 1..255) and inventory bounds, including
+// q-bound extremes and populations larger than the first frame.
+[[nodiscard]] std::vector<std::uint8_t> gen_population(Rng& rng);
+[[nodiscard]] mac::InventoryConfig gen_inventory_config(Rng& rng);
+
+// --- energy -----------------------------------------------------------------
+
+// Random ledger entries: (category, joules >= 0) pairs covering every
+// category, magnitudes spanning uJ..J.
+[[nodiscard]] std::vector<std::pair<energy::Category, double>>
+gen_ledger_entries(Rng& rng, std::size_t n);
+
+[[nodiscard]] energy::TransactionCost gen_transaction_cost(Rng& rng);
+
+// --- sim --------------------------------------------------------------------
+
+// Random perturbation of the pool_a preset: seed, waveform, placement inside
+// the tank, and occasionally extra nodes with their own front ends.
+[[nodiscard]] sim::Scenario gen_scenario(Rng& rng);
+
+// Random single-link waveform parameters (decode round-trip trials).
+[[nodiscard]] sim::Waveform gen_waveform(Rng& rng);
+
+}  // namespace pab::check

@@ -1,0 +1,588 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "channel/water.hpp"
+#include "obs/metrics.hpp"
+#include "phy/modem.hpp"
+#include "phy/packet.hpp"
+#include "sim/scenario.hpp"
+#include "util/units.hpp"
+
+namespace pab::check {
+namespace {
+
+// All checkers funnel mismatches through this so every detail string names
+// the property, the observed value, and the expectation.
+template <typename A, typename B>
+CheckResult mismatch(const char* property, const A& got, const B& want) {
+  std::ostringstream os;
+  os << property << ": got " << got << ", want " << want;
+  return CheckResult::fail(os.str());
+}
+
+bool near(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+// --- default subjects --------------------------------------------------------
+
+SampleFn real_sample_at() {
+  return [](std::span<const dsp::cplx> x, double pos) {
+    return channel::sample_at(x, pos);
+  };
+}
+
+RateTraceFn real_rate_trace() {
+  return [](const mac::RateControlConfig& cfg,
+            std::span<const RateObservation> obs) {
+    // The trace contract starts mid-table so both directions have room.
+    mac::RateController rc(cfg, std::min<std::size_t>(2, cfg.rate_table.size() - 1));
+    std::vector<RateStep> trace;
+    trace.reserve(obs.size());
+    for (const auto& o : obs) {
+      const bool changed = rc.observe(o.snr_db, o.crc_ok);
+      trace.push_back({rc.rate_index(), changed});
+    }
+    return trace;
+  };
+}
+
+SchedulerRunFn real_scheduler_run() {
+  return [](const mac::SchedulerConfig& cfg, std::span<const LinkOutcome> script,
+            std::size_t uplink_bits, double uplink_bitrate) {
+    mac::PollScheduler sched(cfg);
+    std::size_t cursor = 0;
+    const auto link =
+        [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+      // Attempts past the script's end stay silent (a transact sequence may
+      // straddle the final scripted outcome).
+      const LinkOutcome o =
+          cursor < script.size() ? script[cursor++] : LinkOutcome::kSilent;
+      switch (o) {
+        case LinkOutcome::kDecoded: {
+          phy::UplinkPacket p;
+          p.node_id = 1;
+          p.payload = {0xAB, 0xCD};
+          return p;
+        }
+        case LinkOutcome::kCrcFailure:
+          return pab::Error{pab::ErrorCode::kCrcMismatch, "scripted"};
+        case LinkOutcome::kSilent:
+          break;
+      }
+      return pab::Error{pab::ErrorCode::kNoPreamble, "scripted"};
+    };
+    while (cursor < script.size())
+      (void)sched.transact(phy::DownlinkQuery{}, link, uplink_bits,
+                           uplink_bitrate);
+    return sched.stats();
+  };
+}
+
+InventoryFn real_inventory() {
+  return [](std::span<const std::uint8_t> population,
+            const mac::InventoryConfig& cfg, mac::InventoryStats* stats) {
+    return mac::run_inventory(population, cfg, stats);
+  };
+}
+
+LedgerTotalFn real_ledger_total() {
+  return [](std::span<const std::pair<energy::Category, double>> entries) {
+    energy::EnergyLedger ledger;
+    for (const auto& [c, joules] : entries) ledger.add(c, joules);
+    return ledger.total_consumed();
+  };
+}
+
+RechargeFn real_recharge() {
+  return [](const energy::EnergyPlanner& planner, double harvest_w,
+            const energy::TransactionCost& cost) {
+    return planner.recharge_time_s(harvest_w, cost);
+  };
+}
+
+// --- channel -----------------------------------------------------------------
+
+CheckResult check_sample_interpolation(std::uint64_t seed,
+                                       const SampleFn& subject) {
+  Rng rng(seed);
+  const auto record = gen_baseband_burst(rng, 48000.0, 15000.0);
+  const auto& x = record.samples;
+  const auto n = x.size();
+  double max_mag = 0.0;
+  for (const auto& v : x) max_mag = std::max(max_mag, std::abs(v));
+
+  // Integer positions read back exactly -- the last one included (the
+  // historical off-by-one truncated [size-1, size) to silence).
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto got = subject(x, static_cast<double>(i));
+    if (std::abs(got - x[i]) > 1e-12 * (1.0 + std::abs(x[i])))
+      return mismatch("sample_at(x, i) != x[i] at integer position", i, "exact");
+  }
+  // Outside the record: exact zeros.
+  for (const double pos : {-1.0, -0.25, static_cast<double>(n),
+                           static_cast<double>(n) + 0.5}) {
+    if (subject(x, pos) != dsp::cplx{})
+      return mismatch("sample_at outside [0, size) must be zero", pos, 0.0);
+  }
+  // Random fractional positions: linear interpolation against the next
+  // sample (implicit zero-padding past the end) and convexity bound.
+  for (int k = 0; k < 64; ++k) {
+    const double pos = rng.uniform(0.0, static_cast<double>(n));
+    const auto i = static_cast<std::size_t>(pos);
+    if (i >= n) continue;
+    const double frac = pos - static_cast<double>(i);
+    const dsp::cplx next = i + 1 < n ? x[i + 1] : dsp::cplx{};
+    const dsp::cplx want = x[i] * (1.0 - frac) + next * frac;
+    const auto got = subject(x, pos);
+    if (std::abs(got - want) > 1e-9 * (1.0 + std::abs(want)))
+      return mismatch("sample_at fractional interpolation", pos, "lerp");
+    if (std::abs(got) > max_mag * (1.0 + 1e-9))
+      return mismatch("sample_at exceeds record magnitude", std::abs(got),
+                      max_mag);
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_channel_causality(std::uint64_t seed) {
+  Rng rng(seed);
+  const double fs = 48000.0;
+
+  {  // Moving receiver: zero before flight time, bounded by the path gain.
+    const auto cfg = gen_moving_path(rng);
+    const auto x = gen_baseband_burst(rng, fs, rng.uniform(12000.0, 20000.0));
+    const auto y = channel::propagate_moving(x, cfg);
+    const double c = channel::sound_speed_mackenzie(cfg.water);
+    double max_mag = 0.0;
+    for (const auto& v : x.samples) max_mag = std::max(max_mag, std::abs(v));
+    for (std::size_t i = 0; i < y.samples.size(); ++i) {
+      const double t = static_cast<double>(i) / fs;
+      const channel::Vec3 rx{cfg.rx_start.x + cfg.rx_velocity.x * t,
+                             cfg.rx_start.y + cfg.rx_velocity.y * t,
+                             cfg.rx_start.z + cfg.rx_velocity.z * t};
+      const double d = std::max(channel::distance(cfg.source, rx), 1e-3);
+      if (t < d / c && y.samples[i] != dsp::cplx{})
+        return mismatch("propagate_moving emits before the direct-path delay",
+                        i, "exact zero");
+      const double bound =
+          channel::path_amplitude_gain(d, x.carrier_hz) * max_mag;
+      if (std::abs(y.samples[i]) > bound * (1.0 + 1e-9))
+        return mismatch("propagate_moving exceeds the path gain bound",
+                        std::abs(y.samples[i]), bound);
+    }
+  }
+
+  {  // Wavy surface: the image path is never shorter than the direct path,
+     // so output before the direct flight time must be exactly zero, and the
+     // two-path sum is bounded by the coherent worst case.
+    const auto cfg = gen_wavy_surface(rng);
+    const auto x = gen_baseband_burst(rng, fs, rng.uniform(12000.0, 20000.0));
+    const auto y = channel::propagate_wavy(x, cfg);
+    const double c = channel::sound_speed_mackenzie(cfg.water);
+    const double d_direct =
+        std::max(channel::distance(cfg.source, cfg.receiver), 1e-3);
+    const double g_direct = channel::path_amplitude_gain(d_direct, x.carrier_hz);
+    double max_mag = 0.0;
+    for (const auto& v : x.samples) max_mag = std::max(max_mag, std::abs(v));
+    for (std::size_t i = 0; i < y.samples.size(); ++i) {
+      const double t = static_cast<double>(i) / fs;
+      if (t < d_direct / c && y.samples[i] != dsp::cplx{})
+        return mismatch("propagate_wavy emits before the direct-path delay", i,
+                        "exact zero");
+      const double zs = cfg.surface_z +
+                        cfg.wave_amplitude * std::sin(kTwoPi * cfg.wave_freq_hz * t);
+      const channel::Vec3 image{cfg.source.x, cfg.source.y,
+                                2.0 * zs - cfg.source.z};
+      const double d_img = std::max(channel::distance(image, cfg.receiver), 1e-3);
+      const double bound =
+          (g_direct + std::abs(cfg.surface_reflection) *
+                          channel::path_amplitude_gain(d_img, x.carrier_hz)) *
+          max_mag;
+      if (std::abs(y.samples[i]) > bound * (1.0 + 1e-9))
+        return mismatch("propagate_wavy exceeds the two-path gain bound",
+                        std::abs(y.samples[i]), bound);
+    }
+  }
+  return CheckResult::pass();
+}
+
+// --- mac ---------------------------------------------------------------------
+
+CheckResult check_rate_control(std::uint64_t seed, const RateTraceFn& subject) {
+  Rng rng(seed);
+  const auto cfg = gen_rate_config(rng);
+  const auto obs = gen_rate_observations(rng, cfg, 48);
+  const auto trace = subject(cfg, obs);
+  if (trace.size() != obs.size())
+    return mismatch("rate trace length", trace.size(), obs.size());
+
+  const std::size_t initial = std::min<std::size_t>(2, cfg.rate_table.size() - 1);
+  const auto good = [&](const RateObservation& o) {
+    return o.crc_ok && o.snr_db - cfg.decode_floor_db >= cfg.up_margin_db;
+  };
+  const auto bad = [&](const RateObservation& o) {
+    return (!o.crc_ok && cfg.downshift_on_crc_failure) ||
+           o.snr_db - cfg.decode_floor_db < cfg.down_margin_db;
+  };
+
+  std::size_t prev = initial;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const auto idx = trace[k].index;
+    if (idx >= cfg.rate_table.size())
+      return mismatch("rate index out of table", idx, cfg.rate_table.size());
+    const auto step = static_cast<std::ptrdiff_t>(idx) -
+                      static_cast<std::ptrdiff_t>(prev);
+    if (step > 1 || step < -1)
+      return mismatch("rate index moved more than one step", step, "+-1");
+    if (trace[k].changed != (idx != prev))
+      return mismatch("changed flag disagrees with the index delta", k, "agree");
+    if (step == 1) {
+      // Every upshift needs up_streak trailing observations that are all
+      // CRC-clean with up-margin headroom.  A CRC failure anywhere in the
+      // window must have reset the streak (the historical bug rewarded
+      // failed packets that happened to carry high SNR estimates).
+      if (k + 1 < static_cast<std::size_t>(cfg.up_streak))
+        return mismatch("upshift before up_streak observations", k,
+                        cfg.up_streak);
+      for (std::size_t j = k + 1 - static_cast<std::size_t>(cfg.up_streak);
+           j <= k; ++j) {
+        if (!good(obs[j])) {
+          std::ostringstream os;
+          os << "upshift at observation " << k << " not justified: obs " << j
+             << " (snr " << obs[j].snr_db << " dB, crc "
+             << (obs[j].crc_ok ? "ok" : "FAILED")
+             << ") is not a clean up-margin observation";
+          return CheckResult::fail(os.str());
+        }
+      }
+    }
+    if (step == -1 && !bad(obs[k]))
+      return mismatch("downshift on a non-degraded observation", k, "bad obs");
+    prev = idx;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_scheduler_airtime(std::uint64_t seed,
+                                    const SchedulerRunFn& subject) {
+  Rng rng(seed);
+  const auto cfg = gen_scheduler_config(rng);
+  const auto script =
+      gen_link_script(rng, static_cast<std::size_t>(rng.uniform_int(1, 24)));
+  const auto uplink_bits = static_cast<std::size_t>(rng.uniform_int(16, 256));
+  const double uplink_bitrate = rng.uniform(200.0, 4000.0);
+  const double uplink_time =
+      static_cast<double>(uplink_bits) / uplink_bitrate;
+
+  const auto stats = subject(cfg, script, uplink_bits, uplink_bitrate);
+
+  // Counter conservation.
+  if (stats.attempts != stats.successes + stats.crc_failures + stats.no_response)
+    return mismatch("attempts != successes + crc_failures + no_response",
+                    stats.attempts,
+                    stats.successes + stats.crc_failures + stats.no_response);
+
+  // Elapsed airtime must be exactly reconstructible from the counters: every
+  // attempt pays downlink + turnaround, and only attempts where a reply was
+  // on the air (decoded or CRC-failed) pay the uplink slot.
+  const double reconstructed =
+      static_cast<double>(stats.attempts) *
+          (cfg.downlink_time_s + cfg.turnaround_s) +
+      static_cast<double>(stats.successes + stats.crc_failures) * uplink_time;
+  if (!near(stats.elapsed_s, reconstructed, 1e-9))
+    return mismatch("elapsed_s not reconstructible from counters",
+                    stats.elapsed_s, reconstructed);
+
+  // Differential check against a pure model of the retry protocol.
+  mac::TransactionStats model;
+  std::size_t cursor = 0;
+  while (cursor < script.size()) {
+    for (int attempt = 0; attempt <= cfg.max_retries; ++attempt) {
+      const LinkOutcome o =
+          cursor < script.size() ? script[cursor++] : LinkOutcome::kSilent;
+      ++model.attempts;
+      if (attempt > 0) ++model.retries;
+      model.elapsed_s += cfg.downlink_time_s + cfg.turnaround_s;
+      if (o == LinkOutcome::kDecoded) {
+        ++model.successes;
+        model.elapsed_s += uplink_time;
+        model.payload_bits_delivered += 16.0;  // the scripted 2-byte payload
+        break;
+      }
+      if (o == LinkOutcome::kCrcFailure) {
+        ++model.crc_failures;
+        model.elapsed_s += uplink_time;
+      } else {
+        ++model.no_response;
+      }
+    }
+  }
+  if (stats.attempts != model.attempts)
+    return mismatch("attempts vs model", stats.attempts, model.attempts);
+  if (stats.successes != model.successes)
+    return mismatch("successes vs model", stats.successes, model.successes);
+  if (stats.crc_failures != model.crc_failures)
+    return mismatch("crc_failures vs model", stats.crc_failures,
+                    model.crc_failures);
+  if (stats.no_response != model.no_response)
+    return mismatch("no_response vs model", stats.no_response,
+                    model.no_response);
+  if (stats.retries != model.retries)
+    return mismatch("retries vs model", stats.retries, model.retries);
+  if (!near(stats.payload_bits_delivered, model.payload_bits_delivered, 1e-9))
+    return mismatch("payload bits vs model", stats.payload_bits_delivered,
+                    model.payload_bits_delivered);
+  if (!near(stats.elapsed_s, model.elapsed_s, 1e-9))
+    return mismatch("elapsed_s vs model", stats.elapsed_s, model.elapsed_s);
+  return CheckResult::pass();
+}
+
+CheckResult check_inventory_conservation(std::uint64_t seed,
+                                         const InventoryFn& subject) {
+  Rng rng(seed);
+  const auto population = gen_population(rng);
+  const auto cfg = gen_inventory_config(rng);
+  mac::InventoryStats stats;
+  const auto identified = subject(population, cfg, &stats);
+
+  const std::set<std::uint8_t> pop_set(population.begin(), population.end());
+  std::set<std::uint8_t> seen;
+  for (const std::uint8_t id : identified) {
+    if (pop_set.count(id) == 0)
+      return mismatch("identified a node outside the population",
+                      static_cast<int>(id), "member");
+    if (!seen.insert(id).second)
+      return mismatch("node identified twice", static_cast<int>(id), "once");
+  }
+  if (identified.size() != stats.singletons)
+    return mismatch("identified count != singleton slots", identified.size(),
+                    stats.singletons);
+  if (stats.singletons + stats.collisions + stats.empties != stats.slots)
+    return mismatch("singletons + collisions + empties != slots",
+                    stats.singletons + stats.collisions + stats.empties,
+                    stats.slots);
+  if (stats.frames > static_cast<std::size_t>(cfg.max_frames))
+    return mismatch("frames exceed the configured budget", stats.frames,
+                    cfg.max_frames);
+  const std::size_t lo = stats.frames << cfg.min_q;
+  const std::size_t hi = stats.frames << cfg.max_q;
+  if (stats.slots < lo || stats.slots > hi)
+    return mismatch("total slots outside the q bounds", stats.slots, "in range");
+  // Early termination means the pending list drained: identified set must
+  // then equal the population set (every node accounted for, none lost).
+  if (stats.frames < static_cast<std::size_t>(cfg.max_frames) &&
+      seen != pop_set)
+    return mismatch("early-terminating inventory lost nodes", seen.size(),
+                    pop_set.size());
+  return CheckResult::pass();
+}
+
+// --- energy ------------------------------------------------------------------
+
+CheckResult check_ledger_conservation(std::uint64_t seed,
+                                      const LedgerTotalFn& subject) {
+  Rng rng(seed);
+  const auto entries =
+      gen_ledger_entries(rng, static_cast<std::size_t>(rng.uniform_int(1, 64)));
+
+  // Reference sums, accumulated per category in entry order.
+  std::array<double, static_cast<std::size_t>(energy::Category::kCount)> ref{};
+  for (const auto& [c, joules] : entries)
+    ref[static_cast<std::size_t>(c)] += joules;
+  double ref_consumed = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    if (static_cast<energy::Category>(i) != energy::Category::kHarvested)
+      ref_consumed += ref[i];
+
+  const double consumed = subject(entries);
+  if (consumed < 0.0)
+    return mismatch("total_consumed is negative", consumed, ">= 0");
+  if (!near(consumed, ref_consumed, 1e-9))
+    return mismatch("total_consumed != sum of consumption categories",
+                    consumed, ref_consumed);
+
+  // The real ledger's per-category totals and its exported gauges must agree
+  // with the reference regardless of the injected subject.
+  energy::EnergyLedger ledger;
+  for (const auto& [c, joules] : entries) ledger.add(c, joules);
+  obs::MetricRegistry registry;
+  ledger.export_to(registry, "check.energy");
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto c = static_cast<energy::Category>(i);
+    if (!near(ledger.total(c), ref[i], 1e-12))
+      return mismatch("per-category total drifted from the entry sum",
+                      ledger.total(c), ref[i]);
+    const double gauge =
+        registry
+            .gauge(std::string("check.energy.") + std::string(to_string(c)) +
+                   "_joules")
+            .value();
+    if (!near(gauge, ref[i], 1e-12))
+      return mismatch("exported gauge disagrees with the ledger", gauge, ref[i]);
+  }
+  if (!near(ledger.total_consumed() + ledger.harvested(),
+            ref_consumed + ref[0], 1e-9))
+    return mismatch("consumed + harvested != total of all categories",
+                    ledger.total_consumed() + ledger.harvested(),
+                    ref_consumed + ref[0]);
+  return CheckResult::pass();
+}
+
+CheckResult check_planner_recharge(std::uint64_t seed,
+                                   const RechargeFn& subject) {
+  Rng rng(seed);
+  const energy::EnergyPlanner planner;
+  const auto cost = gen_transaction_cost(rng);
+  const double harvest = std::pow(10.0, rng.uniform(-6.0, -2.0));  // 1 uW..10 mW
+
+  const auto ok = subject(planner, harvest, cost);
+  if (!ok.ok())
+    return CheckResult::fail("recharge_time_s failed for positive harvest: " +
+                             ok.error().message());
+  if (!(ok.value() > 0.0) || !std::isfinite(ok.value()))
+    return mismatch("recharge time must be positive and finite", ok.value(),
+                    "> 0");
+  const double want = planner.transaction_energy_j(cost) / harvest;
+  if (!near(ok.value(), want, 1e-9))
+    return mismatch("recharge time != transaction energy / harvest",
+                    ok.value(), want);
+
+  // Non-positive harvest can never bank a transaction: that is an error,
+  // never a sentinel value smuggled into downstream arithmetic.
+  for (const double bad_harvest : {0.0, -rng.uniform(1e-6, 1e-3)}) {
+    const auto bad = subject(planner, bad_harvest, cost);
+    if (bad.ok())
+      return mismatch("recharge_time_s returned a value for harvest <= 0",
+                      bad.value(), "error");
+  }
+  return CheckResult::pass();
+}
+
+// --- phy ---------------------------------------------------------------------
+
+CheckResult check_decode_roundtrip(std::uint64_t seed) {
+  Rng rng(seed);
+  auto waveform = gen_waveform(rng);
+  // Keep chips-per-bit modest so a trial stays in the millisecond range.
+  waveform.bitrate = std::max(waveform.bitrate, 1000.0);
+  const double fs = 96000.0;
+  const auto bits = rng.bits(waveform.payload_bits);
+
+  // FM0-modulate preamble + payload into an envelope, then perturb: random
+  // lead-in, mid level, swing (possibly inverted), and mild noise.
+  Bits full(phy::uplink_preamble_bits());
+  full.insert(full.end(), bits.begin(), bits.end());
+  const auto sw = phy::backscatter_waveform(full, waveform.bitrate, fs);
+  const double mid = rng.uniform(0.5, 2.0);
+  double amp = mid * rng.uniform(0.02, 0.1);
+  if (rng.bernoulli(0.5)) amp = -amp;  // anti-phase backscatter
+  const auto lead = static_cast<std::size_t>(rng.uniform_int(100, 1200));
+  const double noise = rng.bernoulli(0.5)
+                           ? rng.uniform(0.0, 0.1) * std::abs(amp)
+                           : 0.0;
+  std::vector<double> env(lead, mid - amp);
+  for (const auto s : sw)
+    env.push_back(s == phy::SwitchState::kReflective ? mid + amp : mid - amp);
+  env.insert(env.end(), lead, mid - amp);
+  if (noise > 0.0)
+    for (auto& v : env) v += rng.gaussian(0.0, noise);
+
+  phy::DemodConfig config;
+  config.bitrate = waveform.bitrate;
+  config.sample_rate = fs;
+  const phy::BackscatterDemodulator demod(config);
+  const auto r = demod.demodulate_envelope(env, fs, bits.size());
+  if (!r.ok())
+    return CheckResult::fail("round-trip decode failed: " +
+                             r.error().message());
+  if (r.value().bits != bits) {
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      errors += r.value().bits[i] != bits[i];
+    return mismatch("round-trip bit errors", errors, 0);
+  }
+  return CheckResult::pass();
+}
+
+// --- sim ---------------------------------------------------------------------
+
+CheckResult check_scenario_wiring(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto s = gen_scenario(rng);
+  if (s.front_ends.size() != s.node_count())
+    return mismatch("front end count != node count", s.front_ends.size(),
+                    s.node_count());
+  const auto& first = s.node_position(0);
+  if (first.x != s.placement.node.x || first.y != s.placement.node.y ||
+      first.z != s.placement.node.z)
+    return CheckResult::fail("node_position(0) != placement.node");
+  for (std::size_t j = 1; j < s.node_count(); ++j) {
+    const auto& p = s.node_position(j);
+    const auto& e = s.extra_nodes[j - 1];
+    if (p.x != e.x || p.y != e.y || p.z != e.z)
+      return CheckResult::fail("node_position(j) != extra_nodes[j-1]");
+  }
+  const auto reseeded = s.with_seed(s.medium.seed + 17);
+  if (reseeded.medium.seed != s.medium.seed + 17)
+    return CheckResult::fail("with_seed did not set the seed");
+  if (reseeded.waveform.bitrate != s.waveform.bitrate ||
+      reseeded.node_count() != s.node_count())
+    return CheckResult::fail("with_seed perturbed unrelated fields");
+  auto w = s.waveform;
+  w.bitrate += 100.0;
+  const auto rewaved = s.with_waveform(w);
+  if (rewaved.waveform.bitrate != w.bitrate ||
+      rewaved.medium.seed != s.medium.seed)
+    return CheckResult::fail("with_waveform did not isolate the waveform");
+  // Generator contract: every instrument sits inside the tank.
+  const auto& size = s.medium.tank.size;
+  for (std::size_t j = 0; j < s.node_count(); ++j) {
+    const auto& p = s.node_position(j);
+    if (p.x < 0.0 || p.x > size.x || p.y < 0.0 || p.y > size.y || p.z < 0.0 ||
+        p.z > size.z)
+      return CheckResult::fail("generated node outside the tank");
+  }
+  return CheckResult::pass();
+}
+
+// --- the suite ---------------------------------------------------------------
+
+std::vector<Invariant> default_invariants() {
+  return {
+      {"channel.sample_interpolation",
+       "fractional-delay reads keep every valid sample (no tail truncation)",
+       [](std::uint64_t s) { return check_sample_interpolation(s); }},
+      {"channel.causality",
+       "time-varying propagation is causal and bounded by the path gain",
+       [](std::uint64_t s) { return check_channel_causality(s); }},
+      {"mac.rate_control",
+       "upshifts require CRC-clean up-margin streaks; steps stay in the table",
+       [](std::uint64_t s) { return check_rate_control(s); }},
+      {"mac.scheduler_airtime",
+       "elapsed_s reconstructs exactly from attempt/reply counters",
+       [](std::uint64_t s) { return check_scheduler_airtime(s); }},
+      {"mac.inventory",
+       "slot conservation and no node lost or double-counted per inventory",
+       [](std::uint64_t s) { return check_inventory_conservation(s); }},
+      {"energy.ledger",
+       "consumed = sum of consumption categories; harvested never leaks in",
+       [](std::uint64_t s) { return check_ledger_conservation(s); }},
+      {"energy.planner_recharge",
+       "recharge time is energy/harvest or an explicit error, never a sentinel",
+       [](std::uint64_t s) { return check_planner_recharge(s); }},
+      {"phy.decode_roundtrip",
+       "modulate -> perturb -> demodulate returns the transmitted bits",
+       [](std::uint64_t s) { return check_decode_roundtrip(s); }},
+      {"sim.scenario_wiring",
+       "scenario accessors and fluent copies stay mutually consistent",
+       [](std::uint64_t s) { return check_scenario_wiring(s); }},
+  };
+}
+
+}  // namespace pab::check

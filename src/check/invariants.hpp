@@ -1,0 +1,148 @@
+// Cross-layer invariant library.
+//
+// Each checker runs one seeded randomized trial of a property the paper's
+// headline figures rest on (airtime, energy, slot, and sample accounting) and
+// reports pass or a violation with a human-readable detail string.  Checkers
+// that guard a specific implementation take that behaviour as an injectable
+// "subject" defaulting to the real code: the mutation smoke-tests
+// (tests/test_check.cpp) feed each checker the historical buggy behaviour and
+// assert a violation is reported -- proof the harness has teeth, not just
+// green lights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/generators.hpp"
+#include "dsp/signal.hpp"
+#include "energy/ledger.hpp"
+#include "energy/planner.hpp"
+#include "mac/inventory.hpp"
+#include "mac/rate_control.hpp"
+#include "mac/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace pab::check {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  // empty when ok; names the violated property otherwise
+
+  [[nodiscard]] static CheckResult pass() { return {}; }
+  [[nodiscard]] static CheckResult fail(std::string d) {
+    return {false, std::move(d)};
+  }
+};
+
+// --- injectable subjects -----------------------------------------------------
+
+// Fractional-delay interpolation (channel::sample_at semantics).
+using SampleFn = std::function<dsp::cplx(std::span<const dsp::cplx>, double)>;
+
+// Rate controller: feed observations, return the index after each and
+// whether that observation changed the rate.
+struct RateStep {
+  std::size_t index = 0;
+  bool changed = false;
+};
+using RateTraceFn = std::function<std::vector<RateStep>(
+    const mac::RateControlConfig&, std::span<const RateObservation>)>;
+
+// Scheduler: run transactions against a scripted link until the script is
+// exhausted, return the accumulated stats.
+using SchedulerRunFn = std::function<mac::TransactionStats(
+    const mac::SchedulerConfig&, std::span<const LinkOutcome>,
+    std::size_t uplink_bits, double uplink_bitrate)>;
+
+// Inventory: run_inventory semantics.
+using InventoryFn = std::function<std::vector<std::uint8_t>(
+    std::span<const std::uint8_t>, const mac::InventoryConfig&,
+    mac::InventoryStats*)>;
+
+// Ledger: apply entries, return total_consumed().
+using LedgerTotalFn = std::function<double(
+    std::span<const std::pair<energy::Category, double>>)>;
+
+// Planner: recharge_time_s semantics.
+using RechargeFn = std::function<pab::Expected<double>(
+    const energy::EnergyPlanner&, double harvest_w,
+    const energy::TransactionCost&)>;
+
+// The real implementations (default subjects).
+[[nodiscard]] SampleFn real_sample_at();
+[[nodiscard]] RateTraceFn real_rate_trace();
+[[nodiscard]] SchedulerRunFn real_scheduler_run();
+[[nodiscard]] InventoryFn real_inventory();
+[[nodiscard]] LedgerTotalFn real_ledger_total();
+[[nodiscard]] RechargeFn real_recharge();
+
+// --- invariant checkers ------------------------------------------------------
+
+// channel.sample_interpolation: sample_at reads back x[i] exactly at every
+// integer position (including the last), is zero outside [0, size), and is
+// bounded by the record's max magnitude (convex interpolation).
+[[nodiscard]] CheckResult check_sample_interpolation(
+    std::uint64_t seed, const SampleFn& subject = real_sample_at());
+
+// channel.causality: propagate_moving / propagate_wavy emit exact zeros
+// before the direct-path flight time and stay within the per-sample path
+// gain bound (no free energy from interpolation or the image path).
+[[nodiscard]] CheckResult check_channel_causality(std::uint64_t seed);
+
+// mac.rate_control: index moves by at most one per observation, stays inside
+// the table, and every upshift is justified by up_streak trailing
+// observations that are all CRC-clean with up-margin headroom.
+[[nodiscard]] CheckResult check_rate_control(
+    std::uint64_t seed, const RateTraceFn& subject = real_rate_trace());
+
+// mac.scheduler_airtime: elapsed_s is exactly reconstructible from the
+// counters -- attempts * (downlink + turnaround) + (successes +
+// crc_failures) * uplink_time -- and the counters themselves are conserved
+// (attempts = successes + crc_failures + no_response, retries consistent).
+[[nodiscard]] CheckResult check_scheduler_airtime(
+    std::uint64_t seed, const SchedulerRunFn& subject = real_scheduler_run());
+
+// mac.inventory: identified ids are unique members of the population,
+// singletons == identified count, singletons + collisions + empties == slots,
+// and an early-terminating inventory identified the whole population.
+[[nodiscard]] CheckResult check_inventory_conservation(
+    std::uint64_t seed, const InventoryFn& subject = real_inventory());
+
+// energy.ledger: per-category totals equal the entry sums, total_consumed is
+// exactly the sum of the consumption categories (harvested excluded, never
+// negative), and the exported gauges agree.
+[[nodiscard]] CheckResult check_ledger_conservation(
+    std::uint64_t seed, const LedgerTotalFn& subject = real_ledger_total());
+
+// energy.planner_recharge: positive harvest yields a positive, finite
+// recharge time equal to transaction_energy / harvest; non-positive harvest
+// is an error, never a sentinel value.
+[[nodiscard]] CheckResult check_planner_recharge(
+    std::uint64_t seed, const RechargeFn& subject = real_recharge());
+
+// phy.decode_roundtrip: FM0 modulate -> randomized perturbation (lead-in,
+// amplitude, inversion, mild noise) -> demodulate returns the transmitted
+// bits exactly.
+[[nodiscard]] CheckResult check_decode_roundtrip(std::uint64_t seed);
+
+// sim.scenario_wiring: generated scenarios keep their derived accessors and
+// fluent copies consistent (node_count matches front ends, node_position
+// indexes correctly, with_seed/with_waveform touch only their field).
+[[nodiscard]] CheckResult check_scenario_wiring(std::uint64_t seed);
+
+// --- the suite ---------------------------------------------------------------
+
+struct Invariant {
+  std::string name;    // dot-separated, e.g. "mac.scheduler_airtime"
+  std::string guards;  // one line: what breaks silently without it
+  std::function<CheckResult(std::uint64_t)> run;
+};
+
+// Every invariant above, wired to the real implementations.
+[[nodiscard]] std::vector<Invariant> default_invariants();
+
+}  // namespace pab::check

@@ -34,9 +34,11 @@ double EnergyPlanner::max_transaction_rate_hz(double harvest_w,
   return margin / transaction_energy_j(cost);
 }
 
-double EnergyPlanner::recharge_time_s(double harvest_w,
-                                      const TransactionCost& cost) const {
-  if (harvest_w <= 0.0) return -1.0;
+pab::Expected<double> EnergyPlanner::recharge_time_s(
+    double harvest_w, const TransactionCost& cost) const {
+  if (harvest_w <= 0.0)
+    return pab::Error{pab::ErrorCode::kInsufficientPower,
+                      "recharge_time_s: no harvest power"};
   return transaction_energy_j(cost) / harvest_w;
 }
 

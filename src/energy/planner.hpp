@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "energy/mcu.hpp"
+#include "util/error.hpp"
 
 namespace pab::energy {
 
@@ -40,9 +41,11 @@ class EnergyPlanner {
 
   // Recharge time between transactions when operating below the idle
   // break-even: how long the capacitor must charge (from `harvest_w`, no
-  // load) to bank one transaction's energy.  Negative if no harvest.
-  [[nodiscard]] double recharge_time_s(double harvest_w,
-                                       const TransactionCost& cost) const;
+  // load) to bank one transaction's energy.  kInsufficientPower when the
+  // node harvests nothing (it can never bank the energy); the success value
+  // is always finite and positive.
+  [[nodiscard]] pab::Expected<double> recharge_time_s(
+      double harvest_w, const TransactionCost& cost) const;
 
   [[nodiscard]] const McuPowerModel& mcu() const { return mcu_; }
 

@@ -1,6 +1,7 @@
 #include "mac/inventory.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
 namespace pab::mac {
@@ -55,13 +56,26 @@ std::vector<std::uint8_t> run_inventory(std::span<const std::uint8_t> population
       slots[inventory_slot(id, nonce, slot_count)].push_back(id);
 
     std::size_t frame_singletons = 0, frame_collisions = 0;
+    std::array<bool, 256> won{};  // ids identified this frame
     for (const auto& [slot, ids] : slots) {
       if (ids.size() == 1) {
         ++frame_singletons;
         identified.push_back(ids.front());
-        pending.erase(std::find(pending.begin(), pending.end(), ids.front()));
+        won[ids.front()] = true;
       } else {
         ++frame_collisions;
+      }
+    }
+    // Swap-and-compact the identified ids out of `pending` in one pass.  The
+    // old erase(find(...)) per singleton was O(n^2) per frame; this is O(n).
+    // Relative order of `pending` is not preserved, which is fine: slot
+    // assignment hashes (id, nonce) and never looks at list order.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (won[pending[i]]) {
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
       }
     }
     const std::size_t frame_empties =

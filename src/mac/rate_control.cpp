@@ -30,7 +30,11 @@ bool RateController::observe(double snr_db, bool crc_ok) {
   }
 
   bad_streak_ = 0;
-  if (headroom >= config_.up_margin_db) {
+  // A CRC-failed observation never counts toward an upshift streak, even when
+  // `downshift_on_crc_failure` is false (the failure is forgiven, not
+  // rewarded): upshifting on the back of undecodable packets walks a marginal
+  // link straight off the rate table.
+  if (crc_ok && headroom >= config_.up_margin_db) {
     ++good_streak_;
     if (good_streak_ >= config_.up_streak &&
         index_ + 1 < config_.rate_table.size()) {

@@ -36,7 +36,9 @@ class RateController {
   explicit RateController(RateControlConfig config = {},
                           std::size_t initial_index = 0);
 
-  // Feed one uplink observation; returns true if the rate changed.
+  // Feed one uplink observation; returns true if the rate changed.  Only an
+  // observation with `crc_ok` can extend the upshift streak; a CRC failure
+  // resets it (and forces a downshift step when configured to).
   bool observe(double snr_db, bool crc_ok);
 
   [[nodiscard]] std::size_t rate_index() const { return index_; }

@@ -4,6 +4,7 @@
 #include "energy/harvester.hpp"
 #include "energy/ledger.hpp"
 #include "energy/mcu.hpp"
+#include "energy/planner.hpp"
 #include "obs/metrics.hpp"
 
 namespace pab::energy {
@@ -96,6 +97,29 @@ TEST(Ledger, AveragePower) {
 TEST(Ledger, RejectsNegativeEnergy) {
   EnergyLedger ledger;
   EXPECT_THROW(ledger.add(Category::kIdle, -1.0), std::invalid_argument);
+}
+
+// recharge_time_s returns Expected<double> (the old -1.0 sentinel was easy
+// to feed into downstream arithmetic unnoticed): a node that harvests
+// nothing can never bank a transaction, and that is an error, not a number.
+TEST(Planner, RechargeTimeIsExpected) {
+  EnergyPlanner planner;
+  const TransactionCost cost;
+  const auto ok = planner.recharge_time_s(100e-6, cost);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NEAR(ok.value(), planner.transaction_energy_j(cost) / 100e-6, 1e-12);
+  EXPECT_GT(ok.value(), 0.0);
+}
+
+TEST(Planner, RechargeTimeErrorsWithoutHarvest) {
+  EnergyPlanner planner;
+  const TransactionCost cost;
+  const auto zero = planner.recharge_time_s(0.0, cost);
+  EXPECT_FALSE(zero.ok());
+  EXPECT_EQ(zero.code(), pab::ErrorCode::kInsufficientPower);
+  const auto negative = planner.recharge_time_s(-1e-6, cost);
+  EXPECT_FALSE(negative.ok());
+  EXPECT_EQ(negative.code(), pab::ErrorCode::kInsufficientPower);
 }
 
 TEST(Harvester, PowersUpAtThreshold) {

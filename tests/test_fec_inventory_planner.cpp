@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "energy/planner.hpp"
@@ -148,6 +149,68 @@ TEST(Inventory, SlotHashIsDeterministicAndSpread) {
   EXPECT_GE(seen.size(), 12u);  // uses most of the 16 slots across frames
 }
 
+// The O(n) swap-and-compact pass that removes identified ids from the
+// pending list must be observationally identical to the old O(n^2)
+// erase(find(...)) loop: slot choice hashes (id, nonce) and never looks at
+// list order, so only the identified sequence and the stats matter.  This
+// reference reimplements the old removal verbatim and compares end to end.
+std::vector<std::uint8_t> run_inventory_reference(
+    std::span<const std::uint8_t> population, const mac::InventoryConfig& config,
+    mac::InventoryStats* stats) {
+  std::vector<std::uint8_t> pending(population.begin(), population.end());
+  std::vector<std::uint8_t> identified;
+  mac::InventoryStats local;
+  int q = config.initial_q;
+  std::uint64_t nonce = config.seed;
+  for (int frame = 0; frame < config.max_frames && !pending.empty(); ++frame) {
+    ++local.frames;
+    ++nonce;
+    const std::size_t slot_count = std::size_t{1} << q;
+    local.slots += slot_count;
+    std::map<std::size_t, std::vector<std::uint8_t>> slots;
+    for (std::uint8_t id : pending)
+      slots[mac::inventory_slot(id, nonce, slot_count)].push_back(id);
+    std::size_t frame_singletons = 0, frame_collisions = 0;
+    for (const auto& [slot, ids] : slots) {
+      if (ids.size() == 1) {
+        ++frame_singletons;
+        identified.push_back(ids.front());
+        pending.erase(std::find(pending.begin(), pending.end(), ids.front()));
+      } else {
+        ++frame_collisions;
+      }
+    }
+    local.singletons += frame_singletons;
+    local.collisions += frame_collisions;
+    local.empties += slot_count - frame_singletons - frame_collisions;
+    q = mac::adapt_q(q, frame_collisions, slot_count - frame_singletons - frame_collisions,
+                     frame_singletons, config.min_q, config.max_q);
+  }
+  if (stats != nullptr) *stats = local;
+  return identified;
+}
+
+TEST(Inventory, CompactionMatchesEraseReference) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    for (const std::size_t n : {1u, 5u, 23u, 60u, 120u}) {
+      std::vector<std::uint8_t> population;
+      for (std::size_t id = 1; id <= n; ++id)
+        population.push_back(static_cast<std::uint8_t>(id));
+      mac::InventoryConfig cfg;
+      cfg.seed = seed;
+      mac::InventoryStats got_stats, ref_stats;
+      const auto got = mac::run_inventory(population, cfg, &got_stats);
+      const auto ref = run_inventory_reference(population, cfg, &ref_stats);
+      EXPECT_EQ(got, ref) << "seed=" << seed << " n=" << n;
+      EXPECT_EQ(got_stats.frames, ref_stats.frames);
+      EXPECT_EQ(got_stats.slots, ref_stats.slots);
+      EXPECT_EQ(got_stats.singletons, ref_stats.singletons);
+      EXPECT_EQ(got_stats.collisions, ref_stats.collisions);
+      EXPECT_EQ(got_stats.empties, ref_stats.empties);
+    }
+  }
+}
+
 TEST(Inventory, QAdaptationDirections) {
   EXPECT_EQ(mac::adapt_q(3, /*collisions=*/10, /*empties=*/1, /*singles=*/2, 0, 8), 4);
   EXPECT_EQ(mac::adapt_q(3, 1, 10, 2, 0, 8), 2);
@@ -204,8 +267,11 @@ TEST(Planner, BelowIdleMeansZeroRate) {
   energy::EnergyPlanner planner;
   EXPECT_EQ(planner.max_transaction_rate_hz(50e-6, energy::TransactionCost{}),
             0.0);
-  EXPECT_GT(planner.recharge_time_s(50e-6, energy::TransactionCost{}), 0.0);
-  EXPECT_LT(planner.recharge_time_s(0.0, energy::TransactionCost{}), 0.0);
+  const auto recharge = planner.recharge_time_s(50e-6, energy::TransactionCost{});
+  ASSERT_TRUE(recharge.ok());
+  EXPECT_GT(recharge.value(), 0.0);
+  EXPECT_EQ(planner.recharge_time_s(0.0, energy::TransactionCost{}).code(),
+            pab::ErrorCode::kInsufficientPower);
 }
 
 }  // namespace

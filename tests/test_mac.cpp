@@ -3,6 +3,7 @@
 
 #include "mac/fdma.hpp"
 #include "mac/protocol.hpp"
+#include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
 
 namespace pab::mac {
@@ -178,6 +179,41 @@ TEST(Scheduler, PollRoundHitsAllQueries) {
                                                    make_ping(3)};
   sched.poll_round(queries, link, 60, 1000.0);
   EXPECT_EQ(calls, 3);
+}
+
+// Regression: with downshift_on_crc_failure disabled, a CRC-failed
+// observation with high SNR headroom used to advance the good streak and
+// could trigger an upshift -- rewarding undecodable packets.  A failed CRC
+// must never count toward an upshift streak.
+TEST(RateControl, CrcFailureNeverFeedsUpshiftStreak) {
+  RateControlConfig cfg;
+  cfg.downshift_on_crc_failure = false;
+  cfg.up_streak = 3;
+  RateController rc(cfg, /*initial_index=*/2);
+  // Plenty of headroom, but every packet fails its CRC.
+  const double snr = cfg.decode_floor_db + cfg.up_margin_db + 10.0;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(rc.observe(snr, /*crc_ok=*/false));
+  EXPECT_EQ(rc.rate_index(), 2u);
+  EXPECT_EQ(rc.upshifts(), 0u);
+}
+
+TEST(RateControl, CrcFailureResetsAnInProgressGoodStreak) {
+  RateControlConfig cfg;
+  cfg.downshift_on_crc_failure = false;
+  cfg.up_streak = 3;
+  RateController rc(cfg, 2);
+  const double snr = cfg.decode_floor_db + cfg.up_margin_db + 10.0;
+  EXPECT_FALSE(rc.observe(snr, true));
+  EXPECT_FALSE(rc.observe(snr, true));
+  // The failure wipes the streak; the next two good packets are not enough.
+  EXPECT_FALSE(rc.observe(snr, false));
+  EXPECT_FALSE(rc.observe(snr, true));
+  EXPECT_FALSE(rc.observe(snr, true));
+  EXPECT_EQ(rc.rate_index(), 2u);
+  // The third consecutive good observation finally upshifts.
+  EXPECT_TRUE(rc.observe(snr, true));
+  EXPECT_EQ(rc.rate_index(), 3u);
+  EXPECT_EQ(rc.upshifts(), 1u);
 }
 
 TEST(Fdma, TwoChannelPlanMatchesPaper) {

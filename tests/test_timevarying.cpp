@@ -126,6 +126,37 @@ TEST(WavySurface, FadeDepthGrowsWithWaveAmplitude) {
   EXPECT_GT(fade_depth_db(big, 15000.0), fade_depth_db(small, 15000.0));
 }
 
+// Regression: sample_at used to reject any position with i + 1 >= size, so
+// the whole interval [size-1, size) -- where x[size-1] is perfectly valid --
+// read as silence, truncating the tail of every delayed path.  The last
+// sample must be readable exactly, and the final fractional interval must
+// decay linearly into the implicit zero-padding instead of cutting to zero.
+TEST(SampleAt, LastSampleIsNotTruncated) {
+  const std::vector<dsp::cplx> x = {{1.0, 0.0}, {2.0, 0.0}, {4.0, -1.0}};
+  // Integer positions read back exactly -- including the final one.
+  EXPECT_EQ(sample_at(x, 0.0), x[0]);
+  EXPECT_EQ(sample_at(x, 1.0), x[1]);
+  EXPECT_EQ(sample_at(x, 2.0), x[2]);  // failed (returned 0) pre-fix
+  // The final interval interpolates toward zero-padding.
+  const auto tail = sample_at(x, 2.25);
+  EXPECT_NEAR(tail.real(), 0.75 * 4.0, 1e-12);
+  EXPECT_NEAR(tail.imag(), 0.75 * -1.0, 1e-12);
+  // Outside the record stays zero.
+  EXPECT_EQ(sample_at(x, -0.5), dsp::cplx{});
+  EXPECT_EQ(sample_at(x, 3.0), dsp::cplx{});
+  EXPECT_EQ(sample_at(x, 3.5), dsp::cplx{});
+}
+
+TEST(SampleAt, SingleSampleRecordIsReadable) {
+  // The degenerate one-sample record: every in-range read used to return
+  // zero because i + 1 >= size held for the only valid index.
+  const std::vector<dsp::cplx> x = {{3.0, 0.5}};
+  EXPECT_EQ(sample_at(x, 0.0), x[0]);
+  const auto mid = sample_at(x, 0.5);
+  EXPECT_NEAR(mid.real(), 1.5, 1e-12);
+  EXPECT_NEAR(mid.imag(), 0.25, 1e-12);
+}
+
 TEST(WavySurface, EndpointAboveSurfaceThrows) {
   WavySurfaceConfig cfg;
   cfg.source = {0, 0, 1.5};  // above the 1.0 m surface
