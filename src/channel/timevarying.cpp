@@ -20,15 +20,30 @@ dsp::cplx sample_at(std::span<const dsp::cplx> x, double pos) {
   return x[i] * (1.0 - frac) + next * frac;
 }
 
-namespace {
-
-Vec3 position_at(const MovingPathConfig& cfg, double t) {
+Vec3 moving_position_at(const MovingPathConfig& cfg, double t) {
   return {cfg.rx_start.x + cfg.rx_velocity.x * t,
           cfg.rx_start.y + cfg.rx_velocity.y * t,
           cfg.rx_start.z + cfg.rx_velocity.z * t};
 }
 
-}  // namespace
+double moving_path_gain_at(const MovingPathConfig& cfg, double carrier_hz,
+                           double t) {
+  const double d =
+      std::max(distance(cfg.source, moving_position_at(cfg, t)), 1e-3);
+  return path_amplitude_gain(d, carrier_hz);
+}
+
+double doppler_shift_at(const MovingPathConfig& cfg, double carrier_hz,
+                        double t) {
+  const double c = sound_speed_mackenzie(cfg.water);
+  const Vec3 rx = moving_position_at(cfg, t);
+  const Vec3 r = rx - cfg.source;
+  const double d = std::max(distance(cfg.source, rx), 1e-9);
+  // Radial velocity (positive = receding).
+  const double v_r = (r.x * cfg.rx_velocity.x + r.y * cfg.rx_velocity.y +
+                      r.z * cfg.rx_velocity.z) / d;
+  return -v_r / c * carrier_hz;
+}
 
 dsp::BasebandSignal propagate_moving(const dsp::BasebandSignal& x,
                                      const MovingPathConfig& cfg) {
@@ -42,7 +57,8 @@ dsp::BasebandSignal propagate_moving(const dsp::BasebandSignal& x,
   y.samples.resize(x.size());
   for (std::size_t n = 0; n < x.size(); ++n) {
     const double t = static_cast<double>(n) / fs;
-    const double d = std::max(distance(cfg.source, position_at(cfg, t)), 1e-3);
+    const double d =
+        std::max(distance(cfg.source, moving_position_at(cfg, t)), 1e-3);
     const double tau = d / c;
     const double gain = path_amplitude_gain(d, x.carrier_hz);
     const double phase = -kTwoPi * x.carrier_hz * tau;
@@ -53,13 +69,23 @@ dsp::BasebandSignal propagate_moving(const dsp::BasebandSignal& x,
 }
 
 double doppler_shift_hz(const MovingPathConfig& cfg, double carrier_hz) {
+  return doppler_shift_at(cfg, carrier_hz, 0.0);
+}
+
+double wavy_gain_at(const WavySurfaceConfig& cfg, double carrier_hz, double t) {
   const double c = sound_speed_mackenzie(cfg.water);
-  const Vec3 r = cfg.rx_start - cfg.source;
-  const double d = std::max(distance(cfg.source, cfg.rx_start), 1e-9);
-  // Radial velocity (positive = receding).
-  const double v_r = (r.x * cfg.rx_velocity.x + r.y * cfg.rx_velocity.y +
-                      r.z * cfg.rx_velocity.z) / d;
-  return -v_r / c * carrier_hz;
+  const double d_direct = std::max(distance(cfg.source, cfg.receiver), 1e-3);
+  const double g_direct = path_amplitude_gain(d_direct, carrier_hz);
+  const double zs =
+      cfg.surface_z + cfg.wave_amplitude * std::sin(kTwoPi * cfg.wave_freq_hz * t);
+  const Vec3 image{cfg.source.x, cfg.source.y, 2.0 * zs - cfg.source.z};
+  const double d_img = std::max(distance(image, cfg.receiver), 1e-3);
+  const double g_img =
+      cfg.surface_reflection * path_amplitude_gain(d_img, carrier_hz);
+  const dsp::cplx sum =
+      g_direct +
+      g_img * std::exp(dsp::cplx(0.0, -kTwoPi * carrier_hz * (d_img - d_direct) / c));
+  return std::abs(sum);
 }
 
 dsp::BasebandSignal propagate_wavy(const dsp::BasebandSignal& x,

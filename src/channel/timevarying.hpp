@@ -38,8 +38,33 @@ struct MovingPathConfig {
 [[nodiscard]] dsp::BasebandSignal propagate_moving(const dsp::BasebandSignal& x,
                                                    const MovingPathConfig& cfg);
 
+// --- Event-timestamp sampling ------------------------------------------------
+// The discrete-event Timeline (sim/timeline.hpp) asks "what does the channel
+// look like *now*?" at event timestamps rather than per baseband sample, so
+// the instantaneous geometry/gain/Doppler accessors the propagation drivers
+// use internally are public: a node lifecycle samples its harvest power from
+// moving_path_gain_at at each tick, and a mid-round perturbation reads the
+// same trajectory the sample-level drivers integrate.
+
+// Receiver position at time t along the straight-line trajectory.
+[[nodiscard]] Vec3 moving_position_at(const MovingPathConfig& cfg, double t);
+
+// One-way amplitude path gain source->receiver at time t.
+[[nodiscard]] double moving_path_gain_at(const MovingPathConfig& cfg,
+                                         double carrier_hz, double t);
+
+// Radial Doppler shift [Hz] at time t (positive when the range is closing).
+[[nodiscard]] double doppler_shift_at(const MovingPathConfig& cfg,
+                                      double carrier_hz, double t);
+
+// Coherent |direct + surface-image| amplitude gain at time t for the wavy
+// two-path geometry below (the instantaneous value fade_depth_db sweeps).
+struct WavySurfaceConfig;
+[[nodiscard]] double wavy_gain_at(const WavySurfaceConfig& cfg,
+                                  double carrier_hz, double t);
+
 // Radial Doppler shift [Hz] at t=0 for the configuration above (positive
-// when the range is closing).
+// when the range is closing).  Equivalent to doppler_shift_at(cfg, f, 0).
 [[nodiscard]] double doppler_shift_hz(const MovingPathConfig& cfg, double carrier_hz);
 
 // Two-path (direct + surface image) channel where the surface heaves

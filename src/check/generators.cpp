@@ -110,6 +110,10 @@ mac::SchedulerConfig gen_scheduler_config(Rng& rng) {
   cfg.max_retries = static_cast<int>(rng.uniform_int(0, 4));
   cfg.downlink_time_s = rng.uniform(0.05, 0.5);
   cfg.turnaround_s = rng.uniform(0.0, 0.05);
+  // Backoff is a real airtime phase since the Timeline refactor; half the
+  // trials exercise it.  query_timeout_s stays infinite here so the pure
+  // retry-protocol model in check_scheduler_airtime remains exact.
+  cfg.retry_backoff_s = rng.bernoulli(0.5) ? rng.uniform(0.01, 0.2) : 0.0;
   return cfg;
 }
 
@@ -132,6 +136,73 @@ mac::InventoryConfig gen_inventory_config(Rng& rng) {
   cfg.max_frames = static_cast<int>(rng.uniform_int(1, 64));
   cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
   return cfg;
+}
+
+mac::SchedulerConfig gen_timed_scheduler_config(Rng& rng) {
+  mac::SchedulerConfig cfg = gen_scheduler_config(rng);
+  // A third of the trials can give up mid-query: the budget is sized so some
+  // queries hit it after one or two attempts and others never do.
+  if (rng.bernoulli(0.33))
+    cfg.query_timeout_s = rng.uniform(
+        cfg.downlink_time_s, 4.0 * (cfg.downlink_time_s + cfg.turnaround_s));
+  return cfg;
+}
+
+std::vector<TimelineOp> gen_timeline_ops(Rng& rng, std::size_t n) {
+  // Track a model of the clock and the pending fire times while generating,
+  // so every op is valid at its execution point (schedule_at never lands in
+  // the past) and ties are produced deliberately.
+  std::vector<TimelineOp> ops;
+  ops.reserve(n);
+  double now = 0.0;
+  std::vector<double> pending;
+  const char* const labels[] = {"a.x", "a.y", "b.z", "mac.downlink",
+                                "energy.harvested"};
+  const auto label = [&] {
+    return std::string(labels[rng.uniform_int(0, 4)]);
+  };
+  const auto fire_until = [&](double t) {
+    std::erase_if(pending, [&](double ft) { return ft <= t; });
+    now = t;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    TimelineOp op;
+    const double u = rng.uniform();
+    if (u < 0.35) {
+      op.kind = TimelineOp::Kind::kScheduleAt;
+      // 30%: reuse an existing pending time or now itself, to force
+      // (time, sequence) tie-breaks.
+      if (!pending.empty() && rng.bernoulli(0.3))
+        op.time = pending[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1))];
+      else
+        op.time = rng.bernoulli(0.15) ? now : now + rng.uniform(0.0, 2.0);
+      op.label = label();
+      op.value = rng.uniform(0.0, 1.0);
+      pending.push_back(op.time);
+    } else if (u < 0.55) {
+      op.kind = TimelineOp::Kind::kElapse;
+      op.time = rng.uniform(0.0, 1.0);  // dt
+      op.label = label();
+      op.value = op.time;
+      fire_until(now + op.time);
+    } else if (u < 0.8) {
+      op.kind = TimelineOp::Kind::kCharge;
+      op.label = label();
+      op.value = rng.uniform(0.0, 1.0);
+    } else if (u < 0.95) {
+      op.kind = TimelineOp::Kind::kRunUntil;
+      op.time = now + rng.uniform(0.0, 2.0);
+      fire_until(op.time);
+    } else {
+      op.kind = TimelineOp::Kind::kRunAll;
+      if (!pending.empty())
+        now = *std::max_element(pending.begin(), pending.end());
+      pending.clear();
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
 }
 
 std::vector<std::pair<energy::Category, double>> gen_ledger_entries(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,34 @@ enum class LinkOutcome : std::uint8_t { kDecoded, kCrcFailure, kSilent };
 // q-bound extremes and populations larger than the first frame.
 [[nodiscard]] std::vector<std::uint8_t> gen_population(Rng& rng);
 [[nodiscard]] mac::InventoryConfig gen_inventory_config(Rng& rng);
+
+// Scheduler config for timeline-mode trials: like gen_scheduler_config but
+// also exercises finite per-query timeouts (the reconstruction invariant
+// does not model the retry protocol, so the timeout's early exit is fair
+// game there).
+[[nodiscard]] mac::SchedulerConfig gen_timed_scheduler_config(Rng& rng);
+
+// --- sim::Timeline ----------------------------------------------------------
+
+// One scripted operation against a Timeline (clock-monotonicity trials).
+// Scripts are generated valid: schedule times never precede the model clock
+// at their execution point, and ties (equal fire times) are produced on
+// purpose to exercise the (time, sequence) tie-break.
+struct TimelineOp {
+  enum class Kind : std::uint8_t {
+    kScheduleAt,  // time = absolute fire time
+    kElapse,      // time = dt
+    kCharge,      // instantaneous at now
+    kRunUntil,    // time = absolute target
+    kRunAll,      // drain the queue
+  };
+  Kind kind = Kind::kCharge;
+  double time = 0.0;
+  std::string label;
+  double value = 0.0;
+};
+
+[[nodiscard]] std::vector<TimelineOp> gen_timeline_ops(Rng& rng, std::size_t n);
 
 // --- energy -----------------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -104,6 +105,92 @@ RechargeFn real_recharge() {
   return [](const energy::EnergyPlanner& planner, double harvest_w,
             const energy::TransactionCost& cost) {
     return planner.recharge_time_s(harvest_w, cost);
+  };
+}
+
+TimelineRunFn real_timeline_run() {
+  return [](std::span<const TimelineOp> ops) {
+    sim::Timeline tl;
+    for (const auto& op : ops) {
+      switch (op.kind) {
+        case TimelineOp::Kind::kScheduleAt:
+          (void)tl.schedule_at(op.time, op.label, nullptr, op.value);
+          break;
+        case TimelineOp::Kind::kElapse:
+          tl.elapse(op.time, op.label);
+          break;
+        case TimelineOp::Kind::kCharge:
+          tl.charge(op.label, op.value);
+          break;
+        case TimelineOp::Kind::kRunUntil:
+          tl.run_until(op.time);
+          break;
+        case TimelineOp::Kind::kRunAll:
+          tl.run();
+          break;
+      }
+    }
+    TimelineProbe probe;
+    probe.log = tl.log();
+    probe.now = tl.now();
+    probe.events_processed = tl.events_processed();
+    std::set<std::string> labels;
+    for (const auto& e : probe.log) labels.insert(e.label);
+    for (const auto& l : labels) probe.sums.emplace_back(l, tl.charged(l));
+    return probe;
+  };
+}
+
+TimedSchedulerRunFn real_timed_scheduler_run() {
+  return [](const mac::SchedulerConfig& cfg, std::span<const LinkOutcome> script,
+            std::span<const std::pair<energy::Category, double>> charges,
+            std::size_t uplink_bits, double uplink_bitrate) {
+    sim::Timeline tl;
+    energy::EnergyLedger ledger;
+    ledger.record_entries(true);
+    mac::PollScheduler sched(cfg, nullptr, &tl);
+    std::size_t cursor = 0;
+    const auto link =
+        [&](const phy::DownlinkQuery&) -> pab::Expected<phy::UplinkPacket> {
+      const LinkOutcome o =
+          cursor < script.size() ? script[cursor++] : LinkOutcome::kSilent;
+      switch (o) {
+        case LinkOutcome::kDecoded: {
+          phy::UplinkPacket p;
+          p.node_id = 1;
+          p.payload = {0xAB, 0xCD};
+          return p;
+        }
+        case LinkOutcome::kCrcFailure:
+          return pab::Error{pab::ErrorCode::kCrcMismatch, "scripted"};
+        case LinkOutcome::kSilent:
+          break;
+      }
+      return pab::Error{pab::ErrorCode::kNoPreamble, "scripted"};
+    };
+    // Interleave: one ledger charge (timestamped at the current clock and
+    // mirrored into the event log) after each transact, remainder at the end.
+    std::size_t next_charge = 0;
+    const auto book_one = [&] {
+      if (next_charge >= charges.size()) return;
+      const auto& [c, joules] = charges[next_charge++];
+      ledger.add(tl.now(), c, joules);
+      tl.charge("energy." + std::string(energy::to_string(c)), joules);
+    };
+    while (cursor < script.size()) {
+      (void)sched.transact(phy::DownlinkQuery{}, link, uplink_bits,
+                           uplink_bitrate);
+      book_one();
+    }
+    while (next_charge < charges.size()) book_one();
+
+    TimedRunProbe probe;
+    probe.stats = sched.stats();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(energy::Category::kCount); ++i)
+      probe.ledger_totals[i] = ledger.total(static_cast<energy::Category>(i));
+    probe.log = tl.log();
+    return probe;
   };
 }
 
@@ -294,7 +381,8 @@ CheckResult check_scheduler_airtime(std::uint64_t seed,
   const double reconstructed =
       static_cast<double>(stats.attempts) *
           (cfg.downlink_time_s + cfg.turnaround_s) +
-      static_cast<double>(stats.successes + stats.crc_failures) * uplink_time;
+      static_cast<double>(stats.successes + stats.crc_failures) * uplink_time +
+      static_cast<double>(stats.retries) * cfg.retry_backoff_s;
   if (!near(stats.elapsed_s, reconstructed, 1e-9))
     return mismatch("elapsed_s not reconstructible from counters",
                     stats.elapsed_s, reconstructed);
@@ -307,7 +395,10 @@ CheckResult check_scheduler_airtime(std::uint64_t seed,
       const LinkOutcome o =
           cursor < script.size() ? script[cursor++] : LinkOutcome::kSilent;
       ++model.attempts;
-      if (attempt > 0) ++model.retries;
+      if (attempt > 0) {
+        ++model.retries;
+        model.elapsed_s += cfg.retry_backoff_s;
+      }
       model.elapsed_s += cfg.downlink_time_s + cfg.turnaround_s;
       if (o == LinkOutcome::kDecoded) {
         ++model.successes;
@@ -553,6 +644,138 @@ CheckResult check_scenario_wiring(std::uint64_t seed) {
 
 // --- the suite ---------------------------------------------------------------
 
+CheckResult check_timeline_monotonic(std::uint64_t seed,
+                                     const TimelineRunFn& subject) {
+  Rng rng(seed);
+  const auto ops =
+      gen_timeline_ops(rng, static_cast<std::size_t>(rng.uniform_int(4, 60)));
+  const auto probe = subject(ops);
+
+  // 1) The log is a record of time moving forward, and among *scheduled*
+  // (queue-popped) events at equal time the pop order is the creation
+  // sequence.  Charges/elapses are processed at their call sites, so they
+  // interleave with equal-time scheduled entries by processing order.
+  for (std::size_t i = 1; i < probe.log.size(); ++i) {
+    if (probe.log[i].time < probe.log[i - 1].time)
+      return mismatch("event log times must be non-decreasing",
+                      probe.log[i].time, probe.log[i - 1].time);
+  }
+  const sim::TimelineEvent* last_scheduled = nullptr;
+  for (const auto& e : probe.log) {
+    if (e.kind != sim::TimelineEventKind::kScheduled) continue;
+    if (last_scheduled != nullptr && e.time == last_scheduled->time &&
+        e.seq <= last_scheduled->seq)
+      return mismatch("equal-time scheduled events must pop in seq order",
+                      e.seq, last_scheduled->seq);
+    last_scheduled = &e;
+  }
+  // 2) The clock never ends before the last thing that happened.
+  if (!probe.log.empty() && probe.now < probe.log.back().time)
+    return mismatch("now() ended before the last log entry", probe.now,
+                    probe.log.back().time);
+  // 3) Everything processed is in the log (logging was on).
+  if (probe.events_processed != probe.log.size())
+    return mismatch("events_processed != log size", probe.events_processed,
+                    probe.log.size());
+  // 4) Per-label sums re-derive exactly from the log, in log order, with the
+  // same compensated accumulator the Timeline uses.
+  std::map<std::string, NeumaierSum> resum;
+  for (const auto& e : probe.log) resum[e.label].add(e.value);
+  for (const auto& [label, reported] : probe.sums) {
+    const auto it = resum.find(label);
+    const double expected = it == resum.end() ? 0.0 : it->second.value();
+    if (reported != expected)
+      return mismatch(("charged sum not reconstructible from log: " + label)
+                          .c_str(),
+                      reported, expected);
+  }
+  // 5) Determinism: the same script replays to a bit-identical probe.
+  const auto again = subject(ops);
+  if (again.log != probe.log || again.now != probe.now ||
+      again.sums != probe.sums)
+    return CheckResult::fail(
+        "timeline replay diverged: same op script produced a different "
+        "event log (wall-clock or ambient nondeterminism)");
+  return CheckResult::pass();
+}
+
+CheckResult check_timeline_reconstruction(std::uint64_t seed,
+                                          const TimedSchedulerRunFn& subject) {
+  Rng rng(seed);
+  const auto cfg = gen_timed_scheduler_config(rng);
+  const auto script =
+      gen_link_script(rng, static_cast<std::size_t>(rng.uniform_int(1, 24)));
+  const auto charges =
+      gen_ledger_entries(rng, static_cast<std::size_t>(rng.uniform_int(0, 30)));
+  const auto uplink_bits = static_cast<std::size_t>(rng.uniform_int(16, 256));
+  const double uplink_bitrate = rng.uniform(200.0, 4000.0);
+
+  const auto probe = subject(cfg, script, charges, uplink_bits, uplink_bitrate);
+
+  // Airtime: the four mac phases, re-summed from the log in order with the
+  // scheduler's own accumulator, must equal stats.elapsed_s bit for bit.
+  NeumaierSum airtime;
+  std::size_t downlinks = 0, turnarounds = 0, uplinks = 0, backoffs = 0;
+  std::size_t retries = 0, crc_failures = 0, no_response = 0, successes = 0;
+  std::size_t timeouts = 0;
+  double payload_bits = 0.0;
+  for (const auto& e : probe.log) {
+    if (e.label == "mac.downlink") { airtime.add(e.value); ++downlinks; }
+    else if (e.label == "mac.turnaround") { airtime.add(e.value); ++turnarounds; }
+    else if (e.label == "mac.uplink") { airtime.add(e.value); ++uplinks; }
+    else if (e.label == "mac.retry_backoff") { airtime.add(e.value); ++backoffs; }
+    else if (e.label == "mac.retry") ++retries;
+    else if (e.label == "mac.crc_failure") ++crc_failures;
+    else if (e.label == "mac.no_response") ++no_response;
+    else if (e.label == "mac.query_timeout") ++timeouts;
+    else if (e.label == "mac.payload_bits") { ++successes; payload_bits += e.value; }
+  }
+  if (probe.stats.elapsed_s != airtime.value())
+    return mismatch("elapsed_s != event-log airtime sum", probe.stats.elapsed_s,
+                    airtime.value());
+  // Every counter reconstructs from its marker events.
+  if (probe.stats.attempts != downlinks)
+    return mismatch("attempts != downlink events", probe.stats.attempts,
+                    downlinks);
+  if (turnarounds != downlinks)
+    return mismatch("every attempt pays exactly one turnaround", turnarounds,
+                    downlinks);
+  if (probe.stats.successes + probe.stats.crc_failures != uplinks)
+    return mismatch("uplink events != replies (successes + crc_failures)",
+                    uplinks, probe.stats.successes + probe.stats.crc_failures);
+  if (probe.stats.retries != retries)
+    return mismatch("retries != retry markers", probe.stats.retries, retries);
+  if (cfg.retry_backoff_s > 0.0 && backoffs != retries)
+    return mismatch("each retry pays one backoff", backoffs, retries);
+  if (probe.stats.successes != successes)
+    return mismatch("successes != payload_bits events", probe.stats.successes,
+                    successes);
+  if (probe.stats.crc_failures != crc_failures)
+    return mismatch("crc_failures != crc markers", probe.stats.crc_failures,
+                    crc_failures);
+  if (probe.stats.no_response != no_response)
+    return mismatch("no_response != silence markers", probe.stats.no_response,
+                    no_response);
+  if (probe.stats.payload_bits_delivered != payload_bits)
+    return mismatch("payload bits != payload_bits event sum",
+                    probe.stats.payload_bits_delivered, payload_bits);
+  // Ledger: each category total re-derives bit-exactly from its
+  // "energy.<category>" log entries summed in log order (the ledger itself
+  // accumulates with plain += in that same order).
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(energy::Category::kCount); ++i) {
+    const auto c = static_cast<energy::Category>(i);
+    const std::string label = "energy." + std::string(energy::to_string(c));
+    double resum = 0.0;
+    for (const auto& e : probe.log)
+      if (e.label == label) resum += e.value;
+    if (probe.ledger_totals[i] != resum)
+      return mismatch(("ledger total not reconstructible: " + label).c_str(),
+                      probe.ledger_totals[i], resum);
+  }
+  return CheckResult::pass();
+}
+
 std::vector<Invariant> default_invariants() {
   return {
       {"channel.sample_interpolation",
@@ -582,6 +805,12 @@ std::vector<Invariant> default_invariants() {
       {"sim.scenario_wiring",
        "scenario accessors and fluent copies stay mutually consistent",
        [](std::uint64_t s) { return check_scenario_wiring(s); }},
+      {"timeline.monotonic_clock",
+       "event log is monotone with stable (time, seq) ties and exact sums",
+       [](std::uint64_t s) { return check_timeline_monotonic(s); }},
+      {"timeline.event_reconstruction",
+       "stats and ledger totals re-derive bit-exactly from the event log",
+       [](std::uint64_t s) { return check_timeline_reconstruction(s); }},
   };
 }
 

@@ -10,6 +10,7 @@
 // green lights.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -24,6 +25,7 @@
 #include "mac/inventory.hpp"
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
+#include "sim/timeline.hpp"
 #include "util/error.hpp"
 
 namespace pab::check {
@@ -72,6 +74,32 @@ using RechargeFn = std::function<pab::Expected<double>(
     const energy::EnergyPlanner&, double harvest_w,
     const energy::TransactionCost&)>;
 
+// Timeline: execute a generated op script against a sim::Timeline, return
+// everything the monotonicity invariant inspects.
+struct TimelineProbe {
+  std::vector<sim::TimelineEvent> log;
+  double now = 0.0;
+  std::size_t events_processed = 0;
+  // charged(label) for every label appearing in the log, sorted by label.
+  std::vector<std::pair<std::string, double>> sums;
+};
+using TimelineRunFn =
+    std::function<TimelineProbe(std::span<const TimelineOp>)>;
+
+// Timeline-mode scheduler + timestamped ledger: run a scripted transact
+// sequence with ledger charges interleaved, all on one Timeline; return the
+// live accounting plus the event log it must reconstruct to.
+struct TimedRunProbe {
+  mac::TransactionStats stats;
+  std::array<double, static_cast<std::size_t>(energy::Category::kCount)>
+      ledger_totals{};
+  std::vector<sim::TimelineEvent> log;
+};
+using TimedSchedulerRunFn = std::function<TimedRunProbe(
+    const mac::SchedulerConfig&, std::span<const LinkOutcome>,
+    std::span<const std::pair<energy::Category, double>>,
+    std::size_t uplink_bits, double uplink_bitrate)>;
+
 // The real implementations (default subjects).
 [[nodiscard]] SampleFn real_sample_at();
 [[nodiscard]] RateTraceFn real_rate_trace();
@@ -79,6 +107,8 @@ using RechargeFn = std::function<pab::Expected<double>(
 [[nodiscard]] InventoryFn real_inventory();
 [[nodiscard]] LedgerTotalFn real_ledger_total();
 [[nodiscard]] RechargeFn real_recharge();
+[[nodiscard]] TimelineRunFn real_timeline_run();
+[[nodiscard]] TimedSchedulerRunFn real_timed_scheduler_run();
 
 // --- invariant checkers ------------------------------------------------------
 
@@ -133,6 +163,24 @@ using RechargeFn = std::function<pab::Expected<double>(
 // fluent copies consistent (node_count matches front ends, node_position
 // indexes correctly, with_seed/with_waveform touch only their field).
 [[nodiscard]] CheckResult check_scenario_wiring(std::uint64_t seed);
+
+// timeline.monotonic_clock: over a random op script, the event log's times
+// never decrease, entries at equal time are strictly ordered by sequence
+// number, the final clock is at or past the last log entry,
+// events_processed == log size, per-label charge sums re-derive exactly
+// (Neumaier over the log in order), and a re-run of the same script yields a
+// bit-identical probe (no wall-clock or ambient nondeterminism).
+[[nodiscard]] CheckResult check_timeline_monotonic(
+    std::uint64_t seed, const TimelineRunFn& subject = real_timeline_run());
+
+// timeline.event_reconstruction: a timeline-mode scheduler run with
+// timestamped ledger charges interleaved is fully auditable from the event
+// log alone -- elapsed_s re-derives bit-exactly from the mac airtime events
+// (Neumaier in log order), every counter from its marker events, and each
+// ledger category total bit-exactly from the "energy.<category>" entries.
+[[nodiscard]] CheckResult check_timeline_reconstruction(
+    std::uint64_t seed,
+    const TimedSchedulerRunFn& subject = real_timed_scheduler_run());
 
 // --- the suite ---------------------------------------------------------------
 

@@ -24,6 +24,27 @@ void Harvester::step(double dt, double p_harvest, double p_load, double v_ceilin
     powered_up_ = false;
 }
 
+HarvestStep Harvester::step_at(double t, double dt, double p_harvest,
+                               double p_load, double v_ceiling) {
+  require(dt >= 0.0, "Harvester: negative dt");
+  HarvestStep out;
+  const double p_out = powered_up_ ? p_load : 0.0;
+  cap_.step(dt, p_harvest, p_out, v_ceiling);
+  out.harvested_j = p_harvest * dt;
+  out.consumed_j = p_out * dt;
+  ledger_.add(t, Category::kHarvested, out.harvested_j);
+  if (p_out > 0.0) ledger_.add(t, Category::kIdle, out.consumed_j);
+
+  if (!powered_up_ && cap_.voltage() >= params_.power_up_threshold_v) {
+    powered_up_ = true;
+    out.event = PowerEvent::kPowerUp;
+  } else if (powered_up_ && cap_.voltage() < params_.brown_out_v) {
+    powered_up_ = false;
+    out.event = PowerEvent::kBrownOut;
+  }
+  return out;
+}
+
 double Harvester::time_to_power_up(double p_harvest, double v_ceiling,
                                    double capacitance_f, double threshold_v) {
   require(capacitance_f > 0.0, "time_to_power_up: capacitance must be positive");

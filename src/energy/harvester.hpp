@@ -7,6 +7,8 @@
 // drawing its state-dependent load.
 #pragma once
 
+#include <cstdint>
+
 #include "circuit/rectopiezo.hpp"
 #include "circuit/storage.hpp"
 #include "energy/ledger.hpp"
@@ -19,6 +21,22 @@ struct HarvesterParams {
   double brown_out_v = 2.1;           // below this the MCU resets
 };
 
+// MCU power-state transition caused by one harvesting step.
+enum class PowerEvent : std::uint8_t {
+  kNone = 0,
+  kPowerUp,   // capacitor crossed the power-up threshold; MCU boots
+  kBrownOut,  // capacitor sagged below brown-out; MCU resets
+};
+
+// What one timestamped step actually booked, so callers (NodeLifecycle) can
+// mirror the exact joules into the Timeline event log without re-deriving
+// the loads-only-after-power-up rule.
+struct HarvestStep {
+  PowerEvent event = PowerEvent::kNone;
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;  // idle load actually drawn (0 before power-up)
+};
+
 class Harvester {
  public:
   Harvester(circuit::Supercapacitor cap, HarvesterParams params = {});
@@ -27,6 +45,14 @@ class Harvester {
   // rectifier), `p_load` watts of digital load, and `v_ceiling` the
   // rectifier's open-circuit voltage at the current incident level.
   void step(double dt, double p_harvest, double p_load, double v_ceiling);
+
+  // Timeline-driven variant: identical dynamics, but the ledger entries are
+  // timestamped at `t` (the step covers [t, t+dt)) and the power-state
+  // transition plus booked joules are returned so the caller can post the
+  // matching timeline events.  `t` must not go backwards across calls (it
+  // comes from a Timeline).
+  HarvestStep step_at(double t, double dt, double p_harvest, double p_load,
+                      double v_ceiling);
 
   [[nodiscard]] bool powered_up() const { return powered_up_; }
   [[nodiscard]] double capacitor_voltage() const { return cap_.voltage(); }

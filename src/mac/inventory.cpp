@@ -4,6 +4,8 @@
 #include <array>
 #include <map>
 
+#include "sim/timeline.hpp"
+
 namespace pab::mac {
 
 std::size_t inventory_slot(std::uint8_t node_id, std::uint64_t frame_nonce,
@@ -70,6 +72,92 @@ std::vector<std::uint8_t> run_inventory(std::span<const std::uint8_t> population
     // old erase(find(...)) per singleton was O(n^2) per frame; this is O(n).
     // Relative order of `pending` is not preserved, which is fine: slot
     // assignment hashes (id, nonce) and never looks at list order.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (won[pending[i]]) {
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    const std::size_t frame_empties =
+        slot_count - frame_singletons - frame_collisions;
+    local.singletons += frame_singletons;
+    local.collisions += frame_collisions;
+    local.empties += frame_empties;
+
+    q = adapt_q(q, frame_collisions, frame_empties, frame_singletons,
+                config.min_q, config.max_q);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return identified;
+}
+
+std::vector<std::uint8_t> run_inventory(std::span<const std::uint8_t> population,
+                                        const InventoryConfig& config,
+                                        sim::Timeline& timeline,
+                                        const TimedInventoryOptions& options,
+                                        InventoryStats* stats) {
+  require(config.min_q >= 0 && config.min_q <= config.max_q,
+          "run_inventory: invalid q bounds");
+  require(config.initial_q >= config.min_q && config.initial_q <= config.max_q,
+          "run_inventory: initial q out of bounds");
+  require(options.frame_announce_s >= 0.0 && options.slot_s >= 0.0,
+          "run_inventory: negative timing");
+
+  std::vector<std::uint8_t> pending(population.begin(), population.end());
+  std::vector<std::uint8_t> identified;
+  InventoryStats local;
+  int q = config.initial_q;
+  std::uint64_t nonce = config.seed;
+
+  for (int frame = 0; frame < config.max_frames && !pending.empty(); ++frame) {
+    ++local.frames;
+    ++nonce;
+    const std::size_t slot_count = std::size_t{1} << q;
+    local.slots += slot_count;
+
+    timeline.elapse(options.frame_announce_s, "mac.inventory.frame");
+    const double frame_start = timeline.now();
+
+    // Slot assignment is fixed at the frame announcement (the node PRNG is
+    // seeded by the query nonce); *whether* a node actually replies is only
+    // known when its slot fires, because it may have browned out since.
+    std::vector<std::vector<std::uint8_t>> by_slot(slot_count);
+    for (std::uint8_t id : pending)
+      by_slot[inventory_slot(id, nonce, slot_count)].push_back(id);
+
+    std::vector<std::vector<std::uint8_t>> replies(slot_count);
+    for (std::size_t k = 0; k < slot_count; ++k) {
+      const double slot_end =
+          frame_start + static_cast<double>(k + 1) * options.slot_s;
+      timeline.schedule_at(
+          slot_end, "mac.inventory.slot",
+          [&by_slot, &replies, &options, k](sim::Timeline& tl) {
+            for (std::uint8_t id : by_slot[k]) {
+              if (!options.available || options.available(id, tl.now()))
+                replies[k].push_back(id);
+            }
+          },
+          options.slot_s);
+    }
+    // Run the frame; lifecycle ticks and other queued events interleave with
+    // the slots at their own timestamps.
+    timeline.run_until(frame_start +
+                       static_cast<double>(slot_count) * options.slot_s);
+
+    std::size_t frame_singletons = 0, frame_collisions = 0;
+    std::array<bool, 256> won{};  // ids identified this frame
+    for (std::size_t k = 0; k < slot_count; ++k) {
+      if (replies[k].size() == 1) {
+        ++frame_singletons;
+        identified.push_back(replies[k].front());
+        won[replies[k].front()] = true;
+      } else if (replies[k].size() > 1) {
+        ++frame_collisions;
+      }
+    }
     for (std::size_t i = 0; i < pending.size();) {
       if (won[pending[i]]) {
         pending[i] = pending.back();

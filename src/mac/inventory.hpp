@@ -10,10 +10,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "util/error.hpp"
+
+namespace pab::sim {
+class Timeline;
+}  // namespace pab::sim
 
 namespace pab::mac {
 
@@ -49,6 +54,30 @@ struct InventoryStats {
 // identified ids in discovery order.  `stats` (optional) receives counters.
 [[nodiscard]] std::vector<std::uint8_t> run_inventory(
     std::span<const std::uint8_t> population, const InventoryConfig& config = {},
+    InventoryStats* stats = nullptr);
+
+// Timing and availability for the event-driven inventory overload below.
+struct TimedInventoryOptions {
+  double frame_announce_s = 0.05;  // reader's frame announcement airtime
+  double slot_s = 0.02;            // one reply slot
+  // A node replies in its slot only if available(id, t) at the slot's end
+  // time (the reply must complete) -- a browned-out node misses its slot and
+  // is retried in a later frame once it recharges.  Null means always
+  // available (then results match the untimed overload exactly).
+  std::function<bool(std::uint8_t id, double t)> available;
+};
+
+// Event-driven inventory: each frame announcement is elapsed on `timeline`
+// ("mac.inventory.frame") and every reply slot is a scheduled event
+// ("mac.inventory.slot", value = slot_s) that fires at the slot's end time,
+// interleaving with whatever else is on the queue (node lifecycle ticks,
+// harvest charging).  Availability is sampled at the slot's fire time, which
+// is what lets a node brown out mid-round and rejoin after recharge.  With
+// `available == nullptr` the identified order and stats are identical to the
+// untimed overload for the same config.
+[[nodiscard]] std::vector<std::uint8_t> run_inventory(
+    std::span<const std::uint8_t> population, const InventoryConfig& config,
+    sim::Timeline& timeline, const TimedInventoryOptions& options = {},
     InventoryStats* stats = nullptr);
 
 // Q adaptation: one step of the classic heuristic -- grow on many

@@ -1,12 +1,18 @@
 #include "mac/scheduler.hpp"
 
+#include "sim/timeline.hpp"
+
 namespace pab::mac {
 
-PollScheduler::PollScheduler(SchedulerConfig config, obs::MetricRegistry* metrics)
-    : config_(config) {
+PollScheduler::PollScheduler(SchedulerConfig config, obs::MetricRegistry* metrics,
+                             sim::Timeline* timeline)
+    : config_(config), timeline_(timeline) {
   require(config.max_retries >= 0, "PollScheduler: negative retries");
   require(config.downlink_time_s >= 0.0 && config.turnaround_s >= 0.0,
           "PollScheduler: negative timing");
+  require(config.retry_backoff_s >= 0.0, "PollScheduler: negative backoff");
+  require(config.query_timeout_s > 0.0,
+          "PollScheduler: query timeout must be positive");
   if (metrics == nullptr) {
     own_metrics_ = std::make_unique<obs::MetricRegistry>();
     metrics = own_metrics_.get();
@@ -28,7 +34,7 @@ TransactionStats PollScheduler::stats() const {
   s.no_response = n_no_response_->value();
   s.retries = n_retries_->value();
   s.payload_bits_delivered = payload_bits_delivered_->value();
-  s.elapsed_s = elapsed_s_->value();
+  s.elapsed_s = elapsed_exact_.value();
   return s;
 }
 
@@ -40,6 +46,15 @@ void PollScheduler::reset_stats() {
   n_retries_->reset();
   payload_bits_delivered_->reset();
   elapsed_s_->reset();
+  elapsed_exact_.reset();
+}
+
+void PollScheduler::charge_airtime(double dt, std::string_view label,
+                                   double& spent) {
+  if (timeline_ != nullptr) timeline_->elapse(dt, label);
+  elapsed_exact_.add(dt);
+  elapsed_s_->add(dt);
+  spent += dt;
 }
 
 pab::Expected<phy::UplinkPacket> PollScheduler::transact(
@@ -49,11 +64,23 @@ pab::Expected<phy::UplinkPacket> PollScheduler::transact(
   const double uplink_time =
       static_cast<double>(uplink_bits) / uplink_bitrate;
 
+  // Airtime this query has consumed so far, counted against query_timeout_s.
+  double spent = 0.0;
   pab::Error last{pab::ErrorCode::kTimeout, "no attempts"};
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (spent >= config_.query_timeout_s) {
+        if (timeline_ != nullptr) timeline_->charge("mac.query_timeout", 0.0);
+        break;
+      }
+      n_retries_->add();
+      if (timeline_ != nullptr) timeline_->charge("mac.retry", 0.0);
+      if (config_.retry_backoff_s > 0.0)
+        charge_airtime(config_.retry_backoff_s, "mac.retry_backoff", spent);
+    }
     n_attempts_->add();
-    if (attempt > 0) n_retries_->add();
-    elapsed_s_->add(config_.downlink_time_s + config_.turnaround_s);
+    charge_airtime(config_.downlink_time_s, "mac.downlink", spent);
+    charge_airtime(config_.turnaround_s, "mac.turnaround", spent);
 
     auto result = link(query);
     // Uplink airtime is only spent when the node actually answered: a decoded
@@ -63,16 +90,23 @@ pab::Expected<phy::UplinkPacket> PollScheduler::transact(
     // understate effective throughput on lossy links.
     const bool replied =
         result.ok() || result.error().code == pab::ErrorCode::kCrcMismatch;
-    if (replied) elapsed_s_->add(uplink_time);
+    if (replied) charge_airtime(uplink_time, "mac.uplink", spent);
     if (result.ok()) {
       n_successes_->add();
-      payload_bits_delivered_->add(
-          static_cast<double>(result.value().payload.size()) * 8.0);
+      const double bits =
+          static_cast<double>(result.value().payload.size()) * 8.0;
+      payload_bits_delivered_->add(bits);
+      if (timeline_ != nullptr) timeline_->charge("mac.payload_bits", bits);
       return result;
     }
     last = result.error();
-    if (last.code == pab::ErrorCode::kCrcMismatch) n_crc_failures_->add();
-    else n_no_response_->add();
+    if (last.code == pab::ErrorCode::kCrcMismatch) {
+      n_crc_failures_->add();
+      if (timeline_ != nullptr) timeline_->charge("mac.crc_failure", 0.0);
+    } else {
+      n_no_response_->add();
+      if (timeline_ != nullptr) timeline_->charge("mac.no_response", 0.0);
+    }
   }
   return last;
 }

@@ -8,12 +8,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "phy/packet.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pab::sim {
+class Timeline;
+}  // namespace pab::sim
 
 namespace pab::mac {
 
@@ -48,6 +54,14 @@ struct SchedulerConfig {
   int max_retries = 2;          // per query, on CRC failure / no response
   double downlink_time_s = 0.2; // airtime of one query (PWM is slow)
   double turnaround_s = 0.02;   // guard between downlink and uplink
+  // Wait before each retry (a real timed event on the Timeline, not just a
+  // counter bump).  0 preserves the historical immediate-retry behaviour.
+  double retry_backoff_s = 0.0;
+  // Give up on a query once its accumulated airtime (downlink + turnaround +
+  // uplink + backoff) reaches this budget, even if retries remain.  The
+  // default (infinity) preserves the historical retry-until-exhausted
+  // behaviour.
+  double query_timeout_s = std::numeric_limits<double>::infinity();
 };
 
 class PollScheduler {
@@ -57,8 +71,20 @@ class PollScheduler {
   // scheduler's transactions, as the old hand-rolled struct did); pass an
   // external registry to fold the counters into a shared export, e.g. a bench
   // sidecar via obs::MetricRegistry::global().
+  //
+  // With a `timeline`, every airtime phase is charged as a timed event
+  // ("mac.downlink", "mac.turnaround", "mac.uplink", "mac.retry_backoff")
+  // plus zero-duration outcome markers ("mac.retry", "mac.no_response",
+  // "mac.crc_failure", "mac.payload_bits", "mac.query_timeout"), so the full
+  // TransactionStats can be reconstructed from the event log alone -- the
+  // `timeline.event_reconstruction` invariant in src/check asserts exactly
+  // that.  Without one, the scheduler is its own clock (legacy adapter mode)
+  // and accounting is unchanged.
   explicit PollScheduler(SchedulerConfig config = {},
-                         obs::MetricRegistry* metrics = nullptr);
+                         obs::MetricRegistry* metrics = nullptr,
+                         sim::Timeline* timeline = nullptr);
+
+  void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
 
   // Execute one query with retries; updates stats with airtime accounting.
   // `uplink_bits` and `uplink_bitrate` size the response airtime.  Uplink
@@ -78,8 +104,14 @@ class PollScheduler {
   void reset_stats();
 
  private:
+  // Charge one airtime phase: elapse it on the timeline (when attached), add
+  // it to the drift-free elapsed accumulator, mirror it into the legacy
+  // gauge, and count it against the current query's timeout budget.
+  void charge_airtime(double dt, std::string_view label, double& spent);
+
   SchedulerConfig config_;
   std::unique_ptr<obs::MetricRegistry> own_metrics_;  // when none injected
+  sim::Timeline* timeline_ = nullptr;
   obs::Counter* n_attempts_;
   obs::Counter* n_successes_;
   obs::Counter* n_crc_failures_;
@@ -87,6 +119,12 @@ class PollScheduler {
   obs::Counter* n_retries_;
   obs::Gauge* payload_bits_delivered_;
   obs::Gauge* elapsed_s_;
+  // stats().elapsed_s comes from this compensated sum, not the gauge: a plain
+  // double += (what a Gauge does internally) drifts by ~1e-6 s over millions
+  // of transactions, which the drift regression in tests/test_mac.cpp pins
+  // down.  The gauge keeps its historical accumulate-in-place semantics for
+  // shared-registry exports.
+  NeumaierSum elapsed_exact_;
 };
 
 }  // namespace pab::mac

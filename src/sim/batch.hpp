@@ -80,6 +80,15 @@ class BatchRunner {
     return map(trials,
                [&](std::size_t i) { return session.run_network(i); });
   }
+  // Event-driven rounds: each trial owns a private sim::Timeline, so trials
+  // parallelize exactly like the sample-level paths (the determinism suite
+  // asserts bit-identical event logs at 1/2/8 threads).
+  [[nodiscard]] std::vector<pab::Expected<Session::TimelineRunResult>>
+  run_timeline(const Session& session, std::size_t trials,
+               const Session::TimelineRoundConfig& config = {}) const {
+    return map(trials,
+               [&](std::size_t i) { return session.run_timeline(i, config); });
+  }
 
  private:
   // Run body(i) for every i in [0, n) across the pool; rethrows the first

@@ -4,6 +4,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "channel/timevarying.hpp"
+#include "node/lifecycle.hpp"
 #include "phy/metrics.hpp"
 
 namespace pab::sim {
@@ -167,6 +169,134 @@ pab::Expected<core::NetworkRunResult> Session::run_network(
                       "scenario must specify one front end per node"};
   pab::Rng rng = trial_rng(trial);
   return network_->run(projector_, front_ends_, scenario_.fdma, rng);
+}
+
+pab::Expected<Session::TimelineRunResult> Session::run_timeline(
+    std::uint64_t trial) const {
+  return run_timeline(trial, TimelineRoundConfig{});
+}
+
+pab::Expected<Session::TimelineRunResult> Session::run_timeline(
+    std::uint64_t trial, const TimelineRoundConfig& config) const {
+  if (node_count() > 200)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "run_timeline: node ids are uint8 (<= 200 nodes)"};
+  if (config.decode_prob < 0.0 || config.crc_prob < 0.0 ||
+      config.decode_prob + config.crc_prob > 1.0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "run_timeline: decode/crc probabilities must form a "
+                      "distribution"};
+
+  // All of the trial's randomness, drawn in a fixed order: per-node energy
+  // and drift parameters first, then the poll-phase link outcomes as the
+  // event loop reaches them.  Nothing here reads wall clocks or shared
+  // mutable state, so results are bit-identical at any thread count.
+  pab::Rng rng = trial_rng(trial);
+  Timeline tl;
+  tl.set_logging(config.keep_log);
+
+  const double carrier = scenario_.waveform.carrier_hz;
+  const std::size_t n = node_count();
+
+  // Per-node lifecycle: harvest power = per-node nominal, modulated by the
+  // squared path-gain ratio along the node's drift trajectory (amplitude
+  // gain -> power), sampled at each tick's event timestamp.
+  std::vector<std::unique_ptr<node::NodeLifecycle>> lifecycles;
+  lifecycles.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double nominal =
+        config.base_harvest_w *
+        (1.0 + config.harvest_jitter * rng.uniform(-1.0, 1.0));
+    channel::MovingPathConfig path;
+    path.source = scenario_.placement.projector;
+    path.rx_start = scenario_.node_position(j);
+    path.rx_velocity = {rng.uniform(-config.max_drift_mps, config.max_drift_mps),
+                        rng.uniform(-config.max_drift_mps, config.max_drift_mps),
+                        rng.uniform(-config.max_drift_mps, config.max_drift_mps)};
+    const double g0 =
+        std::max(channel::moving_path_gain_at(path, carrier, 0.0), 1e-12);
+    node::LifecycleConfig lc;
+    lc.tick_s = config.tick_s;
+    lc.idle_load_w = config.idle_load_w;
+    lc.v_ceiling = config.v_ceiling;
+    lc.harvest_power_w = [nominal, path, carrier, g0](double t) {
+      const double g = channel::moving_path_gain_at(path, carrier, t);
+      return nominal * (g / g0) * (g / g0);
+    };
+    auto life = std::make_unique<node::NodeLifecycle>(
+        static_cast<std::uint8_t>(j + 1),
+        energy::Harvester(circuit::Supercapacitor(config.capacitance_f)),
+        std::move(lc));
+    life->attach(tl, config.horizon_s);
+    lifecycles.push_back(std::move(life));
+  }
+
+  std::vector<std::uint8_t> population(n);
+  for (std::size_t j = 0; j < n; ++j)
+    population[j] = static_cast<std::uint8_t>(j + 1);
+
+  TimelineRunResult out;
+
+  // Discovery: timed slotted ALOHA through the event queue.  Lifecycle ticks
+  // interleave with the reply slots, so a node that browns out mid-round
+  // misses its slot and is retried in a later frame once recharged.
+  mac::TimedInventoryOptions slots = config.slots;
+  slots.available = [&lifecycles](std::uint8_t id, double) {
+    return lifecycles[id - 1]->powered();
+  };
+  out.identified =
+      mac::run_inventory(population, config.inventory, tl, slots,
+                         &out.inventory);
+
+  // Poll phase: one transact per identified node, on the same timeline.  The
+  // link outcome is a protocol-level abstraction: a powered node decodes /
+  // CRC-fails / stays silent by probability; a browned-out node is always
+  // silent.  The availability check happens when the link fires, i.e. after
+  // the downlink+turnaround airtime has elapsed -- the node must be powered
+  // at reply time, not at poll time.
+  mac::PollScheduler scheduler(config.scheduler, nullptr, &tl);
+  for (const std::uint8_t id : out.identified) {
+    phy::DownlinkQuery query;
+    query.address = id;
+    const auto link = [&](const phy::DownlinkQuery& q)
+        -> pab::Expected<phy::UplinkPacket> {
+      const double u = rng.uniform();
+      if (!lifecycles[q.address - 1]->powered())
+        return pab::Error{pab::ErrorCode::kTimeout, "node browned out"};
+      if (u < config.decode_prob) {
+        phy::UplinkPacket packet;
+        packet.node_id = q.address;
+        packet.payload = {q.address, static_cast<std::uint8_t>(trial & 0xff)};
+        return packet;
+      }
+      if (u < config.decode_prob + config.crc_prob)
+        return pab::Error{pab::ErrorCode::kCrcMismatch, "bad CRC"};
+      return pab::Error{pab::ErrorCode::kNoPreamble, "no reply detected"};
+    };
+    (void)scheduler.transact(query, link, config.uplink_bits,
+                             config.uplink_bitrate);
+  }
+  out.poll = scheduler.stats();
+
+  for (const auto& life : lifecycles) {
+    const auto& ledger = life->harvester().ledger();
+    out.harvested_j += ledger.harvested();
+    out.consumed_j += ledger.total_consumed();
+    out.power_ups += life->power_ups();
+    out.brown_outs += life->brown_outs();
+  }
+  out.simulated_s = tl.now();
+  out.events_processed = tl.events_processed();
+  if (config.keep_log) out.event_log = tl.log();
+
+  // Shared-registry instrumentation: counters accumulate across trials;
+  // gauges are a last-writer snapshot (benign race under parallel batches --
+  // all relaxed atomics).
+  metrics_->counter("sim.session.timeline.trials").add();
+  metrics_->counter("sim.session.timeline.events")
+      .add(tl.events_processed());
+  tl.export_to(*metrics_, "sim.timeline");
+  return out;
 }
 
 }  // namespace pab::sim

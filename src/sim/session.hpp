@@ -23,9 +23,12 @@
 
 #include "core/link.hpp"
 #include "core/network.hpp"
+#include "mac/inventory.hpp"
+#include "mac/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "phy/workspace.hpp"
 #include "sim/scenario.hpp"
+#include "sim/timeline.hpp"
 #include "util/error.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
@@ -105,6 +108,63 @@ class Session {
   // One concurrent multi-node frame per the scenario's FDMA plan.  Requires
   // as many front ends and carriers as nodes.
   [[nodiscard]] pab::Expected<core::NetworkRunResult> run_network(
+      std::uint64_t trial) const;
+
+  // ---- Event-driven network round (sim::Timeline) --------------------------
+  // Protocol- and energy-level knobs for run_timeline.  The defaults describe
+  // a small battery-free deployment: nodes cold-start from an empty
+  // supercapacitor under ~mW harvest, get discovered by the timed slotted
+  // ALOHA inventory once powered, then answer a poll round.  Link outcomes at
+  // this level are protocol abstractions (per-reply decode/CRC probabilities)
+  // rather than full waveform simulations -- run()/run_network() remain the
+  // sample-level paths.
+  struct TimelineRoundConfig {
+    mac::InventoryConfig inventory{};
+    mac::TimedInventoryOptions slots{};  // `available` is filled in per run
+    mac::SchedulerConfig scheduler{};
+    // Node energy trajectory.
+    double tick_s = 0.02;         // lifecycle harvest integration step
+    double idle_load_w = 124e-6;  // paper 6.4 idle draw
+    double v_ceiling = 5.0;
+    double capacitance_f = 200e-6;
+    double base_harvest_w = 1.5e-3;  // nominal harvested DC power per node
+    double harvest_jitter = 0.3;     // per-node uniform +-fraction of nominal
+    // Per-node random drift speed bound [m/s]: node motion modulates harvest
+    // power through the time-varying path gain, sampled at tick timestamps.
+    double max_drift_mps = 0.25;
+    double horizon_s = 60.0;  // lifecycle ticking horizon
+    // Protocol-level uplink model for the poll phase.
+    double decode_prob = 0.85;  // P(decoded | node powered)
+    double crc_prob = 0.10;     // P(reply arrives but fails CRC | powered)
+    std::size_t uplink_bits = 76;
+    double uplink_bitrate = 1000.0;
+    bool keep_log = true;  // retain the event log in the result
+  };
+
+  struct TimelineRunResult {
+    std::vector<std::uint8_t> identified;  // inventory discovery order
+    mac::InventoryStats inventory;
+    mac::TransactionStats poll;
+    double simulated_s = 0.0;
+    std::size_t events_processed = 0;
+    double harvested_j = 0.0;
+    double consumed_j = 0.0;
+    std::size_t power_ups = 0;
+    std::size_t brown_outs = 0;
+    std::vector<TimelineEvent> event_log;  // full audit log of the round
+  };
+
+  // One full discrete-event round: per-node lifecycles (cold-start, duty
+  // cycle, brownout/recover) tick on a trial-local Timeline while the timed
+  // inventory and then a poll round run through the same event queue, so a
+  // node that browns out mid-inventory misses its slot and rejoins after
+  // recharge.  All randomness comes from trial_rng(trial): results are
+  // bit-identical at any BatchRunner thread count, event log included.
+  [[nodiscard]] pab::Expected<TimelineRunResult> run_timeline(
+      std::uint64_t trial, const TimelineRoundConfig& config) const;
+  // Default-config overload (a `= {}` default argument cannot name the
+  // nested struct's implicit ctor while Session is still incomplete).
+  [[nodiscard]] pab::Expected<TimelineRunResult> run_timeline(
       std::uint64_t trial) const;
 
  private:

@@ -42,6 +42,33 @@ namespace pab {
   return m;
 }
 
+// Neumaier-compensated accumulator: the running sum stays exact to ~1 ulp of
+// the final value over arbitrarily long streams.  Used for simulated-time and
+// airtime sums, where a plain `+=` across millions of events drifts by many
+// orders of magnitude more (see the scheduler drift regression in
+// tests/test_mac.cpp).  Deterministic: the result depends only on the value
+// sequence, never on threading or platform.
+class NeumaierSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x))
+      comp_ += (sum_ - t) + x;
+    else
+      comp_ += (x - t) + sum_;
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const { return sum_ + comp_; }
+  void reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;  // accumulated low-order bits lost by sum_
+};
+
 // Median (copies; inputs in benches are small).
 [[nodiscard]] inline double median(std::span<const double> xs) {
   require(!xs.empty(), "median: empty input");

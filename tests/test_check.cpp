@@ -256,5 +256,61 @@ TEST(Mutation, HarvestLeakingLedgerTotalIsCaught) {
       << "real ledger flagged on the mutant's reproducing seed";
 }
 
+// The classic unstable-scheduler bug: a priority queue keyed on time alone
+// pops equal-time events in heap order, not creation order.  Modelled by
+// reversing every run of equal-time scheduled entries in an otherwise-real
+// timeline run.  The determinism the whole sim layer leans on (bit-identical
+// event logs at any thread count) dies with this bug.
+TEST(Mutation, UnstableTieBreakTimelineIsCaught) {
+  const TimelineRunFn real = real_timeline_run();
+  const TimelineRunFn mutant = [&real](std::span<const TimelineOp> ops) {
+    TimelineProbe probe = real(ops);
+    auto& log = probe.log;
+    std::size_t i = 0;
+    while (i < log.size()) {
+      std::size_t j = i;
+      while (j + 1 < log.size() && log[j + 1].time == log[i].time &&
+             log[j + 1].kind == sim::TimelineEventKind::kScheduled &&
+             log[i].kind == sim::TimelineEventKind::kScheduled)
+        ++j;
+      std::reverse(log.begin() + static_cast<std::ptrdiff_t>(i),
+                   log.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+      i = j + 1;
+    }
+    return probe;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_timeline_monotonic(s, mutant); }, 16);
+  ASSERT_TRUE(caught.has_value()) << "unstable tie-break timeline survived";
+  EXPECT_TRUE(check_timeline_monotonic(*caught).ok)
+      << "real timeline flagged on the mutant's reproducing seed";
+}
+
+// The bug satellite 2 fixed, in event-log form: retry backoff bumped a
+// counter but never charged the clock, so live elapsed_s ran ahead of what
+// the event log could account for.  Modelled by subtracting the backoff
+// airtime from the real probe's stats.
+TEST(Mutation, BackoffDroppingSchedulerIsCaught) {
+  const TimedSchedulerRunFn real = real_timed_scheduler_run();
+  const TimedSchedulerRunFn mutant =
+      [&real](const mac::SchedulerConfig& cfg, std::span<const LinkOutcome> script,
+              std::span<const std::pair<energy::Category, double>> charges,
+              std::size_t uplink_bits, double uplink_bitrate) {
+        TimedRunProbe probe =
+            real(cfg, script, charges, uplink_bits, uplink_bitrate);
+        probe.stats.elapsed_s -= static_cast<double>(probe.stats.retries) *
+                                 cfg.retry_backoff_s;
+        return probe;
+      };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_timeline_reconstruction(s, mutant); },
+      32);
+  ASSERT_TRUE(caught.has_value()) << "backoff-dropping scheduler survived";
+  const auto detail = check_timeline_reconstruction(*caught, mutant).detail;
+  EXPECT_NE(detail.find("elapsed"), std::string::npos) << detail;
+  EXPECT_TRUE(check_timeline_reconstruction(*caught).ok)
+      << "real timed scheduler flagged on the mutant's reproducing seed";
+}
+
 }  // namespace
 }  // namespace pab::check

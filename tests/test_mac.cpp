@@ -1,10 +1,13 @@
 // MAC layer tests: protocol builders, scheduler retries, FDMA planning.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "mac/fdma.hpp"
 #include "mac/protocol.hpp"
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 namespace pab::mac {
 namespace {
@@ -246,6 +249,40 @@ TEST(Fdma, CrosstalkMatrixDiagonalDominant) {
   EXPECT_LT(m[0][1], 1.0);
   EXPECT_GT(m[1][0], 0.0);
   EXPECT_LT(m[1][0], 1.0);
+}
+
+// Regression: stats().elapsed_s used to be read back from the obs::Gauge,
+// i.e. a plain running `double +=`.  Over hundreds of thousands of
+// transactions the rounding error accumulates linearly (~1e-6 s after 400k
+// adds of these step sizes), which is enough to shift goodput figures in the
+// 7th digit.  elapsed_s now comes from a compensated (Neumaier) sum and must
+// stay exact to ~1 ulp of the true product; the legacy gauge keeps its
+// historical accumulate-in-place behaviour for shared-registry exports.
+TEST(Scheduler, ElapsedAirtimeDoesNotDriftOverLongRuns) {
+  obs::MetricRegistry reg;
+  const SchedulerConfig config{0, 0.1, 0.003};
+  PollScheduler sched(config, &reg);
+  const auto link = [](const phy::DownlinkQuery&)
+      -> pab::Expected<phy::UplinkPacket> {
+    phy::UplinkPacket p;
+    p.payload = {1};
+    return p;
+  };
+  constexpr std::size_t kTransacts = 400'000;
+  // Per-transact airtime: downlink + turnaround + uplink(70b @ 1 kbps).
+  const double per = 0.1 + 0.003 + 0.07;
+  for (std::size_t i = 0; i < kTransacts; ++i)
+    (void)sched.transact(make_ping(1), link, 70, 1000.0);
+
+  const double expected = per * static_cast<double>(kTransacts);
+  const double err_stats = std::abs(sched.stats().elapsed_s - expected);
+  const double err_gauge =
+      std::abs(reg.gauge("mac.poll.elapsed_s").value() - expected);
+  // The compensated sum is exact to well under a nanosecond over the whole
+  // run; the naive gauge accumulation is allowed to be (and in practice is)
+  // orders of magnitude worse.
+  EXPECT_LT(err_stats, 1e-9);
+  EXPECT_LE(err_stats, err_gauge + 1e-12);
 }
 
 TEST(Fdma, ThroughputDoubling) {

@@ -132,6 +132,56 @@ TEST(SessionDeterminism, NetworkTrialsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The event-driven rounds carry the strongest determinism contract in the
+// repo: the *entire event log* -- every (time, seq, label, value, kind)
+// tuple of every lifecycle tick, inventory slot, and poll airtime charge --
+// must be bit-identical at any thread count, not just the aggregate stats.
+// This is what makes a timeline trial auditable from its log alone.  Runs
+// under TSan in CI like the rest of this suite.
+TEST(SessionDeterminism, TimelineRoundsBitIdenticalAcrossThreadCounts) {
+  const Session session(Scenario::pool_a_concurrent().with_seed(23));
+  Session::TimelineRoundConfig config;
+  config.horizon_s = 15.0;  // keep per-trial event counts modest
+  constexpr std::size_t kTrials = 8;
+  const auto serial = BatchRunner(1).run_timeline(session, kTrials, config);
+  ASSERT_EQ(serial.size(), kTrials);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel =
+        BatchRunner(threads).run_timeline(session, kTrials, config);
+    ASSERT_EQ(parallel.size(), kTrials);
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      ASSERT_EQ(serial[i].ok(), parallel[i].ok()) << i;
+      if (!serial[i].ok()) continue;
+      const auto& a = serial[i].value();
+      const auto& b = parallel[i].value();
+      EXPECT_EQ(a.identified, b.identified) << i;
+      EXPECT_EQ(a.events_processed, b.events_processed) << i;
+      // Bit-identical doubles, not approximately equal.
+      EXPECT_EQ(a.simulated_s, b.simulated_s) << i;
+      EXPECT_EQ(a.harvested_j, b.harvested_j) << i;
+      EXPECT_EQ(a.consumed_j, b.consumed_j) << i;
+      EXPECT_EQ(a.poll.elapsed_s, b.poll.elapsed_s) << i;
+      EXPECT_EQ(a.poll.successes, b.poll.successes) << i;
+      EXPECT_EQ(a.power_ups, b.power_ups) << i;
+      EXPECT_EQ(a.brown_outs, b.brown_outs) << i;
+      // The full audit log, event for event.
+      EXPECT_EQ(a.event_log, b.event_log) << i;
+    }
+  }
+}
+
+TEST(SessionDeterminism, TimelineTrialsDifferFromEachOther) {
+  const Session session(Scenario::pool_a_concurrent().with_seed(23));
+  Session::TimelineRoundConfig config;
+  config.horizon_s = 15.0;
+  const auto a = session.run_timeline(0, config);
+  const auto b = session.run_timeline(1, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different trials draw different harvest jitter and link outcomes.
+  EXPECT_NE(a.value().event_log, b.value().event_log);
+}
+
 TEST(SessionDeterminism, TrialsDifferFromEachOther) {
   // Substreams must decorrelate trials: identical payloads across trials
   // would mean the split is broken.

@@ -131,6 +131,78 @@ TEST(WavySurface, FadeDepthGrowsWithWaveAmplitude) {
 // read as silence, truncating the tail of every delayed path.  The last
 // sample must be readable exactly, and the final fractional interval must
 // decay linearly into the implicit zero-padding instead of cutting to zero.
+// --- event-timestamp accessors (sim::Timeline samples the channel at event
+// --- times rather than per baseband sample) ---------------------------------
+
+TEST(EventSampling, PositionFollowsTrajectory) {
+  MovingPathConfig cfg;
+  cfg.source = {0.0, 0.0, 0.0};
+  cfg.rx_start = {2.0, 1.0, -0.5};
+  cfg.rx_velocity = {0.5, -0.25, 0.1};
+  const Vec3 p0 = moving_position_at(cfg, 0.0);
+  EXPECT_DOUBLE_EQ(p0.x, 2.0);
+  EXPECT_DOUBLE_EQ(p0.y, 1.0);
+  EXPECT_DOUBLE_EQ(p0.z, -0.5);
+  const Vec3 p4 = moving_position_at(cfg, 4.0);
+  EXPECT_DOUBLE_EQ(p4.x, 2.0 + 0.5 * 4.0);
+  EXPECT_DOUBLE_EQ(p4.y, 1.0 - 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(p4.z, -0.5 + 0.1 * 4.0);
+}
+
+TEST(EventSampling, DopplerAtZeroMatchesLegacyAccessor) {
+  MovingPathConfig cfg;
+  cfg.rx_start = {3.0, 0.0, 0.0};
+  cfg.rx_velocity = {-0.4, 0.2, 0.0};
+  EXPECT_EQ(doppler_shift_at(cfg, 18500.0, 0.0),
+            doppler_shift_hz(cfg, 18500.0));
+  // A receding node's shift decays in magnitude as geometry opens up; a
+  // closing one flips sign once it passes the source.
+  cfg.rx_velocity = {0.4, 0.0, 0.0};  // receding along the boresight
+  EXPECT_LT(doppler_shift_at(cfg, 18500.0, 0.0), 0.0);
+  EXPECT_NEAR(doppler_shift_at(cfg, 18500.0, 0.0),
+              doppler_shift_at(cfg, 18500.0, 10.0), 1e-9);
+}
+
+TEST(EventSampling, PathGainFallsAsNodeRecedes) {
+  MovingPathConfig cfg;
+  cfg.rx_start = {1.0, 0.0, 0.0};
+  cfg.rx_velocity = {0.5, 0.0, 0.0};
+  const double g0 = moving_path_gain_at(cfg, 18500.0, 0.0);
+  const double g1 = moving_path_gain_at(cfg, 18500.0, 2.0);
+  const double g2 = moving_path_gain_at(cfg, 18500.0, 6.0);
+  EXPECT_GT(g0, g1);
+  EXPECT_GT(g1, g2);
+  EXPECT_GT(g2, 0.0);
+  // Spreading dominates at these ranges: gain roughly halves with distance.
+  EXPECT_NEAR(g0 / g1, 2.0, 0.1);
+}
+
+TEST(EventSampling, WavyGainOscillatesAtTheWavePeriod) {
+  WavySurfaceConfig cfg;
+  cfg.source = {0.0, 0.0, 0.0};
+  cfg.receiver = {4.0, 0.0, 0.0};
+  cfg.surface_z = 0.6;
+  cfg.wave_amplitude = 0.08;
+  cfg.wave_freq_hz = 0.5;
+  const double period = 1.0 / cfg.wave_freq_hz;
+  const double g0 = wavy_gain_at(cfg, 18500.0, 0.0);
+  EXPECT_GT(g0, 0.0);
+  // Periodic in the wave period, and actually moving within it.
+  EXPECT_NEAR(wavy_gain_at(cfg, 18500.0, period), g0, 1e-9);
+  double min_g = g0;
+  double max_g = g0;
+  for (int i = 1; i < 50; ++i) {
+    const double g = wavy_gain_at(cfg, 18500.0, period * i / 50.0);
+    min_g = std::min(min_g, g);
+    max_g = std::max(max_g, g);
+  }
+  EXPECT_GT(max_g, min_g * 1.05);
+  // The instantaneous values stay inside the fade envelope fade_depth_db
+  // sweeps (same geometry, same coherent sum).
+  EXPECT_GT(fade_depth_db(cfg, 18500.0),
+            20.0 * std::log10(max_g / min_g) - 1e-6);
+}
+
 TEST(SampleAt, LastSampleIsNotTruncated) {
   const std::vector<dsp::cplx> x = {{1.0, 0.0}, {2.0, 0.0}, {4.0, -1.0}};
   // Integer positions read back exactly -- including the final one.
