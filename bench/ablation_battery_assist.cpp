@@ -85,5 +85,16 @@ BENCHMARK(bm_range_search)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_battery_assist";
+  spec.description = "Range and energy per bit vs reflection-amplifier gain";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_battery_assist";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"projector.drive_v", {5.0, 10.0, 20.0}});
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -102,5 +102,16 @@ BENCHMARK(bm_despread)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_cdma";
+  spec.description = "Bandwidth, per-user rate, and near-far";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_cdma";
+  sweep.kind = pab::sim::TrialKind::kNetwork;
+  sweep.preset = "pool_a_concurrent";
+  sweep.trials_per_point = 8;
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -100,5 +100,17 @@ BENCHMARK(bm_detection)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_detection";
+  spec.description = "Detection probability and false alarms vs threshold";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_detection";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"noise.psd_db_re_upa", {40.0, 50.0, 60.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

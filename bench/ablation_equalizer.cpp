@@ -136,5 +136,17 @@ BENCHMARK(bm_equalizer_train)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_equalizer";
+  spec.description = "BER with/without chip-spaced MMSE equalizer";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_equalizer";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"medium.receiver_clock_offset_ppm", {0.0, 20.0, 50.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -60,7 +60,7 @@ void print_series() {
     sc.front_ends.clear();
     for (double f : sc.fdma.carriers_hz)
       sc.front_ends.push_back(sim::FrontEndSpec{.match_frequency_hz = f});
-    return sim::Session(sc).run_network(/*trial=*/0);
+    return sim::Session(sc).run_trial<sim::TrialKind::kNetwork>(/*trial=*/0);
   });
 
   double base = 0.0;
@@ -109,5 +109,17 @@ BENCHMARK(bm_zero_force_4)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_fdma_scaling";
+  spec.description = "Aggregate goodput and conditioning vs channel count";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_fdma_scaling";
+  sweep.kind = pab::sim::TrialKind::kNetwork;
+  sweep.preset = "pool_a_concurrent";
+  sweep.trials_per_point = 8;
+  sweep.axes.push_back({"fdma.bitrate", {250.0, 500.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.session.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

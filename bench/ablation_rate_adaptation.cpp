@@ -110,5 +110,16 @@ BENCHMARK(bm_controller)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "ablation_rate_adaptation";
+  spec.description = "Goodput over a degrade-and-recover episode";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "ablation_rate_adaptation";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"waveform.bitrate", {250.0, 1000.0, 4000.0}});
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

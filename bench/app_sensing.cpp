@@ -112,5 +112,16 @@ BENCHMARK(bm_sensor_transaction)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "app_sensing";
+  spec.description = "Sensing applications: pH, temperature, pressure";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "app_sensing";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 8;
+  sweep.axes.push_back({"waveform.payload_bits", {32.0, 64.0, 128.0}});
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

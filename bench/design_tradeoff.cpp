@@ -79,5 +79,16 @@ BENCHMARK(bm_comm_range)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "design_tradeoff";
+  spec.description = "Resonance frequency vs size, bandwidth, bitrate, range";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "design_tradeoff";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"waveform.carrier_hz", {10000.0, 15000.0, 20000.0}});
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -51,8 +51,8 @@ void print_series() {
   double tdma_bits = 0.0, tdma_time = 0.0;
   {
     const sim::Session sess1(tdma1), sess2(tdma2);
-    const auto trials1 = pool.run_uplink(sess1, kRounds);
-    const auto trials2 = pool.run_uplink(sess2, kRounds);
+    const auto trials1 = pool.run<sim::TrialKind::kUplink>(sess1, kRounds);
+    const auto trials2 = pool.run<sim::TrialKind::kUplink>(sess2, kRounds);
     for (const auto* trials : {&trials1, &trials2}) {
       for (const auto& t : *trials) {
         tdma_time += transaction_airtime(sched_cfg, kPayloadBits + 12);
@@ -69,7 +69,7 @@ void print_series() {
     fdma.fdma.bitrate = kBitrate;
     fdma.fdma.payload_bits = kPayloadBits;
     const sim::Session sess(fdma);
-    const auto frames = pool.run_network(sess, kRounds);
+    const auto frames = pool.run<sim::TrialKind::kNetwork>(sess, kRounds);
     for (const auto& f : frames) {
       // One downlink poll serves both uplinks, which overlap in time.
       fdma_time += transaction_airtime(sched_cfg, kPayloadBits + 2 * 24 + 12);
@@ -121,5 +121,17 @@ BENCHMARK(bm_scheduler_round);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fdma_throughput";
+  spec.description = "TDMA vs FDMA (recto-piezo) aggregate throughput";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fdma_throughput";
+  sweep.kind = pab::sim::TrialKind::kNetwork;
+  sweep.preset = "pool_a_concurrent";
+  sweep.trials_per_point = 16;
+  sweep.axes.push_back({"fdma.bitrate", {125.0, 250.0, 500.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.session.trials", "sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

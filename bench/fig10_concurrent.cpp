@@ -46,7 +46,7 @@ void print_series() {
                            .with_seed(1000 + static_cast<std::uint64_t>(i) + 1)
                            .with_node(kLocations[i].node1);
     sc.extra_nodes = {kLocations[i].node2};
-    return sim::Session(sc).run_network(/*trial=*/0);
+    return sim::Session(sc).run_trial<sim::TrialKind::kNetwork>(/*trial=*/0);
   });
 
   bench::print_row({"location", "before1", "before2", "after1", "after2",
@@ -91,7 +91,7 @@ void print_series() {
   sc.extra_nodes = {kLocations[0].node2};
   const sim::Session session(sc);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto round = session.run_timeline(/*trial=*/0);
+  const auto round = session.run_trial<sim::TrialKind::kTimeline>(/*trial=*/0);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -130,5 +130,16 @@ BENCHMARK(bm_collision_run)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig10_concurrent";
+  spec.description = "SINR before/after MIMO projection, 8 locations, 2 nodes";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig10_concurrent";
+  sweep.kind = pab::sim::TrialKind::kNetwork;
+  sweep.preset = "pool_a_concurrent";
+  sweep.trials_per_point = 16;
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.session.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

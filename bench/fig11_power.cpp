@@ -105,5 +105,16 @@ BENCHMARK(bm_power_model);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig11_power";
+  spec.description = "Power consumption vs backscatter bitrate";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig11_power";
+  sweep.kind = pab::sim::TrialKind::kTimeline;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 8;
+  sweep.timeline["horizon_s"] = 20.0;
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

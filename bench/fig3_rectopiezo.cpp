@@ -83,5 +83,16 @@ BENCHMARK(bm_matching_network_design);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig3_rectopiezo";
+  spec.description = "Rectified voltage vs frequency for two recto-piezos";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig3_rectopiezo";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 8;
+  sweep.axes.push_back({"waveform.carrier_hz", {12500.0, 15000.0, 17500.0}});
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -111,7 +111,7 @@ void print_series() {
   const sim::Session session(sim::Scenario::pool_a().with_seed(kBaseSeed));
   constexpr std::size_t kWaveformTrials = 16;
   const auto trials =
-      sim::BatchRunner(4).run_uplink(session, kWaveformTrials);
+      sim::BatchRunner(4).run<sim::TrialKind::kUplink>(session, kWaveformTrials);
   std::size_t decoded = 0;
   double ber_sum = 0.0, snr_sum = 0.0;
   for (const auto& t : trials) {
@@ -133,7 +133,7 @@ void print_series() {
                                  static_cast<double>(taps.lookups())));
 
   // Zero-allocation signal path, before vs after: the same waveform-level
-  // trials through the per-trial-allocation API (run(), fresh UplinkTrial
+  // trials through the per-trial-allocation API (run_trial, fresh UplinkTrial
   // and workspace buffers every call) and through the pooled-workspace API
   // (run_into(), reused UplinkTrial).  Identical results by construction --
   // this measures only the allocation cost.  This bench links the counting
@@ -142,7 +142,7 @@ void print_series() {
   const auto t3 = clock::now();
   const obs::AllocScope alloc_before;
   for (std::size_t i = 0; i < kThroughputTrials; ++i)
-    (void)session.run(i);
+    (void)session.run_trial<sim::TrialKind::kUplink>(i);
   const std::uint64_t allocs_before = alloc_before.allocations();
   const auto t4 = clock::now();
   sim::Session::UplinkTrial reused;
@@ -195,5 +195,18 @@ BENCHMARK(bm_fm0_ml_decode)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig7_ber_snr";
+  spec.description = "BER-SNR curve (FM0 ML decoding)";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig7_ber_snr";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 64;
+  sweep.base_seed = 77;
+  sweep.axes.push_back({"noise.psd_db_re_upa", {35.0, 45.0, 55.0, 65.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.session.trials", "sim.batch.trials", "phy.demod.attempts"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -44,7 +44,7 @@ void print_series() {
     sc.waveform.bitrate = rate;
     sc.waveform.payload_bits = 96;
     const sim::Session session(sc);
-    const auto trials = pool.run_uplink(session, 3);
+    const auto trials = pool.run<sim::TrialKind::kUplink>(session, 3);
     std::vector<double> snrs;
     int decoded = 0;
     for (const auto& t : trials) {
@@ -86,5 +86,17 @@ BENCHMARK(bm_uplink_run)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig8_snr_bitrate";
+  spec.description = "SNR vs backscatter bitrate";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig8_snr_bitrate";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 12;
+  sweep.axes.push_back({"waveform.bitrate", {250.0, 500.0, 1000.0, 2000.0, 5000.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.session.trials", "sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

@@ -140,5 +140,17 @@ BENCHMARK(bm_harvest_evaluation)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "fig9_range";
+  spec.description = "Maximum power-up distance vs transmitter voltage";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "fig9_range";
+  sweep.kind = pab::sim::TrialKind::kUplink;
+  sweep.preset = "swimming_pool";
+  sweep.trials_per_point = 8;
+  sweep.axes.push_back({"projector.drive_v", {5.0, 10.0, 15.0, 20.0}});
+  spec.campaign = std::move(sweep);
+  spec.required_counters = {"sim.batch.trials"};
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

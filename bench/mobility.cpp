@@ -83,5 +83,17 @@ BENCHMARK(bm_propagate_moving)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return pab::bench::run_bench_main(argc, argv, print_series);
+  pab::bench::BenchSpec spec;
+  spec.name = "mobility";
+  spec.description = "Doppler tracking and surface-wave fading";
+  spec.print_series = print_series;
+  pab::campaign::CampaignSpec sweep;
+  sweep.name = "mobility";
+  sweep.kind = pab::sim::TrialKind::kTimeline;
+  sweep.preset = "pool_a";
+  sweep.trials_per_point = 8;
+  sweep.timeline["max_drift_mps"] = 0.5;
+  sweep.timeline["horizon_s"] = 20.0;
+  spec.campaign = std::move(sweep);
+  return pab::bench::run_bench_main(argc, argv, spec);
 }

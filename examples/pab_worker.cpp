@@ -1,0 +1,9 @@
+// pab_worker: one campaign worker process.
+//
+// Speaks the length-prefixed frame protocol on stdin/stdout -- spawned by
+// pab_serve (or any campaign::ProcessExecutor embedding), never run by hand.
+// All logic lives in campaign::worker_main so tests can drive a worker over
+// plain pipes.
+#include "campaign/protocol.hpp"
+
+int main() { return pab::campaign::worker_main(0, 1); }

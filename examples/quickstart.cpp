@@ -23,7 +23,7 @@ int main() {
 
   // 3. One Monte-Carlo uplink trial: random payload, backscatter uplink,
   //    decode at the hydrophone.  Decode failures surface as Expected errors.
-  const auto trial = session.run(/*trial=*/0);
+  const auto trial = session.run_trial<sim::TrialKind::kUplink>(/*trial=*/0);
 
   std::printf("PAB quickstart\n--------------\n");
   if (!trial.ok()) {
@@ -42,7 +42,7 @@ int main() {
   //    randomness from RNG substream i of the scenario seed, so the aggregate
   //    below is bit-identical whether this runs on 1 thread or 16.
   sim::BatchRunner pool;
-  const auto trials = pool.run_uplink(session, 32);
+  const auto trials = pool.run<sim::TrialKind::kUplink>(session, 32);
   std::size_t decoded = 0;
   double ber_sum = 0.0;
   for (const auto& t : trials) {

@@ -1,0 +1,51 @@
+#include "campaign/batch_executor.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "campaign/manifest.hpp"
+
+namespace pab::campaign {
+
+pab::Expected<CampaignResult> BatchExecutor::run(const CampaignSpec& spec,
+                                                 const RunOptions& options) {
+  auto valid = spec.validate();
+  if (!valid.ok()) return valid.error();
+  const std::vector<Shard> shards = spec.compile(options.shard_size);
+
+  std::optional<CheckpointStore> store;
+  if (!options.checkpoint_dir.empty()) {
+    store.emplace(options.checkpoint_dir);
+    auto opened =
+        store->open(spec.fingerprint(), shards.size(), options.resume);
+    if (!opened.ok()) return opened.error();
+  }
+
+  std::vector<ShardOutput> outputs;
+  outputs.reserve(shards.size());
+  std::uint64_t executed = 0;
+  for (const Shard& shard : shards) {
+    if (store.has_value() && store->is_done(shard.index)) {
+      auto loaded = store->load(shard.index);
+      if (!loaded.ok()) return loaded.error();
+      outputs.push_back(std::move(loaded).value());
+      continue;
+    }
+    if (options.max_shards != 0 && executed >= options.max_shards)
+      return pab::Error{pab::ErrorCode::kTimeout,
+                        "campaign interrupted after max_shards shards "
+                        "(progress checkpointed; re-run with resume)"};
+    auto output = run_shard(spec, shard, options.worker_threads);
+    if (!output.ok()) return output.error();
+    ++executed;
+    if (store.has_value()) {
+      auto stored = store->store(output.value());
+      if (!stored.ok()) return stored.error();
+    }
+    outputs.push_back(std::move(output).value());
+  }
+  return assemble_result(spec, std::move(outputs));
+}
+
+}  // namespace pab::campaign

@@ -1,0 +1,21 @@
+// BatchExecutor: the in-process campaign executor.
+//
+// Runs the compiled shard queue serially in shard-index order (parallelism
+// lives inside each shard, via the BatchRunner width in
+// RunOptions::worker_threads), checkpointing each finished shard when a
+// checkpoint directory is configured.  This is both the reference
+// implementation the multi-process executor is asserted against and the
+// sensible default for campaigns that fit one machine.
+#pragma once
+
+#include "campaign/executor.hpp"
+
+namespace pab::campaign {
+
+class BatchExecutor : public Executor {
+ public:
+  [[nodiscard]] pab::Expected<CampaignResult> run(
+      const CampaignSpec& spec, const RunOptions& options) override;
+};
+
+}  // namespace pab::campaign

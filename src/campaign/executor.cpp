@@ -1,0 +1,111 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace pab::campaign {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string CampaignResult::records_bytes() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(points.size()));
+  for (const auto& batch : points) batch.serialize(w);
+  return w.bytes();
+}
+
+std::string CampaignResult::summary_json() const {
+  std::string out = "{\n";
+  out += "  \"campaign\": \"" + spec.name + "\",\n";
+  out += "  \"fingerprint\": " + std::to_string(fingerprint) + ",\n";
+  out += std::string("  \"kind\": \"") + sim::to_string(spec.kind) + "\",\n";
+  out += "  \"points\": [";
+  const auto names = RecordBatch::column_names(spec.kind);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const RecordBatch& batch = points[p];
+    out += p == 0 ? "\n" : ",\n";
+    out += "    {\"point\": " + std::to_string(p) + ", \"params\": {";
+    const std::vector<double> values = spec.point_values(p);
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += "\"" + spec.axes[a].param + "\": " + fmt_double(values[a]);
+    }
+    std::size_t n_ok = 0;
+    for (const std::uint8_t o : batch.ok()) n_ok += o;
+    out += "}, \"trials\": " + std::to_string(batch.rows());
+    out += ", \"ok\": " + std::to_string(n_ok);
+    out += ", \"errors\": " + std::to_string(batch.rows() - n_ok);
+    out += ", \"means\": {";
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      pab::NeumaierSum sum;
+      for (std::size_t i = 0; i < batch.rows(); ++i)
+        if (batch.ok()[i] != 0) sum.add(batch.column(c)[i]);
+      const double mean =
+          n_ok > 0 ? sum.value() / static_cast<double>(n_ok) : 0.0;
+      if (c > 0) out += ", ";
+      out += "\"" + std::string(names[c]) + "\": " + fmt_double(mean);
+    }
+    out += "}}";
+  }
+  out += points.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+pab::Expected<CampaignResult> assemble_result(const CampaignSpec& spec,
+                                              std::vector<ShardOutput> shards) {
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardOutput& a, const ShardOutput& b) {
+              return a.shard < b.shard;
+            });
+  CampaignResult result;
+  result.spec = spec;
+  result.fingerprint = spec.fingerprint();
+  result.points.assign(spec.point_count(), RecordBatch(spec.kind));
+
+  // Shard index k covers trials [k_begin, k_end) of one point, and compile()
+  // numbers shards in (point, begin) order -- so appending batches in shard
+  // order reconstructs every point's rows in trial order.
+  std::uint64_t expected = 0;
+  std::uint64_t rows_per_point_seen = 0;
+  std::uint64_t point_cursor = 0;
+  for (const ShardOutput& shard : shards) {
+    if (shard.shard != expected)
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "assemble_result: missing shard " +
+                            std::to_string(expected)};
+    ++expected;
+    if (shard.records.kind() != spec.kind)
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "assemble_result: shard kind mismatch"};
+    if (rows_per_point_seen == spec.trials_per_point) {
+      rows_per_point_seen = 0;
+      ++point_cursor;
+    }
+    if (point_cursor >= result.points.size())
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "assemble_result: more rows than the spec declares"};
+    result.points[point_cursor].append_batch(shard.records);
+    rows_per_point_seen += shard.records.rows();
+    if (rows_per_point_seen > spec.trials_per_point)
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "assemble_result: shard rows overflow their point"};
+    result.metrics.merge_from(shard.metrics);
+  }
+  if (point_cursor + 1 != result.points.size() ||
+      rows_per_point_seen != spec.trials_per_point)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "assemble_result: incomplete campaign (shards missing)"};
+  return result;
+}
+
+}  // namespace pab::campaign

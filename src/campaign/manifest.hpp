@@ -1,0 +1,59 @@
+// CheckpointStore: crash-safe campaign progress on disk.
+//
+// Layout under one checkpoint directory:
+//   manifest              text header + one "done <shard>" line per shard
+//   shard-<index>.bin     the shard's serialized ShardOutput
+// A shard is durable only after its file has been written to a temporary
+// name and renamed into place, and only then is its "done" line appended --
+// so a campaign killed at any instant leaves either a complete shard or no
+// trace of it, never a half-written one the resume pass would trust.
+//
+// Resume semantics: open(resume=true) validates the manifest header against
+// the spec fingerprint and total shard count (a changed spec must not
+// silently adopt another campaign's partial results) and reports which
+// shards are already done; the executor loads those from disk and only runs
+// the rest.  The folded result is bit-identical to an uninterrupted run
+// because shards always merge in shard-index order, wherever they came from.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "campaign/shard_runner.hpp"
+#include "util/error.hpp"
+
+namespace pab::campaign {
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  // Create (resume = false: start fresh, clearing any previous progress) or
+  // re-open (resume = true: validate header, collect done shards) the store.
+  [[nodiscard]] pab::Expected<bool> open(std::uint64_t fingerprint,
+                                         std::uint64_t shard_count,
+                                         bool resume);
+
+  [[nodiscard]] bool is_done(std::uint64_t shard) const {
+    return done_.count(shard) != 0;
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& done() const { return done_; }
+
+  // Persist one finished shard (tmp + rename + manifest append).
+  [[nodiscard]] pab::Expected<bool> store(const ShardOutput& out);
+  [[nodiscard]] pab::Expected<ShardOutput> load(std::uint64_t shard) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string manifest_path() const { return dir_ + "/manifest"; }
+  [[nodiscard]] std::string shard_path(std::uint64_t shard) const {
+    return dir_ + "/shard-" + std::to_string(shard) + ".bin";
+  }
+
+  std::string dir_;
+  std::set<std::uint64_t> done_;
+};
+
+}  // namespace pab::campaign

@@ -1,0 +1,269 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pab::campaign {
+
+namespace {
+
+// Shortest representation that round-trips an IEEE-754 double (the same
+// contract as the metrics sidecar writer).
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool one_token(std::string_view s) {
+  return !s.empty() && s.find_first_of(" \t\n\r") == std::string_view::npos;
+}
+
+}  // namespace
+
+bool apply_param(sim::Scenario& s, std::string_view name, double value) {
+  if (name == "seed") {
+    s.medium.seed = static_cast<std::uint64_t>(value);
+  } else if (name == "waveform.carrier_hz") {
+    s.waveform.carrier_hz = value;
+  } else if (name == "waveform.bitrate") {
+    s.waveform.bitrate = value;
+  } else if (name == "waveform.payload_bits") {
+    s.waveform.payload_bits = static_cast<std::size_t>(value);
+  } else if (name == "waveform.node_start_s") {
+    s.waveform.node_start_s = value;
+  } else if (name == "waveform.tail_s") {
+    s.waveform.tail_s = value;
+  } else if (name == "projector.drive_v") {
+    s.projector.drive_v = value;
+  } else if (name == "projector.ideal") {
+    s.projector.ideal = value != 0.0;
+  } else if (name == "projector.ideal_pressure_pa") {
+    s.projector.ideal_pressure_pa = value;
+  } else if (name == "noise.psd_db_re_upa") {
+    s.medium.noise.psd_db_re_upa = value;
+  } else if (name == "medium.sample_rate") {
+    s.medium.sample_rate = value;
+  } else if (name == "medium.receiver_clock_offset_ppm") {
+    s.medium.receiver_clock_offset_ppm = value;
+  } else if (name == "placement.node.x") {
+    s.placement.node.x = value;
+  } else if (name == "placement.node.y") {
+    s.placement.node.y = value;
+  } else if (name == "placement.node.z") {
+    s.placement.node.z = value;
+  } else if (name == "fdma.bitrate") {
+    s.fdma.bitrate = value;
+  } else if (name == "fdma.training_bits") {
+    s.fdma.training_bits = static_cast<std::size_t>(value);
+  } else if (name == "fdma.payload_bits") {
+    s.fdma.payload_bits = static_cast<std::size_t>(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_timeline_param(sim::TimelineRoundConfig& c, std::string_view name,
+                          double value) {
+  if (name == "tick_s") {
+    c.tick_s = value;
+  } else if (name == "idle_load_w") {
+    c.idle_load_w = value;
+  } else if (name == "v_ceiling") {
+    c.v_ceiling = value;
+  } else if (name == "capacitance_f") {
+    c.capacitance_f = value;
+  } else if (name == "base_harvest_w") {
+    c.base_harvest_w = value;
+  } else if (name == "harvest_jitter") {
+    c.harvest_jitter = value;
+  } else if (name == "max_drift_mps") {
+    c.max_drift_mps = value;
+  } else if (name == "horizon_s") {
+    c.horizon_s = value;
+  } else if (name == "decode_prob") {
+    c.decode_prob = value;
+  } else if (name == "crc_prob") {
+    c.crc_prob = value;
+  } else if (name == "uplink_bits") {
+    c.uplink_bits = static_cast<std::size_t>(value);
+  } else if (name == "uplink_bitrate") {
+    c.uplink_bitrate = value;
+  } else if (name == "keep_log") {
+    c.keep_log = value != 0.0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t CampaignSpec::point_count() const {
+  std::uint64_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<double> CampaignSpec::point_values(std::uint64_t point) const {
+  std::vector<double> out(axes.size());
+  // Mixed radix, last axis fastest: point = ((i0*|a1| + i1)*|a2| + i2)...
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const std::uint64_t radix = axes[a].values.size();
+    out[a] = axes[a].values[point % radix];
+    point /= radix;
+  }
+  return out;
+}
+
+pab::Expected<sim::Scenario> CampaignSpec::scenario_for_point(
+    std::uint64_t point) const {
+  sim::Scenario s;
+  if (preset == "pool_a") {
+    s = sim::Scenario::pool_a();
+  } else if (preset == "pool_b") {
+    s = sim::Scenario::pool_b();
+  } else if (preset == "swimming_pool") {
+    s = sim::Scenario::swimming_pool();
+  } else if (preset == "pool_a_concurrent") {
+    s = sim::Scenario::pool_a_concurrent();
+  } else {
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "unknown scenario preset: " + preset};
+  }
+  s.medium.seed = base_seed;
+  const std::vector<double> values = point_values(point);
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (!apply_param(s, axes[a].param, values[a]))
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "unknown sweep parameter: " + axes[a].param};
+  }
+  return s;
+}
+
+pab::Expected<sim::TrialOptions> CampaignSpec::trial_options() const {
+  sim::TrialOptions opts;
+  opts.timeline.keep_log = false;
+  for (const auto& [key, value] : timeline) {
+    if (!apply_timeline_param(opts.timeline, key, value))
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "unknown timeline parameter: " + key};
+  }
+  return opts;
+}
+
+pab::Expected<bool> CampaignSpec::validate() const {
+  if (!one_token(name))
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "campaign name must be one non-empty token"};
+  if (trials_per_point == 0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "campaign needs at least one trial per point"};
+  for (const auto& axis : axes) {
+    if (!one_token(axis.param) || axis.values.empty())
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "sweep axis needs a name and at least one value"};
+  }
+  const auto scenario = scenario_for_point(0);
+  if (!scenario.ok()) return scenario.error();
+  const auto opts = trial_options();
+  if (!opts.ok()) return opts.error();
+  return true;
+}
+
+std::vector<Shard> CampaignSpec::compile(std::uint64_t shard_size) const {
+  if (shard_size == 0) shard_size = trials_per_point;
+  std::vector<Shard> shards;
+  const std::uint64_t points = point_count();
+  std::uint64_t index = 0;
+  for (std::uint64_t p = 0; p < points; ++p) {
+    for (std::uint64_t begin = 0; begin < trials_per_point;
+         begin += shard_size) {
+      const std::uint64_t end = std::min(begin + shard_size, trials_per_point);
+      shards.push_back(Shard{index++, p, begin, end});
+    }
+  }
+  return shards;
+}
+
+std::string CampaignSpec::serialize() const {
+  std::string out = "pab-campaign-spec v1\n";
+  out += "name " + name + "\n";
+  out += "preset " + preset + "\n";
+  out += std::string("kind ") + sim::to_string(kind) + "\n";
+  out += "trials " + std::to_string(trials_per_point) + "\n";
+  out += "seed " + std::to_string(base_seed) + "\n";
+  for (const auto& axis : axes) {
+    out += "axis " + axis.param;
+    for (const double v : axis.values) out += " " + fmt_double(v);
+    out += "\n";
+  }
+  for (const auto& [key, value] : timeline)
+    out += "timeline " + key + " " + fmt_double(value) + "\n";
+  return out;
+}
+
+pab::Expected<CampaignSpec> CampaignSpec::parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "pab-campaign-spec v1")
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "campaign spec: missing 'pab-campaign-spec v1' header"};
+  CampaignSpec spec;
+  spec.axes.clear();
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      fields >> spec.name;
+    } else if (key == "preset") {
+      fields >> spec.preset;
+    } else if (key == "kind") {
+      std::string kind;
+      fields >> kind;
+      const auto parsed = sim::trial_kind_from(kind);
+      if (!parsed.has_value())
+        return pab::Error{pab::ErrorCode::kInvalidArgument,
+                          "campaign spec: unknown trial kind: " + kind};
+      spec.kind = *parsed;
+    } else if (key == "trials") {
+      fields >> spec.trials_per_point;
+    } else if (key == "seed") {
+      fields >> spec.base_seed;
+    } else if (key == "axis") {
+      SweepAxis axis;
+      fields >> axis.param;
+      double v = 0.0;
+      while (fields >> v) axis.values.push_back(v);
+      spec.axes.push_back(std::move(axis));
+    } else if (key == "timeline") {
+      std::string name;
+      double v = 0.0;
+      fields >> name >> v;
+      spec.timeline[name] = v;
+    } else {
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "campaign spec: unknown directive: " + key};
+    }
+    if (fields.fail() && key != "axis")
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "campaign spec: malformed line: " + line};
+  }
+  const auto ok = spec.validate();
+  if (!ok.ok()) return ok.error();
+  return spec;
+}
+
+std::uint64_t CampaignSpec::fingerprint() const {
+  // FNV-1a 64 over the canonical text form.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : serialize()) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace pab::campaign

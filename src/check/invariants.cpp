@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "campaign/batch_executor.hpp"
 #include "channel/water.hpp"
 #include "obs/metrics.hpp"
 #include "phy/modem.hpp"
@@ -776,6 +778,153 @@ CheckResult check_timeline_reconstruction(std::uint64_t seed,
   return CheckResult::pass();
 }
 
+namespace {
+
+// A small randomized campaign: two operating points, a handful of trials.
+// Mostly the timeline kind (pure event simulation, sub-millisecond trials)
+// with an occasional cut-down uplink campaign so the full signal path stays
+// covered without dominating the audit's runtime.
+campaign::CampaignSpec gen_campaign_spec(Rng& rng) {
+  campaign::CampaignSpec spec;
+  spec.name = "audit";
+  spec.preset = "pool_a";
+  spec.base_seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+  spec.trials_per_point = static_cast<std::uint64_t>(rng.uniform_int(2, 4));
+  if (rng.bernoulli(0.2)) {
+    spec.kind = sim::TrialKind::kUplink;
+    spec.axes.push_back({"waveform.payload_bits", {16.0}});
+    spec.axes.push_back({"noise.psd_db_re_upa", {40.0, 50.0}});
+  } else {
+    spec.kind = sim::TrialKind::kTimeline;
+    spec.axes.push_back({"waveform.payload_bits", {32.0, 64.0}});
+    spec.timeline["horizon_s"] = rng.uniform(3.0, 8.0);
+  }
+  return spec;
+}
+
+// Deterministic counters only: histograms time wall-clock and gauges carry
+// arena capacities, so the cross-partition contract covers counters.  Cache
+// counters (hit/miss splits) depend on the shard partition -- a fresh
+// Session per shard starts cold -- so they only participate when comparing
+// runs of the SAME partition.
+CheckResult counters_equal(const char* property,
+                           const obs::MetricsSnapshot& a,
+                           const obs::MetricsSnapshot& b) {
+  if (a.counters == b.counters) return CheckResult::pass();
+  for (const auto& [name, value] : a.counters) {
+    const auto it = b.counters.find(name);
+    if (it == b.counters.end())
+      return CheckResult::fail(std::string(property) + ": counter " + name +
+                               " missing from the second run");
+    if (it->second != value)
+      return mismatch((std::string(property) + ": counter " + name).c_str(),
+                      it->second, value);
+  }
+  return CheckResult::fail(std::string(property) +
+                           ": second run grew extra counters");
+}
+
+}  // namespace
+
+CheckResult check_campaign_shard_merge(std::uint64_t seed) {
+  Rng rng(seed);
+  const campaign::CampaignSpec spec = gen_campaign_spec(rng);
+  campaign::BatchExecutor executor;
+
+  campaign::RunOptions per_point;
+  per_point.shard_size = 0;  // one shard per operating point
+  campaign::RunOptions sliced;
+  sliced.shard_size = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+
+  auto a = executor.run(spec, per_point);
+  if (!a.ok())
+    return CheckResult::fail("per-point campaign failed: " +
+                             a.error().message());
+  auto b = executor.run(spec, sliced);
+  if (!b.ok())
+    return CheckResult::fail("sliced campaign failed: " + b.error().message());
+  if (a.value().records_bytes() != b.value().records_bytes())
+    return CheckResult::fail(
+        "shard partition changed campaign records (shard_size " +
+        std::to_string(sliced.shard_size) + " vs one shard per point)");
+
+  // Merge is order-independent: executing the same partition back to front
+  // and folding through assemble_result must reproduce the in-order run
+  // exactly, counters included (same partition, so cache splits match too).
+  const std::vector<campaign::Shard> shards = spec.compile(sliced.shard_size);
+  std::vector<campaign::ShardOutput> reversed;
+  reversed.reserve(shards.size());
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    auto out = campaign::run_shard(spec, *it, /*threads=*/1);
+    if (!out.ok())
+      return CheckResult::fail("shard " + std::to_string(it->index) +
+                               " failed: " + out.error().message());
+    reversed.push_back(std::move(out).value());
+  }
+  auto c = campaign::assemble_result(spec, std::move(reversed));
+  if (!c.ok())
+    return CheckResult::fail("assemble of reversed shards failed: " +
+                             c.error().message());
+  if (c.value().records_bytes() != b.value().records_bytes())
+    return CheckResult::fail("assemble_result is not shard-order independent");
+  return counters_equal("reversed-order fold diverged", b.value().metrics,
+                        c.value().metrics);
+}
+
+CheckResult check_campaign_resume(std::uint64_t seed) {
+  Rng rng(seed);
+  const campaign::CampaignSpec spec = gen_campaign_spec(rng);
+  campaign::BatchExecutor executor;
+
+  campaign::RunOptions options;
+  options.shard_size = 1;  // >= 4 shards: 2 points x >= 2 trials
+  auto uninterrupted = executor.run(spec, options);
+  if (!uninterrupted.ok())
+    return CheckResult::fail("uninterrupted campaign failed: " +
+                             uninterrupted.error().message());
+
+  namespace fs = std::filesystem;
+  const std::uint64_t shard_count = spec.compile(options.shard_size).size();
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pab-audit-resume-" + std::to_string(seed) + "-" +
+       std::to_string(reinterpret_cast<std::uintptr_t>(&options)));
+  campaign::RunOptions interrupted = options;
+  interrupted.checkpoint_dir = dir.string();
+  interrupted.max_shards = shard_count / 2;  // strictly mid-campaign
+
+  auto first = executor.run(spec, interrupted);
+  const auto cleanup = [&] { fs::remove_all(dir); };
+  if (first.ok()) {
+    cleanup();
+    return CheckResult::fail(
+        "interrupted campaign returned a result instead of an error");
+  }
+  if (first.code() != pab::ErrorCode::kTimeout) {
+    cleanup();
+    return CheckResult::fail("interruption reported " +
+                             std::string(first.error().message()) +
+                             ", want kTimeout");
+  }
+
+  campaign::RunOptions resumed = interrupted;
+  resumed.max_shards = 0;
+  resumed.resume = true;
+  auto second = executor.run(spec, resumed);
+  if (!second.ok()) {
+    cleanup();
+    return CheckResult::fail("resumed campaign failed: " +
+                             second.error().message());
+  }
+  cleanup();
+  if (second.value().records_bytes() != uninterrupted.value().records_bytes())
+    return CheckResult::fail(
+        "resumed campaign records differ from the uninterrupted run");
+  return counters_equal("resumed campaign counters diverged",
+                        uninterrupted.value().metrics,
+                        second.value().metrics);
+}
+
 std::vector<Invariant> default_invariants() {
   return {
       {"channel.sample_interpolation",
@@ -811,6 +960,12 @@ std::vector<Invariant> default_invariants() {
       {"timeline.event_reconstruction",
        "stats and ledger totals re-derive bit-exactly from the event log",
        [](std::uint64_t s) { return check_timeline_reconstruction(s); }},
+      {"campaign.shard_merge",
+       "campaign records are invariant under shard partition and fold order",
+       [](std::uint64_t s) { return check_campaign_shard_merge(s); }},
+      {"campaign.resume",
+       "a checkpointed campaign resumes to the uninterrupted run's bytes",
+       [](std::uint64_t s) { return check_campaign_resume(s); }},
   };
 }
 

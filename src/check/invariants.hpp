@@ -182,6 +182,18 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
     std::uint64_t seed,
     const TimedSchedulerRunFn& subject = real_timed_scheduler_run());
 
+// campaign.shard_merge: a campaign's records and deterministic counters are
+// invariant under the shard partition -- any shard size (including one shard
+// per point) folds to byte-identical records_bytes() and equal counter
+// totals, the property the multi-process executor's correctness rests on.
+[[nodiscard]] CheckResult check_campaign_shard_merge(std::uint64_t seed);
+
+// campaign.resume: a campaign interrupted mid-flight (max_shards cap, a
+// stand-in for a killed run) and resumed from its checkpoint produces
+// records byte-identical to the uninterrupted run, and the interruption
+// itself reports kTimeout rather than partial results.
+[[nodiscard]] CheckResult check_campaign_resume(std::uint64_t seed);
+
 // --- the suite ---------------------------------------------------------------
 
 struct Invariant {

@@ -43,6 +43,100 @@ auto& find_or_create(std::shared_mutex& mutex, Map& map, std::string_view name,
 
 }  // namespace
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      if (i == bounds.size()) return lo;  // overflow bucket: no upper edge
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += c;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void HistogramSnapshot::merge_from(const HistogramSnapshot& other) {
+  if (count == 0 && buckets.empty()) {
+    *this = other;
+    return;
+  }
+  require(bounds == other.bounds,
+          "HistogramSnapshot::merge_from: bucket bounds differ");
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end())
+      histograms.emplace(name, h);
+    else
+      it->second.merge_from(h);
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : fallback;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + fmt_double(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"sum\": " + fmt_double(h.sum) + ",\n";
+    out += "      \"mean\": " + fmt_double(h.mean()) + ",\n";
+    out += "      \"p50\": " + fmt_double(h.quantile(0.50)) + ",\n";
+    out += "      \"p95\": " + fmt_double(h.quantile(0.95)) + ",\n";
+    out += "      \"p99\": " + fmt_double(h.quantile(0.99)) + ",\n";
+    out += "      \"buckets\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": " + fmt_double(h.bounds[i]) +
+             ", \"count\": " + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "],\n";
+    out += "      \"overflow\": " + std::to_string(h.buckets[h.bounds.size()]) +
+           "\n    }";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
 Histogram::Histogram(std::span<const double> upper_bounds)
     : bounds_(upper_bounds.begin(), upper_bounds.end()),
       buckets_(new std::atomic<std::uint64_t>[upper_bounds.size() + 1]()) {
@@ -86,6 +180,28 @@ double Histogram::quantile(double q) const {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) out.buckets[i] = bucket_count(i);
+  out.count = count();
+  out.sum = sum();
+  return out;
+}
+
+void Histogram::merge_from(const HistogramSnapshot& other) {
+  require(bounds_ == other.bounds,
+          "Histogram::merge_from: bucket bounds differ");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + other.sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i)
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -125,50 +241,24 @@ void MetricRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
-std::string MetricRegistry::to_json() const {
+MetricsSnapshot MetricRegistry::snapshot() const {
   std::shared_lock lock(mutex_);
-  std::string out = "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, c] : counters_) {
-    out += first ? "\n" : ",\n";
-    out += "    \"" + json_escape(name) + "\": " + std::to_string(c->value());
-    first = false;
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"gauges\": {";
-  first = true;
-  for (const auto& [name, g] : gauges_) {
-    out += first ? "\n" : ",\n";
-    out += "    \"" + json_escape(name) + "\": " + fmt_double(g->value());
-    first = false;
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"histograms\": {";
-  first = true;
-  for (const auto& [name, h] : histograms_) {
-    out += first ? "\n" : ",\n";
-    out += "    \"" + json_escape(name) + "\": {\n";
-    out += "      \"count\": " + std::to_string(h->count()) + ",\n";
-    out += "      \"sum\": " + fmt_double(h->sum()) + ",\n";
-    out += "      \"mean\": " + fmt_double(h->mean()) + ",\n";
-    out += "      \"p50\": " + fmt_double(h->quantile(0.50)) + ",\n";
-    out += "      \"p95\": " + fmt_double(h->quantile(0.95)) + ",\n";
-    out += "      \"p99\": " + fmt_double(h->quantile(0.99)) + ",\n";
-    out += "      \"buckets\": [";
-    const auto& bounds = h->bounds();
-    for (std::size_t i = 0; i < bounds.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "{\"le\": " + fmt_double(bounds[i]) +
-             ", \"count\": " + std::to_string(h->bucket_count(i)) + "}";
-    }
-    out += "],\n";
-    out += "      \"overflow\": " +
-           std::to_string(h->bucket_count(bounds.size())) + "\n    }";
-    first = false;
-  }
-  out += first ? "}\n}\n" : "\n  }\n}\n";
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_)
+    out.histograms.emplace(name, h->snapshot());
   return out;
 }
+
+void MetricRegistry::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counter(name).add(v);
+  for (const auto& [name, v] : other.gauges) gauge(name).set(v);
+  for (const auto& [name, h] : other.histograms)
+    histogram(name, h.bounds).merge_from(h);
+}
+
+std::string MetricRegistry::to_json() const { return snapshot().to_json(); }
 
 std::string MetricRegistry::to_text() const {
   std::shared_lock lock(mutex_);

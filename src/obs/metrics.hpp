@@ -62,6 +62,27 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+// Plain-value copy of a histogram's state: the unit of cross-process metric
+// aggregation.  A snapshot taken in a campaign worker is shipped over the
+// wire and merged into the coordinator's totals; merges are exact for bucket
+// counts and observation counts (integer adds) and order-sensitive only in
+// the last-ulp rounding of `sum`, so coordinators fold shards in a canonical
+// (shard-id) order.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  // Same interpolation as Histogram::quantile.
+  [[nodiscard]] double quantile(double q) const;
+  // Bucket-wise add; bounds must match exactly (same build, same instrument).
+  void merge_from(const HistogramSnapshot& other);
+};
+
 // Fixed-bucket histogram: bucket i counts observations x <= bound[i] (first
 // matching bucket); anything above the last bound lands in the overflow
 // bucket.  Bounds are fixed at construction so observation is a branch-free
@@ -92,6 +113,12 @@ class Histogram {
   // q in [0, 1].  Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const;
 
+  // Value copy of the current state (relaxed reads; per-bucket totals are
+  // exact once writers have quiesced, as at shard boundaries).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  // Fold a snapshot's buckets into this histogram.  Bounds must match.
+  void merge_from(const HistogramSnapshot& other);
+
   void reset();
 
   // Default latency bucket edges: log-spaced 1 us .. 10 s, suitable for every
@@ -103,6 +130,26 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+// Plain-value copy of a whole registry.  Snapshots are what campaign workers
+// stream to the coordinator: counters merge by addition, histograms by
+// bucket-wise addition, gauges by overwrite (last merged writer wins, so
+// folds must pick a canonical order when determinism matters).  `to_json()`
+// emits the exact sidecar schema of MetricRegistry::to_json, so a merged
+// snapshot can stand in for a single-process sidecar key-for-key.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
+
+  void merge_from(const MetricsSnapshot& other);
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback = 0) const;
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
 };
 
 // RAII wall-clock timer recording seconds into a histogram on destruction.
@@ -144,6 +191,15 @@ class MetricRegistry {
   // Zero every registered instrument (registrations are kept, so cached
   // pointers stay valid).
   void reset();
+
+  // Value copy of every registered instrument.  The campaign engine snapshots
+  // a worker's registry at each shard boundary (then reset()s it), so each
+  // snapshot is a per-shard delta that merges exactly across processes.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  // Fold a snapshot into the live instruments: counters add, gauges
+  // overwrite, histograms merge bucket-wise (created with the snapshot's
+  // bounds when absent).
+  void merge_from(const MetricsSnapshot& other);
 
   // Exports walk a consistent name-sorted order.  JSON schema:
   //   {"counters": {name: n}, "gauges": {name: v},

@@ -9,7 +9,7 @@
 //
 //   sim::Session session(sim::Scenario::pool_a());
 //   sim::BatchRunner pool(8);
-//   const auto trials = pool.run_uplink(session, 1000);
+//   const auto trials = pool.run<sim::TrialKind::kUplink>(session, 1000);
 #pragma once
 
 #include <atomic>
@@ -25,6 +25,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/session.hpp"
+#include "sim/trial.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -40,13 +41,28 @@ class BatchRunner {
                        obs::MetricRegistry* metrics = &obs::MetricRegistry::global())
       : threads_(threads != 0 ? threads
                               : std::max(1u, std::thread::hardware_concurrency())),
-        metrics_(metrics) {}
+        metrics_(metrics) {
+    // Resolve every instrument the dispatch path can touch once, here: a
+    // dispatch never uses more than `threads_` workers, and instrument
+    // references are registry-lifetime stable, so the hot path stays
+    // allocation-free (the per-call name build used to put one string
+    // allocation in every worker's drain).
+    if (metrics_ != nullptr) {
+      trials_counter_ = &metrics_->counter("sim.batch.trials");
+      exceptions_counter_ = &metrics_->counter("sim.batch.exceptions");
+      dispatch_hist_ = &metrics_->histogram("sim.batch.dispatch_seconds");
+      worker_trials_.reserve(threads_);
+      for (unsigned t = 0; t < threads_; ++t)
+        worker_trials_.push_back(&metrics_->counter(
+            "sim.batch.worker." + std::to_string(t) + ".trials"));
+    }
+  }
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 
   // out[i] = fn(i) for i in [0, n).  `fn` must be safe to call concurrently;
   // use this for deterministic sweeps whose per-point work needs no RNG (or
-  // derives it itself, as Session::run does).
+  // derives it itself, as Session::run_trial does).
   template <typename Fn>
   auto map(std::size_t n, Fn&& fn) const {
     using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
@@ -69,25 +85,48 @@ class BatchRunner {
     });
   }
 
-  // Session conveniences: `trials` Monte-Carlo trials in trial order.
-  [[nodiscard]] std::vector<pab::Expected<Session::UplinkTrial>> run_uplink(
-      const Session& session, std::size_t trials) const {
-    return map(trials,
-               [&](std::size_t i) { return session.run(i); });
+  // ---- Unified Session entry point -----------------------------------------
+  // `trials` Monte-Carlo trials of kind K in trial order.  Each trial owns
+  // its private state (kTimeline trials their own sim::Timeline), so every
+  // kind parallelizes identically and the determinism suite asserts
+  // bit-identical results at 1/2/8 threads.
+  template <TrialKind K>
+  [[nodiscard]] std::vector<pab::Expected<typename TrialTraits<K>::Result>> run(
+      const Session& session, std::size_t trials,
+      const TrialOptions& opts = {}) const {
+    return map(trials, [&](std::size_t i) {
+      return session.run_trial<K>(i, opts);
+    });
   }
-  [[nodiscard]] std::vector<pab::Expected<core::NetworkRunResult>> run_network(
-      const Session& session, std::size_t trials) const {
-    return map(trials,
-               [&](std::size_t i) { return session.run_network(i); });
+
+  // Runtime-kind form (campaign engine / worker protocol): result rows are
+  // TrialResult variants whose alternative index equals the kind value.
+  [[nodiscard]] std::vector<pab::Expected<TrialResult>> run(
+      const Session& session, TrialKind kind, std::size_t trials,
+      const TrialOptions& opts = {}) const {
+    return map(trials, [&](std::size_t i) {
+      return session.run_trial(kind, i, opts);
+    });
   }
-  // Event-driven rounds: each trial owns a private sim::Timeline, so trials
-  // parallelize exactly like the sample-level paths (the determinism suite
-  // asserts bit-identical event logs at 1/2/8 threads).
-  [[nodiscard]] std::vector<pab::Expected<Session::TimelineRunResult>>
-  run_timeline(const Session& session, std::size_t trials,
-               const Session::TimelineRoundConfig& config = {}) const {
-    return map(trials,
-               [&](std::size_t i) { return session.run_timeline(i, config); });
+
+  // ---- Deprecated pre-campaign names (one release; use run<K>) -------------
+  [[deprecated("use run<TrialKind::kUplink>")]] [[nodiscard]]
+  std::vector<pab::Expected<Session::UplinkTrial>> run_uplink(
+      const Session& session, std::size_t trials) const {
+    return run<TrialKind::kUplink>(session, trials);
+  }
+  [[deprecated("use run<TrialKind::kNetwork>")]] [[nodiscard]]
+  std::vector<pab::Expected<core::NetworkRunResult>> run_network(
+      const Session& session, std::size_t trials) const {
+    return run<TrialKind::kNetwork>(session, trials);
+  }
+  [[deprecated("use run<TrialKind::kTimeline>")]] [[nodiscard]]
+  std::vector<pab::Expected<Session::TimelineRunResult>> run_timeline(
+      const Session& session, std::size_t trials,
+      const Session::TimelineRoundConfig& config = {}) const {
+    TrialOptions opts;
+    opts.timeline = config;
+    return run<TrialKind::kTimeline>(session, trials, opts);
   }
 
  private:
@@ -98,9 +137,7 @@ class BatchRunner {
   template <typename Body>
   void dispatch(std::size_t n, Body&& body) const {
     if (n == 0) return;
-    const obs::ScopedTimer drain_timer(
-        metrics_ != nullptr ? &metrics_->histogram("sim.batch.dispatch_seconds")
-                            : nullptr);
+    const obs::ScopedTimer drain_timer(dispatch_hist_);
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(threads_, n));
     if (workers <= 1) {
@@ -120,7 +157,7 @@ class BatchRunner {
           body(i);
           ++executed;
         } catch (...) {
-          if (metrics_ != nullptr) metrics_->counter("sim.batch.exceptions").add();
+          if (exceptions_counter_ != nullptr) exceptions_counter_->add();
           {
             std::lock_guard lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -140,14 +177,19 @@ class BatchRunner {
   }
 
   void count_worker_trials(unsigned worker, std::size_t trials) const {
-    if (metrics_ == nullptr || trials == 0) return;
-    metrics_->counter("sim.batch.trials").add(trials);
-    metrics_->counter("sim.batch.worker." + std::to_string(worker) + ".trials")
-        .add(trials);
+    if (trials_counter_ == nullptr || trials == 0) return;
+    trials_counter_->add(trials);
+    worker_trials_[worker]->add(trials);
   }
 
   unsigned threads_;
   obs::MetricRegistry* metrics_;
+  // Constructor-resolved instrument handles (null when metrics_ is null);
+  // worker_trials_[t] is worker t's trial counter, t < threads_.
+  obs::Counter* trials_counter_ = nullptr;
+  obs::Counter* exceptions_counter_ = nullptr;
+  obs::Histogram* dispatch_hist_ = nullptr;
+  std::vector<obs::Counter*> worker_trials_;
 };
 
 }  // namespace pab::sim

@@ -149,14 +149,15 @@ pab::Expected<bool> Session::run_into(std::uint64_t trial,
   return true;
 }
 
-pab::Expected<Session::UplinkTrial> Session::run(std::uint64_t trial) const {
+pab::Expected<Session::UplinkTrial> Session::uplink_trial(
+    std::uint64_t trial) const {
   UplinkTrial out;
   const auto ok = run_into(trial, out);
   if (!ok.ok()) return ok.error();
   return out;
 }
 
-pab::Expected<core::NetworkRunResult> Session::run_network(
+pab::Expected<core::NetworkRunResult> Session::network_trial(
     std::uint64_t trial) const {
   if (!network_.has_value())
     return pab::Error{pab::ErrorCode::kInvalidArgument,
@@ -171,12 +172,31 @@ pab::Expected<core::NetworkRunResult> Session::run_network(
   return network_->run(projector_, front_ends_, scenario_.fdma, rng);
 }
 
-pab::Expected<Session::TimelineRunResult> Session::run_timeline(
-    std::uint64_t trial) const {
-  return run_timeline(trial, TimelineRoundConfig{});
+pab::Expected<TrialResult> Session::run_trial(TrialKind kind,
+                                              std::uint64_t trial,
+                                              const TrialOptions& opts) const {
+  switch (kind) {
+    case TrialKind::kUplink: {
+      auto r = uplink_trial(trial);
+      if (!r.ok()) return r.error();
+      return TrialResult{std::in_place_index<0>, std::move(r).value()};
+    }
+    case TrialKind::kNetwork: {
+      auto r = network_trial(trial);
+      if (!r.ok()) return r.error();
+      return TrialResult{std::in_place_index<1>, std::move(r).value()};
+    }
+    case TrialKind::kTimeline: {
+      auto r = timeline_trial(trial, opts.timeline);
+      if (!r.ok()) return r.error();
+      return TrialResult{std::in_place_index<2>, std::move(r).value()};
+    }
+  }
+  return pab::Error{pab::ErrorCode::kInvalidArgument,
+                    "run_trial: unknown trial kind"};
 }
 
-pab::Expected<Session::TimelineRunResult> Session::run_timeline(
+pab::Expected<Session::TimelineRunResult> Session::timeline_trial(
     std::uint64_t trial, const TimelineRoundConfig& config) const {
   if (node_count() > 200)
     return pab::Error{pab::ErrorCode::kInvalidArgument,

@@ -19,6 +19,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <tuple>
+#include <variant>
 #include <vector>
 
 #include "core/link.hpp"
@@ -29,6 +30,7 @@
 #include "phy/workspace.hpp"
 #include "sim/scenario.hpp"
 #include "sim/timeline.hpp"
+#include "sim/trial.hpp"
 #include "util/error.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
@@ -41,6 +43,52 @@ namespace pab::sim {
 // allocation and verified bit-equal against it in the test suite).
 [[nodiscard]] std::uint64_t substream_seed(std::uint64_t base_seed,
                                            std::uint64_t stream);
+
+// ---- Per-kind trial results -------------------------------------------------
+// One single-link uplink trial: draw `waveform.payload_bits` random bits,
+// simulate the backscatter uplink, decode with the standard receiver.
+struct UplinkTrial {
+  pab::Bits sent;
+  phy::DemodResult demod;
+  double ber = 0.0;
+  double incident_pressure_pa = 0.0;
+  double modulation_pressure_pa = 0.0;
+};
+
+// One discrete-event network round (see TimelineRoundConfig in sim/trial.hpp).
+struct TimelineRunResult {
+  std::vector<std::uint8_t> identified;  // inventory discovery order
+  mac::InventoryStats inventory;
+  mac::TransactionStats poll;
+  double simulated_s = 0.0;
+  std::size_t events_processed = 0;
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+  std::size_t power_ups = 0;
+  std::size_t brown_outs = 0;
+  std::vector<TimelineEvent> event_log;  // full audit log of the round
+};
+
+// Compile-time kind -> result mapping of the unified run API.
+template <TrialKind K>
+struct TrialTraits;
+template <>
+struct TrialTraits<TrialKind::kUplink> {
+  using Result = UplinkTrial;
+};
+template <>
+struct TrialTraits<TrialKind::kNetwork> {
+  using Result = core::NetworkRunResult;
+};
+template <>
+struct TrialTraits<TrialKind::kTimeline> {
+  using Result = TimelineRunResult;
+};
+
+// Runtime-kind result: what Session::run_trial(TrialKind, ...) returns.  The
+// alternative index equals the TrialKind value.
+using TrialResult =
+    std::variant<UplinkTrial, core::NetworkRunResult, TimelineRunResult>;
 
 class Session {
  public:
@@ -84,90 +132,81 @@ class Session {
   }
 
   // ---- Monte-Carlo trials ---------------------------------------------------
-  // One single-link uplink trial: draw `waveform.payload_bits` random bits,
-  // simulate the backscatter uplink, decode with the standard receiver.
-  // Decode failures surface as the demodulator's error through Expected.
-  struct UplinkTrial {
-    pab::Bits sent;
-    phy::DemodResult demod;
-    double ber = 0.0;
-    double incident_pressure_pa = 0.0;
-    double modulation_pressure_pa = 0.0;
-  };
-  [[nodiscard]] pab::Expected<UplinkTrial> run(std::uint64_t trial) const;
+  // The three trial kinds (see sim/trial.hpp); the old nested names remain
+  // as aliases so existing `Session::UplinkTrial` spellings keep compiling.
+  using UplinkTrial = sim::UplinkTrial;
+  using TimelineRoundConfig = sim::TimelineRoundConfig;
+  using TimelineRunResult = sim::TimelineRunResult;
 
-  // Zero-allocation variant: trial scratch (workspace arena + waveform
+  // Unified entry point, compile-time kind: one trial of kind K with a typed
+  // result.  kUplink draws `waveform.payload_bits` random bits, simulates the
+  // backscatter uplink, and decodes with the standard receiver (decode
+  // failures surface as the demodulator's error through Expected).  kNetwork
+  // runs one concurrent multi-node frame per the scenario's FDMA plan
+  // (requires as many front ends and carriers as nodes).  kTimeline runs one
+  // full discrete-event round: per-node lifecycles (cold-start, duty cycle,
+  // brownout/recover) tick on a trial-local Timeline while the timed
+  // inventory and then a poll round run through the same event queue, so a
+  // node that browns out mid-inventory misses its slot and rejoins after
+  // recharge.  Every kind draws all randomness from trial_rng(trial):
+  // results are bit-identical at any BatchRunner thread count.
+  template <TrialKind K>
+  [[nodiscard]] pab::Expected<typename TrialTraits<K>::Result> run_trial(
+      std::uint64_t trial, const TrialOptions& opts = {}) const {
+    if constexpr (K == TrialKind::kUplink) {
+      (void)opts;
+      return uplink_trial(trial);
+    } else if constexpr (K == TrialKind::kNetwork) {
+      (void)opts;
+      return network_trial(trial);
+    } else {
+      return timeline_trial(trial, opts.timeline);
+    }
+  }
+
+  // Unified entry point, runtime kind: the form the campaign engine and the
+  // worker protocol use, where the kind arrives over the wire.  The variant
+  // alternative index equals the kind value.
+  [[nodiscard]] pab::Expected<TrialResult> run_trial(
+      TrialKind kind, std::uint64_t trial, const TrialOptions& opts = {}) const;
+
+  // Zero-allocation uplink variant: trial scratch (workspace arena + waveform
   // buffers) is leased from an internal pool keyed by nothing -- one context
   // per concurrently in-flight trial, reused across trials.  `out` fields
   // resize in place, so a caller that reuses one UplinkTrial per worker sees
-  // no heap allocation after the first few trials.  Bit-identical to run(),
-  // which wraps this.
+  // no heap allocation after the first few trials.  Bit-identical to
+  // run_trial<kUplink>, which wraps this.
   [[nodiscard]] pab::Expected<bool> run_into(std::uint64_t trial,
                                              UplinkTrial& out) const;
 
-  // One concurrent multi-node frame per the scenario's FDMA plan.  Requires
-  // as many front ends and carriers as nodes.
-  [[nodiscard]] pab::Expected<core::NetworkRunResult> run_network(
-      std::uint64_t trial) const;
-
-  // ---- Event-driven network round (sim::Timeline) --------------------------
-  // Protocol- and energy-level knobs for run_timeline.  The defaults describe
-  // a small battery-free deployment: nodes cold-start from an empty
-  // supercapacitor under ~mW harvest, get discovered by the timed slotted
-  // ALOHA inventory once powered, then answer a poll round.  Link outcomes at
-  // this level are protocol abstractions (per-reply decode/CRC probabilities)
-  // rather than full waveform simulations -- run()/run_network() remain the
-  // sample-level paths.
-  struct TimelineRoundConfig {
-    mac::InventoryConfig inventory{};
-    mac::TimedInventoryOptions slots{};  // `available` is filled in per run
-    mac::SchedulerConfig scheduler{};
-    // Node energy trajectory.
-    double tick_s = 0.02;         // lifecycle harvest integration step
-    double idle_load_w = 124e-6;  // paper 6.4 idle draw
-    double v_ceiling = 5.0;
-    double capacitance_f = 200e-6;
-    double base_harvest_w = 1.5e-3;  // nominal harvested DC power per node
-    double harvest_jitter = 0.3;     // per-node uniform +-fraction of nominal
-    // Per-node random drift speed bound [m/s]: node motion modulates harvest
-    // power through the time-varying path gain, sampled at tick timestamps.
-    double max_drift_mps = 0.25;
-    double horizon_s = 60.0;  // lifecycle ticking horizon
-    // Protocol-level uplink model for the poll phase.
-    double decode_prob = 0.85;  // P(decoded | node powered)
-    double crc_prob = 0.10;     // P(reply arrives but fails CRC | powered)
-    std::size_t uplink_bits = 76;
-    double uplink_bitrate = 1000.0;
-    bool keep_log = true;  // retain the event log in the result
-  };
-
-  struct TimelineRunResult {
-    std::vector<std::uint8_t> identified;  // inventory discovery order
-    mac::InventoryStats inventory;
-    mac::TransactionStats poll;
-    double simulated_s = 0.0;
-    std::size_t events_processed = 0;
-    double harvested_j = 0.0;
-    double consumed_j = 0.0;
-    std::size_t power_ups = 0;
-    std::size_t brown_outs = 0;
-    std::vector<TimelineEvent> event_log;  // full audit log of the round
-  };
-
-  // One full discrete-event round: per-node lifecycles (cold-start, duty
-  // cycle, brownout/recover) tick on a trial-local Timeline while the timed
-  // inventory and then a poll round run through the same event queue, so a
-  // node that browns out mid-inventory misses its slot and rejoins after
-  // recharge.  All randomness comes from trial_rng(trial): results are
-  // bit-identical at any BatchRunner thread count, event log included.
-  [[nodiscard]] pab::Expected<TimelineRunResult> run_timeline(
-      std::uint64_t trial, const TimelineRoundConfig& config) const;
-  // Default-config overload (a `= {}` default argument cannot name the
-  // nested struct's implicit ctor while Session is still incomplete).
-  [[nodiscard]] pab::Expected<TimelineRunResult> run_timeline(
-      std::uint64_t trial) const;
+  // ---- Deprecated pre-campaign names (one release; use run_trial) ----------
+  [[deprecated("use run_trial<TrialKind::kUplink>")]] [[nodiscard]]
+  pab::Expected<UplinkTrial> run(std::uint64_t trial) const {
+    return uplink_trial(trial);
+  }
+  [[deprecated("use run_trial<TrialKind::kNetwork>")]] [[nodiscard]]
+  pab::Expected<core::NetworkRunResult> run_network(std::uint64_t trial) const {
+    return network_trial(trial);
+  }
+  [[deprecated("use run_trial<TrialKind::kTimeline>")]] [[nodiscard]]
+  pab::Expected<TimelineRunResult> run_timeline(
+      std::uint64_t trial, const TimelineRoundConfig& config) const {
+    return timeline_trial(trial, config);
+  }
+  [[deprecated("use run_trial<TrialKind::kTimeline>")]] [[nodiscard]]
+  pab::Expected<TimelineRunResult> run_timeline(std::uint64_t trial) const {
+    return timeline_trial(trial, TimelineRoundConfig{});
+  }
 
  private:
+  // Per-kind implementations behind the run_trial dispatch.
+  [[nodiscard]] pab::Expected<UplinkTrial> uplink_trial(
+      std::uint64_t trial) const;
+  [[nodiscard]] pab::Expected<core::NetworkRunResult> network_trial(
+      std::uint64_t trial) const;
+  [[nodiscard]] pab::Expected<TimelineRunResult> timeline_trial(
+      std::uint64_t trial, const TimelineRoundConfig& config) const;
+
   Scenario scenario_;
   obs::MetricRegistry* metrics_;
   std::shared_ptr<channel::TapCache> tap_cache_;

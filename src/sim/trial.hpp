@@ -1,0 +1,89 @@
+// The unified trial taxonomy of the Monte-Carlo engine.
+//
+// Every experiment the engine can repeat is one of three trial kinds:
+//   * kUplink   -- one single-link waveform-level backscatter uplink,
+//   * kNetwork  -- one concurrent multi-node FDMA frame,
+//   * kTimeline -- one discrete-event network round (cold-start, inventory,
+//                  poll) on a trial-local sim::Timeline.
+// `Session::run_trial` and `BatchRunner::run` dispatch on TrialKind, either
+// at compile time (template parameter, typed result) or at run time (enum
+// value, std::variant result -- the form the campaign engine and the worker
+// protocol use, where the kind arrives over the wire).  This header replaces
+// the old three-method sprawl (`run`/`run_network`/`run_timeline` on Session,
+// `run_uplink`/`run_network`/`run_timeline` on BatchRunner); the old names
+// remain as deprecated shims for one release.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "mac/inventory.hpp"
+#include "mac/scheduler.hpp"
+
+namespace pab::sim {
+
+enum class TrialKind : std::uint8_t {
+  kUplink = 0,
+  kNetwork = 1,
+  kTimeline = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(TrialKind kind) {
+  switch (kind) {
+    case TrialKind::kUplink: return "uplink";
+    case TrialKind::kNetwork: return "network";
+    case TrialKind::kTimeline: return "timeline";
+  }
+  return "unknown";
+}
+
+// Parse the names printed by to_string (CLI flags, campaign specs).
+[[nodiscard]] constexpr std::optional<TrialKind> trial_kind_from(
+    std::string_view name) {
+  if (name == "uplink") return TrialKind::kUplink;
+  if (name == "network") return TrialKind::kNetwork;
+  if (name == "timeline") return TrialKind::kTimeline;
+  return std::nullopt;
+}
+
+// Protocol- and energy-level knobs for timeline trials.  The defaults
+// describe a small battery-free deployment: nodes cold-start from an empty
+// supercapacitor under ~mW harvest, get discovered by the timed slotted
+// ALOHA inventory once powered, then answer a poll round.  Link outcomes at
+// this level are protocol abstractions (per-reply decode/CRC probabilities)
+// rather than full waveform simulations -- kUplink/kNetwork remain the
+// sample-level paths.  (Formerly Session::TimelineRoundConfig, which is now
+// an alias of this type.)
+struct TimelineRoundConfig {
+  mac::InventoryConfig inventory{};
+  mac::TimedInventoryOptions slots{};  // `available` is filled in per run
+  mac::SchedulerConfig scheduler{};
+  // Node energy trajectory.
+  double tick_s = 0.02;         // lifecycle harvest integration step
+  double idle_load_w = 124e-6;  // paper 6.4 idle draw
+  double v_ceiling = 5.0;
+  double capacitance_f = 200e-6;
+  double base_harvest_w = 1.5e-3;  // nominal harvested DC power per node
+  double harvest_jitter = 0.3;     // per-node uniform +-fraction of nominal
+  // Per-node random drift speed bound [m/s]: node motion modulates harvest
+  // power through the time-varying path gain, sampled at tick timestamps.
+  double max_drift_mps = 0.25;
+  double horizon_s = 60.0;  // lifecycle ticking horizon
+  // Protocol-level uplink model for the poll phase.
+  double decode_prob = 0.85;  // P(decoded | node powered)
+  double crc_prob = 0.10;     // P(reply arrives but fails CRC | powered)
+  std::size_t uplink_bits = 76;
+  double uplink_bitrate = 1000.0;
+  bool keep_log = true;  // retain the event log in the result
+};
+
+// Per-run options of the unified entry points.  Only the kinds that need
+// configuration have a member; kUplink and kNetwork read everything from the
+// Scenario.
+struct TrialOptions {
+  TimelineRoundConfig timeline{};
+};
+
+}  // namespace pab::sim

@@ -173,7 +173,8 @@ TEST(MetricRegistry, ResetZeroesButKeepsRegistrations) {
 TEST(SessionMetrics, TapCacheHitMissCountersMatchCacheAccounting) {
   MetricRegistry reg;
   const sim::Session session(sim::Scenario::pool_a().with_seed(1), &reg);
-  const auto trials = sim::BatchRunner(4, &reg).run_uplink(session, 10);
+  const auto trials =
+      sim::BatchRunner(4, &reg).run<sim::TrialKind::kUplink>(session, 10);
   for (const auto& t : trials) ASSERT_TRUE(t.ok());
 
   const auto& cache = *session.tap_cache();
@@ -205,8 +206,8 @@ TEST(SessionMetrics, MetricsDoNotPerturbTrialResults) {
   MetricRegistry reg_a, reg_b;
   const sim::Session a(sim::Scenario::pool_a().with_seed(5), &reg_a);
   const sim::Session b(sim::Scenario::pool_a().with_seed(5), &reg_b);
-  const auto ta = sim::BatchRunner(1, &reg_a).run_uplink(a, 6);
-  const auto tb = sim::BatchRunner(4, &reg_b).run_uplink(b, 6);
+  const auto ta = sim::BatchRunner(1, &reg_a).run<sim::TrialKind::kUplink>(a, 6);
+  const auto tb = sim::BatchRunner(4, &reg_b).run<sim::TrialKind::kUplink>(b, 6);
   for (std::size_t i = 0; i < ta.size(); ++i) {
     ASSERT_TRUE(ta[i].ok());
     ASSERT_TRUE(tb[i].ok());

@@ -95,10 +95,11 @@ TEST(BatchRunner, ExceptionCountReported) {
 TEST(SessionDeterminism, UplinkTrialsBitIdenticalAcrossThreadCounts) {
   const Session session(Scenario::pool_a().with_seed(97));
   constexpr std::size_t kTrials = 12;
-  const auto serial = BatchRunner(1).run_uplink(session, kTrials);
+  const auto serial = BatchRunner(1).run<TrialKind::kUplink>(session, kTrials);
   ASSERT_EQ(serial.size(), kTrials);
   for (unsigned threads : {2u, 4u, 8u}) {
-    const auto parallel = BatchRunner(threads).run_uplink(session, kTrials);
+    const auto parallel =
+        BatchRunner(threads).run<TrialKind::kUplink>(session, kTrials);
     ASSERT_EQ(parallel.size(), kTrials);
     for (std::size_t i = 0; i < kTrials; ++i) {
       ASSERT_EQ(serial[i].ok(), parallel[i].ok()) << i;
@@ -119,9 +120,10 @@ TEST(SessionDeterminism, UplinkTrialsBitIdenticalAcrossThreadCounts) {
 TEST(SessionDeterminism, NetworkTrialsBitIdenticalAcrossThreadCounts) {
   const Session session(Scenario::pool_a_concurrent().with_seed(3));
   constexpr std::size_t kTrials = 4;
-  const auto serial = BatchRunner(1).run_network(session, kTrials);
+  const auto serial = BatchRunner(1).run<TrialKind::kNetwork>(session, kTrials);
   for (unsigned threads : {2u, 8u}) {
-    const auto parallel = BatchRunner(threads).run_network(session, kTrials);
+    const auto parallel =
+        BatchRunner(threads).run<TrialKind::kNetwork>(session, kTrials);
     for (std::size_t i = 0; i < kTrials; ++i) {
       ASSERT_TRUE(serial[i].ok()) << serial[i].error().message();
       ASSERT_TRUE(parallel[i].ok());
@@ -140,14 +142,15 @@ TEST(SessionDeterminism, NetworkTrialsBitIdenticalAcrossThreadCounts) {
 // under TSan in CI like the rest of this suite.
 TEST(SessionDeterminism, TimelineRoundsBitIdenticalAcrossThreadCounts) {
   const Session session(Scenario::pool_a_concurrent().with_seed(23));
-  Session::TimelineRoundConfig config;
-  config.horizon_s = 15.0;  // keep per-trial event counts modest
+  TrialOptions options;
+  options.timeline.horizon_s = 15.0;  // keep per-trial event counts modest
   constexpr std::size_t kTrials = 8;
-  const auto serial = BatchRunner(1).run_timeline(session, kTrials, config);
+  const auto serial =
+      BatchRunner(1).run<TrialKind::kTimeline>(session, kTrials, options);
   ASSERT_EQ(serial.size(), kTrials);
   for (unsigned threads : {2u, 8u}) {
-    const auto parallel =
-        BatchRunner(threads).run_timeline(session, kTrials, config);
+    const auto parallel = BatchRunner(threads).run<TrialKind::kTimeline>(
+        session, kTrials, options);
     ASSERT_EQ(parallel.size(), kTrials);
     for (std::size_t i = 0; i < kTrials; ++i) {
       ASSERT_EQ(serial[i].ok(), parallel[i].ok()) << i;
@@ -172,10 +175,10 @@ TEST(SessionDeterminism, TimelineRoundsBitIdenticalAcrossThreadCounts) {
 
 TEST(SessionDeterminism, TimelineTrialsDifferFromEachOther) {
   const Session session(Scenario::pool_a_concurrent().with_seed(23));
-  Session::TimelineRoundConfig config;
-  config.horizon_s = 15.0;
-  const auto a = session.run_timeline(0, config);
-  const auto b = session.run_timeline(1, config);
+  TrialOptions options;
+  options.timeline.horizon_s = 15.0;
+  const auto a = session.run_trial<TrialKind::kTimeline>(0, options);
+  const auto b = session.run_trial<TrialKind::kTimeline>(1, options);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   // Different trials draw different harvest jitter and link outcomes.
@@ -186,7 +189,7 @@ TEST(SessionDeterminism, TrialsDifferFromEachOther) {
   // Substreams must decorrelate trials: identical payloads across trials
   // would mean the split is broken.
   const Session session(Scenario::pool_a().with_seed(11));
-  const auto trials = BatchRunner(2).run_uplink(session, 6);
+  const auto trials = BatchRunner(2).run<TrialKind::kUplink>(session, 6);
   for (std::size_t i = 1; i < trials.size(); ++i) {
     ASSERT_TRUE(trials[i].ok());
     EXPECT_NE(trials[i].value().sent, trials[0].value().sent) << i;
@@ -199,7 +202,7 @@ TEST(SessionDeterminism, TrialsDifferFromEachOther) {
 TEST(TapCache, EvaluatesEachGeometryOnce) {
   const Session session(Scenario::pool_a().with_seed(1));
   const auto& cache = *session.tap_cache();
-  const auto trials = BatchRunner(4).run_uplink(session, 10);
+  const auto trials = BatchRunner(4).run<TrialKind::kUplink>(session, 10);
   for (const auto& t : trials) ASSERT_TRUE(t.ok());
   // One uplink needs three paths (proj->node, node->hyd, proj->hyd), all at
   // the same carrier: exactly 3 evaluations, served to 10 trials.
@@ -226,7 +229,7 @@ TEST(TapCache, DistinctKeysEvaluateSeparately) {
 // carrier, bitrate) -- trials at one operating point share one evaluation.
 TEST(Session, ModulationResponseMemoized) {
   const Session session(Scenario::pool_a().with_seed(2));
-  const auto trials = BatchRunner(4).run_uplink(session, 8);
+  const auto trials = BatchRunner(4).run<TrialKind::kUplink>(session, 8);
   for (const auto& t : trials) ASSERT_TRUE(t.ok());
   EXPECT_EQ(session.modulation_evaluations(), 1u);
   // A different operating point is a fresh evaluation...
@@ -243,7 +246,7 @@ TEST(Session, UndecodableRunReturnsError) {
   sc.medium.noise.psd_db_re_upa = 140.0;  // drown the link
   sc.projector.drive_v = 1e-3;
   const Session session(sc);
-  const auto out = session.run(0);
+  const auto out = session.run_trial<TrialKind::kUplink>(0);
   ASSERT_FALSE(out.ok());
   EXPECT_FALSE(out.error().message().empty());
 }
@@ -253,7 +256,7 @@ TEST(Session, NetworkRequiresConsistentScenario) {
   Scenario sc = Scenario::pool_a();
   sc.fdma.carriers_hz = {15000.0, 18000.0};
   const Session session(sc);
-  const auto out = session.run_network(0);
+  const auto out = session.run_trial<TrialKind::kNetwork>(0);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.error().code, ErrorCode::kInvalidArgument);
 }
@@ -267,9 +270,9 @@ TEST(BatchRunner, ParallelSpeedupOnMultiCoreHosts) {
   constexpr std::size_t kTrials = 32;
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  const auto serial = BatchRunner(1).run_uplink(session, kTrials);
+  const auto serial = BatchRunner(1).run<TrialKind::kUplink>(session, kTrials);
   const auto t1 = clock::now();
-  const auto parallel = BatchRunner(8).run_uplink(session, kTrials);
+  const auto parallel = BatchRunner(8).run<TrialKind::kUplink>(session, kTrials);
   const auto t2 = clock::now();
   const double speedup = std::chrono::duration<double>(t1 - t0).count() /
                          std::chrono::duration<double>(t2 - t1).count();
@@ -277,6 +280,34 @@ TEST(BatchRunner, ParallelSpeedupOnMultiCoreHosts) {
   for (std::size_t i = 0; i < kTrials; ++i)
     EXPECT_EQ(serial[i].value().demod.bits, parallel[i].value().demod.bits);
 }
+
+// The deprecated pre-TrialKind entry points (Session::run / run_network /
+// run_timeline, BatchRunner::run_uplink) stay for one release as inline
+// shims.  This is the one caller allowed to use them: it pins the contract
+// that they delegate to the unified run_trial path bit-exactly.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedShims, TriadDelegatesToUnifiedRunExactly) {
+  const Session session(Scenario::pool_a().with_seed(19));
+  const auto legacy = session.run(1);
+  const auto unified = session.run_trial<TrialKind::kUplink>(1);
+  ASSERT_EQ(legacy.ok(), unified.ok());
+  if (legacy.ok()) {
+    EXPECT_EQ(legacy.value().ber, unified.value().ber);
+    EXPECT_EQ(legacy.value().demod.bits, unified.value().demod.bits);
+    EXPECT_EQ(legacy.value().demod.snr_db, unified.value().demod.snr_db);
+  }
+  const auto pool_legacy = BatchRunner(2).run_uplink(session, 4);
+  const auto pool_unified = BatchRunner(2).run<TrialKind::kUplink>(session, 4);
+  ASSERT_EQ(pool_legacy.size(), pool_unified.size());
+  for (std::size_t i = 0; i < pool_legacy.size(); ++i) {
+    ASSERT_EQ(pool_legacy[i].ok(), pool_unified[i].ok()) << i;
+    if (pool_legacy[i].ok()) {
+      EXPECT_EQ(pool_legacy[i].value().ber, pool_unified[i].value().ber) << i;
+    }
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace pab::sim

@@ -82,7 +82,7 @@ TEST_P(LinkBitrateSweep, CloseRangeLinkDecodesErrorFree) {
   sc.placement.node = {1.5, 2.1, 0.65};
   sc.waveform.bitrate = bitrate;
   const sim::Session session(sc);
-  const auto out = session.run(/*trial=*/0);
+  const auto out = session.run_trial<sim::TrialKind::kUplink>(/*trial=*/0);
   ASSERT_TRUE(out.ok()) << "rate=" << bitrate << ": " << out.error().message();
   EXPECT_EQ(out.value().ber, 0.0) << "rate=" << bitrate;
 }

@@ -12,6 +12,7 @@
 #include "obs/alloccount.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/batch.hpp"
 #include "sim/session.hpp"
 #include "util/rng.hpp"
 
@@ -126,7 +127,7 @@ TEST(ZeroAlloc, RunIntoMatchesRunExactly) {
 
   sim::Session::UplinkTrial reused;
   for (std::uint64_t i = 0; i < 8; ++i) {
-    const auto want = a.run(i);
+    const auto want = a.run_trial<sim::TrialKind::kUplink>(i);
     const auto got = b.run_into(i, reused);
     ASSERT_EQ(want.ok(), got.ok());
     if (!want.ok()) continue;
@@ -148,6 +149,33 @@ TEST(ZeroAlloc, RngBitsIntoMatchesBits) {
   for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i], got[i]);
   // Both consumed the same engine stream.
   EXPECT_EQ(a.bits(10), b.bits(10));
+}
+
+// Satellite regression: BatchRunner::count_worker_trials used to build a
+// "sim.batch.worker.<t>.trials" string (one heap allocation) on every
+// worker's drain.  Counter handles are now resolved once at construction, so
+// a warm dispatch with a metrics registry attached allocates no more than
+// the same dispatch with metrics disabled.
+TEST(ZeroAlloc, BatchDispatchMetricsPathAddsNoAllocations) {
+  obs::MetricRegistry reg;
+  const sim::BatchRunner with_metrics(2, &reg);
+  const sim::BatchRunner without_metrics(2, nullptr);
+  const auto work = [](std::size_t i) { return i * 3; };
+  (void)with_metrics.map(4, work);  // warm both pools and all instruments
+  (void)without_metrics.map(4, work);
+
+  constexpr int kReps = 8;
+  const obs::AllocScope with_scope;
+  for (int r = 0; r < kReps; ++r) (void)with_metrics.map(4, work);
+  const std::uint64_t with_allocs = with_scope.allocations();
+  const obs::AllocScope without_scope;
+  for (int r = 0; r < kReps; ++r) (void)without_metrics.map(4, work);
+  const std::uint64_t without_allocs = without_scope.allocations();
+
+  EXPECT_LE(with_allocs, without_allocs)
+      << "metrics accounting allocates on the dispatch hot path";
+  EXPECT_GE(reg.counter("sim.batch.trials").value(), 4u * (kReps + 1));
+  EXPECT_GE(reg.counter("sim.batch.worker.0.trials").value(), 1u);
 }
 
 }  // namespace
