@@ -30,10 +30,20 @@ namespace pab::channel {
 [[nodiscard]] std::size_t apply_taps_length(std::size_t n, double sample_rate,
                                             const std::vector<PathTap>& taps);
 
-// y.size() must equal apply_taps_length(...); `y` is zero-filled before the
-// taps accumulate and must not alias `x`.
+// y.size() must equal apply_taps_length(...); `y` is fully written (zero-fill
+// + accumulate on the direct path, overwrite on the FFT path) and must not
+// alias `x`.  Dense tap sets over long signals switch to overlap-save fast
+// convolution (dsp/fftconv.hpp) when the cost model favours it; `scratch`
+// backs the dense impulse response and FFT buffers.  The overloads without an
+// arena use a thread-local fallback.
+void apply_taps_into(std::span<const double> x, double sample_rate,
+                     const std::vector<PathTap>& taps, std::span<double> y,
+                     dsp::Arena& scratch);
 void apply_taps_into(std::span<const double> x, double sample_rate,
                      const std::vector<PathTap>& taps, std::span<double> y);
+void apply_taps_baseband_into(std::span<const dsp::cplx> x, double sample_rate,
+                              double carrier_hz, const std::vector<PathTap>& taps,
+                              std::span<dsp::cplx> y, dsp::Arena& scratch);
 void apply_taps_baseband_into(std::span<const dsp::cplx> x, double sample_rate,
                               double carrier_hz, const std::vector<PathTap>& taps,
                               std::span<dsp::cplx> y);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/envelope.hpp"
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -129,14 +130,22 @@ void LinkSimulator::run_uplink_into(const Projector& projector,
   // chip durations, so the offset is applied as a pure carrier shift.
   const double skew = 1.0 + config_.receiver_clock_offset_ppm * 1e-6;
   const double w = kTwoPi * f * skew / fs;
+  // Split into three passes so the upconversion runs through the dispatched
+  // mixer: combine the baseband components, mix to passband, then add noise
+  // and the sensitivity scale.  Per-element arithmetic, evaluation order, and
+  // the RNG draw sequence all match the fused reference loop, so the scalar
+  // table stays bit-identical.
+  auto combined = arena.alloc<dsp::cplx>(n);
   for (std::size_t i = 0; i < n; ++i) {
     dsp::cplx env{};
     if (i < direct.size()) env += direct[i];
     if (i < backscatter.size()) env += backscatter[i];
-    const double ph = w * static_cast<double>(i);
-    const double pressure =
-        env.real() * std::cos(ph) - env.imag() * std::sin(ph) +
-        rng.gaussian(0.0, noise_sd);
+    combined[i] = env;
+  }
+  auto carrier = arena.alloc<double>(n);
+  dsp::simd::mix_up(combined, w, carrier);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pressure = carrier[i] + rng.gaussian(0.0, noise_sd);
     out.hydrophone_v.samples[i] = sens * pressure;
   }
 
@@ -222,8 +231,7 @@ std::vector<std::uint8_t> LinkSimulator::downlink_sliced_envelope(
   // RC, then the Schmitt trigger.  Envelope magnitude is proportional to the
   // incident pressure; the RC shapes the edges.
   std::vector<double> mag(at_node.size());
-  for (std::size_t i = 0; i < at_node.size(); ++i)
-    mag[i] = std::abs(at_node.samples[i]);
+  dsp::simd::magnitude(at_node.samples, mag);
   const auto env = dsp::envelope_rc(mag, fs, /*tau_s=*/0.25e-3);
   return dsp::schmitt_slice(env);
 }

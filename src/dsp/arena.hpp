@@ -55,7 +55,7 @@ class Arena {
   template <typename T>
   [[nodiscard]] std::span<T> alloc_zero(std::size_t n) {
     auto s = alloc<T>(n);
-    if (!s.empty()) std::memset(s.data(), 0, s.size_bytes());
+    if (!s.empty()) std::memset(static_cast<void*>(s.data()), 0, s.size_bytes());
     return s;
   }
 

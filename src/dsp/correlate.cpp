@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 
 namespace pab::dsp {
@@ -17,22 +18,18 @@ void cross_correlate_into(std::span<const std::complex<double>> x,
                           std::span<std::complex<double>> out) {
   require(out.size() == correlation_length(x.size(), t.size()),
           "cross_correlate_into: output size mismatch");
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    std::complex<double> acc{};
-    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
-    out[k] = acc;
-  }
+  // Sliding conjugate dot product through the dispatch layer: the scalar
+  // table is the original accumulation loop verbatim.
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = simd::dot_conj(x.subspan(k, t.size()), t);
 }
 
 void cross_correlate_into(std::span<const double> x, std::span<const double> t,
                           std::span<double> out) {
   require(out.size() == correlation_length(x.size(), t.size()),
           "cross_correlate_into: output size mismatch");
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * t[i];
-    out[k] = acc;
-  }
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = simd::dot(x.subspan(k, t.size()), t);
 }
 
 std::vector<std::complex<double>> cross_correlate(
@@ -69,8 +66,7 @@ void normalized_correlation_into(std::span<const std::complex<double>> x,
   double win_energy = 0.0;
   for (std::size_t i = 0; i < t.size(); ++i) win_energy += std::norm(x[i]);
   for (std::size_t k = 0; k < out.size(); ++k) {
-    std::complex<double> acc{};
-    for (std::size_t i = 0; i < t.size(); ++i) acc += x[k + i] * std::conj(t[i]);
+    const std::complex<double> acc = simd::dot_conj(x.subspan(k, t.size()), t);
     const double denom = std::sqrt(std::max(win_energy, 1e-300)) * t_norm;
     out[k] = std::abs(acc) / denom;
     if (k + t.size() < x.size())
@@ -105,16 +101,12 @@ void pearson_correlation_into(std::span<const double> x,
     // Window statistics computed fresh per window, centered on the window
     // mean: cancellation-safe for small modulations on a large pedestal and
     // free of running-sum drift.  With x centered, sum(xc) = 0, so the
-    // template's mean term drops out of the covariance.
-    double x_mean = 0.0;
-    for (std::size_t i = 0; i < t.size(); ++i) x_mean += x[k + i];
-    x_mean /= n;
-    double cov = 0.0, x_var = 0.0;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      const double xc = x[k + i] - x_mean;
-      cov += xc * t[i];
-      x_var += xc * xc;
-    }
+    // template's mean term drops out of the covariance.  Both passes run
+    // through dsp::simd (scalar dispatch reproduces the original loops
+    // bit-for-bit); this is the decode chain's hottest kernel.
+    const auto window = x.subspan(k, t.size());
+    const double x_mean = simd::sum(window) / n;
+    const auto [cov, x_var] = simd::centered_cov_var(window, t, x_mean);
     out[k] = x_var > 1e-300 ? cov / std::sqrt(x_var * t_var) : 0.0;
   }
 }

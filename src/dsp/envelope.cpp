@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/mixer.hpp"
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 
 namespace pab::dsp {
@@ -36,7 +37,7 @@ std::span<double> envelope_coherent(std::span<const double> x, double sample_rat
   const CplxView bb = downconvert_filtered(x, sample_rate, carrier_hz,
                                            lowpass_hz, order, /*decim=*/1, arena);
   auto env = arena.alloc<double>(bb.size());
-  for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb[i]);
+  simd::magnitude(bb.samples, env);
   return env;
 }
 
@@ -44,7 +45,9 @@ std::vector<double> envelope_coherent(const Signal& x, double carrier_hz,
                                       double lowpass_hz, int order) {
   const BasebandSignal bb = downconvert_filtered(x, carrier_hz, lowpass_hz, order);
   std::vector<double> env(bb.size());
-  for (std::size_t i = 0; i < bb.size(); ++i) env[i] = std::abs(bb.samples[i]);
+  // Same dispatched kernel as the arena overload so the two entry points stay
+  // exactly equal under every ISA table.
+  simd::magnitude(bb.samples, env);
   return env;
 }
 

@@ -31,6 +31,11 @@ struct Spectrum {
   std::vector<double> magnitude;  // linear amplitude per bin
 };
 
+// Exact-length DFT (Bluestein for non-power-of-two lengths): bin spacing is
+// fs / signal.size() and amplitudes are normalized so a bin-aligned
+// unit-amplitude sine reads ~1.0 at its exact frequency.  DC and (for even
+// lengths) the Nyquist bin carry no mirrored negative-frequency energy and
+// are scaled by 1/N instead of 2/N, so a unit-DC signal also reads ~1.0.
 [[nodiscard]] Spectrum magnitude_spectrum(const Signal& signal);
 
 // Frequencies of local maxima of the one-sided spectrum that exceed

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <complex>
+#include <vector>
 
+#include "dsp/fftconv.hpp"
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -68,23 +71,83 @@ std::vector<double> design_bandpass_fir(double low_hz, double high_hz,
 namespace {
 
 template <typename T>
-void fir_apply_into(std::span<const double> h, std::span<const T> x,
-                    std::span<T> y) {
+void fir_checks(std::span<const double> h, std::span<const T> x,
+                std::span<T> y) {
   require(!h.empty(), "fir_filter: empty kernel");
   require(y.size() == x.size(), "fir_filter_into: output size mismatch");
-  const std::size_t delay = (h.size() - 1) / 2;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    T acc{};
-    // y[i] = sum_k h[k] * x[i + delay - k]
-    for (std::size_t k = 0; k < h.size(); ++k) {
-      const std::ptrdiff_t idx =
-          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(delay) -
-          static_cast<std::ptrdiff_t>(k);
-      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size()))
-        acc += h[k] * x[static_cast<std::size_t>(idx)];
-    }
-    y[i] = acc;
+  // The convolution reads x[i +/- delay] while writing y[i]: any overlap
+  // between input and output corrupts later windows.
+  const T* xb = x.data();
+  const T* yb = y.data();
+  require(x.empty() || y.empty() || xb + x.size() <= yb || yb + y.size() <= xb,
+          "fir_filter_into: output must not alias input");
+}
+
+// One edge sample of the reference convolution (kernel truncated where it
+// overhangs the signal).
+template <typename T>
+T fir_edge_sample(std::span<const double> h, std::span<const T> x,
+                  std::size_t i, std::size_t delay) {
+  T acc{};
+  // y[i] = sum_k h[k] * x[i + delay - k]
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    const std::ptrdiff_t idx =
+        static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(delay) -
+        static_cast<std::ptrdiff_t>(k);
+    if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size()))
+      acc += h[k] * x[static_cast<std::size_t>(idx)];
   }
+  return acc;
+}
+
+// The pre-SIMD reference loop, kept verbatim: this is what runs under scalar
+// dispatch and what the vector/FFT paths are equality-tested against.
+template <typename T>
+void fir_apply_reference(std::span<const double> h, std::span<const T> x,
+                         std::span<T> y) {
+  const std::size_t delay = (h.size() - 1) / 2;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = fir_edge_sample<T>(h, x, i, delay);
+}
+
+// Vector path (real signals): interior samples become contiguous dot
+// products against the reversed kernel, y[i] = dot(rev_h, x[i+delay-nh+1 ..]);
+// the <= nh-1 samples at each edge keep the checked reference loop.
+void fir_apply_simd(std::span<const double> h, std::span<const double> x,
+                    std::span<double> y) {
+  const std::size_t nh = h.size();
+  const std::size_t delay = (nh - 1) / 2;
+  thread_local std::vector<double> rev;
+  rev.assign(h.rbegin(), h.rend());
+  const std::size_t lo = nh - 1 > delay ? nh - 1 - delay : 0;
+  // First i past the interior: window end i + delay must stay < x.size().
+  const std::size_t hi = x.size() > delay ? x.size() - delay : 0;
+  std::size_t i = 0;
+  for (; i < lo && i < y.size(); ++i) y[i] = fir_edge_sample<double>(h, x, i, delay);
+  for (; i < hi; ++i)
+    y[i] = simd::dot(rev, x.subspan(i + delay - (nh - 1), nh));
+  for (; i < y.size(); ++i) y[i] = fir_edge_sample<double>(h, x, i, delay);
+}
+
+// Crossover dispatch shared by both element types: FFT fast convolution for
+// long kernels, the interior-dot vector path for real signals under a vector
+// ISA, the reference loop otherwise (and always under PAB_SIMD=off).
+template <typename T>
+void fir_apply_into(std::span<const double> h, std::span<const T> x,
+                    std::span<T> y) {
+  fir_checks<T>(h, x, y);
+  if (simd::fftconv_enabled() && h.size() >= fftconv_fir_crossover() &&
+      x.size() >= 2 * h.size()) {
+    fftconv_fir(h, x, y);
+    return;
+  }
+  if constexpr (std::is_same_v<T, double>) {
+    if (simd::enabled() && h.size() >= 8 && x.size() >= 2 * h.size()) {
+      fir_apply_simd(h, x, y);
+      return;
+    }
+  }
+  fir_apply_reference<T>(h, x, y);
 }
 
 template <typename T>

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/iir.hpp"
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -18,8 +19,9 @@ void make_tone_into(double freq_hz, double amplitude, double sample_rate,
                     double phase, std::span<double> out) {
   require(sample_rate > 0.0, "make_tone: sample rate must be positive");
   const double w = kTwoPi * freq_hz / sample_rate;
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = amplitude * std::sin(w * static_cast<double>(i) + phase);
+  // Dispatched oscillator: the scalar table is the per-sample libm loop
+  // verbatim; vector tables rotate block-anchored phasors.
+  simd::tone(w, amplitude, phase, out);
 }
 
 Signal make_tone(double freq_hz, double amplitude, double duration_s,
@@ -36,12 +38,9 @@ void downconvert_into(std::span<const double> x, double sample_rate,
   require(sample_rate > 0.0, "downconvert: sample rate unset");
   require(out.size() == x.size(), "downconvert_into: size mismatch");
   const double w = kTwoPi * carrier_hz / sample_rate;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double ph = w * static_cast<double>(i);
-    // Multiply by exp(-j w n); factor 2 recovers the baseband envelope
-    // amplitude after low-pass filtering.
-    out[i] = 2.0 * x[i] * cplx(std::cos(ph), -std::sin(ph));
-  }
+  // Multiply by exp(-j w n); factor 2 recovers the baseband envelope
+  // amplitude after low-pass filtering.
+  simd::mix_down(x, w, out);
 }
 
 BasebandSignal downconvert(const Signal& x, double carrier_hz) {
@@ -101,10 +100,7 @@ void upconvert_into(std::span<const cplx> x, double sample_rate,
   require(sample_rate > 0.0, "upconvert: sample rate unset");
   require(out.size() == x.size(), "upconvert_into: size mismatch");
   const double w = kTwoPi * carrier_hz / sample_rate;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double ph = w * static_cast<double>(i);
-    out[i] = x[i].real() * std::cos(ph) - x[i].imag() * std::sin(ph);
-  }
+  simd::mix_up(x, w, out);
 }
 
 Signal upconvert(const BasebandSignal& x, double carrier_hz) {

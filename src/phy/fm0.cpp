@@ -4,7 +4,9 @@
 #include <array>
 #include <limits>
 #include <utility>
+#include <vector>
 
+#include "dsp/simd.hpp"
 #include "util/error.hpp"
 
 namespace pab::phy {
@@ -101,6 +103,49 @@ void decode_ml_core(std::span<const double> soft, std::int8_t initial_level,
   }
 }
 
+// Vector-dispatch variant: with the per-bit chip sums s[t] = x0+x1 and
+// differences d[t] = x0-x1 precomputed (dsp::simd::chip_sum_diff), the four
+// branch metrics per step collapse to metric[prev] +/- s or +/- d, and the
+// add-compare-select keeps the reference tie-breaking order (prev 0 before
+// prev 1, bit 1 before bit 0, strict improvement).  Tolerance path: c0*(x0+x1)
+// rounds differently from c0*x0 + c0*x1.
+void decode_ml_core_sumdiff(std::span<const double> s, std::span<const double> d,
+                            std::int8_t initial_level, std::span<BackEntry> back,
+                            std::span<std::uint8_t> out) {
+  const std::size_t n_bits = out.size();
+  if (n_bits == 0) return;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::array<double, 2> metric{kNegInf, kNegInf};
+  metric[initial_level > 0 ? 1 : 0] = 0.0;
+  for (std::size_t t = 0; t < n_bits; ++t) {
+    // End state 1: (prev 0, bit 1) then (prev 1, bit 0).
+    const double m1a = metric[0] + s[t];
+    const double m1b = metric[1] - d[t];
+    // End state 0: (prev 0, bit 0) then (prev 1, bit 1).
+    const double m0a = metric[0] + d[t];
+    const double m0b = metric[1] - s[t];
+    if (m1a >= m1b) {
+      metric[1] = m1a;
+      back[t][1] = {0, 1};
+    } else {
+      metric[1] = m1b;
+      back[t][1] = {1, 0};
+    }
+    if (m0a >= m0b) {
+      metric[0] = m0a;
+      back[t][0] = {0, 0};
+    } else {
+      metric[0] = m0b;
+      back[t][0] = {1, 1};
+    }
+  }
+  int state = metric[1] >= metric[0] ? 1 : 0;
+  for (std::size_t t = n_bits; t-- > 0;) {
+    out[t] = back[t][static_cast<std::size_t>(state)].bit;
+    state = back[t][static_cast<std::size_t>(state)].prev;
+  }
+}
+
 }  // namespace
 
 void fm0_decode_ml_into(std::span<const double> soft, std::int8_t initial_level,
@@ -109,7 +154,15 @@ void fm0_decode_ml_into(std::span<const double> soft, std::int8_t initial_level,
   require(initial_level == 1 || initial_level == -1, "fm0_decode_ml: level must be +/-1");
   require(out.size() == soft.size() / 2, "fm0_decode_ml_into: output size mismatch");
   const auto frame = scratch.frame();
-  decode_ml_core(soft, initial_level, scratch.alloc<BackEntry>(out.size()), out);
+  const auto back = scratch.alloc<BackEntry>(out.size());
+  if (dsp::simd::enabled() && !out.empty()) {
+    const auto sum = scratch.alloc<double>(out.size());
+    const auto diff = scratch.alloc<double>(out.size());
+    dsp::simd::chip_sum_diff(soft, sum, diff);
+    decode_ml_core_sumdiff(sum, diff, initial_level, back, out);
+    return;
+  }
+  decode_ml_core(soft, initial_level, back, out);
 }
 
 Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
@@ -119,6 +172,13 @@ Bits fm0_decode_ml(std::span<const double> soft, std::int8_t initial_level) {
   if (n_bits == 0) return {};
   std::vector<BackEntry> back(n_bits);
   Bits bits(n_bits);
+  if (dsp::simd::enabled()) {
+    std::vector<double> sum(n_bits);
+    std::vector<double> diff(n_bits);
+    dsp::simd::chip_sum_diff(soft, sum, diff);
+    decode_ml_core_sumdiff(sum, diff, initial_level, back, bits);
+    return bits;
+  }
   decode_ml_core(soft, initial_level, back, bits);
   return bits;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dsp/correlate.hpp"
+#include "dsp/simd.hpp"
 #include "obs/metrics.hpp"
 #include "phy/equalizer.hpp"
 #include "phy/fec.hpp"
@@ -260,7 +261,7 @@ Expected<bool> BackscatterDemodulator::demodulate_into(
     const dsp::CplxView bb = dsp::downconvert_filtered(
         passband, sample_rate, config_.carrier_hz, lowpass_, /*decim=*/1, scratch);
     auto e = scratch.alloc<double>(bb.size());
-    for (std::size_t i = 0; i < bb.size(); ++i) e[i] = std::abs(bb[i]);
+    dsp::simd::magnitude(bb.samples, e);
     env = e;
     envelope_rate = bb.sample_rate;
   }

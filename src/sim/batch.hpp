@@ -109,26 +109,6 @@ class BatchRunner {
     });
   }
 
-  // ---- Deprecated pre-campaign names (one release; use run<K>) -------------
-  [[deprecated("use run<TrialKind::kUplink>")]] [[nodiscard]]
-  std::vector<pab::Expected<Session::UplinkTrial>> run_uplink(
-      const Session& session, std::size_t trials) const {
-    return run<TrialKind::kUplink>(session, trials);
-  }
-  [[deprecated("use run<TrialKind::kNetwork>")]] [[nodiscard]]
-  std::vector<pab::Expected<core::NetworkRunResult>> run_network(
-      const Session& session, std::size_t trials) const {
-    return run<TrialKind::kNetwork>(session, trials);
-  }
-  [[deprecated("use run<TrialKind::kTimeline>")]] [[nodiscard]]
-  std::vector<pab::Expected<Session::TimelineRunResult>> run_timeline(
-      const Session& session, std::size_t trials,
-      const Session::TimelineRoundConfig& config = {}) const {
-    TrialOptions opts;
-    opts.timeline = config;
-    return run<TrialKind::kTimeline>(session, trials, opts);
-  }
-
  private:
   // Run body(i) for every i in [0, n) across the pool; rethrows the first
   // worker exception after all workers have joined.  A worker exception

@@ -179,25 +179,6 @@ class Session {
   [[nodiscard]] pab::Expected<bool> run_into(std::uint64_t trial,
                                              UplinkTrial& out) const;
 
-  // ---- Deprecated pre-campaign names (one release; use run_trial) ----------
-  [[deprecated("use run_trial<TrialKind::kUplink>")]] [[nodiscard]]
-  pab::Expected<UplinkTrial> run(std::uint64_t trial) const {
-    return uplink_trial(trial);
-  }
-  [[deprecated("use run_trial<TrialKind::kNetwork>")]] [[nodiscard]]
-  pab::Expected<core::NetworkRunResult> run_network(std::uint64_t trial) const {
-    return network_trial(trial);
-  }
-  [[deprecated("use run_trial<TrialKind::kTimeline>")]] [[nodiscard]]
-  pab::Expected<TimelineRunResult> run_timeline(
-      std::uint64_t trial, const TimelineRoundConfig& config) const {
-    return timeline_trial(trial, config);
-  }
-  [[deprecated("use run_trial<TrialKind::kTimeline>")]] [[nodiscard]]
-  pab::Expected<TimelineRunResult> run_timeline(std::uint64_t trial) const {
-    return timeline_trial(trial, TimelineRoundConfig{});
-  }
-
  private:
   // Per-kind implementations behind the run_trial dispatch.
   [[nodiscard]] pab::Expected<UplinkTrial> uplink_trial(

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <set>
 #include <thread>
+#include <variant>
 
 #include "sim/batch.hpp"
 
@@ -281,33 +282,34 @@ TEST(BatchRunner, ParallelSpeedupOnMultiCoreHosts) {
     EXPECT_EQ(serial[i].value().demod.bits, parallel[i].value().demod.bits);
 }
 
-// The deprecated pre-TrialKind entry points (Session::run / run_network /
-// run_timeline, BatchRunner::run_uplink) stay for one release as inline
-// shims.  This is the one caller allowed to use them: it pins the contract
-// that they delegate to the unified run_trial path bit-exactly.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedShims, TriadDelegatesToUnifiedRunExactly) {
+// The deprecated pre-TrialKind shims (Session::run / run_network /
+// run_timeline, BatchRunner::run_uplink) are gone; the unified run_trial
+// surface is the only entry point.  Pin that the compile-time and
+// runtime-kind forms of that surface agree bit-exactly, which is the
+// contract the old shim test asserted through the legacy names.
+TEST(UnifiedTrialApi, TemplateAndRuntimeKindFormsAgreeExactly) {
   const Session session(Scenario::pool_a().with_seed(19));
-  const auto legacy = session.run(1);
-  const auto unified = session.run_trial<TrialKind::kUplink>(1);
-  ASSERT_EQ(legacy.ok(), unified.ok());
-  if (legacy.ok()) {
-    EXPECT_EQ(legacy.value().ber, unified.value().ber);
-    EXPECT_EQ(legacy.value().demod.bits, unified.value().demod.bits);
-    EXPECT_EQ(legacy.value().demod.snr_db, unified.value().demod.snr_db);
+  const auto typed = session.run_trial<TrialKind::kUplink>(1);
+  const auto dynamic = session.run_trial(TrialKind::kUplink, 1);
+  ASSERT_EQ(typed.ok(), dynamic.ok());
+  if (typed.ok()) {
+    const auto& row = std::get<Session::UplinkTrial>(dynamic.value());
+    EXPECT_EQ(typed.value().ber, row.ber);
+    EXPECT_EQ(typed.value().demod.bits, row.demod.bits);
+    EXPECT_EQ(typed.value().demod.snr_db, row.demod.snr_db);
   }
-  const auto pool_legacy = BatchRunner(2).run_uplink(session, 4);
-  const auto pool_unified = BatchRunner(2).run<TrialKind::kUplink>(session, 4);
-  ASSERT_EQ(pool_legacy.size(), pool_unified.size());
-  for (std::size_t i = 0; i < pool_legacy.size(); ++i) {
-    ASSERT_EQ(pool_legacy[i].ok(), pool_unified[i].ok()) << i;
-    if (pool_legacy[i].ok()) {
-      EXPECT_EQ(pool_legacy[i].value().ber, pool_unified[i].value().ber) << i;
+  const auto pool_typed = BatchRunner(2).run<TrialKind::kUplink>(session, 4);
+  const auto pool_dynamic =
+      BatchRunner(2).run(session, TrialKind::kUplink, 4);
+  ASSERT_EQ(pool_typed.size(), pool_dynamic.size());
+  for (std::size_t i = 0; i < pool_typed.size(); ++i) {
+    ASSERT_EQ(pool_typed[i].ok(), pool_dynamic[i].ok()) << i;
+    if (pool_typed[i].ok()) {
+      const auto& row = std::get<Session::UplinkTrial>(pool_dynamic[i].value());
+      EXPECT_EQ(pool_typed[i].value().ber, row.ber) << i;
     }
   }
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace pab::sim
