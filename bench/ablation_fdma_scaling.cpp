@@ -50,16 +50,16 @@ void print_series() {
   const auto results = pool.map(5, [&](std::size_t i) {
     const std::size_t n = i + 1;
     sim::Scenario sc = sim::Scenario::pool_a().with_seed(500 + n);
-    sc.placement.projector = {1.5, 1.2, 0.65};
-    sc.placement.hydrophone = {1.5, 2.8, 0.65};
+    sc.reader.projector = {1.5, 1.2, 0.65};
+    sc.reader.hydrophone = {1.5, 2.8, 0.65};
     sc.projector.ideal = true;
     sc.fdma = plan_for(n);
     const auto positions = ring_positions(n);
-    sc.placement.node = positions[0];
-    sc.extra_nodes.assign(positions.begin() + 1, positions.end());
-    sc.front_ends.clear();
-    for (double f : sc.fdma.carriers_hz)
-      sc.front_ends.push_back(sim::FrontEndSpec{.match_frequency_hz = f});
+    sc.field = sim::NodeField::empty();
+    for (std::size_t j = 0; j < positions.size(); ++j)
+      sc.field.push_back(positions[j],
+                         sim::FrontEndSpec{.match_frequency_hz =
+                                               sc.fdma.carriers_hz[j]});
     return sim::Session(sc).run_trial<sim::TrialKind::kNetwork>(/*trial=*/0);
   });
 

@@ -42,8 +42,7 @@ void print_series() {
   w.bitrate = kBitrate;
   w.payload_bits = kPayloadBits;
   sim::Scenario tdma1 = base.with_waveform(w).with_seed(10);
-  tdma1.extra_nodes.clear();
-  tdma1.front_ends = {sim::FrontEndSpec{}};
+  tdma1.field = sim::NodeField::single(base.node_position(0));
   tdma1.fdma = sim::FdmaPlan{};
   const sim::Scenario tdma2 =
       tdma1.with_node(base.node_position(1)).with_seed(11);

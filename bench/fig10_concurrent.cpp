@@ -45,7 +45,7 @@ void print_series() {
     sim::Scenario sc = sim::Scenario::pool_a_concurrent()
                            .with_seed(1000 + static_cast<std::uint64_t>(i) + 1)
                            .with_node(kLocations[i].node1);
-    sc.extra_nodes = {kLocations[i].node2};
+    sc.field.set_position(1, kLocations[i].node2);
     return sim::Session(sc).run_trial<sim::TrialKind::kNetwork>(/*trial=*/0);
   });
 
@@ -88,7 +88,7 @@ void print_series() {
   sim::Scenario sc = sim::Scenario::pool_a_concurrent()
                          .with_seed(1001)
                          .with_node(kLocations[0].node1);
-  sc.extra_nodes = {kLocations[0].node2};
+  sc.field.set_position(1, kLocations[0].node2);
   const sim::Session session(sc);
   const auto t0 = std::chrono::steady_clock::now();
   const auto round = session.run_trial<sim::TrialKind::kTimeline>(/*trial=*/0);

@@ -24,6 +24,14 @@ constexpr std::array<std::string_view, 16> kTimelineColumns = {
     "harvested_j",     "consumed_j",       "power_ups",
     "brown_outs"};
 
+constexpr std::array<std::string_view, 16> kFieldColumns = {
+    "population",      "cull_radius_m",    "total_pairs",
+    "kept_pairs",      "culled_pairs",     "mean_pair_gain",
+    "mean_reader_gain", "tap_evaluations", "tap_lookups",
+    "zones",           "zone_colors",      "zone_rounds",
+    "channels",        "identified",       "simulated_s",
+    "node_hours"};
+
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double sum = 0.0;
@@ -42,6 +50,7 @@ std::span<const std::string_view> RecordBatch::column_names(
     case sim::TrialKind::kUplink: return kUplinkColumns;
     case sim::TrialKind::kNetwork: return kNetworkColumns;
     case sim::TrialKind::kTimeline: return kTimelineColumns;
+    case sim::TrialKind::kField: return kFieldColumns;
   }
   return {};
 }
@@ -98,6 +107,26 @@ void RecordBatch::append(std::uint64_t trial,
       columns_[15].push_back(static_cast<double>(t.brown_outs));
       break;
     }
+    case sim::TrialKind::kField: {
+      const auto& f = std::get<sim::FieldRunResult>(r);
+      columns_[0].push_back(static_cast<double>(f.population));
+      columns_[1].push_back(f.cull_radius_m);
+      columns_[2].push_back(static_cast<double>(f.total_pairs));
+      columns_[3].push_back(static_cast<double>(f.kept_pairs));
+      columns_[4].push_back(static_cast<double>(f.culled_pairs));
+      columns_[5].push_back(f.mean_pair_gain);
+      columns_[6].push_back(f.mean_reader_gain);
+      columns_[7].push_back(static_cast<double>(f.tap_evaluations));
+      columns_[8].push_back(static_cast<double>(f.tap_lookups));
+      columns_[9].push_back(static_cast<double>(f.zones));
+      columns_[10].push_back(static_cast<double>(f.zone_colors));
+      columns_[11].push_back(static_cast<double>(f.zone_rounds));
+      columns_[12].push_back(static_cast<double>(f.channels));
+      columns_[13].push_back(static_cast<double>(f.identified.size()));
+      columns_[14].push_back(f.simulated_s);
+      columns_[15].push_back(f.node_hours);
+      break;
+    }
   }
 }
 
@@ -140,7 +169,7 @@ void RecordBatch::serialize(ByteWriter& w) const {
 
 pab::Expected<RecordBatch> RecordBatch::deserialize(ByteReader& r) {
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(sim::TrialKind::kTimeline))
+  if (kind > static_cast<std::uint8_t>(sim::TrialKind::kField))
     return pab::Error{pab::ErrorCode::kInvalidArgument,
                       "RecordBatch: unknown trial kind on the wire"};
   RecordBatch out(static_cast<sim::TrialKind>(kind));

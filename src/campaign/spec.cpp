@@ -48,11 +48,37 @@ bool apply_param(sim::Scenario& s, std::string_view name, double value) {
   } else if (name == "medium.receiver_clock_offset_ppm") {
     s.medium.receiver_clock_offset_ppm = value;
   } else if (name == "placement.node.x") {
-    s.placement.node.x = value;
+    channel::Vec3 p = s.node_position(0);
+    p.x = value;
+    s.field.set_position(0, p);
   } else if (name == "placement.node.y") {
-    s.placement.node.y = value;
+    channel::Vec3 p = s.node_position(0);
+    p.y = value;
+    s.field.set_position(0, p);
   } else if (name == "placement.node.z") {
-    s.placement.node.z = value;
+    channel::Vec3 p = s.node_position(0);
+    p.z = value;
+    s.field.set_position(0, p);
+  } else if (name.starts_with("field.")) {
+    // Field-generator sweep axes: only meaningful on generated (open-water)
+    // presets; a hand-placed field has no generator to re-run.
+    if (s.field_spec.layout == sim::FieldLayout::kExplicit) return false;
+    if (name == "field.population") {
+      s.field_spec.population = static_cast<std::uint64_t>(value);
+    } else if (name == "field.area_per_node_m2") {
+      s.field_spec.area_per_node_m2 = value;
+    } else if (name == "field.depth_m") {
+      s.field_spec.depth_m = value;
+    } else if (name == "field.clusters") {
+      s.field_spec.clusters = static_cast<std::uint64_t>(value);
+    } else if (name == "field.cluster_spread_m") {
+      s.field_spec.cluster_spread_m = value;
+    } else if (name == "field.seed") {
+      s.field_spec.seed = static_cast<std::uint64_t>(value);
+    } else {
+      return false;
+    }
+    s.apply_field(s.field_spec);
   } else if (name == "fdma.bitrate") {
     s.fdma.bitrate = value;
   } else if (name == "fdma.training_bits") {
@@ -99,6 +125,28 @@ bool apply_timeline_param(sim::TimelineRoundConfig& c, std::string_view name,
   return true;
 }
 
+bool apply_field_round_param(sim::FieldRoundConfig& c, std::string_view name,
+                             double value) {
+  if (name == "gain_floor") {
+    c.gain_floor = value;
+  } else if (name == "quant_cell_m") {
+    c.quant_cell_m = value;
+  } else if (name == "brute_force") {
+    c.brute_force = value != 0.0;
+  } else if (name == "zone_extent_m") {
+    c.zone_extent_m = value;
+  } else if (name == "frame_announce_s") {
+    c.frame_announce_s = value;
+  } else if (name == "slot_s") {
+    c.slot_s = value;
+  } else if (name == "keep_log") {
+    c.keep_log = value != 0.0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::uint64_t CampaignSpec::point_count() const {
   std::uint64_t n = 1;
   for (const auto& axis : axes) n *= axis.values.size();
@@ -127,6 +175,21 @@ pab::Expected<sim::Scenario> CampaignSpec::scenario_for_point(
     s = sim::Scenario::swimming_pool();
   } else if (preset == "pool_a_concurrent") {
     s = sim::Scenario::pool_a_concurrent();
+  } else if (preset == "open_water_grid") {
+    sim::FieldSpec f;
+    f.layout = sim::FieldLayout::kGrid;
+    f.population = 100;
+    s = sim::Scenario::open_water(f);
+  } else if (preset == "open_water_random") {
+    sim::FieldSpec f;
+    f.layout = sim::FieldLayout::kRandom;
+    f.population = 100;
+    s = sim::Scenario::open_water(f);
+  } else if (preset == "open_water_clusters") {
+    sim::FieldSpec f;
+    f.layout = sim::FieldLayout::kClusters;
+    f.population = 100;
+    s = sim::Scenario::open_water(f);
   } else {
     return pab::Error{pab::ErrorCode::kInvalidArgument,
                       "unknown scenario preset: " + preset};
@@ -148,6 +211,12 @@ pab::Expected<sim::TrialOptions> CampaignSpec::trial_options() const {
     if (!apply_timeline_param(opts.timeline, key, value))
       return pab::Error{pab::ErrorCode::kInvalidArgument,
                         "unknown timeline parameter: " + key};
+  }
+  opts.field.keep_log = false;
+  for (const auto& [key, value] : field) {
+    if (!apply_field_round_param(opts.field, key, value))
+      return pab::Error{pab::ErrorCode::kInvalidArgument,
+                        "unknown field parameter: " + key};
   }
   return opts;
 }
@@ -200,6 +269,8 @@ std::string CampaignSpec::serialize() const {
   }
   for (const auto& [key, value] : timeline)
     out += "timeline " + key + " " + fmt_double(value) + "\n";
+  for (const auto& [key, value] : field)
+    out += "field " + key + " " + fmt_double(value) + "\n";
   return out;
 }
 
@@ -243,6 +314,11 @@ pab::Expected<CampaignSpec> CampaignSpec::parse(std::string_view text) {
       double v = 0.0;
       fields >> name >> v;
       spec.timeline[name] = v;
+    } else if (key == "field") {
+      std::string name;
+      double v = 0.0;
+      fields >> name >> v;
+      spec.field[name] = v;
     } else {
       return pab::Error{pab::ErrorCode::kInvalidArgument,
                         "campaign spec: unknown directive: " + key};

@@ -60,6 +60,12 @@ struct Shard {
 [[nodiscard]] bool apply_timeline_param(sim::TimelineRoundConfig& c,
                                         std::string_view name, double value);
 
+// Set one named scalar on a field round config (the `field` override
+// registry): gain_floor, quant_cell_m, brute_force, zone_extent_m,
+// frame_announce_s, slot_s, keep_log.  Returns false for an unknown name.
+[[nodiscard]] bool apply_field_round_param(sim::FieldRoundConfig& c,
+                                           std::string_view name, double value);
+
 struct CampaignSpec {
   std::string name = "campaign";
   std::string preset = "pool_a";  // Scenario preset (see scenario_for_point)
@@ -69,6 +75,10 @@ struct CampaignSpec {
   std::vector<SweepAxis> axes;  // empty = a single operating point
   // Timeline knob overrides (kTimeline campaigns); key order is canonical.
   std::map<std::string, double> timeline;
+  // Field knob overrides (kField campaigns); key order is canonical.  Old
+  // specs never contain `field` lines, so their serialized form (and
+  // fingerprint) is unchanged by this map existing.
+  std::map<std::string, double> field;
 
   // Number of operating points: the product of axis sizes (1 when no axes).
   [[nodiscard]] std::uint64_t point_count() const;

@@ -1,0 +1,93 @@
+#include "channel/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/water.hpp"
+#include "util/error.hpp"
+
+namespace pab::channel {
+
+namespace {
+
+std::int64_t cell_coord(double v, double cell_m) {
+  return static_cast<std::int64_t>(std::floor(v / cell_m));
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(std::span<const Vec3> points, double cell_m)
+    : points_(points.begin(), points.end()), cell_m_(cell_m) {
+  require(cell_m > 0.0, "SpatialIndex: cell size must be positive");
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    cells_[cell_of(i)].push_back(static_cast<std::uint32_t>(i));
+}
+
+std::array<std::int64_t, 3> SpatialIndex::cell_of(std::size_t i) const {
+  const Vec3& p = points_.at(i);
+  return {cell_coord(p.x, cell_m_), cell_coord(p.y, cell_m_),
+          cell_coord(p.z, cell_m_)};
+}
+
+void SpatialIndex::neighbors_within(std::size_t i, double radius,
+                                    std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (radius < 0.0) return;
+  const Vec3& p = points_.at(i);
+  const auto [cx, cy, cz] = cell_of(i);
+  const std::int64_t reach =
+      static_cast<std::int64_t>(std::ceil(radius / cell_m_));
+  for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+      for (std::int64_t dz = -reach; dz <= reach; ++dz) {
+        const auto it = cells_.find(CellKey{cx + dx, cy + dy, cz + dz});
+        if (it == cells_.end()) continue;
+        for (const std::uint32_t j : it->second) {
+          if (j == i) continue;
+          if (distance(p, points_[j]) <= radius) out.push_back(j);
+        }
+      }
+    }
+  }
+  // Cells were visited in grid order, not index order.
+  std::sort(out.begin(), out.end());
+}
+
+double cull_radius_m(double gain_floor, double freq_hz, double max_radius_m) {
+  require(gain_floor > 0.0, "cull_radius_m: gain floor must be positive");
+  require(max_radius_m > 0.0, "cull_radius_m: max radius must be positive");
+  if (path_amplitude_gain(max_radius_m, freq_hz) >= gain_floor)
+    return max_radius_m;
+  // path_amplitude_gain is monotone decreasing in distance, so bisect for
+  // the crossing and keep the upper bracket (never cull a link at the floor).
+  double lo = 1.0e-3, hi = max_radius_m;
+  if (path_amplitude_gain(lo, freq_hz) < gain_floor) return lo;
+  for (int iter = 0; iter < 200 && (hi - lo) > 1.0e-6; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (path_amplitude_gain(mid, freq_hz) >= gain_floor)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> cull_pairs(
+    const SpatialIndex& index, double radius, CullStats* stats) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> kept;
+  std::vector<std::uint32_t> scratch;
+  const std::size_t n = index.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    index.neighbors_within(i, radius, scratch);
+    for (const std::uint32_t j : scratch)
+      if (j > i) kept.emplace_back(static_cast<std::uint32_t>(i), j);
+  }
+  if (stats != nullptr) {
+    stats->total_pairs = static_cast<std::uint64_t>(n) * (n - (n > 0 ? 1 : 0)) / 2;
+    stats->kept_pairs = kept.size();
+    stats->culled_pairs = stats->total_pairs - stats->kept_pairs;
+  }
+  return kept;
+}
+
+}  // namespace pab::channel

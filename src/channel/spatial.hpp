@@ -1,0 +1,75 @@
+// Spatial index and gain-floor link culling for deployment-scale fields.
+//
+// A 1000-node field has ~500k node pairs; almost all of them are acoustically
+// irrelevant because `path_amplitude_gain` falls monotonically with distance.
+// The index buckets positions into a uniform grid so "every pair closer than
+// r" is answerable by scanning the ceil(r/cell)-neighborhood of each point
+// instead of all O(n^2) pairs.  Results are *exact*, not approximate: the
+// grid only prunes candidates, the distance test decides -- so culling at the
+// radius where the gain estimator crosses the configured floor is equivalent
+// to brute-force pair enumeration by construction (the `channel.spatial_cull`
+// audit invariant re-verifies this on random fields).
+//
+// Determinism: queries return indices in ascending order and pair
+// enumeration in ascending lexicographic (i, j) order, independent of grid
+// internals, so downstream consumers see a platform-stable link list.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "channel/tank.hpp"
+
+namespace pab::channel {
+
+class SpatialIndex {
+ public:
+  // Buckets `points` into a uniform grid of `cell_m`-sized cells.  The point
+  // span is copied; cell_m must be positive.
+  SpatialIndex(std::span<const Vec3> points, double cell_m);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] double cell_m() const { return cell_m_; }
+  [[nodiscard]] const std::vector<Vec3>& points() const { return points_; }
+
+  // Integer grid coordinate of point i (floor(p / cell) per axis).
+  [[nodiscard]] std::array<std::int64_t, 3> cell_of(std::size_t i) const;
+
+  // Indices of every point j != i with distance(p_i, p_j) <= radius,
+  // ascending.  `out` is cleared first (reusable scratch for zero-alloc
+  // steady state).
+  void neighbors_within(std::size_t i, double radius,
+                        std::vector<std::uint32_t>& out) const;
+
+ private:
+  using CellKey = std::array<std::int64_t, 3>;
+
+  std::vector<Vec3> points_;
+  double cell_m_;
+  // std::map keys sort, so iteration order is deterministic by construction;
+  // member lists are filled in index order and stay ascending.
+  std::map<CellKey, std::vector<std::uint32_t>> cells_;
+};
+
+// Largest distance whose one-way amplitude gain still reaches `gain_floor`
+// at `freq_hz` (bisection over the monotone-decreasing gain; the returned
+// radius is rounded *up* so a link exactly at the floor is never culled).
+// Returns `max_radius_m` if the gain never falls below the floor within it.
+[[nodiscard]] double cull_radius_m(double gain_floor, double freq_hz,
+                                   double max_radius_m = 1.0e5);
+
+struct CullStats {
+  std::uint64_t total_pairs = 0;   // n * (n-1) / 2
+  std::uint64_t kept_pairs = 0;
+  std::uint64_t culled_pairs = 0;  // total - kept
+};
+
+// Every pair (i < j) with distance <= radius, ascending lexicographic order.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> cull_pairs(
+    const SpatialIndex& index, double radius, CullStats* stats = nullptr);
+
+}  // namespace pab::channel

@@ -24,6 +24,7 @@ struct Vec3 {
   friend Vec3 operator+(const Vec3& a, const Vec3& b) {
     return {a.x + b.x, a.y + b.y, a.z + b.z};
   }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
 };
 
 [[nodiscard]] double distance(const Vec3& a, const Vec3& b);

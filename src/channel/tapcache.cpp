@@ -1,7 +1,11 @@
 #include "channel/tapcache.hpp"
 
 #include <bit>
+#include <cmath>
 #include <mutex>
+#include <utility>
+
+#include "util/error.hpp"
 
 namespace pab::channel {
 
@@ -25,21 +29,58 @@ std::size_t TapCache::KeyHash::operator()(const Key& k) const {
 }
 
 TapCache::TapCache(Tank tank, int max_image_order, bool use_image_method,
-                   obs::MetricRegistry* metrics)
+                   obs::MetricRegistry* metrics, TapQuantization quant)
     : tank_(tank),
       max_image_order_(max_image_order),
-      use_image_method_(use_image_method) {
+      use_image_method_(use_image_method),
+      quant_(quant) {
+  require(quant_.cell_m >= 0.0, "TapCache: quantization cell must be >= 0");
   if (metrics != nullptr) {
     hits_ = &metrics->counter("channel.tapcache.hits");
     misses_ = &metrics->counter("channel.tapcache.misses");
   }
 }
 
+namespace {
+
+double snap(double v, double cell_m) {
+  return std::round(v / cell_m) * cell_m;
+}
+
+Vec3 snap(const Vec3& p, double cell_m) {
+  return {snap(p.x, cell_m), snap(p.y, cell_m), snap(p.z, cell_m)};
+}
+
+bool lex_less(const Vec3& a, const Vec3& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
+}  // namespace
+
 std::shared_ptr<const TapCache::Taps> TapCache::taps(const Vec3& a, const Vec3& b,
                                                      double freq_hz) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
-  const Key key{{to_bits(a.x), to_bits(a.y), to_bits(a.z), to_bits(b.x),
-                 to_bits(b.y), to_bits(b.z), to_bits(freq_hz)}};
+  // In quantized mode the *computation* geometry is the snapped one, so every
+  // lookup that maps to a key gets the same bit-identical tap set regardless
+  // of which caller populated the entry or on which thread.  Image-method
+  // endpoints are canonically ordered (the tap set is reciprocal under swap);
+  // free-field taps depend on distance alone, so the key collapses to the
+  // quantized distance for maximal sharing across the pair space.
+  Vec3 ka = a, kb = b;
+  if (quant_.cell_m > 0.0) {
+    if (use_image_method_) {
+      ka = snap(a, quant_.cell_m);
+      kb = snap(b, quant_.cell_m);
+      if (lex_less(kb, ka)) std::swap(ka, kb);
+    } else {
+      ka = Vec3{};
+      kb = Vec3{snap(distance(a, b), quant_.cell_m), 0.0, 0.0};
+    }
+  }
+  const Key key{{to_bits(ka.x), to_bits(ka.y), to_bits(ka.z), to_bits(kb.x),
+                 to_bits(kb.y), to_bits(kb.z), to_bits(freq_hz)}};
   {
     std::shared_lock lock(mutex_);
     const auto it = cache_.find(key);
@@ -53,8 +94,8 @@ std::shared_ptr<const TapCache::Taps> TapCache::taps(const Vec3& a, const Vec3& 
   // (both produce identical taps, the first insert wins).
   auto computed = std::make_shared<const Taps>(
       use_image_method_
-          ? image_method_taps(tank_, a, b, max_image_order_, freq_hz)
-          : free_field_tap(a, b, freq_hz, tank_.water));
+          ? image_method_taps(tank_, ka, kb, max_image_order_, freq_hz)
+          : free_field_tap(ka, kb, freq_hz, tank_.water));
   std::unique_lock lock(mutex_);
   const auto [it, inserted] = cache_.emplace(key, std::move(computed));
   if (inserted) evaluations_.fetch_add(1, std::memory_order_relaxed);

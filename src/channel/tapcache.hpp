@@ -9,6 +9,16 @@
 // Keys compare the exact double bit patterns of the endpoints and frequency:
 // two lookups hit the same entry iff they describe bit-identical geometry,
 // which is what deterministic replay requires.
+//
+// Quantized mode (TapQuantization::cell_m > 0) trades per-pair exactness for
+// sharing across a deployment-scale pair space: endpoints are snapped to a
+// `cell_m` grid (and canonically ordered, image-method reciprocity making the
+// swap lossless), or -- in free-field mode, where taps depend on distance
+// only -- the key collapses to the quantized pairwise distance.  Crucially
+// the taps are *computed at the snapped geometry*, so every member of a cell
+// shares one bit-identical tap set no matter which member arrived first or
+// which thread inserted it: quantization moves the approximation into the
+// key, never into replay determinism.
 #pragma once
 
 #include <atomic>
@@ -23,6 +33,16 @@
 
 namespace pab::channel {
 
+// Geometry quantization contract (DESIGN.md §13): cell_m == 0 keeps the
+// legacy exact bit-pattern keys; cell_m > 0 snaps each endpoint coordinate to
+// the nearest multiple of cell_m before keying *and* computing, so any two
+// lookups whose endpoints snap to the same cells (in either order) return the
+// same shared tap set.  The worst-case geometric error per endpoint
+// coordinate is cell_m / 2.
+struct TapQuantization {
+  double cell_m = 0.0;
+};
+
 class TapCache {
  public:
   using Taps = std::vector<PathTap>;
@@ -32,7 +52,7 @@ class TapCache {
   // With a registry the cache reports `channel.tapcache.{hits,misses}`
   // counters (one relaxed atomic increment per lookup -- hot-path safe).
   TapCache(Tank tank, int max_image_order, bool use_image_method,
-           obs::MetricRegistry* metrics = nullptr);
+           obs::MetricRegistry* metrics = nullptr, TapQuantization quant = {});
 
   // Memoized taps for the (a -> b, freq_hz) path.  The returned pointer stays
   // valid for the cache's lifetime and is safe to read from any thread.
@@ -51,6 +71,7 @@ class TapCache {
   [[nodiscard]] const Tank& tank() const { return tank_; }
   [[nodiscard]] int max_image_order() const { return max_image_order_; }
   [[nodiscard]] bool use_image_method() const { return use_image_method_; }
+  [[nodiscard]] const TapQuantization& quantization() const { return quant_; }
 
  private:
   struct Key {
@@ -68,6 +89,7 @@ class TapCache {
   Tank tank_;
   int max_image_order_;
   bool use_image_method_;
+  TapQuantization quant_;
   obs::Counter* hits_ = nullptr;
   obs::Counter* misses_ = nullptr;
 

@@ -239,15 +239,26 @@ sim::Scenario gen_scenario(Rng& rng) {
                          rng.uniform(margin, size.y - margin),
                          rng.uniform(margin, size.z - margin)};
   };
-  s.placement.projector = place(0.2);
-  s.placement.hydrophone = place(0.2);
-  s.placement.node = place(0.2);
+  s.reader.projector = place(0.2);
+  s.reader.hydrophone = place(0.2);
+  s.field.set_position(0, place(0.2));
   s.waveform = gen_waveform(rng);
-  if (rng.bernoulli(0.3)) {
-    s.extra_nodes.push_back(place(0.2));
-    s.front_ends.push_back(sim::FrontEndSpec{18000.0, 19500.0, 0.0});
-  }
+  if (rng.bernoulli(0.3))
+    s.field.push_back(place(0.2), sim::FrontEndSpec{18000.0, 19500.0, 0.0});
   return s;
+}
+
+sim::FieldSpec gen_field_spec(Rng& rng) {
+  sim::FieldSpec f;
+  const std::int64_t layout = rng.uniform_int(1, 3);
+  f.layout = static_cast<sim::FieldLayout>(layout);
+  f.population = static_cast<std::uint64_t>(rng.uniform_int(8, 96));
+  f.area_per_node_m2 = rng.uniform(40.0, 400.0);
+  f.depth_m = rng.uniform(10.0, 60.0);
+  f.clusters = static_cast<std::uint64_t>(rng.uniform_int(1, 8));
+  f.cluster_spread_m = rng.uniform(2.0, 20.0);
+  f.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  return f;
 }
 
 sim::Waveform gen_waveform(Rng& rng) {

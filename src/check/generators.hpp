@@ -109,6 +109,10 @@ gen_ledger_entries(Rng& rng, std::size_t n);
 // the tank, and occasionally extra nodes with their own front ends.
 [[nodiscard]] sim::Scenario gen_scenario(Rng& rng);
 
+// Random deployment-scale field spec: generated layout (grid / random /
+// clusters), tens-of-nodes populations, open-water densities and depths.
+[[nodiscard]] sim::FieldSpec gen_field_spec(Rng& rng);
+
 // Random single-link waveform parameters (decode round-trip trials).
 [[nodiscard]] sim::Waveform gen_waveform(Rng& rng);
 

@@ -95,6 +95,13 @@ InventoryFn real_inventory() {
   };
 }
 
+CullFn real_cull() {
+  return [](const channel::SpatialIndex& index, double radius_m,
+            channel::CullStats* stats) {
+    return channel::cull_pairs(index, radius_m, stats);
+  };
+}
+
 LedgerTotalFn real_ledger_total() {
   return [](std::span<const std::pair<energy::Category, double>> entries) {
     energy::EnergyLedger ledger;
@@ -296,6 +303,74 @@ CheckResult check_channel_causality(std::uint64_t seed) {
       if (std::abs(y.samples[i]) > bound * (1.0 + 1e-9))
         return mismatch("propagate_wavy exceeds the two-path gain bound",
                         std::abs(y.samples[i]), bound);
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_spatial_cull(std::uint64_t seed, const CullFn& subject) {
+  Rng rng(seed);
+  const sim::FieldSpec spec = gen_field_spec(rng);
+  const sim::NodeField field = sim::NodeField::generate(spec);
+  const auto& positions = field.positions();
+  const std::size_t n = positions.size();
+
+  // The production path end to end: a gain floor at a random carrier turns
+  // into a radius through the bisection, so the audit covers that too.
+  const double carrier = rng.uniform(10e3, 30e3);
+  const double floor = rng.uniform(0.005, 0.1);
+  const double radius =
+      channel::cull_radius_m(floor, carrier, 4.0 * spec.extent_m());
+
+  // Brute-force reference: every pair, plain distance threshold, i < j
+  // lexicographic -- the order the culled path promises.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> brute;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      if (channel::distance(positions[i], positions[j]) <= radius)
+        brute.emplace_back(i, j);
+
+  // Grid-cell independence: the cell size is an accelerator knob, never a
+  // semantic one.
+  const double cells[] = {rng.uniform(1.0, 5.0), rng.uniform(5.0, 60.0),
+                          std::max(radius, 1.0)};
+  for (const double cell : cells) {
+    const channel::SpatialIndex index(positions, cell);
+    channel::CullStats stats;
+    const auto kept = subject(index, radius, &stats);
+    if (kept != brute)
+      return mismatch(("culled pair list != brute-force distance threshold "
+                       "(cell size " +
+                       std::to_string(cell) + ")")
+                          .c_str(),
+                      kept.size(), brute.size());
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    if (stats.total_pairs != total)
+      return mismatch("cull stats total_pairs", stats.total_pairs, total);
+    if (stats.kept_pairs != kept.size())
+      return mismatch("cull stats kept_pairs", stats.kept_pairs, kept.size());
+    if (stats.kept_pairs + stats.culled_pairs != stats.total_pairs)
+      return mismatch("cull stats kept + culled != total",
+                      stats.kept_pairs + stats.culled_pairs, stats.total_pairs);
+  }
+
+  // Gain-floor audit: the amplitude-gain estimator is monotone in distance
+  // and the radius brackets the floor crossing to 1e-6 m, so a culled link
+  // can never carry gain at or above the floor, and a kept link never falls
+  // below it (tolerance covers the bracket width at the boundary).
+  std::vector<std::uint8_t> kept_mask(n * n, 0);
+  for (const auto& [i, j] : brute) kept_mask[i * n + j] = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const double d = channel::distance(positions[i], positions[j]);
+      const double gain = channel::path_amplitude_gain(std::max(d, 1e-3), carrier);
+      if (kept_mask[i * n + j] == 0 && gain >= floor * (1.0 + 1e-6))
+        return mismatch("culled a pair whose gain clears the floor", gain,
+                        floor);
+      if (kept_mask[i * n + j] == 1 && gain < floor * (1.0 - 1e-6) &&
+          radius < 4.0 * spec.extent_m())
+        return mismatch("kept a pair whose gain sits below the floor", gain,
+                        floor);
     }
   }
   return CheckResult::pass();
@@ -608,19 +683,28 @@ CheckResult check_decode_roundtrip(std::uint64_t seed) {
 CheckResult check_scenario_wiring(std::uint64_t seed) {
   Rng rng(seed);
   const auto s = gen_scenario(rng);
-  if (s.front_ends.size() != s.node_count())
-    return mismatch("front end count != node count", s.front_ends.size(),
-                    s.node_count());
-  const auto& first = s.node_position(0);
-  if (first.x != s.placement.node.x || first.y != s.placement.node.y ||
-      first.z != s.placement.node.z)
-    return CheckResult::fail("node_position(0) != placement.node");
-  for (std::size_t j = 1; j < s.node_count(); ++j) {
-    const auto& p = s.node_position(j);
-    const auto& e = s.extra_nodes[j - 1];
-    if (p.x != e.x || p.y != e.y || p.z != e.z)
-      return CheckResult::fail("node_position(j) != extra_nodes[j-1]");
+  if (s.field.front_ends().size() != s.node_count())
+    return mismatch("front end count != node count",
+                    s.field.front_ends().size(), s.node_count());
+  // The unified accessor: node(j), node_position(j), and the field must agree
+  // for every j -- no node-0 special case anywhere.
+  for (std::size_t j = 0; j < s.node_count(); ++j) {
+    const sim::NodeView v = s.node(j);
+    if (v.index != j) return CheckResult::fail("node(j).index != j");
+    if (!(v.position == s.node_position(j)) ||
+        !(v.position == s.field.position(j)))
+      return CheckResult::fail("node(j).position != node_position(j)");
+    if (!(v.front_end == s.field.front_end(j)))
+      return CheckResult::fail("node(j).front_end != field.front_end(j)");
   }
+  // The legacy 3-point view the core simulators consume is derived, never
+  // stored: its node slot must be node 0 exactly.
+  const core::Placement legacy = s.placement();
+  if (!(legacy.node == s.node_position(0)))
+    return CheckResult::fail("placement().node != node_position(0)");
+  if (!(legacy.projector == s.reader.projector) ||
+      !(legacy.hydrophone == s.reader.hydrophone))
+    return CheckResult::fail("placement() != reader placement");
   const auto reseeded = s.with_seed(s.medium.seed + 17);
   if (reseeded.medium.seed != s.medium.seed + 17)
     return CheckResult::fail("with_seed did not set the seed");
@@ -933,6 +1017,9 @@ std::vector<Invariant> default_invariants() {
       {"channel.causality",
        "time-varying propagation is causal and bounded by the path gain",
        [](std::uint64_t s) { return check_channel_causality(s); }},
+      {"channel.spatial_cull",
+       "spatial culling equals the brute-force gain-floor threshold exactly",
+       [](std::uint64_t s) { return check_spatial_cull(s); }},
       {"mac.rate_control",
        "upshifts require CRC-clean up-margin streaks; steps stay in the table",
        [](std::uint64_t s) { return check_rate_control(s); }},

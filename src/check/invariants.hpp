@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "channel/spatial.hpp"
 #include "check/generators.hpp"
 #include "dsp/signal.hpp"
 #include "energy/ledger.hpp"
@@ -65,6 +66,11 @@ using InventoryFn = std::function<std::vector<std::uint8_t>(
     std::span<const std::uint8_t>, const mac::InventoryConfig&,
     mac::InventoryStats*)>;
 
+// Spatial culling: cull_pairs semantics (index + radius -> kept pair list).
+using CullFn =
+    std::function<std::vector<std::pair<std::uint32_t, std::uint32_t>>(
+        const channel::SpatialIndex&, double radius_m, channel::CullStats*)>;
+
 // Ledger: apply entries, return total_consumed().
 using LedgerTotalFn = std::function<double(
     std::span<const std::pair<energy::Category, double>>)>;
@@ -105,6 +111,7 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
 [[nodiscard]] RateTraceFn real_rate_trace();
 [[nodiscard]] SchedulerRunFn real_scheduler_run();
 [[nodiscard]] InventoryFn real_inventory();
+[[nodiscard]] CullFn real_cull();
 [[nodiscard]] LedgerTotalFn real_ledger_total();
 [[nodiscard]] RechargeFn real_recharge();
 [[nodiscard]] TimelineRunFn real_timeline_run();
@@ -122,6 +129,15 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
 // before the direct-path flight time and stay within the per-sample path
 // gain bound (no free energy from interpolation or the image path).
 [[nodiscard]] CheckResult check_channel_causality(std::uint64_t seed);
+
+// channel.spatial_cull: on a generated open-water field, spatial culling is
+// exactly the brute-force O(n^2) distance threshold -- same pair list (sorted
+// i<j), conserved pair counts -- independent of the index's grid cell size,
+// and the gain-floor audit holds: every culled pair's amplitude-gain
+// estimator sits below the floor, every kept pair's at or above it (so the
+// cull can never silently drop a link that matters).
+[[nodiscard]] CheckResult check_spatial_cull(std::uint64_t seed,
+                                             const CullFn& subject = real_cull());
 
 // mac.rate_control: index moves by at most one per observation, stays inside
 // the table, and every upshift is justified by up_streak trailing

@@ -14,17 +14,23 @@ ChannelPlan plan_channels(std::size_t n_nodes, const ChannelPlanConfig& config) 
   const double band = config.band_high_hz - config.band_low_hz;
   const auto max_channels =
       static_cast<std::size_t>(std::floor(band / config.min_spacing_hz)) + 1;
-  require(n_nodes <= max_channels,
-          "plan_channels: band cannot fit the requested channel count");
+  // Over-subscription is a structured result, not an error: plan as many
+  // distinct channels as the band holds and report the reuse factor the
+  // caller needs to cover the surplus (zoned spatial reuse or sequential
+  // rounds).  Within capacity the historical one-carrier-per-node plan is
+  // reproduced exactly.
+  const std::size_t distinct = std::min(n_nodes, max_channels);
 
   ChannelPlan plan;
-  if (n_nodes == 1) {
+  plan.requested = n_nodes;
+  plan.reuse_factor = (n_nodes + distinct - 1) / distinct;
+  if (distinct == 1) {
     plan.carriers_hz.push_back(0.5 * (config.band_low_hz + config.band_high_hz));
     return plan;
   }
   // Spread across the band edge-to-edge.
-  const double step = band / static_cast<double>(n_nodes - 1);
-  for (std::size_t i = 0; i < n_nodes; ++i)
+  const double step = band / static_cast<double>(distinct - 1);
+  for (std::size_t i = 0; i < distinct; ++i)
     plan.carriers_hz.push_back(config.band_low_hz + step * static_cast<double>(i));
   return plan;
 }

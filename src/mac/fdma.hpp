@@ -15,9 +15,19 @@
 namespace pab::mac {
 
 struct ChannelPlan {
-  std::vector<double> carriers_hz;  // one per concurrent node
+  std::vector<double> carriers_hz;  // the distinct concurrent channels
+  std::size_t requested = 0;        // node count the plan was asked for
+  std::size_t reuse_factor = 1;     // ceil(requested / channels): sequential
+                                    // rounds (or reusing zones) per carrier
 
   [[nodiscard]] std::size_t channels() const { return carriers_hz.size(); }
+  // More nodes than distinct channels: carriers must be reused across
+  // non-interfering zones or sequential rounds (mac/zones.hpp does both).
+  [[nodiscard]] bool oversubscribed() const { return reuse_factor > 1; }
+  // Carrier assigned to node/zone slot `i` under round-robin reuse.
+  [[nodiscard]] double carrier_for(std::size_t i) const {
+    return carriers_hz[i % carriers_hz.size()];
+  }
 };
 
 struct ChannelPlanConfig {
@@ -29,7 +39,12 @@ struct ChannelPlanConfig {
 };
 
 // Greedy plan: as many channels as fit with the required spacing, centered in
-// the band.  Throws if none fit.
+// the band.  When `n_nodes` exceeds the channel count the band can hold, the
+// plan is *oversubscribed* rather than an error: it carries every channel
+// that fits plus the reuse factor callers need to schedule the surplus
+// (round-robin via carrier_for, or spatial reuse across non-interfering
+// zones).  Plans for n_nodes within capacity are unchanged: one carrier per
+// node, reuse_factor == 1.
 [[nodiscard]] ChannelPlan plan_channels(std::size_t n_nodes,
                                         const ChannelPlanConfig& config = {});
 

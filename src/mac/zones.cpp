@@ -1,0 +1,131 @@
+#include "mac/zones.hpp"
+
+#include <algorithm>
+
+#include "sim/timeline.hpp"
+#include "util/error.hpp"
+
+namespace pab::mac {
+
+namespace {
+
+// splitmix64 finalizer: derives an independent per-zone inventory seed from
+// the base seed and the zone id (never from execution order).
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ZoneSchedule plan_zones(const ZoneLayout& layout,
+                        const ChannelPlanConfig& config) {
+  const std::size_t n = layout.members.size();
+  require(layout.adjacency.size() == n,
+          "plan_zones: adjacency/members size mismatch");
+
+  ZoneSchedule out;
+  out.zones.resize(n);
+
+  // Greedy coloring, zone-id order, lowest free color: deterministic and at
+  // most max_degree + 1 colors.
+  std::size_t colors = 0;
+  std::vector<bool> in_use;
+  for (std::size_t z = 0; z < n; ++z) {
+    in_use.assign(colors + 1, false);
+    for (const std::uint32_t a : layout.adjacency[z]) {
+      require(a < n, "plan_zones: adjacency references unknown zone");
+      require(a != z, "plan_zones: self-loop in zone adjacency");
+      if (a < z) {
+        const std::uint32_t c = out.zones[a].color;
+        if (c < in_use.size()) in_use[c] = true;
+      }
+    }
+    std::uint32_t color = 0;
+    while (color < in_use.size() && in_use[color]) ++color;
+    out.zones[z].color = color;
+    colors = std::max(colors, static_cast<std::size_t>(color) + 1);
+  }
+  out.colors = colors;
+
+  // One channel-plan "slot" per color: the over-subscription result maps
+  // color -> (carrier, sequential round) when colors exceed the band.
+  out.plan = plan_channels(std::max<std::size_t>(colors, 1), config);
+  const std::size_t channels = out.plan.channels();
+  for (std::size_t z = 0; z < n; ++z) {
+    ZoneAssignment& a = out.zones[z];
+    a.carrier_hz = out.plan.carrier_for(a.color);
+    a.round = static_cast<std::uint32_t>(a.color / channels);
+  }
+  out.rounds = n == 0 ? 0 : (colors + channels - 1) / channels;
+  return out;
+}
+
+ZonedInventoryResult run_zoned_inventory(const ZoneLayout& layout,
+                                         const ZoneSchedule& schedule,
+                                         const InventoryConfig& config,
+                                         sim::Timeline& timeline,
+                                         const ZonedInventoryOptions& options) {
+  const std::size_t n = layout.members.size();
+  require(schedule.zones.size() == n, "run_zoned_inventory: schedule mismatch");
+
+  ZonedInventoryResult out;
+  out.zones = n;
+  out.rounds = schedule.rounds;
+
+  for (std::size_t round = 0; round < schedule.rounds; ++round) {
+    const double round_start = timeline.now();
+    double round_wall = 0.0;
+    for (std::size_t z = 0; z < n; ++z) {
+      if (schedule.zones[z].round != round) continue;
+      const std::vector<std::uint32_t>& members = layout.members[z];
+      if (members.empty()) continue;
+      require(members.size() <= 200,
+              "run_zoned_inventory: a zone holds more than 200 nodes (shrink "
+              "the zone extent)");
+
+      // Zone-local uint8 ids 1..members.size() map back to global indices:
+      // the hierarchical addressing that lifts the flat protocol's limit.
+      std::vector<std::uint8_t> population(members.size());
+      for (std::size_t k = 0; k < members.size(); ++k)
+        population[k] = static_cast<std::uint8_t>(k + 1);
+
+      InventoryConfig zone_config = config;
+      zone_config.seed = mix(config.seed ^ mix(static_cast<std::uint64_t>(z)));
+
+      TimedInventoryOptions timed;
+      timed.frame_announce_s = options.frame_announce_s;
+      timed.slot_s = options.slot_s;
+      if (options.available) {
+        timed.available = [&](std::uint8_t id, double t) {
+          return options.available(members[id - 1], round_start + t);
+        };
+      }
+
+      // Concurrent zones of one round each run on a zone-local sub-timeline
+      // (logging off: the master log is the audit record); the master charges
+      // each zone's duration and elapses the round's maximum below.
+      sim::Timeline zone_tl;
+      zone_tl.set_logging(false);
+      InventoryStats stats;
+      const std::vector<std::uint8_t> found =
+          run_inventory(population, zone_config, zone_tl, timed, &stats);
+      for (const std::uint8_t id : found)
+        out.identified.push_back(members[id - 1]);
+      out.inventory.frames += stats.frames;
+      out.inventory.slots += stats.slots;
+      out.inventory.singletons += stats.singletons;
+      out.inventory.collisions += stats.collisions;
+      out.inventory.empties += stats.empties;
+      timeline.charge("mac.zone.inventory", zone_tl.now());
+      round_wall = std::max(round_wall, zone_tl.now());
+    }
+    timeline.elapse(round_wall, "mac.zone.round");
+    out.simulated_s += round_wall;
+  }
+  return out;
+}
+
+}  // namespace pab::mac

@@ -1,0 +1,95 @@
+// Hierarchical (zoned) inventory scheduling for deployment-scale fields.
+//
+// A single framed-slotted-ALOHA inventory cannot address 1000+ nodes: node
+// ids are uint8 on the wire and every extra node stretches the shared frame.
+// The deployment answer is hierarchy -- partition the field into spatial
+// zones small enough for the flat protocol, then let *non-interfering* zones
+// run concurrently on distinct FDMA carriers (spatial channel reuse), with
+// interfering zones serialized into sequential rounds.
+//
+// Layering: mac sits below channel, so zones arrive as plain data (node
+// memberships by global index plus a zone-interference adjacency) computed
+// upstream by the sim layer from channel::SpatialIndex.  Everything here is a
+// pure function of that data: greedy coloring in zone-id order, carriers from
+// mac::plan_channels (whose over-subscription result maps color -> (carrier,
+// round)), and the timed inventory of mac/inventory.hpp per zone.
+//
+// Timeline contract: zones scheduled in the same round are concurrent -- each
+// runs on its own zone-local sub-timeline -- and the master timeline elapses
+// one "mac.zone.round" of the *maximum* concurrent zone duration per round
+// (the honest wall: the reader round ends when its slowest zone does).  Each
+// zone also posts a "mac.zone.inventory" charge carrying its own duration.
+// Everything is deterministic: zone order, per-zone seeds, and the master
+// log are pure functions of the inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mac/fdma.hpp"
+#include "mac/inventory.hpp"
+
+namespace pab::sim {
+class Timeline;
+}  // namespace pab::sim
+
+namespace pab::mac {
+
+// Plain-data zone partition handed down from the sim layer.  `members[z]`
+// holds ascending global node indices; `adjacency[z]` the zones whose
+// concurrent operation would interfere with z (symmetric, no self-loops).
+struct ZoneLayout {
+  std::vector<std::vector<std::uint32_t>> members;
+  std::vector<std::vector<std::uint32_t>> adjacency;
+};
+
+struct ZoneAssignment {
+  std::uint32_t color = 0;   // interfering zones always differ
+  double carrier_hz = 0.0;   // plan.carrier_for(color)
+  std::uint32_t round = 0;   // color / plan.channels(): sequential reuse round
+};
+
+struct ZoneSchedule {
+  ChannelPlan plan;  // distinct carriers + over-subscription bookkeeping
+  std::vector<ZoneAssignment> zones;
+  std::size_t colors = 0;
+  std::size_t rounds = 0;  // sequential rounds (1 unless colors > channels)
+};
+
+// Greedy interference coloring in zone-id order (deterministic: lowest free
+// color), then color -> (carrier, round) through the over-subscribed channel
+// plan: colors beyond the distinct channel count wrap onto the same carriers
+// in later rounds.
+[[nodiscard]] ZoneSchedule plan_zones(const ZoneLayout& layout,
+                                      const ChannelPlanConfig& config = {});
+
+struct ZonedInventoryOptions {
+  double frame_announce_s = 0.05;  // per-frame announcement airtime
+  double slot_s = 0.02;            // one reply slot
+  // Availability by *global* node index at master-timeline time; null means
+  // always available.
+  std::function<bool(std::uint32_t node, double t)> available;
+};
+
+struct ZonedInventoryResult {
+  // Global node indices in discovery order: rounds ascending, zones by id
+  // within a round, per-zone discovery order within a zone.
+  std::vector<std::uint32_t> identified;
+  InventoryStats inventory;  // summed over every zone
+  std::size_t zones = 0;
+  std::size_t rounds = 0;
+  double simulated_s = 0.0;  // sum of per-round maxima (the master elapse)
+};
+
+// Runs the zoned inventory on `timeline`.  Zone-local node ids are uint8
+// (1..members), so every zone must hold at most 200 members -- the zoning
+// itself is what lifts the flat protocol's uint8 limit to arbitrary
+// populations.  Per-zone randomness derives from config.seed and the zone id,
+// never from zone execution order.
+[[nodiscard]] ZonedInventoryResult run_zoned_inventory(
+    const ZoneLayout& layout, const ZoneSchedule& schedule,
+    const InventoryConfig& config, sim::Timeline& timeline,
+    const ZonedInventoryOptions& options = {});
+
+}  // namespace pab::mac

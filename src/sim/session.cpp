@@ -1,10 +1,16 @@
 #include "sim/session.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
 
+#include "channel/spatial.hpp"
 #include "channel/timevarying.hpp"
+#include "mac/zones.hpp"
 #include "node/lifecycle.hpp"
 #include "phy/metrics.hpp"
 
@@ -60,7 +66,7 @@ Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
           scenario_.medium.tank, scenario_.medium.max_image_order,
           scenario_.medium.use_image_method, metrics)),
       projector_(scenario_.make_projector()),
-      link_(scenario_.medium, scenario_.placement, tap_cache_) {
+      link_(scenario_.medium, scenario_.placement(), tap_cache_) {
   require(metrics_ != nullptr, "Session: metrics registry must not be null");
   link_.set_metrics(metrics_);
   n_trials_ = &metrics_->counter("sim.session.trials");
@@ -71,8 +77,8 @@ Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
   g_arena_capacity_ = &metrics_->gauge("sim.session.arena.capacity_bytes");
   g_arena_high_water_ = &metrics_->gauge("sim.session.arena.high_water_bytes");
   g_arena_blocks_ = &metrics_->gauge("sim.session.arena.heap_blocks");
-  front_ends_.reserve(scenario_.front_ends.size());
-  for (std::size_t j = 0; j < scenario_.front_ends.size(); ++j)
+  front_ends_.reserve(scenario_.node_count());
+  for (std::size_t j = 0; j < scenario_.node_count(); ++j)
     front_ends_.push_back(scenario_.make_front_end(j));
 
   // The network simulator is only constructible when every node position lies
@@ -85,8 +91,8 @@ Session::Session(Scenario scenario, obs::MetricRegistry* metrics)
     placeable = placeable && scenario_.medium.tank.contains(nodes.back());
   }
   if (placeable) {
-    network_.emplace(scenario_.medium, scenario_.placement.projector,
-                     scenario_.placement.hydrophone, std::move(nodes),
+    network_.emplace(scenario_.medium, scenario_.reader.projector,
+                     scenario_.reader.hydrophone, std::move(nodes),
                      tap_cache_);
   }
 }
@@ -191,6 +197,11 @@ pab::Expected<TrialResult> Session::run_trial(TrialKind kind,
       if (!r.ok()) return r.error();
       return TrialResult{std::in_place_index<2>, std::move(r).value()};
     }
+    case TrialKind::kField: {
+      auto r = field_trial(trial, opts.field);
+      if (!r.ok()) return r.error();
+      return TrialResult{std::in_place_index<3>, std::move(r).value()};
+    }
   }
   return pab::Error{pab::ErrorCode::kInvalidArgument,
                     "run_trial: unknown trial kind"};
@@ -228,7 +239,7 @@ pab::Expected<Session::TimelineRunResult> Session::timeline_trial(
         config.base_harvest_w *
         (1.0 + config.harvest_jitter * rng.uniform(-1.0, 1.0));
     channel::MovingPathConfig path;
-    path.source = scenario_.placement.projector;
+    path.source = scenario_.reader.projector;
     path.rx_start = scenario_.node_position(j);
     path.rx_velocity = {rng.uniform(-config.max_drift_mps, config.max_drift_mps),
                         rng.uniform(-config.max_drift_mps, config.max_drift_mps),
@@ -315,6 +326,168 @@ pab::Expected<Session::TimelineRunResult> Session::timeline_trial(
   metrics_->counter("sim.session.timeline.trials").add();
   metrics_->counter("sim.session.timeline.events")
       .add(tl.events_processed());
+  tl.export_to(*metrics_, "sim.timeline");
+  return out;
+}
+
+pab::Expected<FieldRunResult> Session::field_trial(
+    std::uint64_t trial, const FieldRoundConfig& config) const {
+  const std::size_t n = node_count();
+  if (n == 0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "field trial: scenario has no nodes"};
+  if (config.gain_floor <= 0.0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "field trial: gain floor must be positive"};
+  if (config.quant_cell_m < 0.0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "field trial: quantization cell must be >= 0"};
+  if (config.zone_extent_m <= 0.0)
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "field trial: zone extent must be positive"};
+
+  const obs::ScopedTimer timer(t_trial_);
+  n_trials_->add();
+
+  const double carrier = scenario_.waveform.carrier_hz;
+  const auto& positions = scenario_.field.positions();
+  const channel::Vec3& extent = scenario_.medium.tank.size;
+  const double diagonal =
+      std::sqrt(extent.x * extent.x + extent.y * extent.y + extent.z * extent.z);
+
+  FieldRunResult out;
+  out.population = n;
+
+  // Per-trial tap cache: exact per-pair keys on the brute-force reference
+  // path, quantized shared keys on the culled path -- so the sharing the
+  // quantized geometry buys is measured within one trial, not smuggled in
+  // from earlier trials.
+  const channel::TapCache cache(
+      scenario_.medium.tank, scenario_.medium.max_image_order,
+      scenario_.medium.use_image_method, metrics_,
+      channel::TapQuantization{config.brute_force ? 0.0 : config.quant_cell_m});
+
+  // Reader -> node budget: always O(n).
+  double reader_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    reader_sum += channel::coherent_gain(
+        *cache.taps(scenario_.reader.projector, positions[j], carrier), carrier);
+  out.mean_reader_gain = reader_sum / static_cast<double>(n);
+
+  // Node-node interference budget.  The gain floor is an amplitude-coupling
+  // threshold: a pair whose one-way gain estimator falls below it cannot
+  // interfere above the backscatter noise floor, and the estimator
+  // (path_amplitude_gain) is monotone in distance, so thresholding is exactly
+  // a radius cut -- which the spatial index answers without touching the
+  // O(n^2) pair space.
+  const double radius = std::min(
+      channel::cull_radius_m(config.gain_floor, carrier, diagonal), diagonal);
+  out.cull_radius_m = radius;
+  double pair_sum = 0.0;
+  if (config.brute_force) {
+    out.total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    out.kept_pairs = out.total_pairs;
+    out.culled_pairs = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        pair_sum += channel::coherent_gain(
+            *cache.taps(positions[i], positions[j], carrier), carrier);
+  } else {
+    const double cell = std::max(std::min(radius, diagonal), 1.0);
+    const channel::SpatialIndex index(positions, cell);
+    channel::CullStats stats;
+    const auto kept = channel::cull_pairs(index, radius, &stats);
+    out.total_pairs = stats.total_pairs;
+    out.kept_pairs = stats.kept_pairs;
+    out.culled_pairs = stats.culled_pairs;
+    for (const auto& [i, j] : kept)
+      pair_sum += channel::coherent_gain(
+          *cache.taps(positions[i], positions[j], carrier), carrier);
+  }
+  out.mean_pair_gain = out.kept_pairs > 0
+                           ? pair_sum / static_cast<double>(out.kept_pairs)
+                           : 0.0;
+  out.tap_evaluations = cache.evaluations();
+  out.tap_lookups = cache.lookups();
+  metrics_->counter("channel.spatial.culled_pairs").add(out.culled_pairs);
+  metrics_->counter("channel.spatial.kept_pairs").add(out.kept_pairs);
+
+  // Zone partition: horizontal grid of zone_extent_m cells, ids in sorted
+  // cell order (deterministic).  Interference adjacency: two zones interfere
+  // when the gap between their bounding boxes is within the cull radius --
+  // then and only then can a node of one couple into the other's inventory.
+  std::map<std::array<std::int64_t, 2>, std::vector<std::uint32_t>> grid;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::array<std::int64_t, 2> key{
+        static_cast<std::int64_t>(std::floor(positions[j].x / config.zone_extent_m)),
+        static_cast<std::int64_t>(std::floor(positions[j].y / config.zone_extent_m))};
+    grid[key].push_back(static_cast<std::uint32_t>(j));
+  }
+  mac::ZoneLayout layout;
+  std::vector<std::array<std::int64_t, 2>> zone_coords;
+  layout.members.reserve(grid.size());
+  zone_coords.reserve(grid.size());
+  for (auto& [coord, members] : grid) {
+    zone_coords.push_back(coord);
+    layout.members.push_back(std::move(members));
+  }
+  layout.adjacency.resize(layout.members.size());
+  for (std::size_t a = 0; a < zone_coords.size(); ++a) {
+    for (std::size_t b = a + 1; b < zone_coords.size(); ++b) {
+      const auto gap = [&](std::int64_t da) {
+        const double cells_apart =
+            static_cast<double>(std::max<std::int64_t>(std::llabs(da) - 1, 0));
+        return cells_apart * config.zone_extent_m;
+      };
+      const double gx = gap(zone_coords[a][0] - zone_coords[b][0]);
+      const double gy = gap(zone_coords[a][1] - zone_coords[b][1]);
+      if (std::sqrt(gx * gx + gy * gy) <= radius) {
+        layout.adjacency[a].push_back(static_cast<std::uint32_t>(b));
+        layout.adjacency[b].push_back(static_cast<std::uint32_t>(a));
+      }
+    }
+  }
+
+  const mac::ZoneSchedule schedule = mac::plan_zones(layout);
+  out.zones = layout.members.size();
+  out.zone_colors = schedule.colors;
+  out.zone_rounds = schedule.rounds;
+  out.channels = schedule.plan.channels();
+
+  // The zoned inventory round on a trial-local master timeline.  All
+  // randomness is the inventory's frame nonces, which derive from the
+  // trial's substream seed (and, inside, each zone's id): bit-identical at
+  // any thread count.
+  Timeline tl;
+  tl.set_logging(config.keep_log);
+  mac::InventoryConfig inventory;
+  inventory.seed = substream_seed(scenario_.medium.seed, trial);
+  mac::ZonedInventoryOptions slots;
+  slots.frame_announce_s = config.frame_announce_s;
+  slots.slot_s = config.slot_s;
+  const mac::ZonedInventoryResult round =
+      mac::run_zoned_inventory(layout, schedule, inventory, tl, slots);
+  out.identified = round.identified;
+  out.inventory = round.inventory;
+  out.simulated_s = tl.now();
+  out.node_hours =
+      static_cast<double>(n) * out.simulated_s / 3600.0;
+  out.events_processed = tl.events_processed();
+  if (config.keep_log) out.event_log = tl.log();
+
+  // Arena footprint: the field path's per-trial scratch is density-bound
+  // (neighbor scans), never population-bound, so the workspace arena gauges
+  // stay flat as the population sweeps -- published from the same pooled
+  // context the uplink path uses.
+  {
+    const auto ctx = trial_contexts_.lease();
+    const dsp::Arena& arena = ctx->workspace.arena();
+    g_arena_capacity_->set(static_cast<double>(arena.capacity_bytes()));
+    g_arena_high_water_->set(static_cast<double>(arena.high_water_bytes()));
+    g_arena_blocks_->set(static_cast<double>(arena.block_allocations()));
+  }
+  metrics_->counter("sim.session.field.trials").add();
+  metrics_->counter("sim.session.field.events").add(tl.events_processed());
   tl.export_to(*metrics_, "sim.timeline");
   return out;
 }

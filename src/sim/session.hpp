@@ -69,6 +69,35 @@ struct TimelineRunResult {
   std::vector<TimelineEvent> event_log;  // full audit log of the round
 };
 
+// One deployment-scale field round (see FieldRoundConfig in sim/trial.hpp):
+// the culled pairwise link budget of the whole NodeField plus one zoned
+// inventory with FDMA channel reuse.
+struct FieldRunResult {
+  std::size_t population = 0;
+  // Link-budget census.
+  double cull_radius_m = 0.0;      // gain-floor crossing distance
+  std::uint64_t total_pairs = 0;   // n * (n-1) / 2
+  std::uint64_t kept_pairs = 0;    // pairs within the cull radius
+  std::uint64_t culled_pairs = 0;
+  double mean_pair_gain = 0.0;     // mean coherent gain over kept pairs
+  double mean_reader_gain = 0.0;   // mean coherent projector->node gain
+  // Tap-cache economics of this trial (per-trial cache, so the sharing the
+  // quantized keys buy is directly visible).
+  std::uint64_t tap_evaluations = 0;
+  std::uint64_t tap_lookups = 0;
+  // Zoned MAC round.
+  std::size_t zones = 0;
+  std::size_t zone_colors = 0;
+  std::size_t zone_rounds = 0;
+  std::size_t channels = 0;        // distinct FDMA carriers in the zone plan
+  std::vector<std::uint32_t> identified;  // global indices, discovery order
+  mac::InventoryStats inventory;
+  double simulated_s = 0.0;
+  double node_hours = 0.0;  // population * simulated_s / 3600
+  std::size_t events_processed = 0;
+  std::vector<TimelineEvent> event_log;  // master timeline audit log
+};
+
 // Compile-time kind -> result mapping of the unified run API.
 template <TrialKind K>
 struct TrialTraits;
@@ -84,11 +113,15 @@ template <>
 struct TrialTraits<TrialKind::kTimeline> {
   using Result = TimelineRunResult;
 };
+template <>
+struct TrialTraits<TrialKind::kField> {
+  using Result = FieldRunResult;
+};
 
 // Runtime-kind result: what Session::run_trial(TrialKind, ...) returns.  The
 // alternative index equals the TrialKind value.
-using TrialResult =
-    std::variant<UplinkTrial, core::NetworkRunResult, TimelineRunResult>;
+using TrialResult = std::variant<UplinkTrial, core::NetworkRunResult,
+                                 TimelineRunResult, FieldRunResult>;
 
 class Session {
  public:
@@ -159,8 +192,10 @@ class Session {
     } else if constexpr (K == TrialKind::kNetwork) {
       (void)opts;
       return network_trial(trial);
-    } else {
+    } else if constexpr (K == TrialKind::kTimeline) {
       return timeline_trial(trial, opts.timeline);
+    } else {
+      return field_trial(trial, opts.field);
     }
   }
 
@@ -187,6 +222,8 @@ class Session {
       std::uint64_t trial) const;
   [[nodiscard]] pab::Expected<TimelineRunResult> timeline_trial(
       std::uint64_t trial, const TimelineRoundConfig& config) const;
+  [[nodiscard]] pab::Expected<FieldRunResult> field_trial(
+      std::uint64_t trial, const FieldRoundConfig& config) const;
 
   Scenario scenario_;
   obs::MetricRegistry* metrics_;

@@ -1,10 +1,13 @@
 // The unified trial taxonomy of the Monte-Carlo engine.
 //
-// Every experiment the engine can repeat is one of three trial kinds:
+// Every experiment the engine can repeat is one of four trial kinds:
 //   * kUplink   -- one single-link waveform-level backscatter uplink,
 //   * kNetwork  -- one concurrent multi-node FDMA frame,
 //   * kTimeline -- one discrete-event network round (cold-start, inventory,
-//                  poll) on a trial-local sim::Timeline.
+//                  poll) on a trial-local sim::Timeline,
+//   * kField    -- one deployment-scale field round: spatially culled link
+//                  budget over the whole NodeField plus a zoned inventory
+//                  with FDMA channel reuse, on a trial-local sim::Timeline.
 // `Session::run_trial` and `BatchRunner::run` dispatch on TrialKind, either
 // at compile time (template parameter, typed result) or at run time (enum
 // value, std::variant result -- the form the campaign engine and the worker
@@ -28,6 +31,7 @@ enum class TrialKind : std::uint8_t {
   kUplink = 0,
   kNetwork = 1,
   kTimeline = 2,
+  kField = 3,
 };
 
 [[nodiscard]] constexpr const char* to_string(TrialKind kind) {
@@ -35,6 +39,7 @@ enum class TrialKind : std::uint8_t {
     case TrialKind::kUplink: return "uplink";
     case TrialKind::kNetwork: return "network";
     case TrialKind::kTimeline: return "timeline";
+    case TrialKind::kField: return "field";
   }
   return "unknown";
 }
@@ -45,6 +50,7 @@ enum class TrialKind : std::uint8_t {
   if (name == "uplink") return TrialKind::kUplink;
   if (name == "network") return TrialKind::kNetwork;
   if (name == "timeline") return TrialKind::kTimeline;
+  if (name == "field") return TrialKind::kField;
   return std::nullopt;
 }
 
@@ -79,11 +85,33 @@ struct TimelineRoundConfig {
   bool keep_log = true;  // retain the event log in the result
 };
 
+// Knobs for deployment-scale field trials.  The trial computes the culled
+// pairwise link budget of the whole NodeField (spatial index + gain floor +
+// quantized shared tap cache) and then runs one zoned inventory round with
+// FDMA channel reuse; `brute_force` switches to the reference O(n^2) path
+// (every pair, exact per-pair tap keys) that the deployment_scale bench
+// compares against.
+struct FieldRoundConfig {
+  // Cull node-node links whose one-way amplitude gain falls below this floor.
+  // The floor models *interference* coupling, not a communication budget: a
+  // backscatter reflection is the one-way gain squared times a small scatter
+  // coefficient, so a pair below -34 dB one-way (~50 m at 15 kHz) sits below
+  // the reader's noise floor and cannot perturb another zone's inventory.
+  double gain_floor = 0.02;
+  double quant_cell_m = 0.5;     // tap-cache geometry quantization (0 = exact)
+  bool brute_force = false;      // reference path: no culling, no sharing
+  double zone_extent_m = 100.0;  // horizontal zone size for the zoned MAC
+  double frame_announce_s = 0.05;  // zoned inventory timing
+  double slot_s = 0.02;
+  bool keep_log = true;  // retain the master event log in the result
+};
+
 // Per-run options of the unified entry points.  Only the kinds that need
 // configuration have a member; kUplink and kNetwork read everything from the
 // Scenario.
 struct TrialOptions {
   TimelineRoundConfig timeline{};
+  FieldRoundConfig field{};
 };
 
 }  // namespace pab::sim

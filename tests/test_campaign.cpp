@@ -189,6 +189,71 @@ TEST(CampaignSpec, ValidateRejectsUnknownPresetAndParam) {
   EXPECT_FALSE(bad_timeline.validate().ok());
 }
 
+// A cheap two-point deployment-field campaign.
+campaign::CampaignSpec small_field_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "test-field";
+  spec.preset = "open_water_grid";
+  spec.kind = sim::TrialKind::kField;
+  spec.trials_per_point = 3;
+  spec.base_seed = 5;
+  spec.axes.push_back({"field.population", {24.0, 48.0}});
+  spec.field["zone_extent_m"] = 60.0;
+  return spec;
+}
+
+TEST(CampaignSpec, FieldDirectiveRoundTripsAndAppliesAxes) {
+  const campaign::CampaignSpec spec = small_field_spec();
+  ASSERT_TRUE(spec.validate().ok()) << spec.validate().error().message();
+  const std::string text = spec.serialize();
+  auto parsed = campaign::CampaignSpec::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_EQ(parsed.value().serialize(), text);
+  EXPECT_EQ(parsed.value().fingerprint(), spec.fingerprint());
+  // field.* axes regenerate the deployment per point.
+  auto s0 = spec.scenario_for_point(0);
+  auto s1 = spec.scenario_for_point(1);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s0.value().node_count(), 24u);
+  EXPECT_EQ(s1.value().node_count(), 48u);
+  // The override map reaches the trial options.
+  auto opts = spec.trial_options();
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.value().field.zone_extent_m, 60.0);
+  EXPECT_FALSE(opts.value().field.keep_log);  // campaign default
+  // Unknown field knobs and field axes on hand-placed presets are rejected.
+  campaign::CampaignSpec bad_knob = spec;
+  bad_knob.field["warp_factor"] = 9.0;
+  EXPECT_FALSE(bad_knob.validate().ok());
+  campaign::CampaignSpec tank = spec;
+  tank.preset = "pool_a";
+  EXPECT_FALSE(tank.validate().ok());
+}
+
+TEST(CampaignExecutor, FieldCampaignRunsShardedAndMergesDeterministically) {
+  const campaign::CampaignSpec spec = small_field_spec();
+  campaign::BatchExecutor executor;
+  campaign::RunOptions options;
+  options.worker_threads = 2;
+  options.shard_size = 1;
+  auto sharded = executor.run(spec, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.error().message();
+  options.shard_size = 0;  // one shard per point
+  auto whole = executor.run(spec, options);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(sharded.value().records_bytes(), whole.value().records_bytes());
+  ASSERT_EQ(sharded.value().points.size(), spec.point_count());
+  // Every row succeeded and the population column tracks the axis.
+  for (std::size_t p = 0; p < sharded.value().points.size(); ++p) {
+    const campaign::RecordBatch& records = sharded.value().points[p];
+    ASSERT_EQ(records.rows(), spec.trials_per_point);
+    for (std::size_t i = 0; i < records.rows(); ++i)
+      EXPECT_EQ(records.ok()[i], 1) << "point " << p << " trial " << i;
+    EXPECT_EQ(records.column(0)[0], p == 0 ? 24.0 : 48.0);
+  }
+}
+
 TEST(CampaignRecord, AppendSliceSerializeRoundTrip) {
   campaign::RecordBatch batch(sim::TrialKind::kUplink);
   sim::UplinkTrial trial{};
@@ -231,6 +296,30 @@ TEST(CampaignRecord, ColumnSchemasPerKind) {
   EXPECT_EQ(
       campaign::RecordBatch::column_names(sim::TrialKind::kTimeline).size(),
       campaign::RecordBatch(sim::TrialKind::kTimeline).column_count());
+  EXPECT_EQ(campaign::RecordBatch::column_names(sim::TrialKind::kField).size(),
+            campaign::RecordBatch(sim::TrialKind::kField).column_count());
+}
+
+TEST(CampaignRecord, FieldRowsRoundTripThroughTheWire) {
+  campaign::RecordBatch batch(sim::TrialKind::kField);
+  sim::FieldRunResult field{};
+  field.population = 200;
+  field.kept_pairs = 1234;
+  field.node_hours = 1.5;
+  field.identified = {0, 3, 7};
+  batch.append(0, sim::TrialResult{std::in_place_index<3>, field});
+  ASSERT_EQ(batch.rows(), 1u);
+  EXPECT_EQ(batch.column(0)[0], 200.0);
+  EXPECT_EQ(batch.column(3)[0], 1234.0);
+  EXPECT_EQ(batch.column(13)[0], 3.0);  // identified count
+  EXPECT_EQ(batch.column(15)[0], 1.5);
+  campaign::ByteWriter w;
+  batch.serialize(w);
+  campaign::ByteReader r(w.bytes());
+  auto back = campaign::RecordBatch::deserialize(r);
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_EQ(back.value().kind(), sim::TrialKind::kField);
+  EXPECT_EQ(back.value().bytes(), batch.bytes());
 }
 
 // Merge associativity: any partition of the trial range, executed in any

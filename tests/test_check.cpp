@@ -312,5 +312,40 @@ TEST(Mutation, BackoffDroppingSchedulerIsCaught) {
       << "real timed scheduler flagged on the mutant's reproducing seed";
 }
 
+// The classic spatial-hashing bug: scanning one neighbor cell too few makes
+// the cull drop pairs that straddle a cell boundary -- modelled by culling at
+// a slightly shrunken radius.  Links near the gain floor silently vanish
+// from the interference census and the zone adjacency built on it.
+TEST(Mutation, BoundaryDroppingSpatialCullIsCaught) {
+  const CullFn mutant = [](const channel::SpatialIndex& index, double radius_m,
+                           channel::CullStats* stats) {
+    return channel::cull_pairs(index, radius_m * 0.9, stats);
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_spatial_cull(s, mutant); }, 16);
+  ASSERT_TRUE(caught.has_value()) << "boundary-dropping spatial cull survived";
+  const auto detail = check_spatial_cull(*caught, mutant).detail;
+  EXPECT_NE(detail.find("brute-force"), std::string::npos) << detail;
+  EXPECT_TRUE(check_spatial_cull(*caught).ok)
+      << "real spatial cull flagged on the mutant's reproducing seed";
+}
+
+// Deterministic-order bug: a cull that enumerates pairs in grid-cell order
+// instead of ascending (i, j) still keeps the right set, but downstream
+// consumers (shared tap walks, campaign records) stop being platform-stable.
+TEST(Mutation, OrderScramblingSpatialCullIsCaught) {
+  const CullFn mutant = [](const channel::SpatialIndex& index, double radius_m,
+                           channel::CullStats* stats) {
+    auto pairs = channel::cull_pairs(index, radius_m, stats);
+    std::reverse(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_spatial_cull(s, mutant); }, 16);
+  ASSERT_TRUE(caught.has_value()) << "order-scrambling spatial cull survived";
+  EXPECT_TRUE(check_spatial_cull(*caught).ok)
+      << "real spatial cull flagged on the mutant's reproducing seed";
+}
+
 }  // namespace
 }  // namespace pab::check

@@ -1,0 +1,403 @@
+// Deployment-scale node fields: the NodeField generators, the spatially
+// culled link budget, the quantized tap cache, and the kField trial kind --
+// including the determinism contract (bit-identical results and event logs at
+// any BatchRunner thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "channel/spatial.hpp"
+#include "channel/tapcache.hpp"
+#include "channel/water.hpp"
+#include "sim/batch.hpp"
+#include "sim/field.hpp"
+#include "sim/scenario.hpp"
+#include "sim/session.hpp"
+
+namespace pab::sim {
+namespace {
+
+double dist(const channel::Vec3& a, const channel::Vec3& b) {
+  return channel::distance(a, b);
+}
+
+FieldSpec spec_of(FieldLayout layout, std::uint64_t population,
+                  std::uint64_t seed = 1) {
+  FieldSpec s;
+  s.layout = layout;
+  s.population = population;
+  s.seed = seed;
+  return s;
+}
+
+// --- NodeField ---------------------------------------------------------------
+
+TEST(NodeField, DefaultIsTheHistoricalTankNode) {
+  const NodeField f;
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.position(0).x, 1.6);
+  EXPECT_EQ(f.position(0).y, 2.2);
+  EXPECT_EQ(f.position(0).z, 0.65);
+  EXPECT_EQ(f.front_end(0), FrontEndSpec{});
+}
+
+TEST(NodeField, PairingInvariantHoldsThroughMutation) {
+  NodeField f = NodeField::empty();
+  EXPECT_EQ(f.size(), 0u);
+  f.push_back({1.0, 2.0, 0.5}, FrontEndSpec{18000.0, 19500.0, 0.0});
+  f.push_back({2.0, 2.0, 0.5});
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.positions().size(), f.front_ends().size());
+  const NodeView v = f.at(0);
+  EXPECT_EQ(v.index, 0u);
+  EXPECT_EQ(v.front_end.match_frequency_hz, 18000.0);
+  f.set_front_end(1, FrontEndSpec{20000.0, 21000.0, 3.0});
+  EXPECT_EQ(f.front_end(1).match_frequency_hz, 20000.0);
+  f.set_position(1, {3.0, 3.0, 0.6});
+  EXPECT_EQ(f.position(1).x, 3.0);
+}
+
+TEST(NodeField, FromNodesRequiresPairedSpans) {
+  EXPECT_THROW((void)NodeField::from_nodes({{1, 1, 1}, {2, 2, 2}},
+                                           {FrontEndSpec{}}),
+               std::exception);
+}
+
+TEST(NodeField, GeneratorsHitThePopulationAndStayInBounds) {
+  for (const FieldLayout layout :
+       {FieldLayout::kGrid, FieldLayout::kRandom, FieldLayout::kClusters}) {
+    const FieldSpec spec = spec_of(layout, 300);
+    const NodeField f = NodeField::generate(spec);
+    ASSERT_EQ(f.size(), 300u) << static_cast<int>(layout);
+    const double extent = spec.extent_m();
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      const auto& p = f.position(j);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, extent);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, extent);
+      EXPECT_GE(p.z, 0.0);
+      EXPECT_LE(p.z, spec.depth_m);
+      EXPECT_EQ(f.front_end(j), spec.front_end);
+    }
+  }
+}
+
+TEST(NodeField, GenerationIsAPureFunctionOfTheSpec) {
+  const FieldSpec spec = spec_of(FieldLayout::kRandom, 128, 42);
+  EXPECT_EQ(NodeField::generate(spec), NodeField::generate(spec));
+  FieldSpec other = spec;
+  other.seed = 43;
+  EXPECT_NE(NodeField::generate(spec), NodeField::generate(other));
+}
+
+TEST(NodeField, FieldSeedIsDecoupledFromTrialSeed) {
+  // Sweeping the Monte-Carlo seed re-rolls noise, never geometry.
+  const Scenario a = Scenario::open_water(spec_of(FieldLayout::kRandom, 64));
+  const Scenario b = a.with_seed(a.medium.seed + 999);
+  EXPECT_EQ(a.field, b.field);
+}
+
+TEST(NodeField, ConstantDensityKeepsSpacingFlatAcrossPopulations) {
+  const FieldSpec small = spec_of(FieldLayout::kGrid, 100);
+  const FieldSpec large = spec_of(FieldLayout::kGrid, 400);
+  // 4x the population -> 4x the area -> 2x the side length.
+  EXPECT_NEAR(large.extent_m() / small.extent_m(), 2.0, 1e-12);
+}
+
+TEST(NodeField, GenerateRejectsExplicitLayoutAndZeroPopulation) {
+  EXPECT_THROW((void)NodeField::generate(spec_of(FieldLayout::kExplicit, 10)),
+               std::exception);
+  EXPECT_THROW((void)NodeField::generate(spec_of(FieldLayout::kGrid, 0)),
+               std::exception);
+}
+
+// --- Scenario wiring ---------------------------------------------------------
+
+TEST(OpenWaterScenario, SizesTheRegionAndCentersTheReader) {
+  const FieldSpec spec = spec_of(FieldLayout::kRandom, 200);
+  const Scenario s = Scenario::open_water(spec);
+  EXPECT_EQ(s.node_count(), 200u);
+  EXPECT_FALSE(s.medium.use_image_method);
+  EXPECT_EQ(s.field_spec.layout, FieldLayout::kRandom);
+  const double extent = spec.extent_m();
+  EXPECT_NEAR(s.medium.tank.size.x, extent, 1e-12);
+  EXPECT_NEAR(s.medium.tank.size.y, extent, 1e-12);
+  EXPECT_NEAR(s.medium.tank.size.z, spec.depth_m, 1e-12);
+  EXPECT_NEAR(s.reader.projector.x, extent / 2.0, 1e-12);
+  // The legacy 3-point view is node 0 of the field, derived on demand.
+  EXPECT_EQ(s.placement().node, s.node_position(0));
+}
+
+TEST(OpenWaterScenario, TankPresetsKeepTheirSingleAndDualNodeShapes) {
+  EXPECT_EQ(Scenario::pool_a().node_count(), 1u);
+  EXPECT_EQ(Scenario::pool_b().node_count(), 1u);
+  EXPECT_EQ(Scenario::swimming_pool().node_count(), 1u);
+  EXPECT_EQ(Scenario::pool_a_concurrent().node_count(), 2u);
+}
+
+// --- Spatial index and culling ----------------------------------------------
+
+TEST(SpatialIndex, NeighborsMatchBruteForceOnARandomField) {
+  const NodeField f = NodeField::generate(spec_of(FieldLayout::kRandom, 150, 7));
+  const auto& pts = f.positions();
+  const channel::SpatialIndex index(pts, 13.0);
+  const double radius = 35.0;
+  std::vector<std::uint32_t> got;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    index.neighbors_within(i, radius, got);
+    std::vector<std::uint32_t> want;
+    for (std::size_t j = 0; j < pts.size(); ++j)
+      if (j != i && dist(pts[i], pts[j]) <= radius)
+        want.push_back(static_cast<std::uint32_t>(j));
+    EXPECT_EQ(got, want) << "point " << i;
+  }
+}
+
+TEST(SpatialIndex, CullPairsIsExactAndConserved) {
+  const NodeField f =
+      NodeField::generate(spec_of(FieldLayout::kClusters, 180, 11));
+  const auto& pts = f.positions();
+  const double radius = 40.0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> want;
+  for (std::uint32_t i = 0; i < pts.size(); ++i)
+    for (std::uint32_t j = i + 1; j < pts.size(); ++j)
+      if (dist(pts[i], pts[j]) <= radius) want.emplace_back(i, j);
+  // The cell size is an accelerator knob, not a semantic one.
+  for (const double cell : {5.0, 20.0, 80.0}) {
+    channel::CullStats stats;
+    const auto got = channel::cull_pairs(channel::SpatialIndex(pts, cell),
+                                         radius, &stats);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(stats.total_pairs, pts.size() * (pts.size() - 1) / 2);
+    EXPECT_EQ(stats.kept_pairs, got.size());
+    EXPECT_EQ(stats.kept_pairs + stats.culled_pairs, stats.total_pairs);
+  }
+}
+
+TEST(SpatialIndex, CullRadiusBracketsTheGainFloorCrossing) {
+  const double carrier = 15000.0;
+  const double floor = 0.02;
+  const double radius = channel::cull_radius_m(floor, carrier, 1.0e4);
+  ASSERT_LT(radius, 1.0e4);
+  // Rounded up: a link just inside the radius still clears the floor; a link
+  // past it does not.
+  EXPECT_GE(channel::path_amplitude_gain(radius * 0.999, carrier), floor);
+  EXPECT_LT(channel::path_amplitude_gain(radius * 1.001, carrier), floor);
+  // Saturates at max_radius when the floor is unreachable.
+  EXPECT_EQ(channel::cull_radius_m(1e-12, carrier, 500.0), 500.0);
+}
+
+// --- TapCache quantization ---------------------------------------------------
+
+TEST(TapCacheQuant, ZeroCellKeepsExactPerPairKeys) {
+  const channel::Tank tank{};
+  channel::TapCache cache(tank, 1, true, nullptr, channel::TapQuantization{0.0});
+  const channel::Vec3 a{0.50, 0.80, 0.65};
+  (void)cache.taps(a, {1.60, 2.20, 0.65}, 18500.0);
+  (void)cache.taps(a, {1.61, 2.20, 0.65}, 18500.0);  // 1 cm apart: distinct
+  EXPECT_EQ(cache.evaluations(), 2u);
+  (void)cache.taps(a, {1.60, 2.20, 0.65}, 18500.0);
+  EXPECT_EQ(cache.evaluations(), 2u);
+  EXPECT_EQ(cache.lookups(), 3u);
+}
+
+TEST(TapCacheQuant, SameCellMembersShareOneBitIdenticalEntry) {
+  const channel::Tank tank{};
+  channel::TapCache cache(tank, 1, true, nullptr, channel::TapQuantization{0.5});
+  const channel::Vec3 a{0.50, 0.80, 0.65};
+  const auto t1 = cache.taps(a, {1.60, 2.20, 0.65}, 18500.0);
+  const auto t2 = cache.taps(a, {1.61, 2.21, 0.66}, 18500.0);  // same cells
+  EXPECT_EQ(cache.evaluations(), 1u);
+  EXPECT_EQ(t1.get(), t2.get());  // literally the same shared entry
+}
+
+TEST(TapCacheQuant, SymmetricLookupsCollapseToOneEntry) {
+  // Canonical endpoint ordering: (a, b) and (b, a) are one key, and the taps
+  // are computed at the snapped geometry, so both directions are
+  // bit-identical by construction (image-method reciprocity made exact).
+  const channel::Tank tank{};
+  channel::TapCache cache(tank, 2, true, nullptr, channel::TapQuantization{0.5});
+  const channel::Vec3 a{0.52, 0.83, 0.61};
+  const channel::Vec3 b{1.58, 2.17, 0.68};
+  const auto ab = cache.taps(a, b, 18500.0);
+  const auto ba = cache.taps(b, a, 18500.0);
+  EXPECT_EQ(cache.evaluations(), 1u);
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_EQ(ab.get(), ba.get());
+}
+
+TEST(TapCacheQuant, QuantizedTapsEqualTheSnappedGeometryExactly) {
+  const channel::Tank tank{};
+  const double cell = 0.5;
+  channel::TapCache cache(tank, 1, true, nullptr,
+                          channel::TapQuantization{cell});
+  const channel::Vec3 a{0.52, 0.83, 0.61};
+  const channel::Vec3 b{1.58, 2.17, 0.68};
+  const auto got = cache.taps(a, b, 18500.0);
+  const auto snap = [&](const channel::Vec3& v) {
+    return channel::Vec3{std::round(v.x / cell) * cell,
+                         std::round(v.y / cell) * cell,
+                         std::round(v.z / cell) * cell};
+  };
+  const auto want = channel::image_method_taps(tank, snap(a), snap(b), 1, 18500.0);
+  ASSERT_EQ(got->size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ((*got)[k].delay_s, want[k].delay_s);
+    EXPECT_EQ((*got)[k].gain, want[k].gain);
+  }
+}
+
+TEST(TapCacheQuant, FreeFieldKeysCollapseToQuantizedDistance) {
+  // Free-field taps depend on distance alone, so translated pairs with equal
+  // quantized range share one entry.
+  const channel::Tank tank{};
+  channel::TapCache cache(tank, 1, false, nullptr,
+                          channel::TapQuantization{0.5});
+  (void)cache.taps({0, 0, 10}, {30, 0, 10}, 15000.0);
+  (void)cache.taps({100, 50, 20}, {100, 79.9, 20}, 15000.0);  // also ~30 m
+  EXPECT_EQ(cache.evaluations(), 1u);
+  EXPECT_EQ(cache.lookups(), 2u);
+}
+
+TEST(TapCacheQuant, GridFieldHitRateBeatsEvaluations) {
+  // On a lattice field the quantized free-field key space is the set of
+  // distinct snapped ranges -- far smaller than the pair space.
+  const NodeField f = NodeField::generate(spec_of(FieldLayout::kGrid, 100));
+  const auto& pts = f.positions();
+  channel::TapCache cache(channel::Tank{}, 1, false, nullptr,
+                          channel::TapQuantization{0.5});
+  std::uint64_t pairs = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      (void)cache.taps(pts[i], pts[j], 15000.0);
+      ++pairs;
+    }
+  EXPECT_EQ(cache.lookups(), pairs);
+  EXPECT_LT(cache.evaluations() * 10, cache.lookups())
+      << "quantized keys should share across the lattice pair space";
+}
+
+// --- The kField trial kind ---------------------------------------------------
+
+Session field_session(std::uint64_t population, FieldLayout layout,
+                      obs::MetricRegistry* registry) {
+  return Session(Scenario::open_water(spec_of(layout, population)), registry);
+}
+
+TEST(FieldTrial, CensusIsConservedAndInventoryFindsEveryNode) {
+  obs::MetricRegistry registry;
+  const Session session = field_session(60, FieldLayout::kRandom, &registry);
+  const auto r = session.run_trial<TrialKind::kField>(0);
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  const FieldRunResult& f = r.value();
+  EXPECT_EQ(f.population, 60u);
+  EXPECT_EQ(f.total_pairs, 60u * 59u / 2u);
+  EXPECT_EQ(f.kept_pairs + f.culled_pairs, f.total_pairs);
+  EXPECT_GT(f.cull_radius_m, 0.0);
+  EXPECT_GT(f.mean_reader_gain, 0.0);
+  EXPECT_GE(f.zones, 1u);
+  EXPECT_GE(f.channels, 1u);
+  EXPECT_GT(f.simulated_s, 0.0);
+  EXPECT_NEAR(f.node_hours, 60.0 * f.simulated_s / 3600.0, 1e-12);
+  // Every node identified exactly once, as a valid global index.
+  std::set<std::uint32_t> seen(f.identified.begin(), f.identified.end());
+  EXPECT_EQ(seen.size(), f.identified.size());
+  EXPECT_EQ(seen.size(), 60u);
+  EXPECT_LT(*seen.rbegin(), 60u);
+}
+
+TEST(FieldTrial, CulledPathMatchesBruteForceWhereItMust) {
+  // Culling changes which pairs are *costed*, never the MAC outcome: the
+  // radius, zones, schedule, and inventory are identical on both paths.
+  obs::MetricRegistry r1, r2;
+  const Session session = field_session(120, FieldLayout::kRandom, &r1);
+  const Session reference = field_session(120, FieldLayout::kRandom, &r2);
+  TrialOptions culled;
+  TrialOptions brute;
+  brute.field.brute_force = true;
+  const auto a = session.run_trial<TrialKind::kField>(3, culled);
+  const auto b = reference.run_trial<TrialKind::kField>(3, brute);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().cull_radius_m, b.value().cull_radius_m);
+  EXPECT_EQ(a.value().identified, b.value().identified);
+  EXPECT_EQ(a.value().zones, b.value().zones);
+  EXPECT_EQ(a.value().zone_rounds, b.value().zone_rounds);
+  EXPECT_EQ(a.value().simulated_s, b.value().simulated_s);
+  EXPECT_EQ(a.value().event_log, b.value().event_log);
+  // The brute path pays the full pair space; the culled path does not.
+  EXPECT_EQ(b.value().kept_pairs, b.value().total_pairs);
+  EXPECT_LT(a.value().kept_pairs, a.value().total_pairs);
+  EXPECT_GT(a.value().culled_pairs, 0u);
+  // And the quantized cache shares entries the exact-key path cannot.
+  EXPECT_LT(a.value().tap_evaluations, b.value().tap_evaluations);
+}
+
+TEST(FieldTrial, SpatialCountersAndArenaGaugesAreExported) {
+  obs::MetricRegistry registry;
+  const Session session = field_session(80, FieldLayout::kGrid, &registry);
+  const auto r = session.run_trial<TrialKind::kField>(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(registry.counter("channel.spatial.culled_pairs").value(),
+            r.value().culled_pairs);
+  EXPECT_EQ(registry.counter("channel.spatial.kept_pairs").value(),
+            r.value().kept_pairs);
+  EXPECT_EQ(registry.counter("sim.session.field.trials").value(), 1u);
+  // The arena gauges exist (flatness across populations is asserted by the
+  // deployment_scale bench sidecar in CI).
+  EXPECT_GE(registry.gauge("sim.session.arena.high_water_bytes").value(), 0.0);
+}
+
+TEST(FieldTrial, RuntimeKindDispatchReturnsTheFieldAlternative) {
+  obs::MetricRegistry registry;
+  const Session session = field_session(40, FieldLayout::kGrid, &registry);
+  const auto r = session.run_trial(TrialKind::kField, 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().index(), 3u);
+  EXPECT_EQ(std::get<FieldRunResult>(r.value()).population, 40u);
+}
+
+TEST(FieldTrial, EventLogIsBitIdenticalAtOneTwoAndEightThreads) {
+  obs::MetricRegistry registry;
+  const Session session = field_session(64, FieldLayout::kClusters, &registry);
+  constexpr std::size_t kTrials = 6;
+  const auto reference =
+      BatchRunner(1, nullptr).run<TrialKind::kField>(session, kTrials);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto got =
+        BatchRunner(threads, nullptr).run<TrialKind::kField>(session, kTrials);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      ASSERT_TRUE(got[i].ok());
+      ASSERT_TRUE(reference[i].ok());
+      EXPECT_EQ(got[i].value().event_log, reference[i].value().event_log)
+          << "trial " << i << " at " << threads << " threads";
+      EXPECT_EQ(got[i].value().identified, reference[i].value().identified);
+      EXPECT_EQ(got[i].value().kept_pairs, reference[i].value().kept_pairs);
+      EXPECT_EQ(got[i].value().mean_pair_gain,
+                reference[i].value().mean_pair_gain);
+      EXPECT_EQ(got[i].value().simulated_s, reference[i].value().simulated_s);
+    }
+  }
+}
+
+TEST(FieldTrial, RejectsBadConfig) {
+  obs::MetricRegistry registry;
+  const Session session = field_session(10, FieldLayout::kGrid, &registry);
+  TrialOptions opts;
+  opts.field.gain_floor = 0.0;
+  EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
+  opts = {};
+  opts.field.zone_extent_m = -1.0;
+  EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
+  opts = {};
+  opts.field.quant_cell_m = -0.5;
+  EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
+}
+
+}  // namespace
+}  // namespace pab::sim

@@ -1,13 +1,18 @@
 // MAC layer tests: protocol builders, scheduler retries, FDMA planning.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "mac/fdma.hpp"
+#include "mac/inventory.hpp"
 #include "mac/protocol.hpp"
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
+#include "mac/zones.hpp"
 #include "obs/metrics.hpp"
+#include "sim/timeline.hpp"
 
 namespace pab::mac {
 namespace {
@@ -227,9 +232,30 @@ TEST(Fdma, TwoChannelPlanMatchesPaper) {
   EXPECT_NEAR(plan.carriers_hz[1], 18000.0, 1e-9);
 }
 
-TEST(Fdma, RejectsOvercrowdedBand) {
-  EXPECT_THROW((void)plan_channels(10, ChannelPlanConfig{15000.0, 18000.0, 2500.0}),
-               std::invalid_argument);
+// Regression (pre-fix this threw std::invalid_argument): asking for more
+// nodes than the band fits must return a structured over-subscription plan --
+// every channel that fits, plus the reuse factor zoned scheduling needs --
+// instead of rejecting deployment-scale populations outright.
+TEST(Fdma, OvercrowdedBandReturnsOversubscribedPlan) {
+  const auto plan = plan_channels(10, ChannelPlanConfig{15000.0, 18000.0, 2500.0});
+  ASSERT_EQ(plan.channels(), 2u);  // the band still fits exactly two carriers
+  EXPECT_NEAR(plan.carriers_hz[0], 15000.0, 1e-9);
+  EXPECT_NEAR(plan.carriers_hz[1], 18000.0, 1e-9);
+  EXPECT_EQ(plan.requested, 10u);
+  EXPECT_EQ(plan.reuse_factor, 5u);  // ceil(10 / 2)
+  EXPECT_TRUE(plan.oversubscribed());
+  // Round-robin reuse: slot i gets carrier i % channels.
+  EXPECT_NEAR(plan.carrier_for(0), 15000.0, 1e-9);
+  EXPECT_NEAR(plan.carrier_for(1), 18000.0, 1e-9);
+  EXPECT_NEAR(plan.carrier_for(2), 15000.0, 1e-9);
+  EXPECT_NEAR(plan.carrier_for(9), 18000.0, 1e-9);
+}
+
+TEST(Fdma, WithinCapacityPlanIsNotOversubscribed) {
+  const auto plan = plan_channels(2, ChannelPlanConfig{15000.0, 18000.0, 2500.0});
+  EXPECT_EQ(plan.requested, 2u);
+  EXPECT_EQ(plan.reuse_factor, 1u);
+  EXPECT_FALSE(plan.oversubscribed());
 }
 
 TEST(Fdma, SingleNodeCentered) {
@@ -289,6 +315,135 @@ TEST(Fdma, ThroughputDoubling) {
   // The headline network claim: 2 concurrent channels double the aggregate.
   EXPECT_NEAR(fdma_throughput_bps(2, 1000.0) / tdma_throughput_bps(2, 1000.0),
               2.0, 1e-9);
+}
+
+// --- zoned inventory ---------------------------------------------------------
+
+// A 2x2 zone grid where horizontal/vertical neighbors interfere (the shape
+// the sim layer produces for a field two cull-radii wide).
+ZoneLayout two_by_two_layout(std::size_t per_zone) {
+  ZoneLayout layout;
+  std::uint32_t next = 0;
+  for (std::size_t z = 0; z < 4; ++z) {
+    layout.members.emplace_back();
+    for (std::size_t k = 0; k < per_zone; ++k)
+      layout.members.back().push_back(next++);
+  }
+  layout.adjacency = {{1, 2}, {0, 3}, {0, 3}, {1, 2}};
+  return layout;
+}
+
+TEST(Zones, ColoringSeparatesInterferingZones) {
+  const ZoneLayout layout = two_by_two_layout(4);
+  const ZoneSchedule schedule = plan_zones(layout);
+  ASSERT_EQ(schedule.zones.size(), 4u);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (const std::uint32_t a : layout.adjacency[z])
+      EXPECT_NE(schedule.zones[z].color, schedule.zones[a].color);
+  // 2x2 checkerboard: two colors cover it, both fit the paper's 2-carrier
+  // band, so everything runs in one round.
+  EXPECT_EQ(schedule.colors, 2u);
+  EXPECT_EQ(schedule.plan.channels(), 2u);
+  EXPECT_EQ(schedule.rounds, 1u);
+  EXPECT_NE(schedule.zones[0].carrier_hz, schedule.zones[1].carrier_hz);
+}
+
+TEST(Zones, ColorsBeyondTheBandWrapIntoSequentialRounds) {
+  // A clique of 5 zones needs 5 colors; 2 carriers -> 3 rounds of spatial
+  // reuse, carriers recycling in color order.
+  ZoneLayout layout;
+  layout.members.resize(5);
+  layout.adjacency.resize(5);
+  std::uint32_t next = 0;
+  for (std::size_t z = 0; z < 5; ++z) {
+    layout.members[z] = {next++, next++};
+    for (std::size_t a = 0; a < 5; ++a)
+      if (a != z) layout.adjacency[z].push_back(static_cast<std::uint32_t>(a));
+  }
+  const ZoneSchedule schedule = plan_zones(layout);
+  EXPECT_EQ(schedule.colors, 5u);
+  EXPECT_TRUE(schedule.plan.oversubscribed());
+  EXPECT_EQ(schedule.rounds, 3u);
+  EXPECT_EQ(schedule.zones[0].round, 0u);
+  EXPECT_EQ(schedule.zones[2].round, 1u);
+  EXPECT_EQ(schedule.zones[4].round, 2u);
+  EXPECT_EQ(schedule.zones[0].carrier_hz, schedule.zones[2].carrier_hz);
+}
+
+TEST(Zones, ZonedInventoryFindsEveryNodeExactlyOnce) {
+  const ZoneLayout layout = two_by_two_layout(30);  // 120 nodes total
+  const ZoneSchedule schedule = plan_zones(layout);
+  sim::Timeline tl;
+  const auto result =
+      run_zoned_inventory(layout, schedule, InventoryConfig{}, tl);
+  std::vector<std::uint32_t> sorted = result.identified;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> want(120);
+  for (std::uint32_t i = 0; i < 120; ++i) want[i] = i;
+  EXPECT_EQ(sorted, want);
+  EXPECT_EQ(result.zones, 4u);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_GT(result.simulated_s, 0.0);
+}
+
+TEST(Zones, MasterTimelineChargesRoundsAndZoneAirtime) {
+  const ZoneLayout layout = two_by_two_layout(8);
+  const ZoneSchedule schedule = plan_zones(layout);
+  sim::Timeline tl;
+  const auto result =
+      run_zoned_inventory(layout, schedule, InventoryConfig{}, tl);
+  // Concurrency contract: the master clock advances by the per-round maximum
+  // (what the reader waits), while the per-zone airtime charge carries the
+  // sum of every zone's own duration.
+  EXPECT_EQ(tl.now(), result.simulated_s);
+  EXPECT_EQ(tl.charged("mac.zone.round"), result.simulated_s);
+  EXPECT_GE(tl.charged("mac.zone.inventory"), result.simulated_s);
+}
+
+TEST(Zones, PerZoneSeedsAreIndependentOfExecutionOrder) {
+  // Zone 3's discovery order must not change when unrelated zones disappear:
+  // its seed derives from (config.seed, zone id), never from run order.
+  const ZoneLayout full = two_by_two_layout(10);
+  ZoneLayout only3;
+  only3.members = {{}, {}, {}, full.members[3]};
+  only3.adjacency = {{}, {}, {}, {}};
+  sim::Timeline tl_full;
+  const auto r_full =
+      run_zoned_inventory(full, plan_zones(full), InventoryConfig{}, tl_full);
+  sim::Timeline tl;
+  const auto r_only = run_zoned_inventory(only3, plan_zones(only3),
+                                          InventoryConfig{}, tl);
+  std::vector<std::uint32_t> full_zone3;
+  for (const std::uint32_t id : r_full.identified)
+    if (id >= 30) full_zone3.push_back(id);
+  EXPECT_EQ(full_zone3, r_only.identified);
+}
+
+TEST(Zones, OversizedZoneIsRejected) {
+  ZoneLayout layout;
+  layout.members.resize(1);
+  for (std::uint32_t i = 0; i < 201; ++i) layout.members[0].push_back(i);
+  layout.adjacency.resize(1);
+  const ZoneSchedule schedule = plan_zones(layout);
+  sim::Timeline tl;
+  EXPECT_THROW(
+      (void)run_zoned_inventory(layout, schedule, InventoryConfig{}, tl),
+      std::exception);
+}
+
+TEST(Zones, AvailabilityGateSeesGlobalIdsAndMasterTime) {
+  // Nodes 0..9 in one zone; the gate rejects every odd global index.
+  ZoneLayout layout;
+  layout.members.resize(1);
+  for (std::uint32_t i = 0; i < 10; ++i) layout.members[0].push_back(i);
+  layout.adjacency.resize(1);
+  sim::Timeline tl;
+  ZonedInventoryOptions options;
+  options.available = [](std::uint32_t node, double) { return node % 2 == 0; };
+  const auto result = run_zoned_inventory(layout, plan_zones(layout),
+                                          InventoryConfig{}, tl, options);
+  for (const std::uint32_t id : result.identified) EXPECT_EQ(id % 2, 0u);
+  EXPECT_EQ(result.identified.size(), 5u);
 }
 
 }  // namespace

@@ -77,9 +77,9 @@ TEST_P(LinkBitrateSweep, CloseRangeLinkDecodesErrorFree) {
   const double bitrate = GetParam();
   sim::Scenario sc =
       sim::Scenario::pool_a().with_seed(static_cast<std::uint64_t>(bitrate));
-  sc.placement.projector = {1.2, 1.5, 0.65};
-  sc.placement.hydrophone = {1.8, 1.5, 0.65};
-  sc.placement.node = {1.5, 2.1, 0.65};
+  sc.reader.projector = {1.2, 1.5, 0.65};
+  sc.reader.hydrophone = {1.8, 1.5, 0.65};
+  sc.field.set_position(0, {1.5, 2.1, 0.65});
   sc.waveform.bitrate = bitrate;
   const sim::Session session(sc);
   const auto out = session.run_trial<sim::TrialKind::kUplink>(/*trial=*/0);
