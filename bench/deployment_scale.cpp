@@ -18,6 +18,9 @@
 // sim.field.speedup_vs_brute, and sim.field.arena.high_water_delta_bytes
 // (max - min of the session arena high-water mark across the sweep; the
 // field path keeps per-trial scratch density-bound, so this must stay 0).
+// A final interference-on pass at the largest population publishes
+// sim.field.mean_slot_sinr_db and sim.field.interference_corrupted_slots,
+// the cross-zone SINR corruption gauges.
 //
 // PAB_DEPLOY_MAX_POP caps the sweep (CI smoke runs at 200); the brute-force
 // reference is skipped above kBruteCap nodes to keep the sweep bounded.
@@ -64,9 +67,11 @@ struct TimedRun {
 };
 
 pab::Expected<TimedRun> timed_field_trial(const sim::Session& session,
-                                          bool brute_force) {
+                                          bool brute_force,
+                                          bool interference = false) {
   sim::TrialOptions opts;
   opts.field.brute_force = brute_force;
+  opts.field.interference = interference;
   opts.field.keep_log = false;
   const auto t0 = std::chrono::steady_clock::now();
   auto run = session.run_trial<sim::TrialKind::kField>(/*trial=*/0, opts);
@@ -102,9 +107,11 @@ void print_series() {
   bool arena_seen = false;
   double speedup_at = 0.0;  // largest population with both paths run
   double speedup = 0.0;
+  std::uint64_t last_population = 0;
 
   for (const std::uint64_t population : kPopulations) {
     if (population > cap) break;
+    last_population = population;
     const sim::Scenario scenario =
         sim::Scenario::open_water(field_spec(population)).with_seed(400 + population);
     const sim::Session session(scenario);
@@ -157,6 +164,36 @@ void print_series() {
   registry.gauge("sim.field.speedup_population").set(speedup_at);
   registry.gauge("sim.field.arena.high_water_delta_bytes")
       .set(arena_seen ? arena_max - arena_min : 0.0);
+
+  // Cross-zone interference pass at the largest population run above: same
+  // field, SINR model on (culled path), so the sidecar carries the corruption
+  // gauges alongside the throughput numbers.
+  if (last_population > 0) {
+    const sim::Scenario scenario =
+        sim::Scenario::open_water(field_spec(last_population))
+            .with_seed(400 + last_population);
+    const sim::Session session(scenario);
+    const auto run =
+        timed_field_trial(session, /*brute_force=*/false, /*interference=*/true);
+    if (run.ok()) {
+      const TimedRun& r = run.value();
+      registry.gauge("sim.field.mean_slot_sinr_db")
+          .set(r.result.mean_slot_sinr_db);
+      registry.gauge("sim.field.interference_corrupted_slots")
+          .set(static_cast<double>(r.result.interference_corrupted_slots));
+      std::printf("\ninterference at %llu nodes: %llu corrupted slots, "
+                  "mean slot SINR %.2f dB, %llu/%llu identified\n",
+                  static_cast<unsigned long long>(last_population),
+                  static_cast<unsigned long long>(
+                      r.result.interference_corrupted_slots),
+                  r.result.mean_slot_sinr_db,
+                  static_cast<unsigned long long>(r.result.identified.size()),
+                  static_cast<unsigned long long>(last_population));
+    } else {
+      std::printf("\ninterference pass failed: %s\n",
+                  run.error().message().c_str());
+    }
+  }
 
   std::printf("\nculled vs brute-force speedup: %.1fx at %.0f nodes "
               "(node-hours simulated per wall-second)\n",

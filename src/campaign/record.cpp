@@ -24,13 +24,13 @@ constexpr std::array<std::string_view, 16> kTimelineColumns = {
     "harvested_j",     "consumed_j",       "power_ups",
     "brown_outs"};
 
-constexpr std::array<std::string_view, 16> kFieldColumns = {
+constexpr std::array<std::string_view, 18> kFieldColumns = {
     "population",      "cull_radius_m",    "total_pairs",
     "kept_pairs",      "culled_pairs",     "mean_pair_gain",
     "mean_reader_gain", "tap_evaluations", "tap_lookups",
     "zones",           "zone_colors",      "zone_rounds",
     "channels",        "identified",       "simulated_s",
-    "node_hours"};
+    "node_hours",      "mean_slot_sinr_db", "interference_corrupted_slots"};
 
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
@@ -125,6 +125,9 @@ void RecordBatch::append(std::uint64_t trial,
       columns_[13].push_back(static_cast<double>(f.identified.size()));
       columns_[14].push_back(f.simulated_s);
       columns_[15].push_back(f.node_hours);
+      columns_[16].push_back(f.mean_slot_sinr_db);
+      columns_[17].push_back(
+          static_cast<double>(f.interference_corrupted_slots));
       break;
     }
   }

@@ -141,6 +141,18 @@ bool apply_field_round_param(sim::FieldRoundConfig& c, std::string_view name,
     c.slot_s = value;
   } else if (name == "keep_log") {
     c.keep_log = value != 0.0;
+  } else if (name == "interference") {
+    c.interference = value != 0.0;
+  } else if (name == "noise_power") {
+    c.noise_power = value;
+  } else if (name == "capture_threshold_db") {
+    c.capture_threshold_db = value;
+  } else if (name == "rejection_passband_hz") {
+    c.rejection_passband_hz = value;
+  } else if (name == "rejection_slope_db_per_khz") {
+    c.rejection_slope_db_per_khz = value;
+  } else if (name == "rejection_floor_db") {
+    c.rejection_floor_db = value;
   } else {
     return false;
   }

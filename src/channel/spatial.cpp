@@ -5,6 +5,7 @@
 
 #include "channel/water.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace pab::channel {
 
@@ -88,6 +89,19 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> cull_pairs(
     stats->culled_pairs = stats->total_pairs - stats->kept_pairs;
   }
   return kept;
+}
+
+double aggregate_power_gain(std::span<const Vec3> points,
+                            std::span<const std::uint32_t> indices,
+                            const Vec3& rx, double freq_hz) {
+  NeumaierSum sum;
+  for (const std::uint32_t i : indices) {
+    require(i < points.size(), "aggregate_power_gain: index out of range");
+    const double d = std::max(distance(points[i], rx), 1e-6);
+    const double g = path_amplitude_gain(d, freq_hz);
+    sum.add(g * g);
+  }
+  return sum.value();
 }
 
 }  // namespace pab::channel

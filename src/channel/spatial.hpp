@@ -72,4 +72,16 @@ struct CullStats {
 [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> cull_pairs(
     const SpatialIndex& index, double radius, CullStats* stats = nullptr);
 
+// Aggregate *power* gain at a receiver point from a set of concurrent
+// co-channel transmitters: the Neumaier-exact sum over `indices` of the
+// squared one-way amplitude-gain estimate from points[i] to rx.  The pairwise
+// cull reasons about single links crossing the gain floor; many sub-floor
+// links can still sum above it (the interference case a per-pair threshold
+// cannot see), and this query is how callers measure that aggregate.
+// Indices are summed in span order -- pass them sorted for a deterministic
+// result.  An empty index set aggregates to 0.
+[[nodiscard]] double aggregate_power_gain(std::span<const Vec3> points,
+                                          std::span<const std::uint32_t> indices,
+                                          const Vec3& rx, double freq_hz);
+
 }  // namespace pab::channel

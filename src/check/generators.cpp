@@ -138,6 +138,39 @@ mac::InventoryConfig gen_inventory_config(Rng& rng) {
   return cfg;
 }
 
+ZonedScenario gen_zoned_scenario(Rng& rng) {
+  ZonedScenario s;
+  const std::size_t zones = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  s.layout.members.resize(zones);
+  std::uint32_t next = 0;
+  for (auto& members : s.layout.members) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    for (std::size_t k = 0; k < count; ++k) members.push_back(next++);
+  }
+  s.layout.adjacency.resize(zones);
+  for (std::uint32_t a = 0; a < zones; ++a) {
+    for (std::uint32_t b = a + 1; b < zones; ++b) {
+      if (!rng.bernoulli(0.25)) continue;
+      s.layout.adjacency[a].push_back(b);
+      s.layout.adjacency[b].push_back(a);
+    }
+  }
+  // Reader-path amplitudes spanning three decades: singleton powers land
+  // anywhere in 1e-8..1e-2, so whether a slot survives depends on which
+  // concurrent windows overlap it, not on a global margin.
+  s.amplitude.resize(next);
+  for (auto& a : s.amplitude) a = std::pow(10.0, rng.uniform(-4.0, -1.0));
+  s.inventory = gen_inventory_config(rng);
+  s.frame_announce_s = rng.uniform(0.01, 0.08);
+  s.slot_s = rng.uniform(0.005, 0.03);
+  s.noise_power = std::pow(10.0, rng.uniform(-12.0, -6.0));
+  s.capture_threshold_db = rng.uniform(0.0, 12.0);
+  s.mask.passband_hz = rng.uniform(500.0, 2000.0);
+  s.mask.slope_db_per_khz = rng.uniform(10.0, 50.0);
+  s.mask.floor_db = rng.uniform(20.0, 60.0);
+  return s;
+}
+
 mac::SchedulerConfig gen_timed_scheduler_config(Rng& rng) {
   mac::SchedulerConfig cfg = gen_scheduler_config(rng);
   // A third of the trials can give up mid-query: the budget is sized so some

@@ -20,6 +20,7 @@
 #include "mac/inventory.hpp"
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
+#include "mac/zones.hpp"
 #include "sim/scenario.hpp"
 #include "util/rng.hpp"
 
@@ -65,6 +66,26 @@ enum class LinkOutcome : std::uint8_t { kDecoded, kCrcFailure, kSilent };
 // q-bound extremes and populations larger than the first frame.
 [[nodiscard]] std::vector<std::uint8_t> gen_population(Rng& rng);
 [[nodiscard]] mac::InventoryConfig gen_inventory_config(Rng& rng);
+
+// Zoned-field scenario for the cross-zone interference invariant: a partition
+// of global node indices into a few zones (each small enough for zone-local
+// uint8 ids), a sparse random interference adjacency (sparse on purpose:
+// few colors means several zones share a carrier concurrently, the
+// co-channel case where the SINR ledger has to work hardest), reader-path
+// amplitudes per global node spanning several decades, and the SINR model
+// knobs.  The pieces are kept separate -- the checker assembles
+// ZonedInventoryOptions itself so the amplitude span never dangles.
+struct ZonedScenario {
+  mac::ZoneLayout layout;
+  std::vector<double> amplitude;  // reader-path amplitude per global node
+  mac::InventoryConfig inventory;
+  double frame_announce_s = 0.05;
+  double slot_s = 0.02;
+  double noise_power = 1e-9;
+  double capture_threshold_db = 6.0;
+  mac::RejectionMask mask{};
+};
+[[nodiscard]] ZonedScenario gen_zoned_scenario(Rng& rng);
 
 // Scheduler config for timeline-mode trials: like gen_scheduler_config but
 // also exercises finite per-query timeouts (the reconstruction invariant

@@ -203,6 +203,23 @@ TimedSchedulerRunFn real_timed_scheduler_run() {
   };
 }
 
+ZonedRunFn real_zoned_inventory() {
+  return [](const ZonedScenario& s, const mac::ZoneInterferenceModel& model) {
+    sim::Timeline tl;
+    const mac::ZoneSchedule schedule = mac::plan_zones(s.layout, {});
+    mac::ZonedInventoryOptions options;
+    options.frame_announce_s = s.frame_announce_s;
+    options.slot_s = s.slot_s;
+    options.interference = model;
+    ZonedRunProbe probe;
+    probe.result =
+        mac::run_zoned_inventory(s.layout, schedule, s.inventory, tl, options);
+    probe.log = tl.log();
+    probe.now = tl.now();
+    return probe;
+  };
+}
+
 // --- channel -----------------------------------------------------------------
 
 CheckResult check_sample_interpolation(std::uint64_t seed,
@@ -352,6 +369,35 @@ CheckResult check_spatial_cull(std::uint64_t seed, const CullFn& subject) {
     if (stats.kept_pairs + stats.culled_pairs != stats.total_pairs)
       return mismatch("cull stats kept + culled != total",
                       stats.kept_pairs + stats.culled_pairs, stats.total_pairs);
+  }
+
+  // Mean-gain accumulation set: the gain sum over the subject's kept list
+  // must equal the brute within-radius sum exactly (same pairs, same order,
+  // same plain += accumulation), and whenever pairs were culled the all-pairs
+  // sum strictly exceeds it -- the historical field-census bug accumulated
+  // every pair's gain while dividing by the kept count.
+  {
+    const channel::SpatialIndex index(positions, std::max(radius, 1.0));
+    channel::CullStats stats;
+    const auto kept = subject(index, radius, &stats);
+    const auto pair_gain = [&](std::uint32_t i, std::uint32_t j) {
+      const double d =
+          std::max(channel::distance(positions[i], positions[j]), 1e-3);
+      return channel::path_amplitude_gain(d, carrier);
+    };
+    double kept_sum = 0.0;
+    for (const auto& [i, j] : kept) kept_sum += pair_gain(i, j);
+    double brute_sum = 0.0;
+    for (const auto& [i, j] : brute) brute_sum += pair_gain(i, j);
+    if (kept_sum != brute_sum)
+      return mismatch("kept-pair gain sum != brute within-radius gain sum",
+                      kept_sum, brute_sum);
+    double all_sum = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = i + 1; j < n; ++j) all_sum += pair_gain(i, j);
+    if (stats.culled_pairs > 0 && kept_sum >= all_sum)
+      return mismatch("culled pairs leaked into the gain accumulation",
+                      kept_sum, all_sum);
   }
 
   // Gain-floor audit: the amplitude-gain estimator is monotone in distance
@@ -786,7 +832,8 @@ CheckResult check_timeline_monotonic(std::uint64_t seed,
 }
 
 CheckResult check_timeline_reconstruction(std::uint64_t seed,
-                                          const TimedSchedulerRunFn& subject) {
+                                          const TimedSchedulerRunFn& subject,
+                                          const ZonedRunFn& zoned_subject) {
   Rng rng(seed);
   const auto cfg = gen_timed_scheduler_config(rng);
   const auto script =
@@ -859,6 +906,162 @@ CheckResult check_timeline_reconstruction(std::uint64_t seed,
       return mismatch(("ledger total not reconstructible: " + label).c_str(),
                       probe.ledger_totals[i], resum);
   }
+
+  // Zoned-inventory path: with the slots on the master timeline, the whole
+  // round is auditable from the log.  Frame/slot counts re-derive from their
+  // marker events; busy_s (the *sum* of per-zone durations, the airtime
+  // actually charged) re-sums bit-exactly from the per-zone completion
+  // charges with the timeline's own compensated accumulator; simulated_s
+  // (the *sum of per-round maxima*, the wall time) replays from the
+  // "mac.zone.round" entries with the plain += the result uses; and the
+  // final clock lands exactly on simulated_s.  The historical booking
+  // charged the busy sum under one label while the clock advanced by the
+  // round max -- the split is what this audit pins down.
+  const ZonedScenario zs = gen_zoned_scenario(rng);
+  mac::ZoneInterferenceModel zmodel;
+  zmodel.enabled = rng.bernoulli(0.5);
+  zmodel.noise_power = zs.noise_power;
+  zmodel.capture_threshold_db = zs.capture_threshold_db;
+  zmodel.mask = zs.mask;
+  zmodel.node_amplitude = zs.amplitude;
+  const auto zp = zoned_subject(zs, zmodel);
+  std::size_t frames = 0, slots = 0, rounds = 0;
+  NeumaierSum busy;
+  double walls = 0.0;
+  for (const auto& e : zp.log) {
+    if (e.label == "mac.zone.frame") ++frames;
+    else if (e.label == "mac.zone.slot") ++slots;
+    else if (e.label == "mac.zone.inventory.busy_s") busy.add(e.value);
+    else if (e.label == "mac.zone.round") { ++rounds; walls += e.value; }
+  }
+  if (zp.result.inventory.frames != frames)
+    return mismatch("zoned frames != frame marker events",
+                    zp.result.inventory.frames, frames);
+  if (zp.result.inventory.slots != slots)
+    return mismatch("zoned slots != slot marker events",
+                    zp.result.inventory.slots, slots);
+  if (zp.result.rounds != rounds)
+    return mismatch("zoned rounds != round wall entries", zp.result.rounds,
+                    rounds);
+  if (zp.result.busy_s != busy.value())
+    return mismatch("zoned busy_s not reconstructible from busy charges",
+                    zp.result.busy_s, busy.value());
+  if (zp.result.simulated_s != walls)
+    return mismatch("zoned simulated_s not reconstructible from round walls",
+                    zp.result.simulated_s, walls);
+  if (zp.now != zp.result.simulated_s)
+    return mismatch("zoned clock did not land on simulated_s (wall, not busy, "
+                    "advances time)",
+                    zp.now, zp.result.simulated_s);
+  return CheckResult::pass();
+}
+
+CheckResult check_zone_interference(std::uint64_t seed,
+                                    const ZonedRunFn& subject) {
+  Rng rng(seed);
+  const ZonedScenario s = gen_zoned_scenario(rng);
+  std::set<std::uint32_t> member_set;
+  for (const auto& members : s.layout.members)
+    member_set.insert(members.begin(), members.end());
+
+  mac::ZoneInterferenceModel on;
+  on.enabled = true;
+  on.noise_power = s.noise_power;
+  on.capture_threshold_db = s.capture_threshold_db;
+  on.mask = s.mask;
+  on.node_amplitude = s.amplitude;
+
+  const auto ledger_ok = [&](const ZonedRunProbe& p, bool model_enabled,
+                             const char* phase) -> CheckResult {
+    const auto& r = p.result;
+    const auto& inv = r.inventory;
+    if (inv.singletons + inv.collisions + inv.empties != inv.slots)
+      return mismatch(
+          (std::string(phase) +
+           ": singletons + collisions + empties != slots under corruption")
+              .c_str(),
+          inv.singletons + inv.collisions + inv.empties, inv.slots);
+    if (r.identified.size() != inv.singletons)
+      return mismatch(
+          (std::string(phase) + ": identified count != clean singletons")
+              .c_str(),
+          r.identified.size(), inv.singletons);
+    if (model_enabled &&
+        r.sinr_evaluated_slots != inv.singletons + r.corrupted_slots)
+      return mismatch((std::string(phase) +
+                       ": every singleton reply gets exactly one SINR verdict")
+                          .c_str(),
+                      r.sinr_evaluated_slots,
+                      inv.singletons + r.corrupted_slots);
+    if (r.corrupted_slots > inv.collisions)
+      return mismatch(
+          (std::string(phase) + ": corrupted slots must be booked as "
+                                "collisions")
+              .c_str(),
+          r.corrupted_slots, inv.collisions);
+    std::set<std::uint32_t> uniq(r.identified.begin(), r.identified.end());
+    if (uniq.size() != r.identified.size())
+      return CheckResult::fail(std::string(phase) +
+                               ": a node was identified twice");
+    for (const std::uint32_t id : r.identified)
+      if (!member_set.contains(id))
+        return CheckResult::fail(std::string(phase) +
+                                 ": identified a node outside the layout");
+    if (!std::isfinite(r.mean_slot_sinr_db))
+      return CheckResult::fail(std::string(phase) +
+                               ": mean slot SINR is not finite");
+    if (r.sinr_evaluated_slots == 0 && r.mean_slot_sinr_db != 0.0)
+      return mismatch(
+          (std::string(phase) + ": mean SINR without evaluated slots").c_str(),
+          r.mean_slot_sinr_db, 0.0);
+    return CheckResult::pass();
+  };
+
+  const auto probe = subject(s, on);
+  if (auto r = ledger_ok(probe, true, "interference on"); !r.ok) return r;
+
+  // The interference-off reference: no verdicts, nothing corrupted.
+  const auto off = subject(s, mac::ZoneInterferenceModel{});
+  if (auto r = ledger_ok(off, false, "interference off"); !r.ok) return r;
+  if (off.result.corrupted_slots != 0 || off.result.sinr_evaluated_slots != 0)
+    return CheckResult::fail(
+        "interference off: the SINR ledger must stay empty");
+
+  // Always-capture extreme: a threshold below the SINR clamp never corrupts,
+  // and the run is indistinguishable from interference off -- same ids in
+  // the same order, same stats, same clock bits.
+  mac::ZoneInterferenceModel permissive = on;
+  permissive.capture_threshold_db = -1e9;
+  const auto always = subject(s, permissive);
+  if (always.result.corrupted_slots != 0)
+    return mismatch("always-capture threshold still corrupted slots",
+                    always.result.corrupted_slots, 0);
+  if (always.result.identified != off.result.identified)
+    return CheckResult::fail(
+        "always-capture run identified different nodes than interference off");
+  if (always.result.inventory.slots != off.result.inventory.slots ||
+      always.result.inventory.frames != off.result.inventory.frames ||
+      always.result.inventory.collisions != off.result.inventory.collisions)
+    return CheckResult::fail(
+        "always-capture run took a different schedule than interference off");
+  if (always.result.simulated_s != off.result.simulated_s ||
+      always.result.busy_s != off.result.busy_s)
+    return CheckResult::fail(
+        "always-capture run's clock diverged from interference off");
+
+  // Never-capture extreme: with positive noise every evaluated slot is
+  // corrupted and nobody is ever identified.
+  mac::ZoneInterferenceModel impossible = on;
+  impossible.capture_threshold_db = 1e9;
+  const auto never = subject(s, impossible);
+  if (auto r = ledger_ok(never, true, "never-capture"); !r.ok) return r;
+  if (!never.result.identified.empty())
+    return mismatch("never-capture threshold still identified nodes",
+                    never.result.identified.size(), 0);
+  if (never.result.corrupted_slots != never.result.sinr_evaluated_slots)
+    return mismatch("never-capture threshold left clean singletons",
+                    never.result.corrupted_slots,
+                    never.result.sinr_evaluated_slots);
   return CheckResult::pass();
 }
 
@@ -1029,6 +1232,10 @@ std::vector<Invariant> default_invariants() {
       {"mac.inventory",
        "slot conservation and no node lost or double-counted per inventory",
        [](std::uint64_t s) { return check_inventory_conservation(s); }},
+      {"mac.zone_interference",
+       "slot ledger conserved under cross-zone SINR corruption; capture "
+       "extremes behave",
+       [](std::uint64_t s) { return check_zone_interference(s); }},
       {"energy.ledger",
        "consumed = sum of consumption categories; harvested never leaks in",
        [](std::uint64_t s) { return check_ledger_conservation(s); }},

@@ -26,6 +26,7 @@
 #include "mac/inventory.hpp"
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
+#include "mac/zones.hpp"
 #include "sim/timeline.hpp"
 #include "util/error.hpp"
 
@@ -106,6 +107,19 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
     std::span<const std::pair<energy::Category, double>>,
     std::size_t uplink_bits, double uplink_bitrate)>;
 
+// Zoned inventory: run_zoned_inventory semantics on a fresh Timeline.  The
+// subject gets the generated scenario plus the interference model to apply
+// (the checker varies the model across calls: off, as generated, and the
+// capture-threshold extremes) and returns the result with the event log it
+// must reconstruct to.
+struct ZonedRunProbe {
+  mac::ZonedInventoryResult result;
+  std::vector<sim::TimelineEvent> log;
+  double now = 0.0;
+};
+using ZonedRunFn = std::function<ZonedRunProbe(
+    const ZonedScenario&, const mac::ZoneInterferenceModel&)>;
+
 // The real implementations (default subjects).
 [[nodiscard]] SampleFn real_sample_at();
 [[nodiscard]] RateTraceFn real_rate_trace();
@@ -116,6 +130,7 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
 [[nodiscard]] RechargeFn real_recharge();
 [[nodiscard]] TimelineRunFn real_timeline_run();
 [[nodiscard]] TimedSchedulerRunFn real_timed_scheduler_run();
+[[nodiscard]] ZonedRunFn real_zoned_inventory();
 
 // --- invariant checkers ------------------------------------------------------
 
@@ -135,7 +150,11 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
 // i<j), conserved pair counts -- independent of the index's grid cell size,
 // and the gain-floor audit holds: every culled pair's amplitude-gain
 // estimator sits below the floor, every kept pair's at or above it (so the
-// cull can never silently drop a link that matters).
+// cull can never silently drop a link that matters).  The mean-gain
+// accumulation set is audited too: the gain sum over the kept list equals
+// the brute within-radius sum exactly, and strictly excludes culled pairs
+// (the historical field-census bug summed every pair while dividing by the
+// kept count).
 [[nodiscard]] CheckResult check_spatial_cull(std::uint64_t seed,
                                              const CullFn& subject = real_cull());
 
@@ -194,9 +213,27 @@ using TimedSchedulerRunFn = std::function<TimedRunProbe(
 // log alone -- elapsed_s re-derives bit-exactly from the mac airtime events
 // (Neumaier in log order), every counter from its marker events, and each
 // ledger category total bit-exactly from the "energy.<category>" entries.
+// The zoned-inventory path is covered too, now that its slots run on the
+// master timeline: frames/slots re-count from their marker events, busy_s
+// re-sums bit-exactly from the per-zone "mac.zone.inventory.busy_s" charges,
+// simulated_s replays from the per-round "mac.zone.round" walls, and the
+// final clock lands exactly on simulated_s (the busy/wall split the old
+// sum-under-one-label booking conflated).
 [[nodiscard]] CheckResult check_timeline_reconstruction(
     std::uint64_t seed,
-    const TimedSchedulerRunFn& subject = real_timed_scheduler_run());
+    const TimedSchedulerRunFn& subject = real_timed_scheduler_run(),
+    const ZonedRunFn& zoned_subject = real_zoned_inventory());
+
+// mac.zone_interference: on a generated zoned field with the SINR model on,
+// the slot ledger stays conserved under corruption -- clean singletons +
+// collisions + empties == slots, every singleton reply gets exactly one SINR
+// verdict (evaluated == identified + corrupted), corrupted slots are booked
+// as collisions, identified ids are unique members -- and the capture
+// threshold behaves at its extremes: an always-capture threshold reproduces
+// the interference-off run bit for bit, a never-capture threshold corrupts
+// every evaluated slot and identifies nobody.
+[[nodiscard]] CheckResult check_zone_interference(
+    std::uint64_t seed, const ZonedRunFn& subject = real_zoned_inventory());
 
 // campaign.shard_merge: a campaign's records and deterministic counters are
 // invariant under the shard partition -- any shard size (including one shard

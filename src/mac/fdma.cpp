@@ -35,6 +35,22 @@ ChannelPlan plan_channels(std::size_t n_nodes, const ChannelPlanConfig& config) 
   return plan;
 }
 
+double rejection_db(const RejectionMask& mask, double tx_hz, double rx_hz) {
+  require(mask.passband_hz >= 0.0, "rejection_db: negative passband");
+  require(mask.slope_db_per_khz >= 0.0, "rejection_db: negative slope");
+  require(mask.floor_db >= 0.0, "rejection_db: negative floor");
+  const double delta = std::abs(tx_hz - rx_hz);
+  if (delta <= mask.passband_hz) return 0.0;
+  const double skirt =
+      mask.slope_db_per_khz * (delta - mask.passband_hz) / 1000.0;
+  return std::min(skirt, mask.floor_db);
+}
+
+double rejection_power_factor(const RejectionMask& mask, double tx_hz,
+                              double rx_hz) {
+  return std::pow(10.0, -0.1 * rejection_db(mask, tx_hz, rx_hz));
+}
+
 std::vector<std::vector<double>> crosstalk_matrix(const ChannelPlan& plan,
                                                   double mechanical_resonance_hz) {
   const std::size_t n = plan.channels();

@@ -48,6 +48,29 @@ struct ChannelPlanConfig {
 [[nodiscard]] ChannelPlan plan_channels(std::size_t n_nodes,
                                         const ChannelPlanConfig& config = {});
 
+// Receiver rejection of off-carrier backscatter.  The hydrophone separates
+// concurrent FDMA streams with per-carrier filters; a transmitter on another
+// carrier leaks into the receive band attenuated by the filter skirt.  The
+// mask is the usual piecewise-linear idealization: no rejection inside the
+// passband around the receive carrier, a linear roll-off beyond it, and a
+// finite stopband floor (real filters never reject infinitely).
+struct RejectionMask {
+  double passband_hz = 1000.0;      // |f_tx - f_rx| <= passband: 0 dB
+  double slope_db_per_khz = 30.0;   // roll-off beyond the passband edge
+  double floor_db = 40.0;           // ultimate stopband rejection
+};
+
+// Rejection in dB (>= 0) the receive filter at `rx_hz` applies to a
+// transmitter at `tx_hz`.  0 dB co-channel, capped at `floor_db`.
+[[nodiscard]] double rejection_db(const RejectionMask& mask, double tx_hz,
+                                  double rx_hz);
+
+// The same rejection as a linear power factor 10^(-db/10) in (0, 1]:
+// multiply an interferer's received power by this before summing it into a
+// SINR denominator.
+[[nodiscard]] double rejection_power_factor(const RejectionMask& mask,
+                                            double tx_hz, double rx_hz);
+
 // Cross-talk matrix entry [i][j]: modulation depth of a node matched at
 // carrier j when illuminated at carrier i, normalized by its on-channel
 // depth.  Quantifies how frequency-agnostic backscatter couples channels

@@ -1,9 +1,12 @@
 #include "mac/zones.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 
 #include "sim/timeline.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace pab::mac {
 
@@ -16,6 +19,266 @@ std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// SINR values are clamped to this band (dB) so a zero-interference or
+// zero-amplitude slot still contributes a finite value to the mean.
+constexpr double kSinrCapDb = 300.0;
+
+// One reply window announced for the current round: zone z's slot k occupies
+// [start, end] on the master clock and `ids` would transmit in it (zone-local
+// ids fixed at the frame announcement; availability is re-sampled when the
+// window is read).  Windows own their id list: the announcing zone reuses its
+// frame scratch while other zones may still read the window.
+struct SlotWindow {
+  double start = 0.0;
+  double end = 0.0;
+  std::uint32_t zone = 0;
+  double carrier_hz = 0.0;
+  const std::vector<std::uint32_t>* members = nullptr;  // local id -> global
+  std::vector<std::uint8_t> ids;
+};
+
+// Per-slot SINR verdict, decided at the slot's fire time (when every window
+// overlapping it is guaranteed registered -- any overlapping frame was
+// announced strictly before the slot ends).
+enum class SlotVerdict : std::uint8_t { kNotEvaluated, kClean, kCorrupted };
+
+// Per-zone inventory state machine.  `t_local` mirrors, operation for
+// operation, the clock of the old per-zone sub-timeline: frame announcements
+// add frame_announce_s, frame ends land on frame_start + slots * slot_s, and
+// every event is scheduled on the master timeline at round_start + t_local --
+// so availability predicates observe bit-identical absolute timestamps and
+// the interference-off schedule reproduces the isolated-zone results exactly.
+struct ZoneRun {
+  std::uint32_t zone_id = 0;
+  const std::vector<std::uint32_t>* members = nullptr;
+  double carrier_hz = 0.0;
+  InventoryConfig config;  // seed already mixed per zone
+  std::vector<std::uint8_t> pending;
+  std::vector<std::uint8_t> identified;
+  InventoryStats stats;
+  int q = 0;
+  std::uint64_t nonce = 0;
+  int frames_run = 0;
+  double t_local = 0.0;
+  std::vector<std::vector<std::uint8_t>> by_slot;  // frame scratch
+  std::vector<std::vector<std::uint8_t>> replies;
+  std::vector<SlotVerdict> verdict;
+  bool done = false;
+};
+
+// Shared state of one concurrent round.
+struct RoundState {
+  double round_start = 0.0;
+  std::vector<ZoneRun>* zones = nullptr;  // active zones, ascending zone id
+  std::vector<SlotWindow> windows;
+  std::size_t active = 0;
+  const ZonedInventoryOptions* options = nullptr;
+  // Completion-order busy accumulator shared across rounds: the same
+  // compensated algorithm, fed in the same order, as the timeline's
+  // "mac.zone.inventory.busy_s" label sum -- so the result's busy_s is
+  // reconstructible bit-exactly from the event log.
+  pab::NeumaierSum* busy = nullptr;
+  // Interference ledger accumulated in slot fire order (deterministic:
+  // master-queue (time, seq) order).
+  std::size_t corrupted = 0;
+  std::size_t evaluated = 0;
+  double sinr_db_sum = 0.0;
+};
+
+bool node_available(const ZonedInventoryOptions& options, std::uint32_t node,
+                    double t) {
+  return !options.available || options.available(node, t);
+}
+
+// Aggregate interference power leaking into zone z's receive filter during
+// [slot_start, slot_end]: every other zone's window overlapping it
+// contributes its available transmitters' squared reader-path amplitudes
+// through the rejection mask.  Availability of an interferer is sampled at
+// the overlap start -- already in the past when the listening slot fires.
+double interference_power(const RoundState& rs, const ZoneRun& z,
+                          double slot_start, double slot_end) {
+  const ZoneInterferenceModel& model = rs.options->interference;
+  double power = 0.0;
+  for (const SlotWindow& w : rs.windows) {
+    if (w.zone == z.zone_id) continue;
+    if (!(w.start < slot_end && w.end > slot_start)) continue;
+    const double reject =
+        rejection_power_factor(model.mask, w.carrier_hz, z.carrier_hz);
+    if (reject <= 0.0) continue;
+    const double sample_t = std::max(slot_start, w.start);
+    for (const std::uint8_t id : w.ids) {
+      const std::uint32_t node = (*w.members)[id - 1];
+      if (!node_available(*rs.options, node, sample_t)) continue;
+      const double amp = model.node_amplitude[node];
+      power += amp * amp * reject;
+    }
+  }
+  return power;
+}
+
+// SINR (dB, clamped to +-kSinrCapDb) of a singleton reply from global node
+// `node` in zone z's slot [slot_start, slot_end].
+double slot_sinr_db(const RoundState& rs, const ZoneRun& z, std::uint32_t node,
+                    double slot_start, double slot_end) {
+  const ZoneInterferenceModel& model = rs.options->interference;
+  const double amp = model.node_amplitude[node];
+  const double signal = amp * amp;
+  const double denom =
+      model.noise_power + interference_power(rs, z, slot_start, slot_end);
+  if (denom <= 0.0) return signal > 0.0 ? kSinrCapDb : -kSinrCapDb;
+  if (signal <= 0.0) return -kSinrCapDb;
+  return std::clamp(10.0 * std::log10(signal / denom), -kSinrCapDb, kSinrCapDb);
+}
+
+void schedule_frame(ZoneRun& z, RoundState& rs, sim::Timeline& tl);
+
+// Frame-end bookkeeping: outcomes, q adaptation, compaction, and either the
+// next frame announcement or zone completion.  Runs inside the final slot
+// event of the frame, whose fire time is exactly the frame end.
+void finish_frame(ZoneRun& z, RoundState& rs, sim::Timeline& tl) {
+  const std::size_t slot_count = z.replies.size();
+  std::size_t frame_singletons = 0, frame_collisions = 0;
+  std::array<bool, 256> won{};  // ids identified this frame
+  for (std::size_t k = 0; k < slot_count; ++k) {
+    if (z.replies[k].size() == 1) {
+      if (z.verdict[k] == SlotVerdict::kCorrupted) {
+        // The reply was drowned by concurrent zones: the reader sees a CRC
+        // failure, indistinguishable from a collision, and retries the node
+        // in a later frame.
+        ++frame_collisions;
+      } else {
+        ++frame_singletons;
+        z.identified.push_back(z.replies[k].front());
+        won[z.replies[k].front()] = true;
+      }
+    } else if (z.replies[k].size() > 1) {
+      ++frame_collisions;
+    }
+  }
+  for (std::size_t i = 0; i < z.pending.size();) {
+    if (won[z.pending[i]]) {
+      z.pending[i] = z.pending.back();
+      z.pending.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  const std::size_t frame_empties =
+      slot_count - frame_singletons - frame_collisions;
+  z.stats.singletons += frame_singletons;
+  z.stats.collisions += frame_collisions;
+  z.stats.empties += frame_empties;
+
+  z.q = adapt_q(z.q, frame_collisions, frame_empties, frame_singletons,
+                z.config.min_q, z.config.max_q);
+
+  if (z.pending.empty() || z.frames_run >= z.config.max_frames) {
+    z.done = true;
+    tl.charge("mac.zone.inventory.busy_s", z.t_local);
+    rs.busy->add(z.t_local);
+    --rs.active;
+    return;
+  }
+  schedule_frame(z, rs, tl);
+}
+
+// One reply slot fires at its end time: collect the zone's own replies
+// (availability sampled at the fire time, the interference-off semantics),
+// evaluate the SINR verdict for singleton replies, and on the frame's last
+// slot run the frame-end bookkeeping.
+void fire_slot(ZoneRun& z, RoundState& rs, sim::Timeline& tl, std::size_t k,
+               double slot_start_abs, double frame_end_local) {
+  for (const std::uint8_t id : z.by_slot[k]) {
+    if (node_available(*rs.options, (*z.members)[id - 1], tl.now()))
+      z.replies[k].push_back(id);
+  }
+  const ZoneInterferenceModel& model = rs.options->interference;
+  if (model.enabled && z.replies[k].size() == 1) {
+    const std::uint32_t node = (*z.members)[z.replies[k].front() - 1];
+    const double db = slot_sinr_db(rs, z, node, slot_start_abs, tl.now());
+    ++rs.evaluated;
+    rs.sinr_db_sum += db;
+    if (db >= model.capture_threshold_db) {
+      z.verdict[k] = SlotVerdict::kClean;
+    } else {
+      z.verdict[k] = SlotVerdict::kCorrupted;
+      ++rs.corrupted;
+    }
+  }
+  if (k + 1 == z.by_slot.size()) {
+    z.t_local = frame_end_local;
+    finish_frame(z, rs, tl);
+  }
+}
+
+// Announce the zone's next frame: the announcement occupies
+// [t_local, t_local + frame_announce_s] and the event fires at its end,
+// where slot assignment is fixed (the node PRNG is seeded by the query
+// nonce), reply windows are registered for the round, and the slot events
+// are scheduled.
+void schedule_frame(ZoneRun& z, RoundState& rs, sim::Timeline& tl) {
+  const ZonedInventoryOptions& options = *rs.options;
+  const double announce_end_local = z.t_local + options.frame_announce_s;
+  tl.schedule_at(
+      rs.round_start + announce_end_local, "mac.zone.frame",
+      [&z, &rs, announce_end_local](sim::Timeline& timeline) {
+        const ZonedInventoryOptions& opts = *rs.options;
+        z.t_local = announce_end_local;
+        ++z.stats.frames;
+        ++z.frames_run;
+        ++z.nonce;
+        const std::size_t slot_count = std::size_t{1} << z.q;
+        z.stats.slots += slot_count;
+        const double frame_start = z.t_local;
+
+        z.by_slot.assign(slot_count, {});
+        z.replies.assign(slot_count, {});
+        z.verdict.assign(slot_count, SlotVerdict::kNotEvaluated);
+        for (const std::uint8_t id : z.pending)
+          z.by_slot[inventory_slot(id, z.nonce, slot_count)].push_back(id);
+
+        if (opts.interference.enabled) {
+          // Drop windows no future slot can overlap: every slot still to
+          // fire ends at or after now(), so its window starts at or after
+          // now() - slot_s.
+          const double dead_before = timeline.now() - opts.slot_s;
+          std::erase_if(rs.windows, [dead_before](const SlotWindow& w) {
+            return w.end <= dead_before;
+          });
+          for (std::size_t k = 0; k < slot_count; ++k) {
+            if (z.by_slot[k].empty()) continue;
+            SlotWindow w;
+            w.start = rs.round_start +
+                      (frame_start + static_cast<double>(k) * opts.slot_s);
+            w.end = rs.round_start +
+                    (frame_start + static_cast<double>(k + 1) * opts.slot_s);
+            w.zone = z.zone_id;
+            w.carrier_hz = z.carrier_hz;
+            w.members = z.members;
+            w.ids = z.by_slot[k];
+            rs.windows.push_back(std::move(w));
+          }
+        }
+
+        const double frame_end_local =
+            frame_start + static_cast<double>(slot_count) * opts.slot_s;
+        for (std::size_t k = 0; k < slot_count; ++k) {
+          const double start_local =
+              frame_start + static_cast<double>(k) * opts.slot_s;
+          const double end_local =
+              frame_start + static_cast<double>(k + 1) * opts.slot_s;
+          const double start_abs = rs.round_start + start_local;
+          timeline.schedule_at(
+              rs.round_start + end_local, "mac.zone.slot",
+              [&z, &rs, k, start_abs, frame_end_local](sim::Timeline& t) {
+                fire_slot(z, rs, t, k, start_abs, frame_end_local);
+              },
+              opts.slot_s);
+        }
+      },
+      options.frame_announce_s);
 }
 
 }  // namespace
@@ -70,14 +333,28 @@ ZonedInventoryResult run_zoned_inventory(const ZoneLayout& layout,
                                          const ZonedInventoryOptions& options) {
   const std::size_t n = layout.members.size();
   require(schedule.zones.size() == n, "run_zoned_inventory: schedule mismatch");
+  require(options.frame_announce_s >= 0.0 && options.slot_s >= 0.0,
+          "run_zoned_inventory: negative timing");
+  if (options.interference.enabled) {
+    for (const auto& members : layout.members)
+      for (const std::uint32_t g : members)
+        require(g < options.interference.node_amplitude.size(),
+                "run_zoned_inventory: interference amplitudes must cover "
+                "every member node");
+  }
 
   ZonedInventoryResult out;
   out.zones = n;
   out.rounds = schedule.rounds;
+  pab::NeumaierSum busy;
 
   for (std::size_t round = 0; round < schedule.rounds; ++round) {
-    const double round_start = timeline.now();
-    double round_wall = 0.0;
+    RoundState rs;
+    rs.round_start = timeline.now();
+    rs.options = &options;
+    rs.busy = &busy;
+
+    std::vector<ZoneRun> runs;
     for (std::size_t z = 0; z < n; ++z) {
       if (schedule.zones[z].round != round) continue;
       const std::vector<std::uint32_t>& members = layout.members[z];
@@ -85,46 +362,76 @@ ZonedInventoryResult run_zoned_inventory(const ZoneLayout& layout,
       require(members.size() <= 200,
               "run_zoned_inventory: a zone holds more than 200 nodes (shrink "
               "the zone extent)");
-
+      ZoneRun run;
+      run.zone_id = static_cast<std::uint32_t>(z);
+      run.members = &members;
+      run.carrier_hz = schedule.zones[z].carrier_hz;
+      run.config = config;
       // Zone-local uint8 ids 1..members.size() map back to global indices:
       // the hierarchical addressing that lifts the flat protocol's limit.
-      std::vector<std::uint8_t> population(members.size());
+      run.config.seed = mix(config.seed ^ mix(static_cast<std::uint64_t>(z)));
+      require(run.config.min_q >= 0 && run.config.min_q <= run.config.max_q,
+              "run_zoned_inventory: invalid q bounds");
+      require(run.config.initial_q >= run.config.min_q &&
+                  run.config.initial_q <= run.config.max_q,
+              "run_zoned_inventory: initial q out of bounds");
+      run.q = run.config.initial_q;
+      run.nonce = run.config.seed;
+      run.pending.resize(members.size());
       for (std::size_t k = 0; k < members.size(); ++k)
-        population[k] = static_cast<std::uint8_t>(k + 1);
-
-      InventoryConfig zone_config = config;
-      zone_config.seed = mix(config.seed ^ mix(static_cast<std::uint64_t>(z)));
-
-      TimedInventoryOptions timed;
-      timed.frame_announce_s = options.frame_announce_s;
-      timed.slot_s = options.slot_s;
-      if (options.available) {
-        timed.available = [&](std::uint8_t id, double t) {
-          return options.available(members[id - 1], round_start + t);
-        };
-      }
-
-      // Concurrent zones of one round each run on a zone-local sub-timeline
-      // (logging off: the master log is the audit record); the master charges
-      // each zone's duration and elapses the round's maximum below.
-      sim::Timeline zone_tl;
-      zone_tl.set_logging(false);
-      InventoryStats stats;
-      const std::vector<std::uint8_t> found =
-          run_inventory(population, zone_config, zone_tl, timed, &stats);
-      for (const std::uint8_t id : found)
-        out.identified.push_back(members[id - 1]);
-      out.inventory.frames += stats.frames;
-      out.inventory.slots += stats.slots;
-      out.inventory.singletons += stats.singletons;
-      out.inventory.collisions += stats.collisions;
-      out.inventory.empties += stats.empties;
-      timeline.charge("mac.zone.inventory", zone_tl.now());
-      round_wall = std::max(round_wall, zone_tl.now());
+        run.pending[k] = static_cast<std::uint8_t>(k + 1);
+      runs.push_back(std::move(run));
     }
-    timeline.elapse(round_wall, "mac.zone.round");
+    rs.zones = &runs;
+
+    // `runs` is stable from here on: callbacks hold references into it.
+    for (ZoneRun& z : runs) {
+      if (z.config.max_frames <= 0) {
+        z.done = true;
+        timeline.charge("mac.zone.inventory.busy_s", 0.0);
+        busy.add(0.0);
+        continue;
+      }
+      ++rs.active;
+      schedule_frame(z, rs, timeline);
+    }
+
+    // Drive the round: every frame announcement and reply slot fires at its
+    // own absolute timestamp, interleaved with any external events already
+    // on the queue (lifecycle ticks).  The clock lands on the round wall --
+    // the last slot of the slowest zone -- when the final zone completes.
+    while (rs.active > 0) {
+      const bool fired = timeline.step();
+      require(fired, "run_zoned_inventory: queue drained with zones active");
+    }
+
+    double round_wall = 0.0;
+    for (const ZoneRun& z : runs) {
+      for (const std::uint8_t id : z.identified)
+        out.identified.push_back((*z.members)[id - 1]);
+      out.inventory.frames += z.stats.frames;
+      out.inventory.slots += z.stats.slots;
+      out.inventory.singletons += z.stats.singletons;
+      out.inventory.collisions += z.stats.collisions;
+      out.inventory.empties += z.stats.empties;
+      round_wall = std::max(round_wall, z.t_local);
+    }
+    out.corrupted_slots += rs.corrupted;
+    out.sinr_evaluated_slots += rs.evaluated;
+    out.mean_slot_sinr_db += rs.sinr_db_sum;  // normalized below
+
+    // The round's wall time: one entry per round whose value is the maximum
+    // concurrent zone duration, distinct from the per-zone busy_s charges
+    // (their *sum*) -- the split that keeps label totals honest.
+    timeline.charge("mac.zone.round", round_wall);
     out.simulated_s += round_wall;
   }
+
+  out.busy_s = busy.value();
+  out.mean_slot_sinr_db =
+      out.sinr_evaluated_slots > 0
+          ? out.mean_slot_sinr_db / static_cast<double>(out.sinr_evaluated_slots)
+          : 0.0;
   return out;
 }
 

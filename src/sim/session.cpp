@@ -345,6 +345,12 @@ pab::Expected<FieldRunResult> Session::field_trial(
   if (config.zone_extent_m <= 0.0)
     return pab::Error{pab::ErrorCode::kInvalidArgument,
                       "field trial: zone extent must be positive"};
+  if (config.interference &&
+      (config.noise_power < 0.0 || config.rejection_passband_hz < 0.0 ||
+       config.rejection_slope_db_per_khz < 0.0 ||
+       config.rejection_floor_db < 0.0))
+    return pab::Error{pab::ErrorCode::kInvalidArgument,
+                      "field trial: interference parameters must be >= 0"};
 
   const obs::ScopedTimer timer(t_trial_);
   n_trials_->add();
@@ -385,13 +391,25 @@ pab::Expected<FieldRunResult> Session::field_trial(
   out.cull_radius_m = radius;
   double pair_sum = 0.0;
   if (config.brute_force) {
+    // The reference path still *evaluates* every O(n^2) pair (that is the
+    // cost being compared against), but mean_pair_gain accumulates only the
+    // within-radius pairs -- the same set, in the same lexicographic order,
+    // as the culled path.  Summing all pairs here diluted the parity metric
+    // with sub-floor gains the production path deliberately excludes.
     out.total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
-    out.kept_pairs = out.total_pairs;
-    out.culled_pairs = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        pair_sum += channel::coherent_gain(
+    std::uint64_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double gain = channel::coherent_gain(
             *cache.taps(positions[i], positions[j], carrier), carrier);
+        if (channel::distance(positions[i], positions[j]) <= radius) {
+          pair_sum += gain;
+          ++kept;
+        }
+      }
+    }
+    out.kept_pairs = kept;
+    out.culled_pairs = out.total_pairs - kept;
   } else {
     const double cell = std::max(std::min(radius, diagonal), 1.0);
     const channel::SpatialIndex index(positions, cell);
@@ -407,8 +425,6 @@ pab::Expected<FieldRunResult> Session::field_trial(
   out.mean_pair_gain = out.kept_pairs > 0
                            ? pair_sum / static_cast<double>(out.kept_pairs)
                            : 0.0;
-  out.tap_evaluations = cache.evaluations();
-  out.tap_lookups = cache.lookups();
   metrics_->counter("channel.spatial.culled_pairs").add(out.culled_pairs);
   metrics_->counter("channel.spatial.kept_pairs").add(out.kept_pairs);
 
@@ -465,10 +481,47 @@ pab::Expected<FieldRunResult> Session::field_trial(
   mac::ZonedInventoryOptions slots;
   slots.frame_announce_s = config.frame_announce_s;
   slots.slot_s = config.slot_s;
+  // Cross-zone SINR coupling: mac stays below channel, so the geometry is
+  // folded into plain per-node data here -- each node's reader-path
+  // backscatter amplitude (projector -> node gain times node -> hydrophone
+  // gain, both at the node's zone carrier, through the same per-trial tap
+  // cache as the census above).  The model (and its extra tap evaluations)
+  // is gated off by default, leaving the silent-zone schedule bit-identical.
+  std::vector<double> node_amplitude;
+  if (config.interference) {
+    std::vector<std::uint32_t> zone_of(n, 0);
+    for (std::size_t z = 0; z < layout.members.size(); ++z)
+      for (const std::uint32_t g : layout.members[z])
+        zone_of[g] = static_cast<std::uint32_t>(z);
+    node_amplitude.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double f = schedule.zones[zone_of[j]].carrier_hz;
+      const double down = channel::coherent_gain(
+          *cache.taps(scenario_.reader.projector, positions[j], f), f);
+      const double up = channel::coherent_gain(
+          *cache.taps(positions[j], scenario_.reader.hydrophone, f), f);
+      node_amplitude[j] = down * up;
+    }
+    slots.interference.enabled = true;
+    slots.interference.noise_power = config.noise_power;
+    slots.interference.capture_threshold_db = config.capture_threshold_db;
+    slots.interference.mask.passband_hz = config.rejection_passband_hz;
+    slots.interference.mask.slope_db_per_khz = config.rejection_slope_db_per_khz;
+    slots.interference.mask.floor_db = config.rejection_floor_db;
+    slots.interference.node_amplitude = node_amplitude;
+  }
   const mac::ZonedInventoryResult round =
       mac::run_zoned_inventory(layout, schedule, inventory, tl, slots);
   out.identified = round.identified;
   out.inventory = round.inventory;
+  out.interference_corrupted_slots = round.corrupted_slots;
+  out.mean_slot_sinr_db = round.mean_slot_sinr_db;
+  // Captured after the zoned round so the interference model's extra
+  // reader-path evaluations show up in the trial's tap economics (the census
+  // evaluates nothing after this point on the off path, so off-mode numbers
+  // are unchanged).
+  out.tap_evaluations = cache.evaluations();
+  out.tap_lookups = cache.lookups();
   out.simulated_s = tl.now();
   out.node_hours =
       static_cast<double>(n) * out.simulated_s / 3600.0;

@@ -92,6 +92,11 @@ struct FieldRunResult {
   std::size_t channels = 0;        // distinct FDMA carriers in the zone plan
   std::vector<std::uint32_t> identified;  // global indices, discovery order
   mac::InventoryStats inventory;
+  // Cross-zone interference ledger (zero when the model is off): singleton
+  // replies demoted to CRC failures by the SINR test, and the mean SINR (dB)
+  // over every evaluated singleton slot.
+  std::uint64_t interference_corrupted_slots = 0;
+  double mean_slot_sinr_db = 0.0;
   double simulated_s = 0.0;
   double node_hours = 0.0;  // population * simulated_s / 3600
   std::size_t events_processed = 0;

@@ -104,6 +104,24 @@ struct FieldRoundConfig {
   double frame_announce_s = 0.05;  // zoned inventory timing
   double slot_s = 0.02;
   bool keep_log = true;  // retain the master event log in the result
+  // Cross-zone interference (off by default: concurrently inventoried zones
+  // are then treated as perfectly silent to each other, bit-identical to the
+  // historical schedule).  When on, each slot's SINR is the singleton's
+  // reader-path power over the noise floor plus every concurrent other-zone
+  // transmitter's reader-path power through the FDMA rejection mask; a
+  // singleton below the capture threshold is a CRC failure (counted as a
+  // collision plus an interference_corrupted_slots tally).
+  bool interference = false;
+  // Reader-referred noise power in amplitude^2 units (the reader-path
+  // amplitudes are products of two one-way coherent gains, so open-water
+  // singleton powers sit around 1e-8..1e-4; the default keeps an isolated
+  // zone comfortably above threshold while letting co-channel aggregates
+  // matter).
+  double noise_power = 1e-12;
+  double capture_threshold_db = 6.0;   // singleton decodes iff SINR >= this
+  double rejection_passband_hz = 1000.0;   // FDMA receive-filter mask
+  double rejection_slope_db_per_khz = 30.0;
+  double rejection_floor_db = 40.0;
 };
 
 // Per-run options of the unified entry points.  Only the kinds that need

@@ -330,6 +330,130 @@ TEST(Mutation, BoundaryDroppingSpatialCullIsCaught) {
       << "real spatial cull flagged on the mutant's reproducing seed";
 }
 
+// The historical field-inventory bug this PR fixes: concurrently inventoried
+// zones were treated as perfectly silent to each other.  A subject that
+// quietly drops the interference model (runs the isolated-zone schedule no
+// matter what the checker asks for) must be caught -- the never-capture
+// phase still identifies nodes a corrupted inventory could not have.
+TEST(Mutation, SilentConcurrentZonesAreCaught) {
+  const ZonedRunFn real = real_zoned_inventory();
+  const ZonedRunFn mutant = [&real](const ZonedScenario& s,
+                                    const mac::ZoneInterferenceModel&) {
+    return real(s, mac::ZoneInterferenceModel{});
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_zone_interference(s, mutant); }, 16);
+  ASSERT_TRUE(caught.has_value()) << "interference-ignoring inventory survived";
+  EXPECT_TRUE(check_zone_interference(*caught).ok)
+      << "real zoned inventory flagged on the mutant's reproducing seed";
+}
+
+// Ledger-conservation bug: a slot demoted by the SINR test must be booked as
+// a collision, or singletons + collisions + empties stops adding up to slots.
+TEST(Mutation, CorruptedSlotsDroppedFromCollisionsAreCaught) {
+  const ZonedRunFn real = real_zoned_inventory();
+  const ZonedRunFn mutant = [&real](const ZonedScenario& s,
+                                    const mac::ZoneInterferenceModel& model) {
+    ZonedRunProbe probe = real(s, model);
+    probe.result.inventory.collisions -= probe.result.corrupted_slots;
+    return probe;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_zone_interference(s, mutant); }, 32);
+  ASSERT_TRUE(caught.has_value()) << "collision-dropping corruption survived";
+  const auto detail = check_zone_interference(*caught, mutant).detail;
+  EXPECT_NE(detail.find("slots"), std::string::npos) << detail;
+  EXPECT_TRUE(check_zone_interference(*caught).ok)
+      << "real zoned inventory flagged on the mutant's reproducing seed";
+}
+
+// Verdict-accounting bug: zeroing the corruption tally while the collisions
+// it caused remain breaks the one-verdict-per-singleton identity.
+TEST(Mutation, UncountedSinrVerdictsAreCaught) {
+  const ZonedRunFn real = real_zoned_inventory();
+  const ZonedRunFn mutant = [&real](const ZonedScenario& s,
+                                    const mac::ZoneInterferenceModel& model) {
+    ZonedRunProbe probe = real(s, model);
+    probe.result.corrupted_slots = 0;
+    return probe;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_zone_interference(s, mutant); }, 32);
+  ASSERT_TRUE(caught.has_value()) << "verdict-zeroing inventory survived";
+  EXPECT_TRUE(check_zone_interference(*caught).ok)
+      << "real zoned inventory flagged on the mutant's reproducing seed";
+}
+
+// The historical zoned-timeline booking bug: one label carried the *sum* of
+// concurrent zone durations while the clock advanced by the round maximum.
+// A subject reporting the conflated figure (busy_s == wall) must be caught
+// by the event-log reconstruction.
+TEST(Mutation, BusyWallConflationInZonedBookingIsCaught) {
+  const ZonedRunFn real = real_zoned_inventory();
+  const ZonedRunFn mutant = [&real](const ZonedScenario& s,
+                                    const mac::ZoneInterferenceModel& model) {
+    ZonedRunProbe probe = real(s, model);
+    probe.result.busy_s = probe.result.simulated_s;
+    return probe;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) {
+        return check_timeline_reconstruction(s, real_timed_scheduler_run(),
+                                             mutant);
+      },
+      32);
+  ASSERT_TRUE(caught.has_value()) << "busy/wall conflation survived";
+  const auto detail =
+      check_timeline_reconstruction(*caught, real_timed_scheduler_run(), mutant)
+          .detail;
+  EXPECT_NE(detail.find("busy"), std::string::npos) << detail;
+  EXPECT_TRUE(check_timeline_reconstruction(*caught).ok)
+      << "real zoned inventory flagged on the mutant's reproducing seed";
+}
+
+// The inverse conflation: a clock that advances by the busy sum (serialized
+// zones) instead of the round wall no longer lands on simulated_s.
+TEST(Mutation, ClockAdvancedByBusySumIsCaught) {
+  const ZonedRunFn real = real_zoned_inventory();
+  const ZonedRunFn mutant = [&real](const ZonedScenario& s,
+                                    const mac::ZoneInterferenceModel& model) {
+    ZonedRunProbe probe = real(s, model);
+    probe.now = probe.result.busy_s;
+    return probe;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) {
+        return check_timeline_reconstruction(s, real_timed_scheduler_run(),
+                                             mutant);
+      },
+      32);
+  ASSERT_TRUE(caught.has_value()) << "busy-sum clock survived";
+  EXPECT_TRUE(check_timeline_reconstruction(*caught).ok)
+      << "real zoned inventory flagged on the mutant's reproducing seed";
+}
+
+// The historical field-census bug: the brute-force reference accumulated
+// every pair's gain while the culled path summed only within-radius pairs --
+// modelled here by a cull whose pair list leaks the sub-radius tail.
+TEST(Mutation, AllPairsGainAccumulationIsCaught) {
+  const CullFn mutant = [](const channel::SpatialIndex& index, double radius_m,
+                           channel::CullStats* stats) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  // every pair
+    const auto n = static_cast<std::uint32_t>(index.size());
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+    channel::CullStats honest;
+    (void)channel::cull_pairs(index, radius_m, &honest);
+    if (stats != nullptr) *stats = honest;  // counters lie about the set
+    return pairs;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_spatial_cull(s, mutant); }, 16);
+  ASSERT_TRUE(caught.has_value()) << "all-pairs gain accumulation survived";
+  EXPECT_TRUE(check_spatial_cull(*caught).ok)
+      << "real spatial cull flagged on the mutant's reproducing seed";
+}
+
 // Deterministic-order bug: a cull that enumerates pairs in grid-cell order
 // instead of ascending (i, j) still keeps the right set, but downstream
 // consumers (shared tap walks, campaign records) stop being platform-stable.

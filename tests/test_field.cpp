@@ -329,12 +329,39 @@ TEST(FieldTrial, CulledPathMatchesBruteForceWhereItMust) {
   EXPECT_EQ(a.value().zone_rounds, b.value().zone_rounds);
   EXPECT_EQ(a.value().simulated_s, b.value().simulated_s);
   EXPECT_EQ(a.value().event_log, b.value().event_log);
-  // The brute path pays the full pair space; the culled path does not.
-  EXPECT_EQ(b.value().kept_pairs, b.value().total_pairs);
+  // The brute path still evaluates the full pair space (that is the cost
+  // being compared against), but its census now counts the same
+  // within-radius set as the culled path.
+  EXPECT_EQ(b.value().kept_pairs, a.value().kept_pairs);
+  EXPECT_EQ(b.value().culled_pairs, a.value().culled_pairs);
   EXPECT_LT(a.value().kept_pairs, a.value().total_pairs);
   EXPECT_GT(a.value().culled_pairs, 0u);
   // And the quantized cache shares entries the exact-key path cannot.
   EXPECT_LT(a.value().tap_evaluations, b.value().tap_evaluations);
+}
+
+TEST(FieldTrial, BruteForceCensusAveragesOnlyWithinRadiusPairs) {
+  // Regression: the brute-force reference used to accumulate every pair's
+  // gain (n(n-1)/2 of them) while the culled path summed only within-radius
+  // pairs, so the two mean_pair_gain figures disagreed even at exact tap
+  // keys.  With quantization off, the censuses must agree bit for bit: same
+  // pair set, same lexicographic order, same accumulator.
+  obs::MetricRegistry r1, r2;
+  const Session session = field_session(120, FieldLayout::kRandom, &r1);
+  const Session reference = field_session(120, FieldLayout::kRandom, &r2);
+  TrialOptions culled;
+  culled.field.quant_cell_m = 0.0;
+  TrialOptions brute = culled;
+  brute.field.brute_force = true;
+  const auto a = session.run_trial<TrialKind::kField>(3, culled);
+  const auto b = reference.run_trial<TrialKind::kField>(3, brute);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_GT(a.value().culled_pairs, 0u);
+  EXPECT_EQ(a.value().kept_pairs, b.value().kept_pairs);
+  EXPECT_EQ(a.value().culled_pairs, b.value().culled_pairs);
+  EXPECT_EQ(a.value().mean_pair_gain, b.value().mean_pair_gain);
+  EXPECT_EQ(a.value().mean_reader_gain, b.value().mean_reader_gain);
 }
 
 TEST(FieldTrial, SpatialCountersAndArenaGaugesAreExported) {
@@ -385,6 +412,155 @@ TEST(FieldTrial, EventLogIsBitIdenticalAtOneTwoAndEightThreads) {
   }
 }
 
+std::uint64_t fnv1a_of_ids(const std::vector<std::uint32_t>& ids) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint32_t id : ids) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (id >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+struct FieldGolden {
+  std::uint64_t population, field_seed, scenario_seed;
+  double zone_extent_m;
+  std::uint64_t trial;
+  std::size_t zones, rounds;
+  std::size_t frames, slots, singletons, collisions, empties;
+  double simulated_s;  // exact double bits, printed with %.17g
+  std::uint64_t id_fnv;
+};
+
+TEST(FieldTrial, InterferenceOffReproducesTheIsolatedZoneScheduleBitExactly) {
+  // Golden values captured from the pre-rewrite implementation (isolated
+  // per-zone sub-timelines).  The slot-aligned master-timeline rewrite must
+  // reproduce them bit for bit whenever the interference model is off:
+  // identical discovery order (FNV-1a over the id sequence), identical
+  // stats, identical simulated_s doubles.
+  const FieldGolden goldens[] = {
+      {60, 7, 11, 60.0, 0, 4, 2, 26, 204, 60, 65, 79, 4.2499999999999991,
+       8926500687752584819ULL},
+      {60, 7, 11, 60.0, 3, 4, 2, 19, 200, 60, 64, 76, 3.9299999999999997,
+       14024558422842895219ULL},
+      {200, 21, 421, 80.0, 0, 4, 2, 31, 696, 200, 212, 284,
+       8.8499999999999979, 13448096161640506931ULL},
+      {24, 5, 5, 1000.0, 0, 1, 1, 7, 84, 24, 28, 32, 2.0300000000000002,
+       5834561346759575699ULL},
+  };
+  for (const FieldGolden& g : goldens) {
+    FieldSpec spec;
+    spec.layout = FieldLayout::kRandom;
+    spec.population = g.population;
+    spec.seed = g.field_seed;
+    obs::MetricRegistry registry;
+    const Session session(Scenario::open_water(spec).with_seed(g.scenario_seed),
+                          &registry);
+    TrialOptions opts;
+    opts.field.zone_extent_m = g.zone_extent_m;
+    const auto r = session.run_trial<TrialKind::kField>(g.trial, opts);
+    ASSERT_TRUE(r.ok()) << r.error().message();
+    const FieldRunResult& f = r.value();
+    EXPECT_EQ(f.zones, g.zones) << "population " << g.population;
+    EXPECT_EQ(f.zone_rounds, g.rounds);
+    EXPECT_EQ(f.inventory.frames, g.frames);
+    EXPECT_EQ(f.inventory.slots, g.slots);
+    EXPECT_EQ(f.inventory.singletons, g.singletons);
+    EXPECT_EQ(f.inventory.collisions, g.collisions);
+    EXPECT_EQ(f.inventory.empties, g.empties);
+    EXPECT_EQ(f.simulated_s, g.simulated_s);
+    EXPECT_EQ(fnv1a_of_ids(f.identified), g.id_fnv);
+    // Off means off: the SINR ledger stays empty.
+    EXPECT_EQ(f.interference_corrupted_slots, 0u);
+    EXPECT_EQ(f.mean_slot_sinr_db, 0.0);
+  }
+}
+
+TEST(FieldTrial, InterferenceOnIsBitIdenticalAtOneTwoAndEightThreads) {
+  FieldSpec spec;
+  spec.layout = FieldLayout::kRandom;
+  spec.population = 200;
+  spec.seed = 21;
+  obs::MetricRegistry registry;
+  const Session session(Scenario::open_water(spec).with_seed(421), &registry);
+  TrialOptions opts;
+  opts.field.zone_extent_m = 80.0;
+  opts.field.interference = true;
+  constexpr std::size_t kTrials = 4;
+  const auto reference =
+      BatchRunner(1, nullptr).run<TrialKind::kField>(session, kTrials, opts);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto got = BatchRunner(threads, nullptr)
+                         .run<TrialKind::kField>(session, kTrials, opts);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      ASSERT_TRUE(got[i].ok());
+      ASSERT_TRUE(reference[i].ok());
+      EXPECT_EQ(got[i].value().event_log, reference[i].value().event_log)
+          << "trial " << i << " at " << threads << " threads";
+      EXPECT_EQ(got[i].value().identified, reference[i].value().identified);
+      EXPECT_EQ(got[i].value().interference_corrupted_slots,
+                reference[i].value().interference_corrupted_slots);
+      EXPECT_EQ(got[i].value().mean_slot_sinr_db,
+                reference[i].value().mean_slot_sinr_db);
+      EXPECT_EQ(got[i].value().simulated_s, reference[i].value().simulated_s);
+    }
+  }
+}
+
+TEST(FieldTrial, CaptureThresholdExtremesBracketTheFieldInventory) {
+  FieldSpec spec;
+  spec.layout = FieldLayout::kRandom;
+  spec.population = 200;
+  spec.seed = 21;
+  obs::MetricRegistry registry;
+  const Session session(Scenario::open_water(spec).with_seed(421), &registry);
+  TrialOptions off;
+  off.field.zone_extent_m = 80.0;
+
+  // Always-capture: the interference machinery runs but never corrupts, so
+  // the outcome matches the off-mode schedule bit for bit.
+  TrialOptions always = off;
+  always.field.interference = true;
+  always.field.capture_threshold_db = -1e9;
+  const auto base = session.run_trial<TrialKind::kField>(0, off);
+  const auto a = session.run_trial<TrialKind::kField>(0, always);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().identified, base.value().identified);
+  EXPECT_EQ(a.value().simulated_s, base.value().simulated_s);
+  EXPECT_EQ(a.value().interference_corrupted_slots, 0u);
+  EXPECT_NE(a.value().mean_slot_sinr_db, 0.0);  // evaluated, just never fatal
+
+  // Never-capture: every singleton is corrupted, nobody is found, and the
+  // inventory gives up at max_frames instead of hanging.
+  TrialOptions never = off;
+  never.field.interference = true;
+  never.field.capture_threshold_db = 1e9;
+  const auto n = session.run_trial<TrialKind::kField>(0, never);
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n.value().identified.empty());
+  EXPECT_GT(n.value().interference_corrupted_slots, 0u);
+}
+
+TEST(SpatialIndex, AggregatePowerGainSumsSquaredAmplitudes) {
+  const std::vector<channel::Vec3> points{
+      {0.0, 0.0, 5.0}, {30.0, 0.0, 5.0}, {0.0, 40.0, 5.0}};
+  const channel::Vec3 rx{10.0, 10.0, 5.0};
+  const double f = 15e3;
+  const std::vector<std::uint32_t> indices{0, 1, 2};
+  double want = 0.0;
+  for (const std::uint32_t i : indices) {
+    const double g =
+        channel::path_amplitude_gain(dist(points[i], rx), f);
+    want += g * g;
+  }
+  EXPECT_NEAR(channel::aggregate_power_gain(points, indices, rx, f), want,
+              1e-15);
+  EXPECT_EQ(channel::aggregate_power_gain(points, {}, rx, f), 0.0);
+}
+
 TEST(FieldTrial, RejectsBadConfig) {
   obs::MetricRegistry registry;
   const Session session = field_session(10, FieldLayout::kGrid, &registry);
@@ -396,6 +572,14 @@ TEST(FieldTrial, RejectsBadConfig) {
   EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
   opts = {};
   opts.field.quant_cell_m = -0.5;
+  EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
+  opts = {};
+  opts.field.interference = true;
+  opts.field.noise_power = -1.0;
+  EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
+  opts = {};
+  opts.field.interference = true;
+  opts.field.rejection_floor_db = -1.0;
   EXPECT_FALSE(session.run_trial<TrialKind::kField>(0, opts).ok());
 }
 

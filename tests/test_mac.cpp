@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "mac/fdma.hpp"
@@ -277,6 +278,33 @@ TEST(Fdma, CrosstalkMatrixDiagonalDominant) {
   EXPECT_LT(m[1][0], 1.0);
 }
 
+TEST(Fdma, RejectionMaskIsFlatInPassbandThenRollsOffToTheFloor) {
+  const RejectionMask mask;  // 1 kHz passband, 30 dB/kHz, 40 dB floor
+  // Co-channel and within-passband offsets pass untouched.
+  EXPECT_EQ(rejection_db(mask, 15000.0, 15000.0), 0.0);
+  EXPECT_EQ(rejection_db(mask, 15000.0, 15800.0), 0.0);
+  EXPECT_EQ(rejection_power_factor(mask, 15000.0, 15000.0), 1.0);
+  // Beyond the passband the roll-off is linear in |offset| - passband...
+  EXPECT_NEAR(rejection_db(mask, 15000.0, 16500.0), 15.0, 1e-12);
+  EXPECT_NEAR(rejection_db(mask, 15000.0, 13500.0), 15.0, 1e-12);  // symmetric
+  // ...until the stopband floor caps it: the paper's 3 kHz FDMA spacing
+  // lands on the floor with the default mask.
+  EXPECT_NEAR(rejection_db(mask, 15000.0, 18000.0), 40.0, 1e-12);
+  EXPECT_NEAR(rejection_power_factor(mask, 15000.0, 18000.0), 1e-4, 1e-16);
+}
+
+TEST(Fdma, RejectionMaskRejectsNegativeParameters) {
+  RejectionMask bad;
+  bad.passband_hz = -1.0;
+  EXPECT_THROW((void)rejection_db(bad, 15000.0, 18000.0), std::exception);
+  bad = RejectionMask{};
+  bad.slope_db_per_khz = -1.0;
+  EXPECT_THROW((void)rejection_db(bad, 15000.0, 18000.0), std::exception);
+  bad = RejectionMask{};
+  bad.floor_db = -1.0;
+  EXPECT_THROW((void)rejection_db(bad, 15000.0, 18000.0), std::exception);
+}
+
 // Regression: stats().elapsed_s used to be read back from the obs::Gauge,
 // i.e. a plain running `double +=`.  Over hundreds of thousands of
 // transactions the rounding error accumulates linearly (~1e-6 s after 400k
@@ -393,11 +421,18 @@ TEST(Zones, MasterTimelineChargesRoundsAndZoneAirtime) {
   const auto result =
       run_zoned_inventory(layout, schedule, InventoryConfig{}, tl);
   // Concurrency contract: the master clock advances by the per-round maximum
-  // (what the reader waits), while the per-zone airtime charge carries the
-  // sum of every zone's own duration.
+  // (what the reader waits), while the per-zone busy charges carry the sum
+  // of every zone's own duration -- two labels, because the historical
+  // single "mac.zone.inventory" label booked the busy *sum* against a clock
+  // that only advanced by the round maximum.
   EXPECT_EQ(tl.now(), result.simulated_s);
   EXPECT_EQ(tl.charged("mac.zone.round"), result.simulated_s);
-  EXPECT_GE(tl.charged("mac.zone.inventory"), result.simulated_s);
+  EXPECT_EQ(tl.charged("mac.zone.inventory.busy_s"), result.busy_s);
+  EXPECT_GE(result.busy_s, result.simulated_s);
+  // Four concurrent zones in one round: the busy sum strictly exceeds the
+  // wall unless three zones finished in zero time.
+  EXPECT_GT(result.busy_s, result.simulated_s);
+  EXPECT_EQ(tl.charged("mac.zone.inventory"), 0.0);
 }
 
 TEST(Zones, PerZoneSeedsAreIndependentOfExecutionOrder) {
@@ -444,6 +479,150 @@ TEST(Zones, AvailabilityGateSeesGlobalIdsAndMasterTime) {
                                           InventoryConfig{}, tl, options);
   for (const std::uint32_t id : result.identified) EXPECT_EQ(id % 2, 0u);
   EXPECT_EQ(result.identified.size(), 5u);
+}
+
+// --- cross-zone interference -------------------------------------------------
+
+// K single-node zones with no adjacency: the greedy coloring gives every zone
+// color 0, so all of them inventory concurrently on the same carrier -- the
+// co-channel worst case.  With q pinned to 0 every frame is one slot and all
+// zones run in lockstep, so every zone's singleton overlaps every other
+// zone's.
+ZoneLayout lockstep_layout(std::size_t zones) {
+  ZoneLayout layout;
+  layout.members.resize(zones);
+  layout.adjacency.resize(zones);
+  for (std::uint32_t z = 0; z < zones; ++z)
+    layout.members[z] = {z};
+  return layout;
+}
+
+InventoryConfig one_slot_config() {
+  InventoryConfig config;
+  config.initial_q = 0;
+  config.min_q = 0;
+  config.max_q = 0;
+  return config;
+}
+
+ZonedInventoryOptions interference_options(std::span<const double> amplitude,
+                                           double threshold_db) {
+  ZonedInventoryOptions options;
+  options.interference.enabled = true;
+  options.interference.noise_power = 1e-12;
+  options.interference.capture_threshold_db = threshold_db;
+  options.interference.node_amplitude = amplitude;
+  return options;
+}
+
+TEST(Zones, CaptureThresholdExtremesBracketTheInterferenceModel) {
+  const ZoneLayout layout = lockstep_layout(3);
+  const std::vector<double> amplitude{1e-2, 1e-3, 1e-4};
+
+  sim::Timeline tl_off;
+  const auto off = run_zoned_inventory(layout, plan_zones(layout),
+                                       one_slot_config(), tl_off);
+  EXPECT_EQ(off.corrupted_slots, 0u);
+  EXPECT_EQ(off.sinr_evaluated_slots, 0u);
+  EXPECT_EQ(off.mean_slot_sinr_db, 0.0);
+
+  // A threshold below the SINR clamp always captures: identical schedule,
+  // identical ids, identical clock bits -- but every singleton is evaluated.
+  sim::Timeline tl_always;
+  const auto always =
+      run_zoned_inventory(layout, plan_zones(layout), one_slot_config(),
+                          tl_always, interference_options(amplitude, -1e9));
+  EXPECT_EQ(always.identified, off.identified);
+  EXPECT_EQ(always.simulated_s, off.simulated_s);
+  EXPECT_EQ(always.busy_s, off.busy_s);
+  EXPECT_EQ(always.corrupted_slots, 0u);
+  EXPECT_EQ(always.sinr_evaluated_slots, 3u);
+
+  // A threshold above the clamp never captures: nobody is identified, every
+  // evaluated slot is corrupted and booked as a collision.
+  sim::Timeline tl_never;
+  const auto never =
+      run_zoned_inventory(layout, plan_zones(layout), one_slot_config(),
+                          tl_never, interference_options(amplitude, 1e9));
+  EXPECT_TRUE(never.identified.empty());
+  EXPECT_EQ(never.inventory.singletons, 0u);
+  EXPECT_EQ(never.corrupted_slots, never.sinr_evaluated_slots);
+  EXPECT_GT(never.corrupted_slots, 0u);
+  EXPECT_EQ(never.inventory.collisions, never.corrupted_slots);
+}
+
+TEST(Zones, AggregateOfIndividuallyHarmlessInterferersCorrupts) {
+  // One pairwise interferer leaves the victim 20 dB above threshold, so a
+  // two-zone field inventories completely -- the weak zone even recovers
+  // once the strong zone finishes and goes quiet.  Forty such interferers
+  // summed (each individually 20 dB down) drag every zone below the capture
+  // threshold: the many-sub-floor-pairs case where per-pair reasoning says
+  // "silent" and the aggregate says otherwise.
+  const double threshold_db = 6.0;
+  {
+    std::vector<double> amplitude{1e-3, 1e-4};
+    sim::Timeline tl;
+    const ZoneLayout layout = lockstep_layout(2);
+    const auto r =
+        run_zoned_inventory(layout, plan_zones(layout), one_slot_config(), tl,
+                            interference_options(amplitude, threshold_db));
+    std::vector<std::uint32_t> sorted = r.identified;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 1}));
+    // The strong zone captured over the weak one in frame one; the weak
+    // zone's frame-one singleton was corrupted, then retried clean.
+    EXPECT_GE(r.corrupted_slots, 1u);
+  }
+  {
+    const std::size_t zones = 41;
+    std::vector<double> amplitude(zones, 1e-4);
+    amplitude[0] = 1e-3;  // even the strongest zone drowns in the aggregate
+    sim::Timeline tl;
+    const ZoneLayout layout = lockstep_layout(zones);
+    const auto r =
+        run_zoned_inventory(layout, plan_zones(layout), one_slot_config(), tl,
+                            interference_options(amplitude, threshold_db));
+    EXPECT_TRUE(r.identified.empty());
+    EXPECT_GT(r.sinr_evaluated_slots, 0u);
+    EXPECT_EQ(r.corrupted_slots, r.sinr_evaluated_slots);
+  }
+}
+
+TEST(Zones, AdjacentCarrierLeakageIsGatedByTheRejectionMask) {
+  // Two mutually adjacent single-node zones: two colors, both fit the
+  // two-carrier band, so they run concurrently 3 kHz apart.  With the
+  // default mask the 40 dB stopband floor keeps the weak zone clean; with
+  // the floor removed the strong zone's leakage corrupts it.
+  ZoneLayout layout = lockstep_layout(2);
+  layout.adjacency = {{1}, {0}};
+  const std::vector<double> amplitude{1e-3, 1e-4};
+
+  sim::Timeline tl_masked;
+  ZonedInventoryOptions masked = interference_options(amplitude, 6.0);
+  const auto clean = run_zoned_inventory(layout, plan_zones(layout),
+                                         one_slot_config(), tl_masked, masked);
+  std::vector<std::uint32_t> sorted = clean.identified;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(clean.corrupted_slots, 0u);
+
+  sim::Timeline tl_leaky;
+  ZonedInventoryOptions leaky = interference_options(amplitude, 6.0);
+  leaky.interference.mask.floor_db = 0.0;  // an ideal-less receive filter
+  const auto leaked = run_zoned_inventory(layout, plan_zones(layout),
+                                          one_slot_config(), tl_leaky, leaky);
+  EXPECT_GT(leaked.corrupted_slots, 0u);
+}
+
+TEST(Zones, InterferenceRequiresAmplitudesForEveryMember) {
+  const ZoneLayout layout = lockstep_layout(3);
+  const std::vector<double> short_amplitudes{1e-3, 1e-3};  // node 2 missing
+  sim::Timeline tl;
+  EXPECT_THROW(
+      (void)run_zoned_inventory(layout, plan_zones(layout), one_slot_config(),
+                                tl,
+                                interference_options(short_amplitudes, 6.0)),
+      std::exception);
 }
 
 }  // namespace

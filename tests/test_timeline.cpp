@@ -5,12 +5,14 @@
 // recharge.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "energy/harvester.hpp"
 #include "mac/inventory.hpp"
 #include "mac/scheduler.hpp"
+#include "mac/zones.hpp"
 #include "node/lifecycle.hpp"
 #include "obs/metrics.hpp"
 #include "sim/timeline.hpp"
@@ -340,6 +342,83 @@ TEST(Lifecycle, BrownoutMidInventoryAndRejoin) {
   // Energy mirrored into the log agrees with the node's timestamped ledger.
   EXPECT_NEAR(tl.charged("energy.harvested"),
               node.harvester().ledger().harvested(), 1e-15);
+}
+
+TEST(Lifecycle, BrownedOutNodeRejoinsMidZonedRoundOnTheMasterTimeline) {
+  // The zoned counterpart of the acceptance scenario above, and the
+  // regression for round >= 1 availability timestamps: three mutually
+  // adjacent single-node zones need three colors, so zone 2 inventories in
+  // round 1 -- after the master clock has already advanced past round 0.
+  // Zone 2's node is driven by a real lifecycle with no harvest until t = 8:
+  // its slots and the lifecycle's ticks MUST interleave on one event queue
+  // for the rejoin to be visible mid-round (the old isolated sub-timelines
+  // froze lifecycle state for the whole round, and their local clocks
+  // restarted from zero every round).
+  Timeline tl;
+  node::LifecycleConfig lc;
+  lc.tick_s = 0.01;
+  lc.idle_load_w = 1e-3;
+  lc.v_ceiling = 5.0;
+  lc.harvest_power_w = [](double t) { return t >= 8.0 ? 5e-3 : 0.0; };
+  node::NodeLifecycle node(7, energy::Harvester{circuit::Supercapacitor(100e-6)},
+                           lc);
+  node.attach(tl, 20.0);
+
+  mac::ZoneLayout layout;
+  layout.members = {{0}, {1}, {2}};
+  layout.adjacency = {{1, 2}, {0, 2}, {0, 1}};
+  const mac::ZoneSchedule schedule = mac::plan_zones(layout);
+  ASSERT_EQ(schedule.colors, 3u);
+  ASSERT_EQ(schedule.rounds, 2u);
+  ASSERT_EQ(schedule.zones[2].round, 1u);
+
+  mac::InventoryConfig config;
+  config.initial_q = 0;
+  config.min_q = 0;
+  config.max_q = 0;
+  config.max_frames = 32;
+  mac::ZonedInventoryOptions options;
+  options.frame_announce_s = 0.5;
+  options.slot_s = 0.25;
+  std::vector<double> zone2_query_times;
+  double round0_last_query = 0.0;
+  options.available = [&](std::uint32_t global, double t) {
+    if (global == 2) {
+      zone2_query_times.push_back(t);
+      return node.powered();
+    }
+    round0_last_query = std::max(round0_last_query, t);
+    return true;
+  };
+  const auto result =
+      mac::run_zoned_inventory(layout, schedule, config, tl, options);
+
+  // Round 0 finds zones 0 and 1 in one frame each; zone 2 then polls empty
+  // frames on the master clock until the node boots at ~8 s and answers.
+  std::vector<std::uint32_t> sorted = result.identified;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(node.power_ups(), 1u);
+  EXPECT_TRUE(node.powered());
+  EXPECT_EQ(result.inventory.singletons, 3u);
+  EXPECT_EQ(result.inventory.collisions, 0u);
+  EXPECT_GT(result.inventory.empties, 0u);
+
+  // The availability gate saw absolute master timestamps: every round-1
+  // query happened after the last round-0 query, none restarted from zero,
+  // and the winning query came after the 8 s harvest step.
+  ASSERT_FALSE(zone2_query_times.empty());
+  const double first = *std::min_element(zone2_query_times.begin(),
+                                         zone2_query_times.end());
+  EXPECT_GT(first, round0_last_query);
+  EXPECT_GE(first, 0.75);  // round 1 cannot start before round 0's wall
+  EXPECT_GT(*std::max_element(zone2_query_times.begin(),
+                              zone2_query_times.end()),
+            8.0);
+  // The wall accounts both rounds end to end: round 0's frame plus zone 2's
+  // long wait -- and the master clock agrees.
+  EXPECT_EQ(tl.now(), result.simulated_s);
+  EXPECT_GT(result.simulated_s, 8.0);
 }
 
 }  // namespace
