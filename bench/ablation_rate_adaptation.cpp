@@ -31,6 +31,10 @@ double profile(int poll) {
   return 26.0;
 }
 
+// Set by print_series; main turns a regression (soft-metric ladder losing to
+// the CRC-only backstop) into a nonzero exit so CI catches it.
+bool soft_beats_crc_only = true;
+
 struct Outcome {
   double delivered_bits = 0.0;
   double airtime_s = 0.0;
@@ -69,6 +73,51 @@ Outcome run_adaptive(Rng& rng, std::size_t* final_index) {
   return o;
 }
 
+// CRC-only baseline: the reader sees pass/fail and nothing else, so every
+// observation is reported at a fictitious "good" SNR -- the controller can
+// only learn the channel by walking up until packets start failing.
+Outcome run_crc_only(Rng& rng) {
+  const mac::RateControlConfig cfg;
+  mac::RateController rc;
+  Outcome o;
+  for (int poll = 0; poll < 200; ++poll) {
+    const double rate = rc.rate_bps();
+    const double snr =
+        snr_at(profile(poll), rc.rate_index()) + rng.gaussian(0.0, 1.0);
+    const bool ok = snr >= 3.0;
+    const double payload = 96.0;
+    o.airtime_s += 0.2 + payload / rate;
+    if (ok) o.delivered_bits += payload;
+    (void)rc.observe(ok ? cfg.decode_floor_db + cfg.up_margin_db
+                        : cfg.decode_floor_db - 10.0,
+                     ok);
+  }
+  return o;
+}
+
+// Soft-metric ladder: the same FM0 rate walk expressed as ladder rungs, fed
+// post-decode LinkQuality (MER tracks the SNR estimator on FM0, EVM is its
+// linear twin) instead of a raw SNR number.  The controller retreats on
+// shrinking MER headroom *before* the link degrades to CRC failures.
+Outcome run_soft_ladder(Rng& rng) {
+  mac::RateControlConfig cfg;
+  for (const double rate : cfg.rate_table)
+    cfg.ladder.push_back({phy::SchemeId::kFm0, rate});
+  mac::RateController rc(cfg);
+  Outcome o;
+  for (int poll = 0; poll < 200; ++poll) {
+    const double rate = rc.rate_bps();
+    const double snr =
+        snr_at(profile(poll), rc.rate_index()) + rng.gaussian(0.0, 1.0);
+    const bool ok = snr >= 3.0;
+    const double payload = 96.0;
+    o.airtime_s += 0.2 + payload / rate;
+    if (ok) o.delivered_bits += payload;
+    (void)rc.observe_quality(phy::link_quality_from_snr(snr, 2.0 * rate), ok);
+  }
+  return o;
+}
+
 void print_series() {
   bench::print_header("Ablation: rate adaptation",
                       "Goodput over a degrade-and-recover episode (200 polls)");
@@ -89,11 +138,29 @@ void print_series() {
   bench::print_row({"adaptive", bench::fmt(adaptive.delivered_bits, 0),
                     bench::fmt(adaptive.airtime_s, 1),
                     bench::fmt(adaptive.goodput(), 1)});
+  const auto crc_only = run_crc_only(rng);
+  bench::print_row({"crc-only", bench::fmt(crc_only.delivered_bits, 0),
+                    bench::fmt(crc_only.airtime_s, 1),
+                    bench::fmt(crc_only.goodput(), 1)});
+  const auto soft = run_soft_ladder(rng);
+  bench::print_row({"soft ladder", bench::fmt(soft.delivered_bits, 0),
+                    bench::fmt(soft.airtime_s, 1),
+                    bench::fmt(soft.goodput(), 1)});
 
   std::printf("\nadaptive vs best fixed: %.2fx (and no outage during the\n"
               "degraded phase, unlike the fast fixed rates)\n",
               adaptive.goodput() / std::max(best_fixed, 1e-9));
   std::printf("final adapted rate: %.0f bps\n", cfg.rate_table[final_index]);
+  std::printf("soft-metric ladder vs crc-only: %.2fx (soft metrics retreat\n"
+              "on MER headroom before packets start failing)\n",
+              soft.goodput() / std::max(crc_only.goodput(), 1e-9));
+
+  auto& registry = obs::MetricRegistry::global();
+  registry.gauge("bench.rate.soft_goodput_bps").set(soft.goodput());
+  registry.gauge("bench.rate.crc_only_goodput_bps").set(crc_only.goodput());
+  registry.gauge("bench.rate.soft_vs_crc_ratio")
+      .set(soft.goodput() / std::max(crc_only.goodput(), 1e-9));
+  soft_beats_crc_only = soft.goodput() >= crc_only.goodput();
 }
 
 void bm_controller(benchmark::State& state) {
@@ -121,5 +188,12 @@ int main(int argc, char** argv) {
   sweep.trials_per_point = 12;
   sweep.axes.push_back({"waveform.bitrate", {250.0, 1000.0, 4000.0}});
   spec.campaign = std::move(sweep);
-  return pab::bench::run_bench_main(argc, argv, spec);
+  const int rc = pab::bench::run_bench_main(argc, argv, spec);
+  if (!soft_beats_crc_only) {
+    std::fprintf(stderr,
+                 "ablation_rate_adaptation: soft-metric ladder goodput fell "
+                 "below the CRC-only baseline\n");
+    return 1;
+  }
+  return rc;
 }

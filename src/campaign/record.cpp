@@ -8,9 +8,10 @@ namespace pab::campaign {
 
 namespace {
 
-constexpr std::array<std::string_view, 6> kUplinkColumns = {
+constexpr std::array<std::string_view, 9> kUplinkColumns = {
     "ber",        "snr_db",      "channel_amp",
-    "demod_bits", "incident_pa", "modulation_pa"};
+    "demod_bits", "incident_pa", "modulation_pa",
+    "evm_rms",    "mer_db",      "cn0_dbhz"};
 
 constexpr std::array<std::string_view, 5> kNetworkColumns = {
     "mean_sinr_before_db", "mean_sinr_after_db", "mean_ber_after",
@@ -24,13 +25,14 @@ constexpr std::array<std::string_view, 16> kTimelineColumns = {
     "harvested_j",     "consumed_j",       "power_ups",
     "brown_outs"};
 
-constexpr std::array<std::string_view, 18> kFieldColumns = {
+constexpr std::array<std::string_view, 21> kFieldColumns = {
     "population",      "cull_radius_m",    "total_pairs",
     "kept_pairs",      "culled_pairs",     "mean_pair_gain",
     "mean_reader_gain", "tap_evaluations", "tap_lookups",
     "zones",           "zone_colors",      "zone_rounds",
     "channels",        "identified",       "simulated_s",
-    "node_hours",      "mean_slot_sinr_db", "interference_corrupted_slots"};
+    "node_hours",      "mean_slot_sinr_db", "interference_corrupted_slots",
+    "evm_rms",         "mer_db",           "cn0_dbhz"};
 
 double mean_of(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
@@ -76,6 +78,9 @@ void RecordBatch::append(std::uint64_t trial,
       columns_[3].push_back(static_cast<double>(u.demod.bits.size()));
       columns_[4].push_back(u.incident_pressure_pa);
       columns_[5].push_back(u.modulation_pressure_pa);
+      columns_[6].push_back(u.demod.quality.evm_rms);
+      columns_[7].push_back(u.demod.quality.mer_db);
+      columns_[8].push_back(u.demod.quality.cn0_dbhz);
       break;
     }
     case sim::TrialKind::kNetwork: {
@@ -128,6 +133,9 @@ void RecordBatch::append(std::uint64_t trial,
       columns_[16].push_back(f.mean_slot_sinr_db);
       columns_[17].push_back(
           static_cast<double>(f.interference_corrupted_slots));
+      columns_[18].push_back(f.slot_quality.evm_rms);
+      columns_[19].push_back(f.slot_quality.mer_db);
+      columns_[20].push_back(f.slot_quality.cn0_dbhz);
       break;
     }
   }

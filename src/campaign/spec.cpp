@@ -35,6 +35,13 @@ bool apply_param(sim::Scenario& s, std::string_view name, double value) {
     s.waveform.node_start_s = value;
   } else if (name == "waveform.tail_s") {
     s.waveform.tail_s = value;
+  } else if (name == "waveform.scheme") {
+    // phy::SchemeId ordinal (0 = fm0, 1 = fsk2, 2 = fsk4); out-of-range
+    // values are a spec error, not a silent clamp.
+    const auto ordinal = static_cast<long long>(value);
+    if (ordinal < 0 || ordinal >= static_cast<long long>(phy::kSchemeCount))
+      return false;
+    s.waveform.scheme = static_cast<phy::SchemeId>(ordinal);
   } else if (name == "projector.drive_v") {
     s.projector.drive_v = value;
   } else if (name == "projector.ideal") {

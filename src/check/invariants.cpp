@@ -41,6 +41,15 @@ SampleFn real_sample_at() {
   };
 }
 
+LinkQualityFn real_link_quality() {
+  return [](std::span<const double> envelope, double sample_rate,
+            std::size_t n_bits,
+            const phy::DemodConfig& config) -> pab::Expected<phy::DemodResult> {
+    const phy::BackscatterDemodulator demod(config);
+    return demod.demodulate_envelope(envelope, sample_rate, n_bits);
+  };
+}
+
 RateTraceFn real_rate_trace() {
   return [](const mac::RateControlConfig& cfg,
             std::span<const RateObservation> obs) {
@@ -724,6 +733,87 @@ CheckResult check_decode_roundtrip(std::uint64_t seed) {
   return CheckResult::pass();
 }
 
+CheckResult check_link_quality(std::uint64_t seed,
+                               const LinkQualityFn& subject) {
+  Rng rng(seed);
+  auto waveform = gen_waveform(rng);
+  waveform.bitrate = std::max(waveform.bitrate, 1000.0);
+  const double fs = 96000.0;
+  const auto bits = rng.bits(waveform.payload_bits);
+
+  // One FM0 burst, replayed at three noise levels (clean, mild, heavy) with
+  // identical geometry: the soft metrics must be internally consistent at
+  // every level and ordered across them.
+  Bits full(phy::uplink_preamble_bits());
+  full.insert(full.end(), bits.begin(), bits.end());
+  const auto sw = phy::backscatter_waveform(full, waveform.bitrate, fs);
+  const double mid = rng.uniform(0.5, 2.0);
+  double amp = mid * rng.uniform(0.02, 0.1);
+  if (rng.bernoulli(0.5)) amp = -amp;  // anti-phase backscatter
+  const auto lead = static_cast<std::size_t>(rng.uniform_int(100, 1200));
+
+  phy::DemodConfig config;
+  config.bitrate = waveform.bitrate;
+  config.sample_rate = fs;
+
+  const std::array<double, 3> noise_frac = {0.0, 0.04, 0.30};
+  std::array<phy::DemodResult, 3> results;
+  for (std::size_t k = 0; k < noise_frac.size(); ++k) {
+    std::vector<double> env(lead, mid - amp);
+    for (const auto s : sw)
+      env.push_back(s == phy::SwitchState::kReflective ? mid + amp : mid - amp);
+    env.insert(env.end(), lead, mid - amp);
+    const double noise = noise_frac[k] * std::abs(amp);
+    if (noise > 0.0)
+      for (auto& v : env) v += rng.gaussian(0.0, noise);
+    const auto r = subject(env, fs, bits.size(), config);
+    if (!r.ok())
+      return CheckResult::fail("link-quality probe failed to decode: " +
+                               r.error().message());
+    results[k] = r.value();
+  }
+
+  const double bandwidth_hz = 2.0 * config.bitrate;  // FM0 chip rate
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const phy::LinkQuality& q = results[k].quality;
+    if (!std::isfinite(q.evm_rms) || !std::isfinite(q.mer_db) ||
+        !std::isfinite(q.cn0_dbhz))
+      return CheckResult::fail("link-quality metrics must be finite");
+    if (q.evm_rms < 0.0)
+      return mismatch("evm_rms must be non-negative", q.evm_rms, ">= 0");
+    if (std::abs(q.mer_db) > phy::kMerClampDb)
+      return mismatch("mer_db outside the clamp", q.mer_db, phy::kMerClampDb);
+    // CN0 is MER read in the detection bandwidth, exactly.
+    const double want_cn0 = q.mer_db + 10.0 * std::log10(bandwidth_hz);
+    if (!near(q.cn0_dbhz, want_cn0, 1e-9))
+      return mismatch("cn0_dbhz != mer_db + 10log10(bandwidth)", q.cn0_dbhz,
+                      want_cn0);
+    // For FM0 the MER estimator and the packet SNR estimator are the same
+    // quantity (re-encoded chip error power over the estimated swing).
+    if (!near(q.mer_db, results[k].snr_db, 1e-9))
+      return mismatch("FM0 mer_db != snr_db", q.mer_db, results[k].snr_db);
+    // Off the clamp, EVM and MER are two readings of one error ratio.
+    if (q.mer_db < phy::kMerClampDb - 1e-6) {
+      const double want_evm = std::pow(10.0, -q.mer_db / 20.0);
+      if (!near(q.evm_rms, want_evm, 1e-9))
+        return mismatch("evm_rms != 10^(-mer/20)", q.evm_rms, want_evm);
+    }
+  }
+
+  // Ordering across noise levels: a heavily impaired burst can never report
+  // better MER (or lower EVM) than the clean replay of the same burst.
+  if (!(results[0].quality.mer_db > results[2].quality.mer_db))
+    return mismatch("clean MER must exceed heavy-noise MER",
+                    results[0].quality.mer_db, results[2].quality.mer_db);
+  if (!(results[1].quality.mer_db > results[2].quality.mer_db))
+    return mismatch("mild-noise MER must exceed heavy-noise MER",
+                    results[1].quality.mer_db, results[2].quality.mer_db);
+  if (!(results[2].quality.evm_rms > results[0].quality.evm_rms))
+    return mismatch("heavy-noise EVM must exceed clean EVM",
+                    results[2].quality.evm_rms, results[0].quality.evm_rms);
+  return CheckResult::pass();
+}
+
 // --- sim ---------------------------------------------------------------------
 
 CheckResult check_scenario_wiring(std::uint64_t seed) {
@@ -1245,6 +1335,9 @@ std::vector<Invariant> default_invariants() {
       {"phy.decode_roundtrip",
        "modulate -> perturb -> demodulate returns the transmitted bits",
        [](std::uint64_t s) { return check_decode_roundtrip(s); }},
+      {"phy.link_quality",
+       "EVM/MER/CN0 are finite, mutually consistent, and track channel noise",
+       [](std::uint64_t s) { return check_link_quality(s); }},
       {"sim.scenario_wiring",
        "scenario accessors and fluent copies stay mutually consistent",
        [](std::uint64_t s) { return check_scenario_wiring(s); }},

@@ -27,6 +27,7 @@
 #include "mac/rate_control.hpp"
 #include "mac/scheduler.hpp"
 #include "mac/zones.hpp"
+#include "phy/modem.hpp"
 #include "sim/timeline.hpp"
 #include "util/error.hpp"
 
@@ -66,6 +67,13 @@ using SchedulerRunFn = std::function<mac::TransactionStats(
 using InventoryFn = std::function<std::vector<std::uint8_t>(
     std::span<const std::uint8_t>, const mac::InventoryConfig&,
     mac::InventoryStats*)>;
+
+// Link-quality probe: demodulate an FM0 envelope capture and return the full
+// result (bits + snr_db + LinkQuality) -- the surface the EVM/MER/CN0
+// invariant audits.
+using LinkQualityFn = std::function<pab::Expected<phy::DemodResult>(
+    std::span<const double> envelope, double sample_rate, std::size_t n_bits,
+    const phy::DemodConfig&)>;
 
 // Spatial culling: cull_pairs semantics (index + radius -> kept pair list).
 using CullFn =
@@ -122,6 +130,7 @@ using ZonedRunFn = std::function<ZonedRunProbe(
 
 // The real implementations (default subjects).
 [[nodiscard]] SampleFn real_sample_at();
+[[nodiscard]] LinkQualityFn real_link_quality();
 [[nodiscard]] RateTraceFn real_rate_trace();
 [[nodiscard]] SchedulerRunFn real_scheduler_run();
 [[nodiscard]] InventoryFn real_inventory();
@@ -193,6 +202,14 @@ using ZonedRunFn = std::function<ZonedRunProbe(
 // amplitude, inversion, mild noise) -> demodulate returns the transmitted
 // bits exactly.
 [[nodiscard]] CheckResult check_decode_roundtrip(std::uint64_t seed);
+
+// phy.link_quality: the soft metrics every decode publishes are internally
+// consistent and track the channel -- EVM/MER/CN0 finite and in range, CN0 =
+// MER + 10log10(detection bandwidth) exactly, EVM = 10^(-MER/20) off the
+// clamp, FM0 MER coincides with the packet SNR estimate, and a noisier burst
+// never reports better MER (or lower EVM) than a clean one.
+[[nodiscard]] CheckResult check_link_quality(
+    std::uint64_t seed, const LinkQualityFn& subject = real_link_quality());
 
 // sim.scenario_wiring: generated scenarios keep their derived accessors and
 // fluent copies consistent (node_count matches front ends, node_position

@@ -5,6 +5,7 @@
 
 #include "dsp/envelope.hpp"
 #include "dsp/simd.hpp"
+#include "phy/scheme.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -74,16 +75,12 @@ void LinkSimulator::run_uplink_into(const Projector& projector,
   dsp::Arena& arena = ws.arena();
   const auto frame = arena.frame();
 
-  // Full on-air bit stream: uplink preamble + data.
-  const pab::Bits& preamble = phy::uplink_preamble_bits();
-  auto full_bits = arena.alloc<std::uint8_t>(preamble.size() + data_bits.size());
-  std::copy(preamble.begin(), preamble.end(), full_bits.begin());
-  std::copy(data_bits.begin(), data_bits.end(),
-            full_bits.begin() + static_cast<std::ptrdiff_t>(preamble.size()));
+  // On-air switch stream for [uplink preamble + data] under the scenario's
+  // modulation scheme (phy::Scheme seam; kFm0 reproduces the legacy
+  // backscatter_waveform_into call bit for bit).
   auto sw = arena.alloc<phy::SwitchState>(
-      phy::backscatter_waveform_length(full_bits.size(), cfg.bitrate, fs));
-  phy::backscatter_waveform_into(full_bits, cfg.bitrate, fs,
-                                 /*initial_level=*/-1, sw, arena);
+      phy::scheme_waveform_length(cfg.scheme, data_bits.size(), cfg.bitrate, fs));
+  phy::scheme_waveform_into(cfg.scheme, data_bits, cfg.bitrate, fs, sw, arena);
 
   const double packet_s = static_cast<double>(sw.size()) / fs;
   const double total_s = cfg.node_start_s + packet_s + cfg.tail_s;
@@ -174,7 +171,10 @@ UplinkRunResult LinkSimulator::run_uplink(const Projector& projector,
                                           const circuit::RectoPiezo& front_end,
                                           std::span<const std::uint8_t> data_bits,
                                           const UplinkRunConfig& cfg) {
-  return run_uplink(projector, modulation_states(front_end, cfg.carrier_hz, cfg.bitrate),
+  return run_uplink(projector,
+                    modulation_states(front_end, cfg.carrier_hz,
+                                      phy::scheme_descriptor(cfg.scheme)
+                                          .effective_bitrate(cfg.bitrate)),
                     data_bits, cfg, rng_);
 }
 
@@ -186,13 +186,14 @@ pab::Expected<bool> LinkSimulator::run_and_decode_into(
     const obs::ScopedTimer timer(t_uplink_run_);
     run_uplink_into(projector, states, data_bits, cfg, rng, ws, out.run);
   }
-  phy::DemodConfig dc;
-  dc.carrier_hz = cfg.carrier_hz;
-  dc.bitrate = cfg.bitrate;
-  dc.sample_rate = config_.sample_rate;
-  dc.metrics = metrics_;
+  phy::SchemeConfig sc;
+  sc.scheme = cfg.scheme;
+  sc.demod.carrier_hz = cfg.carrier_hz;
+  sc.demod.bitrate = cfg.bitrate;
+  sc.demod.sample_rate = config_.sample_rate;
+  sc.demod.metrics = metrics_;
   const obs::ScopedTimer timer(t_decode_);
-  const phy::BackscatterDemodulator& demod = ws.demodulator(dc);
+  const phy::SchemeDemodulator& demod = ws.scheme_demodulator(sc);
   return demod.demodulate_into(out.run.hydrophone_v.samples,
                                out.run.hydrophone_v.sample_rate,
                                data_bits.size(), ws.arena(), out.demod);
@@ -214,7 +215,9 @@ pab::Expected<LinkSimulator::DecodedRun> LinkSimulator::run_and_decode(
     const Projector& projector, const circuit::RectoPiezo& front_end,
     std::span<const std::uint8_t> data_bits, const UplinkRunConfig& cfg) {
   return run_and_decode(projector,
-                        modulation_states(front_end, cfg.carrier_hz, cfg.bitrate),
+                        modulation_states(front_end, cfg.carrier_hz,
+                                          phy::scheme_descriptor(cfg.scheme)
+                                              .effective_bitrate(cfg.bitrate)),
                         data_bits, cfg, rng_);
 }
 

@@ -43,7 +43,10 @@ struct ModulationStates {
   dsp::cplx g_absorptive{};
 };
 
-// Evaluate the recto-piezo frequency response at (carrier, bitrate).
+// Evaluate the recto-piezo frequency response at (carrier, bitrate).  The
+// bitrate argument is the FM0-equivalent switching rate: non-FM0 schemes pass
+// phy::scheme_descriptor(scheme).effective_bitrate(R) so the sideband
+// derating tracks the actual switch toggle rate (identity for kFm0).
 [[nodiscard]] ModulationStates modulation_states(const circuit::RectoPiezo& front_end,
                                                  double carrier_hz, double bitrate);
 

@@ -6,16 +6,37 @@
 // using the receiver's SNR estimates and CRC outcomes, with hysteresis so a
 // marginal link does not oscillate -- the standard backscatter reader-side
 // rate adaptation the paper leaves to the reader implementation.
+//
+// Two operating modes share the hysteresis machinery:
+//   * Legacy rate-table mode (`ladder` empty): observe(snr_db, crc_ok) walks
+//     `rate_table` against the configured decode floor.
+//   * Ladder mode (`ladder` non-empty): observe_quality(LinkQuality, crc_ok)
+//     walks (scheme, bitrate) rungs using soft post-decode metrics -- MER
+//     headroom over the *current rung's scheme* decode floor, with EVM gates
+//     -- so the controller reacts before the link degrades to CRC failures
+//     (which remain the hard backstop).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "phy/modem.hpp"
+#include "phy/scheme_id.hpp"
 #include "util/error.hpp"
 
 namespace pab::mac {
 
+// One rung of the modulation ladder: a scheme plus its switch-clock (symbol)
+// rate -- the kSetBitrate currency the MCU's clock dividers actually set.
+// Delivered data rate is bitrate * bits_per_symbol, and rungs must be ordered
+// by strictly increasing delivered rate: index 0 is the most robust.
+struct LadderRung {
+  phy::SchemeId scheme = phy::SchemeId::kFm0;
+  double bitrate = 0.0;  // symbol (switch-clock) rate [Hz]
+};
+
 struct RateControlConfig {
+  // Legacy mode: FM0 clock-divider bitrates, strictly ascending.
   std::vector<double> rate_table = {100,  200,  400,  600,  800,
                                     1000, 2000, 2800, 3000, 5000};
   // SNR margins [dB] relative to the FM0 decode floor (~2 dB, Fig. 7):
@@ -29,6 +50,15 @@ struct RateControlConfig {
   int down_streak = 1;
   // CRC failures force an immediate downshift.
   bool downshift_on_crc_failure = true;
+  // Soft-metric ladder (empty = legacy rate_table mode).  In ladder mode the
+  // margins above apply to MER headroom over each rung's own scheme decode
+  // floor (phy::scheme_descriptor), and EVM gates the walk: an upshift
+  // additionally needs evm_rms <= evm_upshift_max, while evm_rms >=
+  // evm_backstop counts as a bad observation no matter what MER says (EVM
+  // saturates before MER when the error distribution grows heavy tails).
+  std::vector<LadderRung> ladder;
+  double evm_upshift_max = 0.25;
+  double evm_backstop = 0.7;
 };
 
 class RateController {
@@ -41,8 +71,22 @@ class RateController {
   // resets it (and forces a downshift step when configured to).
   bool observe(double snr_db, bool crc_ok);
 
+  // Ladder-mode observation: soft link-quality metrics from the demodulator
+  // plus the CRC outcome.  Same hysteresis/streak rules as observe(); valid
+  // only when the config carries a non-empty ladder.
+  bool observe_quality(const phy::LinkQuality& quality, bool crc_ok);
+
+  [[nodiscard]] bool ladder_mode() const { return !config_.ladder.empty(); }
   [[nodiscard]] std::size_t rate_index() const { return index_; }
-  [[nodiscard]] double rate_bps() const { return config_.rate_table[index_]; }
+  [[nodiscard]] double rate_bps() const {
+    return ladder_mode() ? config_.ladder[index_].bitrate
+                         : config_.rate_table[index_];
+  }
+  // Current rung (ladder mode only).
+  [[nodiscard]] const LadderRung& rung() const { return config_.ladder[index_]; }
+  [[nodiscard]] phy::SchemeId scheme() const {
+    return ladder_mode() ? config_.ladder[index_].scheme : phy::SchemeId::kFm0;
+  }
   [[nodiscard]] const RateControlConfig& config() const { return config_; }
 
   // Statistics for reporting.
@@ -50,6 +94,10 @@ class RateController {
   [[nodiscard]] std::size_t downshifts() const { return downshifts_; }
 
  private:
+  // Shared hysteresis step behind both observation entry points.
+  bool step(double headroom_db, bool crc_ok, bool evm_allows_up,
+            bool evm_forces_down, std::size_t table_size);
+
   RateControlConfig config_;
   std::size_t index_;
   int good_streak_ = 0;

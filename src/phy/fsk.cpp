@@ -1,0 +1,284 @@
+#include "phy/fsk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/mixer.hpp"
+#include "dsp/simd.hpp"
+#include "obs/metrics.hpp"
+#include "phy/packet.hpp"
+
+namespace pab::phy {
+
+FskParams FskParams::from(SchemeId id, double bitrate, double sample_rate) {
+  FskParams p;
+  p.bitrate = bitrate;
+  p.sample_rate = sample_rate;
+  p.bits_per_symbol = id == SchemeId::kFsk4 ? 2 : 1;
+  return p;
+}
+
+namespace {
+
+// Symbol value of symbol `s` (MSB first over bits_per_symbol bits; bits past
+// the payload read as zero padding).
+int symbol_value(const FskParams& p, std::span<const std::uint8_t> bits,
+                 std::size_t s) {
+  int v = 0;
+  const auto bps = static_cast<std::size_t>(p.bits_per_symbol);
+  for (std::size_t b = 0; b < bps; ++b) {
+    const std::size_t idx = s * bps + b;
+    v = (v << 1) | (idx < bits.size() ? (bits[idx] & 1) : 0);
+  }
+  return v;
+}
+
+std::size_t preamble_chip_count() { return uplink_preamble_bits().size() * 2; }
+
+}  // namespace
+
+std::size_t fsk_waveform_length(const FskParams& params, std::size_t n_bits) {
+  require(params.bitrate > 0.0 && params.sample_rate > 0.0,
+          "fsk_waveform: bad rates");
+  const double spc = params.sample_rate / (2.0 * params.bitrate);
+  const double pre = static_cast<double>(preamble_chip_count()) * spc;
+  const double sps = params.sample_rate / params.symbol_rate();
+  return static_cast<std::size_t>(std::ceil(
+      pre + static_cast<double>(params.symbols_for(n_bits)) * sps));
+}
+
+void fsk_waveform_into(const FskParams& params,
+                       std::span<const std::uint8_t> data_bits,
+                       std::span<SwitchState> out, dsp::Arena& scratch) {
+  require(out.size() == fsk_waveform_length(params, data_bits.size()),
+          "fsk_waveform_into: output size mismatch");
+  const auto frame = scratch.frame();
+  const pab::Bits& preamble = uplink_preamble_bits();
+  auto chips = scratch.alloc<std::int8_t>(preamble.size() * 2);
+  fm0_encode_into(preamble, /*initial_level=*/-1, chips);
+
+  const double fs = params.sample_rate;
+  const double spc = fs / (2.0 * params.bitrate);
+  const double pre_exact = static_cast<double>(chips.size()) * spc;
+  const auto pre_samples =
+      std::min(out.size(), static_cast<std::size_t>(std::ceil(pre_exact)));
+  for (std::size_t i = 0; i < pre_samples; ++i) {
+    const auto chip = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(i) / spc),
+        chips.size() - 1);
+    out[i] = chips[chip] > 0 ? SwitchState::kReflective
+                             : SwitchState::kAbsorptive;
+  }
+
+  const std::size_t n_sym = params.symbols_for(data_bits.size());
+  const double sps = fs / params.symbol_rate();
+  for (std::size_t i = pre_samples; i < out.size(); ++i) {
+    const double t = static_cast<double>(i) - pre_exact;
+    const auto s = std::min<std::size_t>(
+        static_cast<std::size_t>(t / sps), n_sym - 1);
+    const double u = t - static_cast<double>(s) * sps;
+    const double f = params.tone_hz(symbol_value(params, data_bits, s));
+    // Square-wave subcarrier: the switch toggles every half tone period,
+    // starting reflective at the symbol boundary.
+    const double half = fs / (2.0 * f);
+    const auto half_cycles = static_cast<std::uint64_t>(u / half);
+    out[i] = (half_cycles % 2 == 0) ? SwitchState::kReflective
+                                    : SwitchState::kAbsorptive;
+  }
+}
+
+FskDemodulator::FskDemodulator(DemodConfig config, int bits_per_symbol)
+    : config_(config) {
+  require(config.bitrate > 0.0, "FskDemodulator: bitrate must be positive");
+  require(config.sample_rate > 0.0,
+          "FskDemodulator: sample rate must be positive");
+  require(config.carrier_hz > 0.0, "FskDemodulator: carrier must be positive");
+  require(bits_per_symbol == 1 || bits_per_symbol == 2,
+          "FskDemodulator: 1 or 2 bits per symbol");
+  params_.bitrate = config.bitrate;
+  params_.sample_rate = config.sample_rate;
+  params_.bits_per_symbol = bits_per_symbol;
+  preamble_chips_ = fm0_encode(uplink_preamble_bits(), /*initial_level=*/-1);
+  // The receiver low-pass must pass the top tone plus one symbol-rate of
+  // sideband, whatever `lowpass_factor` asks for (the FM0 default of
+  // 2.5*bitrate would clip the 3*bitrate tone).
+  const double cutoff =
+      std::min(std::max(config_.lowpass_factor * config_.bitrate,
+                        params_.max_tone_hz() + params_.symbol_rate()),
+               config_.sample_rate / 2.5);
+  lowpass_ = dsp::butterworth_lowpass(config_.lowpass_order, cutoff,
+                                      config_.sample_rate);
+  if (config_.metrics != nullptr) {
+    auto& m = *config_.metrics;
+    n_attempts_ = &m.counter("phy.demod.attempts");
+    n_ok_ = &m.counter("phy.demod.ok");
+    n_no_preamble_ = &m.counter("phy.demod.no_preamble");
+    n_decode_failures_ = &m.counter("phy.demod.decode_failures");
+  }
+}
+
+Expected<bool> FskDemodulator::demodulate_envelope_into(
+    std::span<const double> envelope, double envelope_rate, std::size_t n_bits,
+    dsp::Arena& scratch, DemodResult& out) const {
+  const auto arena_frame = scratch.frame();
+  const double spc = envelope_rate / (2.0 * config_.bitrate);
+  require(spc >= 2.0, "demodulate: fewer than 2 samples per chip");
+  const std::size_t n_pre_chips = preamble_chips_.size();
+  const std::size_t n_sym = params_.symbols_for(n_bits);
+  const double sps = envelope_rate / params_.symbol_rate();
+  const double pre_exact = static_cast<double>(n_pre_chips) * spc;
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(pre_exact + static_cast<double>(n_sym) * sps));
+  if (n_attempts_ != nullptr) n_attempts_->add();
+  if (envelope.size() < needed) {
+    if (n_no_preamble_ != nullptr) n_no_preamble_->add();
+    return Error{ErrorCode::kNoPreamble, "capture shorter than one packet"};
+  }
+
+  // Packet detection: the shared FM0 preamble through the same windowed
+  // Pearson correlation as BackscatterDemodulator.
+  std::size_t best = 0;
+  double corr_norm = 0.0;
+  {
+    auto tmpl = scratch.alloc<double>(static_cast<std::size_t>(
+        std::ceil(static_cast<double>(n_pre_chips) * spc)));
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      const auto chip = std::min<std::size_t>(
+          static_cast<std::size_t>(static_cast<double>(i) / spc),
+          n_pre_chips - 1);
+      tmpl[i] = static_cast<double>(preamble_chips_[chip]);
+    }
+    const std::size_t corr_len =
+        dsp::correlation_length(envelope.size(), tmpl.size());
+    if (corr_len == 0 || tmpl.size() < 2) {
+      if (n_no_preamble_ != nullptr) n_no_preamble_->add();
+      return Error{ErrorCode::kNoPreamble, "correlation empty"};
+    }
+    auto corr = scratch.alloc<double>(corr_len);
+    dsp::pearson_correlation_into(envelope, tmpl, corr);
+    std::size_t search_end = corr.size();
+    if (needed < envelope.size())
+      search_end = std::min(search_end, envelope.size() - needed + 1);
+    double best_v = -1e300;
+    for (std::size_t i = 0; i < search_end; ++i) {
+      const double m = std::abs(corr[i]);
+      if (m > best_v) { best_v = m; best = i; }
+    }
+    corr_norm = best_v;
+  }
+  if (corr_norm < config_.detect_threshold) {
+    if (n_no_preamble_ != nullptr) n_no_preamble_->add();
+    return Error{ErrorCode::kNoPreamble, "no preamble above threshold"};
+  }
+
+  // Two-level channel estimate from the FM0 preamble chips (mid level feeds
+  // the tone detector's mean removal; amp only reports the link swing).
+  double amp = 0.0, mid = 0.0;
+  {
+    auto pre_soft = scratch.alloc<double>(n_pre_chips);
+    BackscatterDemodulator::integrate_chips_into(
+        envelope, static_cast<double>(best), spc, pre_soft);
+    double hi = 0.0, lo = 0.0;
+    std::size_t nhi = 0, nlo = 0;
+    for (std::size_t c = 0; c < n_pre_chips; ++c) {
+      if (preamble_chips_[c] > 0) { hi += pre_soft[c]; ++nhi; }
+      else { lo += pre_soft[c]; ++nlo; }
+    }
+    if (nhi == 0 || nlo == 0) {
+      if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+      return Error{ErrorCode::kDecodeFailure, "degenerate preamble"};
+    }
+    hi /= static_cast<double>(nhi);
+    lo /= static_cast<double>(nlo);
+    amp = (hi - lo) / 2.0;
+    mid = (hi + lo) / 2.0;
+    if (amp == 0.0) {
+      if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+      return Error{ErrorCode::kDecodeFailure, "zero modulation depth"};
+    }
+  }
+
+  // Goertzel bank per symbol window: argmax tone decides the symbol;
+  // off-tone energy is the error vector (tone magnitudes are insensitive to
+  // an anti-phase/inverted envelope, so no sign handling is needed).
+  const int n_tones = params_.tone_count();
+  std::array<double, 4> tone_hz{};
+  for (int k = 0; k < n_tones; ++k) tone_hz[k] = params_.tone_hz(k);
+  const std::span<const double> tones(tone_hz.data(),
+                                      static_cast<std::size_t>(n_tones));
+  auto amps = scratch.alloc<double>(static_cast<std::size_t>(n_tones));
+  auto window = scratch.alloc<double>(
+      static_cast<std::size_t>(std::ceil(sps)) + 2);
+  const double data_start = static_cast<double>(best) + pre_exact;
+  const auto bps = static_cast<std::size_t>(params_.bits_per_symbol);
+  out.bits.resize(n_bits);  // reuses capacity in steady state
+  double sig_power = 0.0, err_power = 0.0;
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const auto w_lo = static_cast<std::size_t>(
+        std::lround(data_start + static_cast<double>(s) * sps));
+    auto w_hi = static_cast<std::size_t>(
+        std::lround(data_start + static_cast<double>(s + 1) * sps));
+    w_hi = std::min(w_hi, envelope.size());
+    if (w_lo >= w_hi) {
+      if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+      return Error{ErrorCode::kDecodeFailure, "empty symbol window"};
+    }
+    const std::size_t n = w_hi - w_lo;
+    for (std::size_t i = 0; i < n; ++i) window[i] = envelope[w_lo + i] - mid;
+    dsp::tone_amplitudes_into(window.first(n), tones, envelope_rate, amps);
+    int win = 0;
+    for (int k = 1; k < n_tones; ++k)
+      if (amps[static_cast<std::size_t>(k)] >
+          amps[static_cast<std::size_t>(win)])
+        win = k;
+    for (int k = 0; k < n_tones; ++k) {
+      const double a = amps[static_cast<std::size_t>(k)];
+      if (k == win) sig_power += a * a;
+      else err_power += a * a;
+    }
+    for (std::size_t b = 0; b < bps; ++b) {
+      const std::size_t idx = s * bps + b;
+      if (idx < n_bits)
+        out.bits[idx] =
+            static_cast<std::uint8_t>((win >> (bps - 1 - b)) & 1);
+    }
+  }
+  if (sig_power <= 0.0) {
+    if (n_decode_failures_ != nullptr) n_decode_failures_->add();
+    return Error{ErrorCode::kDecodeFailure, "no tone energy"};
+  }
+
+  out.start_sample = best;
+  out.channel_amp = std::abs(amp);
+  out.mid_level = mid;
+  out.preamble_corr = corr_norm;
+  out.snr_db =
+      err_power > 0.0
+          ? std::clamp(10.0 * std::log10(sig_power / err_power), -60.0, 60.0)
+          : 60.0;
+  // Detection bandwidth = the symbol rate (one Goertzel bin per symbol).
+  out.quality = link_quality_from_error_ratio(err_power / sig_power,
+                                              params_.symbol_rate());
+  if (n_ok_ != nullptr) n_ok_->add();
+  return true;
+}
+
+Expected<bool> FskDemodulator::demodulate_into(std::span<const double> passband,
+                                               double sample_rate,
+                                               std::size_t n_bits,
+                                               dsp::Arena& scratch,
+                                               DemodResult& out) const {
+  require(sample_rate == config_.sample_rate,
+          "demodulate: sample rate mismatch");
+  const auto arena_frame = scratch.frame();
+  const dsp::CplxView bb = dsp::downconvert_filtered(
+      passband, sample_rate, config_.carrier_hz, lowpass_, /*decim=*/1,
+      scratch);
+  auto env = scratch.alloc<double>(bb.size());
+  dsp::simd::magnitude(bb.samples, env);
+  return demodulate_envelope_into(env, bb.sample_rate, n_bits, scratch, out);
+}
+
+}  // namespace pab::phy

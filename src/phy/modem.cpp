@@ -13,6 +13,32 @@
 
 namespace pab::phy {
 
+LinkQuality link_quality_from_error_ratio(double error_over_signal,
+                                          double bandwidth_hz) {
+  LinkQuality q;
+  if (error_over_signal > 0.0 && std::isfinite(error_over_signal)) {
+    q.mer_db = std::clamp(-10.0 * std::log10(error_over_signal), -kMerClampDb,
+                          kMerClampDb);
+    q.evm_rms = std::sqrt(error_over_signal);
+  } else {
+    q.mer_db = kMerClampDb;
+    q.evm_rms = 0.0;
+  }
+  q.cn0_dbhz =
+      q.mer_db + (bandwidth_hz > 0.0 ? 10.0 * std::log10(bandwidth_hz) : 0.0);
+  return q;
+}
+
+LinkQuality link_quality_from_snr(double snr_db, double bandwidth_hz) {
+  const double mer = std::clamp(snr_db, -kMerClampDb, kMerClampDb);
+  LinkQuality q;
+  q.mer_db = mer;
+  q.evm_rms = std::pow(10.0, -mer / 20.0);
+  q.cn0_dbhz =
+      mer + (bandwidth_hz > 0.0 ? 10.0 * std::log10(bandwidth_hz) : 0.0);
+  return q;
+}
+
 std::size_t backscatter_waveform_length(std::size_t n_bits, double bitrate,
                                         double sample_rate) {
   require(bitrate > 0.0 && sample_rate > 0.0, "backscatter_waveform: bad rates");
@@ -234,6 +260,12 @@ Expected<bool> BackscatterDemodulator::demodulate_envelope_into(
   out.snr_db = noise > 0.0
                    ? std::clamp(10.0 * std::log10(amp * amp / noise), -60.0, 60.0)
                    : 60.0;
+  // Soft metrics: the normalized chips are the symbol estimates (nominal
+  // +/-1), so noise/amp^2 is exactly the error-vector power per unit signal
+  // and the FM0 MER coincides with the paper's SNR estimator (pre-clamp).
+  // Detection bandwidth = the chip rate.
+  out.quality = link_quality_from_error_ratio(noise / (amp * amp),
+                                              2.0 * config_.bitrate);
   if (n_ok_ != nullptr) n_ok_->add();
   return true;
 }

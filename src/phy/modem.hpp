@@ -77,6 +77,37 @@ struct DemodConfig {
   [[nodiscard]] bool operator==(const DemodConfig&) const = default;
 };
 
+// Per-packet soft link-quality metrics, computed alongside the SNR estimate
+// by every scheme demodulator (see phy/scheme.hpp).  The trio mirrors the
+// classic receiver metric suite: EVM (rms error vector, normalized to the
+// nominal symbol magnitude), MER (signal power over error-vector power, dB),
+// and C/N0 (MER referred to the scheme's detection bandwidth, dB-Hz).  All
+// three are always finite; MER is clamped to [-60, 60] dB like the SNR
+// estimate, and a zero-error decode reads EVM 0 / MER 60.
+struct LinkQuality {
+  double evm_rms = 0.0;
+  double mer_db = 0.0;
+  double cn0_dbhz = 0.0;
+
+  [[nodiscard]] bool operator==(const LinkQuality&) const = default;
+};
+
+// MER clamp bound shared by every estimator (matches the SNR clamp).
+inline constexpr double kMerClampDb = 60.0;
+
+// Derive the metric trio from an error-to-signal power ratio and a detection
+// bandwidth: EVM = sqrt(err/sig), MER = -10 log10(err/sig) clamped, C/N0 =
+// MER + 10 log10(bandwidth).  `error_over_signal` <= 0 means an error-free
+// decode (EVM 0, MER at the clamp).
+[[nodiscard]] LinkQuality link_quality_from_error_ratio(double error_over_signal,
+                                                        double bandwidth_hz);
+
+// Model-level variant: metrics implied by a known SNR/SINR in `bandwidth_hz`
+// (MER = clamped SNR).  Used where the signal path is abstracted away, e.g.
+// the field trial's slot-SINR ledger.
+[[nodiscard]] LinkQuality link_quality_from_snr(double snr_db,
+                                                double bandwidth_hz);
+
 struct DemodResult {
   Bits bits;                  // decoded bits following the preamble
   std::size_t start_sample = 0;  // envelope index of the packet start
@@ -84,6 +115,7 @@ struct DemodResult {
   double mid_level = 0.0;     // estimated level midpoint
   double snr_db = 0.0;        // per the paper's estimator, over the payload
   double preamble_corr = 0.0; // peak normalized correlation
+  LinkQuality quality;        // EVM/MER/CN0 alongside the SNR estimate
 };
 
 class BackscatterDemodulator {

@@ -1,0 +1,107 @@
+#include "phy/scheme.hpp"
+
+#include <algorithm>
+
+#include "phy/packet.hpp"
+
+namespace pab::phy {
+
+const SchemeDescriptor& scheme_descriptor(SchemeId id) {
+  // FSK factors follow the tone plan in phy/fsk.hpp: FSK2 tops out at the
+  // 3R tone (toggle rate 6R, occupied band ~2*(3R + R)); FSK4 at symbol rate
+  // R/2 tops out at 2.5R (toggle rate 5R, band ~2*(2.5R + R/2)).
+  static const SchemeDescriptor kTable[kSchemeCount] = {
+      {SchemeId::kFm0, "fm0", /*bits_per_symbol=*/1, /*chips_per_bit=*/2.0,
+       /*decode_floor_db=*/2.0, /*bandwidth_factor=*/2.0,
+       /*switch_rate_factor=*/2.0},
+      {SchemeId::kFsk2, "fsk2", /*bits_per_symbol=*/1, /*chips_per_bit=*/6.0,
+       /*decode_floor_db=*/5.0, /*bandwidth_factor=*/8.0,
+       /*switch_rate_factor=*/6.0},
+      {SchemeId::kFsk4, "fsk4", /*bits_per_symbol=*/2, /*chips_per_bit=*/5.0,
+       /*decode_floor_db=*/7.0, /*bandwidth_factor=*/6.0,
+       /*switch_rate_factor=*/5.0},
+  };
+  const auto i = static_cast<std::size_t>(id);
+  require(i < kSchemeCount, "scheme_descriptor: unknown scheme");
+  return kTable[i];
+}
+
+std::size_t scheme_waveform_length(SchemeId scheme, std::size_t n_data_bits,
+                                   double bitrate, double sample_rate) {
+  switch (scheme) {
+    case SchemeId::kFm0:
+      return backscatter_waveform_length(
+          uplink_preamble_bits().size() + n_data_bits, bitrate, sample_rate);
+    case SchemeId::kFsk2:
+    case SchemeId::kFsk4:
+      return fsk_waveform_length(FskParams::from(scheme, bitrate, sample_rate),
+                                 n_data_bits);
+  }
+  require(false, "scheme_waveform_length: unknown scheme");
+  return 0;
+}
+
+void scheme_waveform_into(SchemeId scheme,
+                          std::span<const std::uint8_t> data_bits,
+                          double bitrate, double sample_rate,
+                          std::span<SwitchState> out, dsp::Arena& scratch) {
+  switch (scheme) {
+    case SchemeId::kFm0: {
+      // Verbatim legacy path: FM0-encode the concatenated preamble+data
+      // stream in one call so chip boundaries land on exactly the same
+      // fractional sample positions as before the seam.
+      const auto frame = scratch.frame();
+      const pab::Bits& preamble = uplink_preamble_bits();
+      auto full_bits =
+          scratch.alloc<std::uint8_t>(preamble.size() + data_bits.size());
+      std::copy(preamble.begin(), preamble.end(), full_bits.begin());
+      std::copy(data_bits.begin(), data_bits.end(),
+                full_bits.begin() +
+                    static_cast<std::ptrdiff_t>(preamble.size()));
+      backscatter_waveform_into(full_bits, bitrate, sample_rate,
+                                /*initial_level=*/-1, out, scratch);
+      return;
+    }
+    case SchemeId::kFsk2:
+    case SchemeId::kFsk4:
+      fsk_waveform_into(FskParams::from(scheme, bitrate, sample_rate),
+                        data_bits, out, scratch);
+      return;
+  }
+  require(false, "scheme_waveform_into: unknown scheme");
+}
+
+SchemeDemodulator::SchemeDemodulator(SchemeConfig config) : config_(config) {
+  switch (config_.scheme) {
+    case SchemeId::kFm0:
+      fm0_.emplace(config_.demod);
+      return;
+    case SchemeId::kFsk2:
+      fsk_.emplace(config_.demod, /*bits_per_symbol=*/1);
+      return;
+    case SchemeId::kFsk4:
+      fsk_.emplace(config_.demod, /*bits_per_symbol=*/2);
+      return;
+  }
+  require(false, "SchemeDemodulator: unknown scheme");
+}
+
+Expected<bool> SchemeDemodulator::demodulate_into(
+    std::span<const double> passband, double sample_rate, std::size_t n_bits,
+    dsp::Arena& scratch, DemodResult& out) const {
+  if (fm0_.has_value())
+    return fm0_->demodulate_into(passband, sample_rate, n_bits, scratch, out);
+  return fsk_->demodulate_into(passband, sample_rate, n_bits, scratch, out);
+}
+
+Expected<bool> SchemeDemodulator::demodulate_envelope_into(
+    std::span<const double> envelope, double envelope_rate, std::size_t n_bits,
+    dsp::Arena& scratch, DemodResult& out) const {
+  if (fm0_.has_value())
+    return fm0_->demodulate_envelope_into(envelope, envelope_rate, n_bits,
+                                          scratch, out);
+  return fsk_->demodulate_envelope_into(envelope, envelope_rate, n_bits,
+                                        scratch, out);
+}
+
+}  // namespace pab::phy

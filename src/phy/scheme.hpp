@@ -1,0 +1,115 @@
+// The pluggable modulation-scheme seam.
+//
+// Everything above phy (core::LinkSimulator, sim::Session, mac rate control)
+// talks to the uplink PHY through this header instead of hard-wiring FM0:
+//   * SchemeDescriptor -- static per-scheme facts (bits/symbol, occupied
+//     bandwidth, decode floor) that the rate-control ladder and the
+//     modulation-response cache key on;
+//   * scheme_waveform_into -- modulate [standard preamble + data bits] into
+//     per-sample switch states;
+//   * SchemeDemodulator -- the matching receiver behind one config-cached
+//     facade (phy::Workspace caches one per operating point).
+//
+// Seam ownership rules (DESIGN.md §14):
+//   * kFm0 delegates verbatim to the legacy backscatter_waveform /
+//     BackscatterDemodulator path -- the default scheme is pinned
+//     bit-identical to the pre-seam code by golden regressions
+//     (tests/test_scheme.cpp), so adding a scheme can never drift fig7/fig8.
+//   * Every scheme obeys the Arena/Workspace zero-allocation discipline:
+//     scratch from the caller's arena, outputs resize-in-place only.
+//   * Every scheme fills DemodResult::quality (EVM/MER/CN0) next to snr_db.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dsp/arena.hpp"
+#include "phy/fsk.hpp"
+#include "phy/modem.hpp"
+#include "phy/scheme_id.hpp"
+
+namespace pab::phy {
+
+// Static facts about a scheme at a data bitrate R.  The factors are exact
+// consequences of the symbol geometry (see phy/fsk.hpp for the tone plan).
+struct SchemeDescriptor {
+  SchemeId id = SchemeId::kFm0;
+  std::string_view name = "fm0";
+  int bits_per_symbol = 1;
+  // Switch-toggle opportunities per data bit (FM0: 2 chips/bit).
+  double chips_per_bit = 2.0;
+  // Decode floor [dB]: the SNR below which the scheme stops decoding
+  // (FM0 ~2 dB per Fig. 7; the FSK banks need more margin for noncoherent
+  // orthogonal detection, more again for 4 tones).
+  double decode_floor_db = 2.0;
+  // Occupied acoustic bandwidth = bandwidth_factor * R.
+  double bandwidth_factor = 2.0;
+  // Peak reflection-switch toggle rate = switch_rate_factor * R; the
+  // recto-piezo's bandwidth-efficiency derating is a function of this.
+  double switch_rate_factor = 2.0;
+
+  [[nodiscard]] double occupied_bandwidth_hz(double bitrate) const {
+    return bandwidth_factor * bitrate;
+  }
+  // The FM0-equivalent bitrate whose chip rate matches this scheme's peak
+  // switch rate: what core::modulation_states must be evaluated at so the
+  // front end's sideband derating is honest.  Identity for kFm0 (so the
+  // sim-layer modulation cache keys are unchanged for the default scheme).
+  [[nodiscard]] double effective_bitrate(double bitrate) const {
+    return switch_rate_factor * bitrate / 2.0;
+  }
+};
+
+[[nodiscard]] const SchemeDescriptor& scheme_descriptor(SchemeId id);
+
+// On-air sample count of [uplink preamble + n_data_bits] for `scheme`.
+[[nodiscard]] std::size_t scheme_waveform_length(SchemeId scheme,
+                                                 std::size_t n_data_bits,
+                                                 double bitrate,
+                                                 double sample_rate);
+
+// Modulate [uplink preamble + data_bits] into per-sample switch states.
+// out.size() must equal scheme_waveform_length(...); scratch is released
+// before returning.  kFm0 produces exactly backscatter_waveform_into over the
+// concatenated preamble+data bit stream (initial level -1).
+void scheme_waveform_into(SchemeId scheme,
+                          std::span<const std::uint8_t> data_bits,
+                          double bitrate, double sample_rate,
+                          std::span<SwitchState> out, dsp::Arena& scratch);
+
+// One demodulator operating point: scheme + front-end config.  Member-wise
+// equality lets phy::Workspace cache one SchemeDemodulator per point.
+struct SchemeConfig {
+  SchemeId scheme = SchemeId::kFm0;
+  DemodConfig demod;
+
+  [[nodiscard]] bool operator==(const SchemeConfig&) const = default;
+};
+
+// Facade over the per-scheme receivers.  kFm0 holds a BackscatterDemodulator
+// and forwards verbatim (bit-identical to the legacy path); the FSK schemes
+// hold an FskDemodulator.  Same contract as both: Expected errors for
+// no-preamble/decode-failure, zero allocation in steady state.
+class SchemeDemodulator {
+ public:
+  explicit SchemeDemodulator(SchemeConfig config);
+
+  [[nodiscard]] Expected<bool> demodulate_into(std::span<const double> passband,
+                                               double sample_rate,
+                                               std::size_t n_bits,
+                                               dsp::Arena& scratch,
+                                               DemodResult& out) const;
+  [[nodiscard]] Expected<bool> demodulate_envelope_into(
+      std::span<const double> envelope, double envelope_rate,
+      std::size_t n_bits, dsp::Arena& scratch, DemodResult& out) const;
+
+  [[nodiscard]] const SchemeConfig& config() const { return config_; }
+
+ private:
+  SchemeConfig config_;
+  std::optional<BackscatterDemodulator> fm0_;
+  std::optional<FskDemodulator> fsk_;
+};
+
+}  // namespace pab::phy

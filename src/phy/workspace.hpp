@@ -7,9 +7,10 @@
 //     per trial.
 //   * The arena is sized on first use and only grows; steady-state trials
 //     reuse the same blocks, so the hot loop performs zero heap allocations.
-//   * demodulator(config) rebuilds only when the config changes (member-wise
-//     equality on DemodConfig); a Monte-Carlo sweep that fixes the operating
-//     point constructs the demodulator exactly once.
+//   * demodulator(config) / scheme_demodulator(config) rebuild only when the
+//     config changes (member-wise equality on DemodConfig / SchemeConfig); a
+//     Monte-Carlo sweep that fixes the operating point constructs the
+//     demodulator exactly once.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +18,7 @@
 
 #include "dsp/arena.hpp"
 #include "phy/modem.hpp"
+#include "phy/scheme.hpp"
 
 namespace pab::phy {
 
@@ -49,9 +51,20 @@ class Workspace {
     return *demod_;
   }
 
+  // Scheme-seam variant: one cached receiver per (scheme, config) operating
+  // point.  For SchemeId::kFm0 the facade forwards to a
+  // BackscatterDemodulator, so results are bit-identical to demodulator().
+  [[nodiscard]] const SchemeDemodulator& scheme_demodulator(
+      const SchemeConfig& config) {
+    if (!scheme_demod_.has_value() || !(scheme_demod_->config() == config))
+      scheme_demod_.emplace(config);
+    return *scheme_demod_;
+  }
+
  private:
   dsp::Arena arena_;
   std::optional<BackscatterDemodulator> demod_;
+  std::optional<SchemeDemodulator> scheme_demod_;
 };
 
 }  // namespace pab::phy

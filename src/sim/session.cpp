@@ -13,6 +13,7 @@
 #include "mac/zones.hpp"
 #include "node/lifecycle.hpp"
 #include "phy/metrics.hpp"
+#include "phy/scheme.hpp"
 
 namespace pab::sim {
 
@@ -131,7 +132,11 @@ pab::Expected<bool> Session::run_into(std::uint64_t trial,
   pab::Rng rng = trial_rng(trial);
   out.sent.resize(w.payload_bits);  // reuses capacity in steady state
   rng.bits_into(out.sent);
-  const core::ModulationStates& states = modulation(0, w.carrier_hz, w.bitrate);
+  // Modulation-response cache key: the scheme's FM0-equivalent switching
+  // rate (identity for kFm0, so default-scheme keys are unchanged).
+  const core::ModulationStates& states = modulation(
+      0, w.carrier_hz,
+      phy::scheme_descriptor(w.scheme).effective_bitrate(w.bitrate));
   const auto ctx = trial_contexts_.lease();
   const auto ok = link_.run_and_decode_into(projector_, states, out.sent, w,
                                             rng, ctx->workspace, ctx->decoded);
@@ -516,6 +521,14 @@ pab::Expected<FieldRunResult> Session::field_trial(
   out.inventory = round.inventory;
   out.interference_corrupted_slots = round.corrupted_slots;
   out.mean_slot_sinr_db = round.mean_slot_sinr_db;
+  if (slots.interference.enabled) {
+    // Model-level link quality: the mean slot SINR read through the same
+    // EVM/MER/CN0 mapping the waveform receiver uses, in the scheme's
+    // occupied bandwidth at the scenario bitrate.
+    const phy::SchemeDescriptor& sd = phy::scheme_descriptor(scenario_.waveform.scheme);
+    out.slot_quality = phy::link_quality_from_snr(
+        out.mean_slot_sinr_db, sd.occupied_bandwidth_hz(scenario_.waveform.bitrate));
+  }
   // Captured after the zoned round so the interference model's extra
   // reader-path evaluations show up in the trial's tap economics (the census
   // evaluates nothing after this point on the off path, so off-mode numbers

@@ -97,6 +97,10 @@ struct FieldRunResult {
   // over every evaluated singleton slot.
   std::uint64_t interference_corrupted_slots = 0;
   double mean_slot_sinr_db = 0.0;
+  // Model-level link quality implied by the mean slot SINR in the scheme's
+  // occupied bandwidth (phy::link_quality_from_snr); zeros when the
+  // interference model is off (no SINR ledger to derive from).
+  phy::LinkQuality slot_quality;
   double simulated_s = 0.0;
   double node_hours = 0.0;  // population * simulated_s / 3600
   std::size_t events_processed = 0;

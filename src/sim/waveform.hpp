@@ -6,12 +6,16 @@
 // describes a concurrent multi-node frame.  The legacy names remain as
 // aliases in core/ so existing callers keep compiling.
 //
-// This header is deliberately dependency-free so the lower core/ layer can
-// alias these types without linking against the sim module.
+// This header is deliberately near-dependency-free so the lower core/ layer
+// can alias these types without linking against the sim module; the one
+// include is the tiny phy/scheme_id.hpp enum header (core already depends on
+// phy).
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "phy/scheme_id.hpp"
 
 namespace pab::sim {
 
@@ -24,6 +28,10 @@ struct Waveform {
   // Payload size drawn per Monte-Carlo trial by sim::Session (ignored by the
   // legacy call paths, which pass explicit bit vectors).
   std::size_t payload_bits = 64;
+  // Uplink modulation scheme (phy::Scheme seam).  kFm0 -- the paper's line
+  // code -- keeps every preset and campaign fingerprint bit-identical to the
+  // pre-seam behaviour.
+  phy::SchemeId scheme = phy::SchemeId::kFm0;
 };
 
 // FDMA channel plan for concurrent multi-node frames (the former

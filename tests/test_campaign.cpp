@@ -138,6 +138,61 @@ TEST(CampaignSpec, FingerprintSeparatesSpecs) {
   EXPECT_NE(a.fingerprint(), c.fingerprint());
 }
 
+// Fingerprint stability: the scheme seam added a `waveform.scheme` axis and
+// LinkQuality record columns, neither of which may perturb the canonical
+// serialization of PRE-EXISTING specs -- a checkpoint store keyed by
+// fingerprint must keep resuming campaigns written before the seam.  The
+// pinned values are the fingerprints those specs have always had; if this
+// test fails, checkpoint compatibility is broken, not the test.
+TEST(CampaignSpec, FingerprintsOfExistingSpecsAreUnchangedBySchemeSeam) {
+  EXPECT_EQ(small_uplink_spec().fingerprint(), 3320668702618809973ull);
+  EXPECT_EQ(small_timeline_spec().fingerprint(), 5464704253007108330ull);
+  // A spec that *does* sweep the scheme axis gets a distinct fingerprint.
+  campaign::CampaignSpec swept = small_uplink_spec();
+  swept.axes.push_back({"waveform.scheme", {0.0, 1.0, 2.0}});
+  EXPECT_NE(swept.fingerprint(), small_uplink_spec().fingerprint());
+}
+
+TEST(CampaignSpec, SchemeAxisAppliesAndBoundsChecks) {
+  sim::Scenario s = sim::Scenario::pool_a();
+  EXPECT_TRUE(campaign::apply_param(s, "waveform.scheme", 1.0));
+  EXPECT_EQ(s.waveform.scheme, phy::SchemeId::kFsk2);
+  EXPECT_TRUE(campaign::apply_param(s, "waveform.scheme", 2.0));
+  EXPECT_EQ(s.waveform.scheme, phy::SchemeId::kFsk4);
+  EXPECT_TRUE(campaign::apply_param(s, "waveform.scheme", 0.0));
+  EXPECT_EQ(s.waveform.scheme, phy::SchemeId::kFm0);
+  // Out-of-range ordinals are a spec error, not a silent clamp.
+  EXPECT_FALSE(campaign::apply_param(s, "waveform.scheme", 3.0));
+  EXPECT_FALSE(campaign::apply_param(s, "waveform.scheme", -1.0));
+  EXPECT_EQ(s.waveform.scheme, phy::SchemeId::kFm0);  // unchanged on reject
+  // And the axis validates end to end.
+  campaign::CampaignSpec spec = small_uplink_spec();
+  spec.axes.push_back({"waveform.scheme", {0.0, 1.0}});
+  EXPECT_TRUE(spec.validate().ok()) << spec.validate().error().message();
+}
+
+TEST(CampaignRecord, UplinkRowsCarryLinkQualityColumns) {
+  const auto names = campaign::RecordBatch::column_names(sim::TrialKind::kUplink);
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[6], "evm_rms");
+  EXPECT_EQ(names[7], "mer_db");
+  EXPECT_EQ(names[8], "cn0_dbhz");
+
+  campaign::RecordBatch batch(sim::TrialKind::kUplink);
+  sim::UplinkTrial trial{};
+  trial.demod.quality = {0.1, 20.0, 53.0};
+  batch.append(0, sim::TrialResult{std::in_place_index<0>, trial});
+  EXPECT_EQ(batch.column(6)[0], 0.1);
+  EXPECT_EQ(batch.column(7)[0], 20.0);
+  EXPECT_EQ(batch.column(8)[0], 53.0);
+
+  const auto field_names =
+      campaign::RecordBatch::column_names(sim::TrialKind::kField);
+  ASSERT_EQ(field_names.size(), 21u);
+  EXPECT_EQ(field_names[18], "evm_rms");
+  EXPECT_EQ(field_names[20], "cn0_dbhz");
+}
+
 TEST(CampaignSpec, PointDecompositionLastAxisFastest) {
   campaign::CampaignSpec spec;
   spec.axes.push_back({"waveform.bitrate", {100.0, 200.0}});

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -469,6 +470,85 @@ TEST(Mutation, OrderScramblingSpatialCullIsCaught) {
   ASSERT_TRUE(caught.has_value()) << "order-scrambling spatial cull survived";
   EXPECT_TRUE(check_spatial_cull(*caught).ok)
       << "real spatial cull flagged on the mutant's reproducing seed";
+}
+
+// phy.link_quality mutants: each wraps the real demodulator and corrupts the
+// published LinkQuality the way a plausible implementation bug would.
+
+// A decode path that never fills the quality field (stale default zeros).
+TEST(Mutation, UnfilledLinkQualityIsCaught) {
+  const LinkQualityFn real = real_link_quality();
+  const LinkQualityFn mutant =
+      [&](std::span<const double> env, double fs, std::size_t n_bits,
+          const phy::DemodConfig& cfg) -> pab::Expected<phy::DemodResult> {
+    auto r = real(env, fs, n_bits, cfg);
+    if (r.ok()) r.value().quality = phy::LinkQuality{};
+    return r;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_link_quality(s, mutant); }, 8);
+  ASSERT_TRUE(caught.has_value()) << "zeroed link quality survived the audit";
+  EXPECT_TRUE(check_link_quality(*caught).ok)
+      << "real demodulator flagged on the mutant's reproducing seed";
+}
+
+// CN0 referred to the bit rate instead of the FM0 chip rate (2R): the classic
+// wrong-bandwidth bookkeeping bug.
+TEST(Mutation, WrongBandwidthCn0IsCaught) {
+  const LinkQualityFn real = real_link_quality();
+  const LinkQualityFn mutant =
+      [&](std::span<const double> env, double fs, std::size_t n_bits,
+          const phy::DemodConfig& cfg) -> pab::Expected<phy::DemodResult> {
+    auto r = real(env, fs, n_bits, cfg);
+    if (r.ok())
+      r.value().quality.cn0_dbhz =
+          r.value().quality.mer_db + 10.0 * std::log10(cfg.bitrate);
+    return r;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_link_quality(s, mutant); }, 8);
+  ASSERT_TRUE(caught.has_value()) << "wrong-bandwidth CN0 survived the audit";
+  EXPECT_TRUE(check_link_quality(*caught).ok);
+}
+
+// An unclamped MER: a clean burst's near-zero error ratio blows past the
+// +-60 dB clamp (or straight to infinity).
+TEST(Mutation, UnclampedMerIsCaught) {
+  const LinkQualityFn real = real_link_quality();
+  const LinkQualityFn mutant =
+      [&](std::span<const double> env, double fs, std::size_t n_bits,
+          const phy::DemodConfig& cfg) -> pab::Expected<phy::DemodResult> {
+    auto r = real(env, fs, n_bits, cfg);
+    if (r.ok()) {
+      auto& q = r.value().quality;
+      const double ratio = q.evm_rms * q.evm_rms;
+      q.mer_db = -10.0 * std::log10(ratio);  // no clamp, inf at ratio 0
+      q.cn0_dbhz = q.mer_db + 10.0 * std::log10(2.0 * cfg.bitrate);
+    }
+    return r;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_link_quality(s, mutant); }, 8);
+  ASSERT_TRUE(caught.has_value()) << "unclamped MER survived the audit";
+  EXPECT_TRUE(check_link_quality(*caught).ok);
+}
+
+// EVM reported as the error *power* ratio instead of its square root.
+TEST(Mutation, SquaredEvmIsCaught) {
+  const LinkQualityFn real = real_link_quality();
+  const LinkQualityFn mutant =
+      [&](std::span<const double> env, double fs, std::size_t n_bits,
+          const phy::DemodConfig& cfg) -> pab::Expected<phy::DemodResult> {
+    auto r = real(env, fs, n_bits, cfg);
+    if (r.ok())
+      r.value().quality.evm_rms =
+          r.value().quality.evm_rms * r.value().quality.evm_rms;
+    return r;
+  };
+  const auto caught = first_violation(
+      [&](std::uint64_t s) { return check_link_quality(s, mutant); }, 8);
+  ASSERT_TRUE(caught.has_value()) << "squared EVM survived the audit";
+  EXPECT_TRUE(check_link_quality(*caught).ok);
 }
 
 }  // namespace

@@ -225,6 +225,124 @@ TEST(RateControl, CrcFailureResetsAnInProgressGoodStreak) {
   EXPECT_EQ(rc.upshifts(), 1u);
 }
 
+// Regression (pre-fix the controller accepted this silently): an unsorted or
+// duplicated rate table inverts the meaning of "upshift" -- walking up the
+// index can lower the rate -- so it must be rejected at construction.
+TEST(RateControl, UnsortedRateTableIsRejectedAtConstruction) {
+  RateControlConfig unsorted;
+  unsorted.rate_table = {100.0, 400.0, 200.0, 800.0};
+  EXPECT_THROW(RateController rc(unsorted), std::exception);
+  RateControlConfig duplicated;
+  duplicated.rate_table = {100.0, 200.0, 200.0, 400.0};
+  EXPECT_THROW(RateController rc(duplicated), std::exception);
+  RateControlConfig nonpositive;
+  nonpositive.rate_table = {0.0, 200.0, 400.0};
+  EXPECT_THROW(RateController rc(nonpositive), std::exception);
+  RateControlConfig sorted;
+  sorted.rate_table = {100.0, 200.0, 400.0};
+  EXPECT_NO_THROW(RateController rc(sorted));
+}
+
+namespace {
+
+// A three-rung ladder: robust FM0, faster FM0, dense 4-FSK.
+mac::RateControlConfig ladder_config() {
+  mac::RateControlConfig cfg;
+  cfg.ladder = {{phy::SchemeId::kFm0, 500.0},
+                {phy::SchemeId::kFm0, 1000.0},
+                {phy::SchemeId::kFsk4, 1000.0}};
+  cfg.up_streak = 2;
+  return cfg;
+}
+
+// Quality implied by an SNR for the model-level ladder tests.
+phy::LinkQuality quality_at(double snr_db) {
+  return phy::link_quality_from_snr(snr_db, /*bandwidth_hz=*/2000.0);
+}
+
+}  // namespace
+
+TEST(RateControl, LadderValidatesThroughputOrderingAtConstruction) {
+  // Rungs must strictly ascend in delivered throughput (bitrate x
+  // bits/symbol); the FSK4 rung at half the FM0 bitrate delivers the same
+  // 1000 bps as rung 1, which is a config bug.
+  mac::RateControlConfig cfg = ladder_config();
+  cfg.ladder[2] = {phy::SchemeId::kFsk4, 500.0};
+  EXPECT_THROW(mac::RateController rc(cfg), std::exception);
+  cfg.ladder[2] = {phy::SchemeId::kFsk4, 499.0};  // strictly below: worse
+  EXPECT_THROW(mac::RateController rc(cfg), std::exception);
+  EXPECT_NO_THROW(mac::RateController rc(ladder_config()));
+}
+
+TEST(RateControl, LadderWalksUpOnSoftMetricsAndDownOnCrc) {
+  mac::RateController rc(ladder_config(), /*initial_index=*/0);
+  EXPECT_EQ(rc.scheme(), phy::SchemeId::kFm0);
+  EXPECT_EQ(rc.rate_bps(), 500.0);
+
+  // Strong MER relative to the FM0 floor (2 dB) upshifts after the streak.
+  const auto good = quality_at(30.0);
+  EXPECT_FALSE(rc.observe_quality(good, true));
+  EXPECT_TRUE(rc.observe_quality(good, true));
+  EXPECT_EQ(rc.rate_index(), 1u);
+  EXPECT_FALSE(rc.observe_quality(good, true));
+  EXPECT_TRUE(rc.observe_quality(good, true));
+  EXPECT_EQ(rc.rate_index(), 2u);
+  EXPECT_EQ(rc.scheme(), phy::SchemeId::kFsk4);
+  EXPECT_EQ(rc.rung().bitrate, 1000.0);
+
+  // A CRC failure is the hard backstop: immediate downshift.
+  EXPECT_TRUE(rc.observe_quality(good, false));
+  EXPECT_EQ(rc.rate_index(), 1u);
+  EXPECT_EQ(rc.downshifts(), 1u);
+}
+
+TEST(RateControl, LadderHeadroomUsesTheCurrentRungsFloor) {
+  // 13 dB MER clears FM0's floor (2 dB) by 11 dB >= up_margin (9), but
+  // clears FSK4's floor (7 dB) by only 6 dB < up_margin -- so the same
+  // quality that climbs the FM0 rungs refuses to climb past an FSK4 rung,
+  // and falls off it once inside down_margin.
+  mac::RateControlConfig cfg = ladder_config();
+  cfg.up_streak = 1;
+  const auto q13 = quality_at(13.0);
+  mac::RateController rc(cfg, 0);
+  EXPECT_TRUE(rc.observe_quality(q13, true));   // 0 -> 1 (FM0 floor)
+  EXPECT_TRUE(rc.observe_quality(q13, true));   // 1 -> 2 (still FM0 floor)
+  EXPECT_EQ(rc.rate_index(), 2u);
+  // On the FSK4 rung: headroom 6 dB, between down (3) and up (9): hold.
+  EXPECT_FALSE(rc.observe_quality(q13, true));
+  EXPECT_EQ(rc.rate_index(), 2u);
+  // 9 dB MER: headroom 2 dB < down_margin on FSK4 -> retreat to FM0.
+  EXPECT_TRUE(rc.observe_quality(quality_at(9.0), true));
+  EXPECT_EQ(rc.rate_index(), 1u);
+  EXPECT_EQ(rc.scheme(), phy::SchemeId::kFm0);
+}
+
+TEST(RateControl, LadderEvmGatesOverrideMer) {
+  mac::RateControlConfig cfg = ladder_config();
+  cfg.up_streak = 1;
+  mac::RateController rc(cfg, 1);
+
+  // MER says plenty of headroom, but a heavy-tailed error distribution (EVM
+  // past the backstop) forces a downshift anyway.
+  phy::LinkQuality bad_tail = quality_at(30.0);
+  bad_tail.evm_rms = cfg.evm_backstop + 0.1;
+  EXPECT_TRUE(rc.observe_quality(bad_tail, true));
+  EXPECT_EQ(rc.rate_index(), 0u);
+
+  // EVM above the upshift gate (but below the backstop) blocks climbing
+  // without forcing a retreat.
+  phy::LinkQuality marginal = quality_at(30.0);
+  marginal.evm_rms = cfg.evm_upshift_max + 0.05;
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(rc.observe_quality(marginal, true));
+  EXPECT_EQ(rc.rate_index(), 0u);
+}
+
+TEST(RateControl, LadderObserveQualityRequiresALadder) {
+  mac::RateController legacy{mac::RateControlConfig{}};
+  EXPECT_THROW((void)legacy.observe_quality(quality_at(20.0), true),
+               std::exception);
+}
+
 TEST(Fdma, TwoChannelPlanMatchesPaper) {
   // The paper's two concurrent recto-piezos sit at 15 and 18 kHz.
   const auto plan = plan_channels(2, ChannelPlanConfig{15000.0, 18000.0, 2500.0});

@@ -110,6 +110,57 @@ TEST(Modem, SnrEstimateTracksNoise) {
   EXPECT_GT(rq.value().snr_db, rl.value().snr_db + 10.0);
 }
 
+TEST(LinkQuality, FromErrorRatioIsConsistentTrio) {
+  const auto q = link_quality_from_error_ratio(0.01, 2000.0);
+  EXPECT_NEAR(q.mer_db, 20.0, 1e-12);
+  EXPECT_NEAR(q.evm_rms, 0.1, 1e-12);
+  EXPECT_NEAR(q.cn0_dbhz, 20.0 + 10.0 * std::log10(2000.0), 1e-12);
+  // Error-free decode: EVM 0, MER pinned at the clamp.
+  const auto clean = link_quality_from_error_ratio(0.0, 2000.0);
+  EXPECT_EQ(clean.evm_rms, 0.0);
+  EXPECT_EQ(clean.mer_db, kMerClampDb);
+  // Error dominating signal clamps at the other end.
+  const auto swamped = link_quality_from_error_ratio(1e12, 2000.0);
+  EXPECT_EQ(swamped.mer_db, -kMerClampDb);
+  EXPECT_TRUE(std::isfinite(swamped.evm_rms));
+}
+
+TEST(LinkQuality, FromSnrMatchesErrorRatioInverse) {
+  // The model-level constructor and the waveform-level one agree: an SNR of
+  // x dB is the error ratio 10^(-x/10).
+  for (const double snr : {-10.0, 0.0, 12.5, 40.0}) {
+    const auto a = link_quality_from_snr(snr, 1000.0);
+    const auto b =
+        link_quality_from_error_ratio(std::pow(10.0, -snr / 10.0), 1000.0);
+    EXPECT_NEAR(a.mer_db, b.mer_db, 1e-9) << snr;
+    EXPECT_NEAR(a.evm_rms, b.evm_rms, 1e-9) << snr;
+    EXPECT_NEAR(a.cn0_dbhz, b.cn0_dbhz, 1e-9) << snr;
+  }
+  // Out-of-clamp SNRs pin MER exactly like the packet estimator does.
+  EXPECT_EQ(link_quality_from_snr(80.0, 1000.0).mer_db, kMerClampDb);
+  EXPECT_EQ(link_quality_from_snr(-80.0, 1000.0).mer_db, -kMerClampDb);
+}
+
+TEST(LinkQuality, DemodulatorPublishesQualityAlongsideSnr) {
+  pab::Rng rng(9);
+  const auto bits = rng.bits(96);
+  const auto quiet =
+      synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 300, &rng, 0.005);
+  const auto loud =
+      synth_envelope(bits, 1000.0, 96000.0, 1.0, 0.05, 300, &rng, 0.05);
+  BackscatterDemodulator demod(DemodConfig{});
+  const auto rq = demod.demodulate_envelope(quiet, 96000.0, bits.size());
+  const auto rl = demod.demodulate_envelope(loud, 96000.0, bits.size());
+  ASSERT_TRUE(rq.ok() && rl.ok());
+  // FM0's MER and the paper's SNR estimator are the same quantity.
+  EXPECT_NEAR(rq.value().quality.mer_db, rq.value().snr_db, 1e-9);
+  EXPECT_NEAR(rl.value().quality.mer_db, rl.value().snr_db, 1e-9);
+  // The trio tracks the channel the same way SNR does.
+  EXPECT_GT(rq.value().quality.mer_db, rl.value().quality.mer_db);
+  EXPECT_LT(rq.value().quality.evm_rms, rl.value().quality.evm_rms);
+  EXPECT_GT(rq.value().quality.cn0_dbhz, rq.value().quality.mer_db);
+}
+
 TEST(Metrics, BitErrorRate) {
   const Bits a = {1, 0, 1, 0};
   const Bits b = {1, 1, 1, 0};

@@ -118,6 +118,38 @@ TEST(ZeroAlloc, SteadyStateUplinkTrialAllocatesNothing) {
   EXPECT_GT(metrics.gauge("sim.session.arena.high_water_bytes").value(), 0.0);
 }
 
+// The seam contract: every modulation scheme obeys the steady-state
+// zero-allocation discipline, not just FM0.  Same harness as above, swept
+// over the scheme axis.
+TEST(ZeroAlloc, SteadyStateTrialsAllocateNothingForEveryScheme) {
+  for (const auto scheme :
+       {phy::SchemeId::kFm0, phy::SchemeId::kFsk2, phy::SchemeId::kFsk4}) {
+    obs::MetricRegistry metrics;
+    sim::Scenario scenario = sim::Scenario::pool_a().with_seed(99);
+    scenario.waveform.payload_bits = 16;
+    scenario.waveform.scheme = scheme;
+    const sim::Session session(scenario, &metrics);
+
+    sim::Session::UplinkTrial trial;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      const auto r = session.run_into(i, trial);
+      ASSERT_TRUE(r.ok()) << phy::to_string(scheme) << ": "
+                          << r.error().message();
+    }
+
+    const obs::AllocScope scope;
+    for (std::uint64_t i = 5; i < 25; ++i) {
+      const auto r = session.run_into(i, trial);
+      ASSERT_TRUE(r.ok()) << phy::to_string(scheme) << ": "
+                          << r.error().message();
+    }
+    EXPECT_EQ(0u, scope.allocations())
+        << phy::to_string(scheme) << " steady-state run_into touched the heap ("
+        << scope.allocations() << " allocations, " << scope.bytes()
+        << " bytes)";
+  }
+}
+
 TEST(ZeroAlloc, RunIntoMatchesRunExactly) {
   obs::MetricRegistry m1, m2;
   sim::Scenario scenario = sim::Scenario::pool_a().with_seed(7);
